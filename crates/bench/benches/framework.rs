@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the Impatience framework: basic vs
+//! advanced vs single-latency plans (the Fig 10 comparison at small,
+//! statistically sampled scale).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use impatience_bench::{run_query, Method, Query};
+use impatience_core::TickDuration;
+use impatience_workloads::{generate_cloudlog, CloudLogConfig, Dataset};
+
+const N: usize = 100_000;
+
+fn dataset() -> Dataset {
+    generate_cloudlog(&CloudLogConfig::sized(N))
+}
+
+fn ladder() -> [TickDuration; 3] {
+    [
+        TickDuration::secs(1),
+        TickDuration::minutes(1),
+        TickDuration::hours(1),
+    ]
+}
+
+fn bench_methods_q1(c: &mut Criterion) {
+    let ds = dataset();
+    let mut g = c.benchmark_group("framework_q1");
+    g.throughput(Throughput::Elements(N as u64));
+    for method in Method::all() {
+        g.bench_function(method.name(), |b| {
+            b.iter(|| {
+                run_query(
+                    Query::Q1,
+                    method,
+                    &ds,
+                    &ladder(),
+                    TickDuration::secs(1),
+                    10_000,
+                )
+                .events
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_advanced_queries(c: &mut Criterion) {
+    let ds = dataset();
+    let mut g = c.benchmark_group("framework_advanced_queries");
+    g.throughput(Throughput::Elements(N as u64));
+    for query in Query::all() {
+        g.bench_function(query.name(), |b| {
+            b.iter(|| {
+                run_query(
+                    query,
+                    Method::Advanced,
+                    &ds,
+                    &ladder(),
+                    TickDuration::secs(1),
+                    10_000,
+                )
+                .events
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_methods_q1, bench_advanced_queries
+}
+criterion_main!(benches);

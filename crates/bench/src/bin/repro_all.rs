@@ -1,0 +1,38 @@
+//! One-shot reproduction: runs every exhibit (Table I, Fig 5, Fig 7–10,
+//! Table II) by invoking the sibling binaries in-process-equivalent order.
+//!
+//! ```sh
+//! cargo run --release -p impatience-bench --bin repro_all -- --events 1000000
+//! ```
+//!
+//! Each exhibit also exists as its own binary for focused runs; this
+//! driver simply shells out to them with consistent flags so the output
+//! matches EXPERIMENTS.md section by section.
+
+use std::process::Command;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+
+    let exhibits = [
+        "table1", "fig5", "fig7", "fig8", "fig9", "fig10", "table2",
+    ];
+    let mut failed = Vec::new();
+    for bin in exhibits {
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(dir.join(bin))
+            .args(&argv)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(bin);
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!("\nexhibits with failures: {failed:?}");
+        std::process::exit(1);
+    }
+    println!("\nall exhibits completed");
+}

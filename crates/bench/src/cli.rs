@@ -1,0 +1,73 @@
+//! Minimal argument parsing shared by the repro binaries (no external
+//! CLI dependency needed for two flags).
+
+/// Common benchmark options.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Dataset size in events (paper: 20M; default here is smaller).
+    pub events: usize,
+    /// Assert the paper's qualitative shapes, aborting on mismatch.
+    pub check: bool,
+    /// Optional path to append JSON-lines results to.
+    pub json: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `--events N`, `--check`, `--json PATH` from `std::env::args`,
+    /// with `default_events` as the size fallback. Unknown flags abort
+    /// with a usage message.
+    pub fn parse(default_events: usize) -> BenchArgs {
+        let mut args = BenchArgs {
+            events: default_events,
+            check: false,
+            json: None,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--events" => {
+                    i += 1;
+                    args.events = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--events needs a number"));
+                }
+                "--check" => args.check = true,
+                "--json" => {
+                    i += 1;
+                    args.json = Some(
+                        argv.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--json needs a path")),
+                    );
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// Appends a JSON line to the `--json` file, if configured.
+    pub fn emit_json(&self, value: &serde_json::Value) {
+        if let Some(path) = &self.json {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .expect("open json output");
+            writeln!(f, "{value}").expect("write json output");
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bin> [--events N] [--check] [--json PATH]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,136 @@
+//! Aligned-text table rendering for figure/table output.
+
+/// One table row: a label plus one cell per column.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (usually the algorithm/series name).
+    pub label: String,
+    /// One formatted cell per column.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from a label and numeric cells via a formatter.
+    pub fn numeric<T: Copy>(label: &str, values: &[T], fmt: impl Fn(T) -> String) -> Row {
+        Row {
+            label: label.to_string(),
+            cells: values.iter().map(|&v| fmt(v)).collect(),
+        }
+    }
+}
+
+/// A printable figure/table: title, column headers, rows.
+#[derive(Debug, Default)]
+pub struct Table {
+    /// Exhibit title (e.g. "Fig 7(a): offline throughput, real datasets").
+    pub title: String,
+    /// Label-column header.
+    pub label_header: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: &str, label_header: &str, columns: Vec<String>) -> Table {
+        Table {
+            title: title.to_string(),
+            label_header: label_header.to_string(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.cells.len(), self.columns.len(), "column count mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain([self.label_header.len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let mut col_w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.cells.iter().enumerate() {
+                col_w[i] = col_w[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:<label_w$}", self.label_header));
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            out.push_str(&format!("  {c:>w$}"));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:<label_w$}", r.label));
+            for (c, w) in r.cells.iter().zip(&col_w) {
+                out.push_str(&format!("  {c:>w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a throughput as "NN.NN" million events per second.
+pub fn fmt_throughput(events: usize, secs: f64) -> String {
+    format!("{:.2}", events as f64 / secs / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", "algo", vec!["a".into(), "bbbb".into()]);
+        t.push(Row {
+            label: "Impatience".into(),
+            cells: vec!["1.0".into(), "22.5".into()],
+        });
+        t.push(Row {
+            label: "Q".into(),
+            cells: vec!["10.0".into(), "2".into()],
+        });
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows equal width.
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", "y", vec!["a".into()]);
+        t.push(Row {
+            label: "r".into(),
+            cells: vec![],
+        });
+    }
+
+    #[test]
+    fn numeric_row_and_throughput_format() {
+        let r = Row::numeric("x", &[1.5f64, 2.0], |v| format!("{v:.1}"));
+        assert_eq!(r.cells, vec!["1.5", "2.0"]);
+        assert_eq!(fmt_throughput(5_000_000, 2.0), "2.50");
+    }
+}

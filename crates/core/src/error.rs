@@ -1,0 +1,98 @@
+//! Error types shared across the stack.
+
+use crate::time::Timestamp;
+use core::fmt;
+
+/// Errors surfaced by stream construction and execution.
+///
+/// Note that a *late event* (arriving after the relevant punctuation) is not
+/// an error: per the paper it is either dropped or routed to a
+/// higher-latency partition, and both outcomes are counted by
+/// [`crate::stats::IngressStats`]-style accounting in the framework crate.
+/// Errors here are API-misuse conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A punctuation was issued with a timestamp lower than a previously
+    /// issued one.
+    PunctuationRegressed {
+        /// Previously issued punctuation.
+        previous: Timestamp,
+        /// The offending punctuation.
+        attempted: Timestamp,
+    },
+    /// Data was pushed after the stream was completed.
+    PushAfterCompleted,
+    /// An order-sensitive operator was asked to consume a disordered stream
+    /// (events regressed below the operator's high watermark).
+    OrderViolation {
+        /// The operator's current watermark.
+        watermark: Timestamp,
+        /// The regressing event time.
+        event_time: Timestamp,
+    },
+    /// Invalid configuration (empty latency set, non-increasing latencies,
+    /// zero window size, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::PunctuationRegressed {
+                previous,
+                attempted,
+            } => write!(
+                f,
+                "punctuation regressed: {attempted} issued after {previous}"
+            ),
+            StreamError::PushAfterCompleted => {
+                write!(f, "data pushed after stream completion")
+            }
+            StreamError::OrderViolation {
+                watermark,
+                event_time,
+            } => write!(
+                f,
+                "ordered-stream violation: event at {event_time} behind watermark {watermark}"
+            ),
+            StreamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Convenience alias.
+pub type Result<T, E = StreamError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StreamError::PunctuationRegressed {
+            previous: Timestamp::new(10),
+            attempted: Timestamp::new(5),
+        };
+        assert!(e.to_string().contains("T[5]"));
+        assert!(e.to_string().contains("T[10]"));
+
+        let e = StreamError::OrderViolation {
+            watermark: Timestamp::new(3),
+            event_time: Timestamp::new(1),
+        };
+        assert!(e.to_string().contains("violation"));
+
+        assert!(StreamError::PushAfterCompleted.to_string().contains("completion"));
+        assert!(StreamError::InvalidConfig("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<StreamError>();
+    }
+}

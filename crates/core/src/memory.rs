@@ -1,0 +1,224 @@
+//! Deterministic memory accounting.
+//!
+//! The paper's Fig 10(b)/(d) compare the *buffered state* of query plans —
+//! events held in sort buffers and union synchronization buffers. Measuring
+//! a real allocator is noisy and allocator-dependent, so this stack instead
+//! charges every stateful operator's buffered bytes to a shared
+//! [`MemoryMeter`], tracking current and peak usage exactly. Ratios between
+//! plans (the paper reports up to 31.5×) are preserved.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct Inner {
+    current: Cell<usize>,
+    peak: Cell<usize>,
+}
+
+/// A cheaply cloneable handle to a shared memory account.
+///
+/// Cloning shares the account; all operators in one query plan charge the
+/// same meter. The engine is single-threaded (matching the paper's
+/// evaluation setup), so `Rc<Cell>` suffices.
+#[derive(Clone, Default)]
+pub struct MemoryMeter {
+    inner: Rc<Inner>,
+}
+
+impl MemoryMeter {
+    /// A fresh meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `bytes` to the account.
+    #[inline]
+    pub fn charge(&self, bytes: usize) {
+        let cur = self.inner.current.get() + bytes;
+        self.inner.current.set(cur);
+        if cur > self.inner.peak.get() {
+            self.inner.peak.set(cur);
+        }
+    }
+
+    /// Releases `bytes` from the account. Saturates at zero rather than
+    /// panicking so that conservative over-release (e.g. after a buffer
+    /// shrink estimate) cannot poison a benchmark run; debug builds assert.
+    #[inline]
+    pub fn release(&self, bytes: usize) {
+        let cur = self.inner.current.get();
+        debug_assert!(bytes <= cur, "releasing {bytes} B but only {cur} B charged");
+        self.inner.current.set(cur.saturating_sub(bytes));
+    }
+
+    /// Replaces a previous charge with a new one in a single adjustment.
+    #[inline]
+    pub fn recharge(&self, old_bytes: usize, new_bytes: usize) {
+        if new_bytes >= old_bytes {
+            self.charge(new_bytes - old_bytes);
+        } else {
+            self.release(old_bytes - new_bytes);
+        }
+    }
+
+    /// Bytes currently charged.
+    #[inline]
+    pub fn current(&self) -> usize {
+        self.inner.current.get()
+    }
+
+    /// High-water mark since creation (or the last [`reset_peak`]).
+    ///
+    /// [`reset_peak`]: MemoryMeter::reset_peak
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.inner.peak.get()
+    }
+
+    /// Resets the peak to the current level (to measure a phase).
+    pub fn reset_peak(&self) {
+        self.inner.peak.set(self.inner.current.get());
+    }
+
+    /// True if this and `other` share the same account.
+    pub fn same_account(&self, other: &MemoryMeter) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl core::fmt::Debug for MemoryMeter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "MemoryMeter(current={} B, peak={} B)",
+            self.current(),
+            self.peak()
+        )
+    }
+}
+
+/// RAII charge: charges on creation, releases on drop. Handy for scoped
+/// buffers whose lifetime matches a lexical scope.
+pub struct ScopedCharge {
+    meter: MemoryMeter,
+    bytes: usize,
+}
+
+impl ScopedCharge {
+    /// Charges `bytes` to `meter` until the guard drops.
+    pub fn new(meter: &MemoryMeter, bytes: usize) -> Self {
+        meter.charge(bytes);
+        ScopedCharge {
+            meter: meter.clone(),
+            bytes,
+        }
+    }
+
+    /// Adjusts the live charge to `new_bytes`.
+    pub fn resize(&mut self, new_bytes: usize) {
+        self.meter.recharge(self.bytes, new_bytes);
+        self.bytes = new_bytes;
+    }
+
+    /// Bytes currently held by this guard.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for ScopedCharge {
+    fn drop(&mut self) {
+        self.meter.release(self.bytes);
+    }
+}
+
+/// Formats a byte count the way the paper's figures do (MB with one
+/// decimal, falling back to KB/B for small values).
+pub fn format_bytes(bytes: usize) -> String {
+    const MB: f64 = 1024.0 * 1024.0;
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= MB {
+        format!("{:.1} MB", b / MB)
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_and_peak() {
+        let m = MemoryMeter::new();
+        m.charge(100);
+        m.charge(50);
+        assert_eq!(m.current(), 150);
+        assert_eq!(m.peak(), 150);
+        m.release(120);
+        assert_eq!(m.current(), 30);
+        assert_eq!(m.peak(), 150, "peak is sticky");
+        m.charge(10);
+        assert_eq!(m.peak(), 150);
+        m.charge(200);
+        assert_eq!(m.peak(), 240);
+    }
+
+    #[test]
+    fn recharge_moves_in_one_step() {
+        let m = MemoryMeter::new();
+        m.charge(100);
+        m.recharge(100, 40);
+        assert_eq!(m.current(), 40);
+        m.recharge(40, 90);
+        assert_eq!(m.current(), 90);
+        assert_eq!(m.peak(), 100, "shrinking recharge must not bump peak");
+    }
+
+    #[test]
+    fn clones_share_the_account() {
+        let m = MemoryMeter::new();
+        let m2 = m.clone();
+        m2.charge(77);
+        assert_eq!(m.current(), 77);
+        assert!(m.same_account(&m2));
+        assert!(!m.same_account(&MemoryMeter::new()));
+    }
+
+    #[test]
+    fn reset_peak_rebases() {
+        let m = MemoryMeter::new();
+        m.charge(500);
+        m.release(500);
+        assert_eq!(m.peak(), 500);
+        m.reset_peak();
+        assert_eq!(m.peak(), 0);
+        m.charge(5);
+        assert_eq!(m.peak(), 5);
+    }
+
+    #[test]
+    fn scoped_charge_releases_on_drop() {
+        let m = MemoryMeter::new();
+        {
+            let mut g = ScopedCharge::new(&m, 64);
+            assert_eq!(m.current(), 64);
+            g.resize(128);
+            assert_eq!(m.current(), 128);
+            assert_eq!(g.bytes(), 128);
+        }
+        assert_eq!(m.current(), 0);
+        assert_eq!(m.peak(), 128);
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(12), "12 B");
+        assert_eq!(format_bytes(2048), "2.0 KB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.0 MB");
+    }
+}

@@ -1,0 +1,208 @@
+//! Stream messages: data batches and punctuations.
+//!
+//! A punctuation with timestamp `T` asserts that no later message will carry
+//! an event with `sync_time <= T` (§III-A). Sorting operators must flush all
+//! buffered events `<= T` in ascending order when they see one.
+
+use crate::batch::EventBatch;
+use crate::event::Payload;
+use crate::time::Timestamp;
+
+/// One unit of stream traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamMessage<P> {
+    /// A batch of data events.
+    Batch(EventBatch<P>),
+    /// Progress indicator: no future event has `sync_time <= .0`.
+    Punctuation(Timestamp),
+    /// End of stream. Equivalent to a punctuation at `+∞` followed by
+    /// teardown; every operator must flush all remaining state.
+    Completed,
+}
+
+impl<P: Payload> StreamMessage<P> {
+    /// A batch message from raw events.
+    pub fn batch(events: Vec<crate::event::Event<P>>) -> Self {
+        StreamMessage::Batch(EventBatch::from_events(events))
+    }
+
+    /// A punctuation message.
+    pub fn punctuation(t: impl Into<Timestamp>) -> Self {
+        StreamMessage::Punctuation(t.into())
+    }
+
+    /// Is this a data batch?
+    pub fn is_batch(&self) -> bool {
+        matches!(self, StreamMessage::Batch(_))
+    }
+
+    /// Is this a punctuation?
+    pub fn is_punctuation(&self) -> bool {
+        matches!(self, StreamMessage::Punctuation(_))
+    }
+
+    /// Visible event count (0 for control messages).
+    pub fn event_count(&self) -> usize {
+        match self {
+            StreamMessage::Batch(b) => b.visible_len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Validates the punctuation contract over a message sequence: punctuation
+/// timestamps nondecreasing, and no event at or before the last punctuation.
+///
+/// Returns the index of the first violating message, or `Ok(())`.
+/// Primarily a test/debug utility; the engine enforces the same contract
+/// with `debug_assert!`s on its hot path.
+pub fn validate_punctuation_contract<P: Payload>(
+    msgs: &[StreamMessage<P>],
+) -> Result<(), usize> {
+    let mut last_punct = Timestamp::MIN;
+    for (i, m) in msgs.iter().enumerate() {
+        match m {
+            StreamMessage::Punctuation(t) => {
+                if *t < last_punct {
+                    return Err(i);
+                }
+                last_punct = *t;
+            }
+            StreamMessage::Batch(b) => {
+                if last_punct > Timestamp::MIN {
+                    if let Some(min) = b.min_sync_time() {
+                        if min <= last_punct {
+                            return Err(i);
+                        }
+                    }
+                }
+            }
+            StreamMessage::Completed => {
+                if i + 1 != msgs.len() {
+                    return Err(i);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates that the *ordered-stream* contract holds: events nondecreasing
+/// in sync time across the whole sequence, plus the punctuation contract.
+pub fn validate_ordered_stream<P: Payload>(msgs: &[StreamMessage<P>]) -> Result<(), usize> {
+    validate_punctuation_contract(msgs)?;
+    let mut prev = Timestamp::MIN;
+    for (i, m) in msgs.iter().enumerate() {
+        if let StreamMessage::Batch(b) = m {
+            for e in b.iter_visible() {
+                if e.sync_time < prev {
+                    return Err(i);
+                }
+                prev = e.sync_time;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(t: i64) -> Event<()> {
+        Event::point(Timestamp::new(t), ())
+    }
+
+    #[test]
+    fn constructors_and_predicates() {
+        let b = StreamMessage::batch(vec![ev(1), ev(2)]);
+        assert!(b.is_batch());
+        assert!(!b.is_punctuation());
+        assert_eq!(b.event_count(), 2);
+
+        let p: StreamMessage<()> = StreamMessage::punctuation(5);
+        assert!(p.is_punctuation());
+        assert_eq!(p.event_count(), 0);
+        assert_eq!(StreamMessage::<()>::Completed.event_count(), 0);
+    }
+
+    #[test]
+    fn contract_accepts_paper_example() {
+        // The §III-A example stream: 2 6 5 1 2* 4 3 7 4* 8 ∞*
+        let msgs = vec![
+            StreamMessage::batch(vec![ev(2), ev(6), ev(5), ev(1)]),
+            StreamMessage::punctuation(2),
+            StreamMessage::batch(vec![ev(4), ev(3), ev(7)]),
+            StreamMessage::punctuation(4),
+            StreamMessage::batch(vec![ev(8)]),
+            StreamMessage::punctuation(Timestamp::MAX),
+        ];
+        assert_eq!(validate_punctuation_contract(&msgs), Ok(()));
+        // ...but it is of course not an ordered stream.
+        assert!(validate_ordered_stream(&msgs).is_err());
+    }
+
+    #[test]
+    fn contract_rejects_event_at_or_before_punctuation() {
+        let msgs = vec![
+            StreamMessage::punctuation(5),
+            StreamMessage::batch(vec![ev(5)]),
+        ];
+        assert_eq!(validate_punctuation_contract(&msgs), Err(1));
+        let msgs = vec![
+            StreamMessage::punctuation(5),
+            StreamMessage::batch(vec![ev(6)]),
+        ];
+        assert_eq!(validate_punctuation_contract(&msgs), Ok(()));
+    }
+
+    #[test]
+    fn contract_rejects_regressing_punctuation() {
+        let msgs: Vec<StreamMessage<()>> = vec![
+            StreamMessage::punctuation(5),
+            StreamMessage::punctuation(4),
+        ];
+        assert_eq!(validate_punctuation_contract(&msgs), Err(1));
+        // Equal punctuations are allowed (idempotent progress).
+        let msgs: Vec<StreamMessage<()>> = vec![
+            StreamMessage::punctuation(5),
+            StreamMessage::punctuation(5),
+        ];
+        assert_eq!(validate_punctuation_contract(&msgs), Ok(()));
+    }
+
+    #[test]
+    fn completed_must_be_last() {
+        let msgs: Vec<StreamMessage<()>> = vec![
+            StreamMessage::Completed,
+            StreamMessage::punctuation(1),
+        ];
+        assert_eq!(validate_punctuation_contract(&msgs), Err(0));
+    }
+
+    #[test]
+    fn ordered_stream_checks_cross_batch_order() {
+        let msgs = vec![
+            StreamMessage::batch(vec![ev(1), ev(3)]),
+            StreamMessage::batch(vec![ev(2)]),
+        ];
+        assert_eq!(validate_ordered_stream(&msgs), Err(1));
+        let msgs = vec![
+            StreamMessage::batch(vec![ev(1), ev(3)]),
+            StreamMessage::batch(vec![ev(3), ev(4)]),
+        ];
+        assert_eq!(validate_ordered_stream(&msgs), Ok(()));
+    }
+
+    #[test]
+    fn filtered_rows_do_not_violate_contracts() {
+        let mut b = EventBatch::from_events(vec![ev(10), ev(1)]);
+        b.filter_mut().filter_out(1); // hide the out-of-order row
+        let msgs = vec![
+            StreamMessage::punctuation(5),
+            StreamMessage::Batch(b),
+        ];
+        assert_eq!(validate_ordered_stream(&msgs), Ok(()));
+    }
+}

@@ -1,0 +1,323 @@
+//! Logical time for the streaming stack.
+//!
+//! The paper distinguishes two notions of time (§II):
+//!
+//! * **Event time** — when the event logically occurred (also "application
+//!   time"). Streams are sorted by event time before order-sensitive
+//!   operators run.
+//! * **Processing time** — when the event was ingested; the arrival order of
+//!   a stream is by definition ordered in processing time.
+//!
+//! Both are represented as a [`Timestamp`]: a signed 64-bit tick count.
+//! Ticks are dimensionless; the workload generators and benchmarks treat one
+//! tick as one millisecond, matching the paper's examples (`{1 ms, 1 s,
+//! 1 min, 1 h}` reorder latencies).
+
+use core::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A logical instant measured in ticks (milliseconds by convention).
+///
+/// `Timestamp` is a transparent newtype over `i64` so that batches of events
+/// stay as flat and cache-friendly as Trill's columnar layout. It is `Copy`
+/// and totally ordered; [`Timestamp::MIN`] and [`Timestamp::MAX`] act as
+/// `-∞` / `+∞` sentinels (the paper's final punctuation `∞*`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(transparent)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The `-∞` sentinel; smaller than every real event time.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The `+∞` sentinel used by the final punctuation that flushes all
+    /// buffered state.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+    /// Tick zero.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        Timestamp(ticks)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Saturating subtraction of a duration, used when deriving punctuation
+    /// timestamps from a high watermark (`watermark - reorder_latency`).
+    #[inline]
+    pub const fn saturating_sub(self, d: TickDuration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub const fn saturating_add(self, d: TickDuration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Aligns this timestamp down to a window boundary:
+    /// `t - t % size` for non-negative `t` (the paper's
+    /// `eventTime - eventTime % 1000` example, §IV-A2).
+    ///
+    /// Negative timestamps align toward `-∞` so that windows tile the whole
+    /// axis consistently.
+    #[inline]
+    pub const fn align_down(self, size: TickDuration) -> Timestamp {
+        debug_assert!(size.0 > 0);
+        Timestamp(self.0.div_euclid(size.0) * size.0)
+    }
+
+    /// Euclidean distance in ticks between two instants.
+    #[inline]
+    pub const fn abs_diff(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// True for the `±∞` sentinels.
+    #[inline]
+    pub const fn is_sentinel(self) -> bool {
+        self.0 == i64::MIN || self.0 == i64::MAX
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Timestamp::MIN => write!(f, "T[-inf]"),
+            Timestamp::MAX => write!(f, "T[+inf]"),
+            Timestamp(t) => write!(f, "T[{t}]"),
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Timestamp {
+    #[inline]
+    fn from(t: i64) -> Self {
+        Timestamp(t)
+    }
+}
+
+impl Add<TickDuration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: TickDuration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TickDuration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: TickDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TickDuration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: TickDuration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TickDuration> for Timestamp {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TickDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TickDuration;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> TickDuration {
+        TickDuration(self.0 - rhs.0)
+    }
+}
+
+/// A span of logical time in ticks.
+///
+/// Reorder latencies, window sizes, and hop sizes are all `TickDuration`s.
+/// The constructors mirror the units used throughout the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(transparent)]
+pub struct TickDuration(pub i64);
+
+impl TickDuration {
+    /// Zero-length span.
+    pub const ZERO: TickDuration = TickDuration(0);
+    /// The longest representable span; used as an "infinite" reorder latency.
+    pub const MAX: TickDuration = TickDuration(i64::MAX);
+
+    /// A span of raw ticks.
+    #[inline]
+    pub const fn ticks(t: i64) -> Self {
+        TickDuration(t)
+    }
+
+    /// `n` milliseconds (1 tick each, by convention).
+    #[inline]
+    pub const fn millis(n: i64) -> Self {
+        TickDuration(n)
+    }
+
+    /// `n` seconds.
+    #[inline]
+    pub const fn secs(n: i64) -> Self {
+        TickDuration(n * 1_000)
+    }
+
+    /// `n` minutes.
+    #[inline]
+    pub const fn minutes(n: i64) -> Self {
+        TickDuration(n * 60_000)
+    }
+
+    /// `n` hours.
+    #[inline]
+    pub const fn hours(n: i64) -> Self {
+        TickDuration(n * 3_600_000)
+    }
+
+    /// `n` days.
+    #[inline]
+    pub const fn days(n: i64) -> Self {
+        TickDuration(n * 86_400_000)
+    }
+
+    /// Raw tick count of the span.
+    #[inline]
+    pub const fn as_ticks(self) -> i64 {
+        self.0
+    }
+
+    /// True if the span is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl fmt::Debug for TickDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.0;
+        if t == i64::MAX {
+            return write!(f, "inf");
+        }
+        if t >= 86_400_000 && t % 86_400_000 == 0 {
+            write!(f, "{}d", t / 86_400_000)
+        } else if t >= 3_600_000 && t % 3_600_000 == 0 {
+            write!(f, "{}h", t / 3_600_000)
+        } else if t >= 60_000 && t % 60_000 == 0 {
+            write!(f, "{}m", t / 60_000)
+        } else if t >= 1_000 && t % 1_000 == 0 {
+            write!(f, "{}s", t / 1_000)
+        } else {
+            write!(f, "{t}ms")
+        }
+    }
+}
+
+impl fmt::Display for TickDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Add for TickDuration {
+    type Output = TickDuration;
+    #[inline]
+    fn add(self, rhs: TickDuration) -> TickDuration {
+        TickDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for TickDuration {
+    type Output = TickDuration;
+    #[inline]
+    fn sub(self, rhs: TickDuration) -> TickDuration {
+        TickDuration(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_sentinels() {
+        assert!(Timestamp::MIN < Timestamp::new(-5));
+        assert!(Timestamp::new(-5) < Timestamp::ZERO);
+        assert!(Timestamp::ZERO < Timestamp::new(7));
+        assert!(Timestamp::new(7) < Timestamp::MAX);
+        assert!(Timestamp::MIN.is_sentinel());
+        assert!(Timestamp::MAX.is_sentinel());
+        assert!(!Timestamp::new(0).is_sentinel());
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(TickDuration::secs(1).as_ticks(), 1_000);
+        assert_eq!(TickDuration::minutes(2).as_ticks(), 120_000);
+        assert_eq!(TickDuration::hours(1).as_ticks(), 3_600_000);
+        assert_eq!(TickDuration::days(1).as_ticks(), 86_400_000);
+        assert_eq!(TickDuration::millis(7).as_ticks(), 7);
+    }
+
+    #[test]
+    fn align_down_matches_paper_formula() {
+        // eventTime - eventTime % 1000 for positive times.
+        let w = TickDuration::secs(1);
+        assert_eq!(Timestamp::new(1234).align_down(w), Timestamp::new(1000));
+        assert_eq!(Timestamp::new(999).align_down(w), Timestamp::new(0));
+        assert_eq!(Timestamp::new(1000).align_down(w), Timestamp::new(1000));
+        // Negative times tile toward -inf, keeping windows half-open and
+        // non-overlapping.
+        assert_eq!(Timestamp::new(-1).align_down(w), Timestamp::new(-1000));
+        assert_eq!(Timestamp::new(-1000).align_down(w), Timestamp::new(-1000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::new(5_000);
+        assert_eq!(t + TickDuration::secs(1), Timestamp::new(6_000));
+        assert_eq!(t - TickDuration::secs(1), Timestamp::new(4_000));
+        assert_eq!(Timestamp::new(9) - Timestamp::new(4), TickDuration(5));
+        assert_eq!(t.abs_diff(Timestamp::new(4_000)), 1_000);
+    }
+
+    #[test]
+    fn saturating_watermark_math() {
+        // Deriving a punctuation from a watermark must not wrap near MIN.
+        let wm = Timestamp::new(i64::MIN + 1);
+        assert_eq!(wm.saturating_sub(TickDuration::hours(1)), Timestamp::MIN);
+        let hi = Timestamp::new(i64::MAX - 1);
+        assert_eq!(hi.saturating_add(TickDuration::hours(1)), Timestamp::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TickDuration::secs(1)), "1s");
+        assert_eq!(format!("{}", TickDuration::minutes(1)), "1m");
+        assert_eq!(format!("{}", TickDuration::hours(2)), "2h");
+        assert_eq!(format!("{}", TickDuration::days(1)), "1d");
+        assert_eq!(format!("{}", TickDuration::millis(1500)), "1500ms");
+        assert_eq!(format!("{}", TickDuration::MAX), "inf");
+        assert_eq!(format!("{}", Timestamp::new(42)), "T[42]");
+        assert_eq!(format!("{}", Timestamp::MAX), "T[+inf]");
+        assert_eq!(format!("{}", Timestamp::MIN), "T[-inf]");
+    }
+}

@@ -1,0 +1,149 @@
+//! Counting inversions.
+//!
+//! An *inversion* is a pair of positions `i < j` with `a[i] > a[j]` — "likely
+//! the best-known measure of sortedness" (§II). Table I reports counts up to
+//! `7.3 × 10^13` for 20M events, so the count is returned as `u128` (the
+//! theoretical maximum `n(n-1)/2` overflows `u64` past `n ≈ 6.1 × 10^9`).
+//!
+//! The implementation is the classic merge-count: `O(n log n)` time, one
+//! scratch buffer of `n` keys.
+
+/// Counts inversions in `keys` (strictly out-of-order pairs).
+///
+/// Equal keys do **not** form an inversion, matching the event-time
+/// semantics where simultaneous events are mutually ordered already.
+pub fn count_inversions<T: Ord + Copy>(keys: &[T]) -> u128 {
+    if keys.len() < 2 {
+        return 0;
+    }
+    let mut work = keys.to_vec();
+    let mut scratch = keys.to_vec();
+    merge_count(&mut work, &mut scratch)
+}
+
+/// Merge-count over `a`, using `tmp` as scratch. Both must have equal length.
+fn merge_count<T: Ord + Copy>(a: &mut [T], tmp: &mut [T]) -> u128 {
+    let n = a.len();
+    if n < 2 {
+        return 0;
+    }
+    // Small segments: direct quadratic count is faster than recursing and
+    // keeps the recursion shallow.
+    if n <= 32 {
+        let mut inv = 0u128;
+        for j in 1..n {
+            let x = a[j];
+            let mut i = j;
+            while i > 0 && a[i - 1] > x {
+                a[i] = a[i - 1];
+                i -= 1;
+                inv += 1;
+            }
+            a[i] = x;
+        }
+        return inv;
+    }
+    let mid = n / 2;
+    let (left_tmp, right_tmp) = tmp.split_at_mut(mid);
+    let mut inv = {
+        let (left, right) = a.split_at_mut(mid);
+        merge_count(left, left_tmp) + merge_count(right, right_tmp)
+    };
+    // Merge halves of `a` into `tmp`, counting cross inversions, then copy
+    // back.
+    {
+        let (left, right) = a.split_at(mid);
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            if right[j] < left[i] {
+                // right[j] precedes every remaining left element => one
+                // inversion per remaining left element.
+                inv += (left.len() - i) as u128;
+                tmp[k] = right[j];
+                j += 1;
+            } else {
+                tmp[k] = left[i];
+                i += 1;
+            }
+            k += 1;
+        }
+        while i < left.len() {
+            tmp[k] = left[i];
+            i += 1;
+            k += 1;
+        }
+        while j < right.len() {
+            tmp[k] = right[j];
+            j += 1;
+            k += 1;
+        }
+    }
+    a.copy_from_slice(&tmp[..n]);
+    inv
+}
+
+/// Brute-force `O(n²)` reference, used by tests and property checks.
+pub fn count_inversions_naive<T: Ord>(keys: &[T]) -> u128 {
+    let mut inv = 0u128;
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            if keys[i] > keys[j] {
+                inv += 1;
+            }
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(count_inversions::<i64>(&[]), 0);
+        assert_eq!(count_inversions(&[5i64]), 0);
+        assert_eq!(count_inversions(&[1i64, 2, 3, 4]), 0);
+    }
+
+    #[test]
+    fn reversed_is_maximal() {
+        let v: Vec<i64> = (0..100).rev().collect();
+        assert_eq!(count_inversions(&v), 100 * 99 / 2);
+    }
+
+    #[test]
+    fn equal_keys_are_not_inversions() {
+        assert_eq!(count_inversions(&[3i64, 3, 3, 3]), 0);
+        assert_eq!(count_inversions(&[3i64, 3, 2]), 2);
+    }
+
+    #[test]
+    fn paper_example_array() {
+        // The §III-B example array [2, 6, 5, 1, 4, 3, 7, 8]:
+        // inversions: (6,5)(6,1)(6,4)(6,3)(5,1)(5,4)(5,3)(2,1)(4,3) = 9.
+        let v = [2i64, 6, 5, 1, 4, 3, 7, 8];
+        assert_eq!(count_inversions(&v), 9);
+        assert_eq!(count_inversions_naive(&v), 9);
+    }
+
+    #[test]
+    fn matches_naive_on_many_shapes() {
+        let shapes: Vec<Vec<i64>> = vec![
+            vec![1, 1, 2, 0, 0, 3],
+            (0..200).map(|i| (i * 37) % 101).collect(),
+            (0..257).map(|i| -(i % 7)).collect(),
+            vec![i64::MAX, i64::MIN, 0],
+        ];
+        for s in shapes {
+            assert_eq!(count_inversions(&s), count_inversions_naive(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn large_segment_exercises_merge_path() {
+        // > 32 elements forces the recursive merge path.
+        let v: Vec<i64> = (0..1000).map(|i| (i * 7919) % 1000).collect();
+        assert_eq!(count_inversions(&v), count_inversions_naive(&v));
+    }
+}

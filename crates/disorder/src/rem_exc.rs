@@ -1,0 +1,197 @@
+//! Two further measures from Estivill-Castro & Wood's adaptive-sorting
+//! survey (the paper's [10]), complementing the four §II uses:
+//!
+//! * **Rem** — the minimum number of elements whose *removal* leaves a
+//!   sorted sequence: `n − longest nondecreasing subsequence`. For an
+//!   out-of-order stream this is operationally meaningful: it is exactly
+//!   how many events a zero-buffer, drop-late ingress policy would have to
+//!   discard to emit the rest in order.
+//! * **Exc** — the minimum number of pairwise *exchanges* that sort the
+//!   sequence: `n − (number of cycles in the sorting permutation)`.
+
+/// `Rem`: minimum removals to leave a nondecreasing sequence.
+///
+/// `O(n log n)` via the longest nondecreasing subsequence (patience-style
+/// tails, binary search with `<=`).
+pub fn min_removals<T: Ord + Copy>(keys: &[T]) -> usize {
+    keys.len() - longest_nondecreasing(keys)
+}
+
+/// Length of the longest nondecreasing subsequence.
+pub fn longest_nondecreasing<T: Ord + Copy>(keys: &[T]) -> usize {
+    // tails[l] = smallest possible last element of a nondecreasing
+    // subsequence of length l+1; tails is nondecreasing.
+    let mut tails: Vec<T> = Vec::new();
+    for &x in keys {
+        // Replace the first tail strictly greater than x (x may equal a
+        // tail and still extend: nondecreasing allows ties).
+        let i = tails.partition_point(|&t| t <= x);
+        if i == tails.len() {
+            tails.push(x);
+        } else {
+            tails[i] = x;
+        }
+    }
+    tails.len()
+}
+
+/// Brute-force reference for [`longest_nondecreasing`] (quadratic DP).
+pub fn longest_nondecreasing_naive<T: Ord>(keys: &[T]) -> usize {
+    let n = keys.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = vec![1usize; n];
+    let mut ans = 1;
+    for j in 1..n {
+        for i in 0..j {
+            if keys[i] <= keys[j] && best[i] + 1 > best[j] {
+                best[j] = best[i] + 1;
+            }
+        }
+        ans = ans.max(best[j]);
+    }
+    ans
+}
+
+/// `Exc`: minimum exchanges to sort = `n − cycles(σ)` where σ is the
+/// permutation mapping current positions to sorted positions (stable for
+/// ties, so already-sorted duplicate groups cost nothing).
+pub fn min_exchanges<T: Ord + Copy>(keys: &[T]) -> usize {
+    let n = keys.len();
+    if n < 2 {
+        return 0;
+    }
+    // Stable sorted order of indices.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| (keys[i as usize], i));
+    // target[original_index] = sorted position.
+    let mut target = vec![0u32; n];
+    for (pos, &i) in order.iter().enumerate() {
+        target[i as usize] = pos as u32;
+    }
+    // Count cycles of i -> target[i].
+    let mut seen = vec![false; n];
+    let mut cycles = 0usize;
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        cycles += 1;
+        let mut i = start;
+        while !seen[i] {
+            seen[i] = true;
+            i = target[i] as usize;
+        }
+    }
+    n - cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_sequences_cost_nothing() {
+        assert_eq!(min_removals(&[1i64, 2, 2, 3]), 0);
+        assert_eq!(min_exchanges(&[1i64, 2, 2, 3]), 0);
+        assert_eq!(min_removals::<i64>(&[]), 0);
+        assert_eq!(min_exchanges::<i64>(&[]), 0);
+        assert_eq!(min_exchanges(&[7i64]), 0);
+    }
+
+    #[test]
+    fn single_displaced_element() {
+        // One late element: removing it (1) or two swaps fix it.
+        let v = [2i64, 3, 4, 1];
+        assert_eq!(min_removals(&v), 1);
+        // Cycle structure: sorted = [1,2,3,4]; mapping 0->1,1->2,2->3,3->0:
+        // one 4-cycle => 3 exchanges.
+        assert_eq!(min_exchanges(&v), 3);
+    }
+
+    #[test]
+    fn reversed_sequence() {
+        let v: Vec<i64> = (0..10).rev().collect();
+        assert_eq!(min_removals(&v), 9, "keep one element");
+        assert_eq!(min_exchanges(&v), 5, "n/2 swaps reverse");
+    }
+
+    #[test]
+    fn paper_example_array() {
+        let v = [2i64, 6, 5, 1, 4, 3, 7, 8];
+        // LNDS: 2,5?... 2,4,7,8 or 2,6,7,8 → length 4? also 2,5,7,8 →
+        // check against naive.
+        assert_eq!(longest_nondecreasing(&v), longest_nondecreasing_naive(&v));
+        assert_eq!(min_removals(&v), v.len() - longest_nondecreasing_naive(&v));
+    }
+
+    #[test]
+    fn ties_are_free() {
+        let v = [5i64, 5, 5, 5];
+        assert_eq!(min_removals(&v), 0);
+        assert_eq!(min_exchanges(&v), 0, "stable mapping keeps ties in place");
+    }
+
+    #[test]
+    fn lnds_matches_naive_on_many_shapes() {
+        let shapes: Vec<Vec<i64>> = vec![
+            vec![1, 1, 2, 0, 0, 3],
+            (0..120).map(|i| (i * 37) % 101).collect(),
+            (0..97).map(|i| ((i * 61) % 13) - (i % 3)).collect(),
+            vec![5, 4, 4, 4, 4, 6, 1],
+        ];
+        for s in shapes {
+            assert_eq!(
+                longest_nondecreasing(&s),
+                longest_nondecreasing_naive(&s),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exchanges_actually_sort_in_that_many_swaps() {
+        // Simulate: apply cycle-following swaps and count.
+        let shapes: Vec<Vec<i64>> = vec![
+            (0..50).map(|i| (i * 37) % 41).collect(),
+            (0..30).rev().collect(),
+            vec![3, 1, 2, 1, 3],
+        ];
+        for s in shapes {
+            let claimed = min_exchanges(&s);
+            // perm[i] = sorted position of the element currently at i
+            // (stable). Swapping each element directly into its slot
+            // performs exactly n − cycles swaps and sorts the array.
+            let mut order: Vec<usize> = (0..s.len()).collect();
+            order.sort_by_key(|&i| (s[i], i));
+            let mut perm = vec![0usize; s.len()];
+            for (p, &i) in order.iter().enumerate() {
+                perm[i] = p;
+            }
+            let mut v = s.clone();
+            let mut swaps = 0usize;
+            for i in 0..v.len() {
+                while perm[i] != i {
+                    let t = perm[i];
+                    v.swap(i, t);
+                    perm.swap(i, t);
+                    swaps += 1;
+                }
+            }
+            let mut expect = s.clone();
+            expect.sort();
+            assert_eq!(v, expect, "cycle placement failed on {s:?}");
+            assert_eq!(swaps, claimed, "swap count mismatch on {s:?}");
+        }
+    }
+
+    #[test]
+    fn rem_bounds_exchanges() {
+        // Exc <= n-1 always; Rem <= Exc is NOT generally true, but both
+        // vanish together.
+        let v: Vec<i64> = (0..200).map(|i| (i * 31) % 73).collect();
+        assert!(min_exchanges(&v) < v.len());
+        assert!(min_removals(&v) < v.len());
+    }
+}

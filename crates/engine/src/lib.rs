@@ -1,0 +1,48 @@
+//! # impatience-engine
+//!
+//! A Trill-like, single-threaded, batched, push-based streaming engine —
+//! the substrate the Impatience paper builds on. All operators here are
+//! **in-order** operators: the sorting operator ([`ops::SortOp`], wrapping
+//! Impatience sort) is the only component that ever sees disorder, which is
+//! the architectural bet of the paper (§I, §V-B): high-performance in-order
+//! operators, used unmodified.
+//!
+//! Key pieces:
+//!
+//! * [`Streamable`] — Trill's immutable stream abstraction (§IV-B), with
+//!   `where_` / `select` / `tumbling_window` / `aggregate` /
+//!   `group_aggregate` / `union` / `top_k` / `followed_by` combinators;
+//! * [`observer`] — the push protocol and terminal sinks;
+//! * [`ops`] — the operator implementations (bitmap selection §VI-C,
+//!   timestamp-adjusting windows §IV-A2, synchronizing union §V-A, ...);
+//! * [`ingress`] — punctuation policies (`watermark − reorder_latency`)
+//!   and disordered-to-ordered entry points.
+//!
+//! ```
+//! use impatience_core::{Event, TickDuration, Timestamp};
+//! use impatience_engine::Streamable;
+//!
+//! let events: Vec<Event<u32>> = (0..100)
+//!     .map(|i| Event::point(Timestamp::new(i), (i % 7) as u32))
+//!     .collect();
+//! let counts = Streamable::from_ordered_events(events)
+//!     .where_(|e| e.payload < 5)
+//!     .tumbling_window(TickDuration::ticks(50))
+//!     .count()
+//!     .into_payloads();
+//! assert_eq!(counts.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ingress;
+pub mod observer;
+pub mod ops;
+pub mod streamable;
+
+pub use ingress::{
+    disordered_input, ingress_sorted, ingress_sorted_with, punctuate_arrivals, IngressPolicy,
+};
+pub use observer::{BlackHoleSink, CollectorSink, FnSink, Observer, Output, SharedSink};
+pub use streamable::{input_stream, InputHandle, Streamable};

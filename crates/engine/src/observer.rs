@@ -1,0 +1,314 @@
+//! The push-based observer protocol.
+//!
+//! The engine executes queries as chains of [`Observer`]s, Trill/Rx style:
+//! each operator receives batches and punctuations from upstream and pushes
+//! transformed traffic to its downstream sink. Streams delivered between
+//! observers are **in-order** (nondecreasing `sync_time` across batches)
+//! unless explicitly documented otherwise — the whole point of the paper's
+//! architecture is that only the sorting operator ever sees disorder.
+
+use impatience_core::{Event, EventBatch, Payload, StreamMessage, Timestamp};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A consumer of stream traffic.
+pub trait Observer<P: Payload> {
+    /// Receives a batch of events.
+    fn on_batch(&mut self, batch: EventBatch<P>);
+    /// Receives a progress punctuation.
+    fn on_punctuation(&mut self, t: Timestamp);
+    /// Receives end-of-stream; the observer must flush all state.
+    fn on_completed(&mut self);
+
+    /// Dispatches a [`StreamMessage`].
+    fn on_message(&mut self, msg: StreamMessage<P>) {
+        match msg {
+            StreamMessage::Batch(b) => self.on_batch(b),
+            StreamMessage::Punctuation(t) => self.on_punctuation(t),
+            StreamMessage::Completed => self.on_completed(),
+        }
+    }
+}
+
+/// Boxed observers are observers.
+impl<P: Payload> Observer<P> for Box<dyn Observer<P>> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        (**self).on_batch(batch);
+    }
+    fn on_punctuation(&mut self, t: Timestamp) {
+        (**self).on_punctuation(t);
+    }
+    fn on_completed(&mut self) {
+        (**self).on_completed();
+    }
+}
+
+/// Shared buffer an [`Output`] handle reads from.
+#[derive(Debug)]
+pub struct OutputBuf<P> {
+    /// Everything received, in order.
+    pub messages: Vec<StreamMessage<P>>,
+    /// Completion flag.
+    pub completed: bool,
+    /// Running count of visible events received.
+    pub event_count: u64,
+}
+
+impl<P> Default for OutputBuf<P> {
+    fn default() -> Self {
+        OutputBuf {
+            messages: Vec::new(),
+            completed: false,
+            event_count: 0,
+        }
+    }
+}
+
+/// A readable handle onto a subscribed output stream.
+///
+/// Returned by `Streamable::collect_output`; read it after the input has
+/// been driven (or immediately for static sources, which drive during
+/// subscription).
+#[derive(Clone)]
+pub struct Output<P> {
+    buf: Rc<RefCell<OutputBuf<P>>>,
+}
+
+impl<P: Payload> Output<P> {
+    /// A fresh output with an attached collector observer.
+    pub fn new() -> (Output<P>, CollectorSink<P>) {
+        let buf = Rc::new(RefCell::new(OutputBuf::default()));
+        (
+            Output { buf: buf.clone() },
+            CollectorSink { buf },
+        )
+    }
+
+    /// All messages received so far (cloned).
+    pub fn messages(&self) -> Vec<StreamMessage<P>> {
+        self.buf.borrow().messages.clone()
+    }
+
+    /// All visible events received so far, flattened in order.
+    pub fn events(&self) -> Vec<Event<P>> {
+        self.buf
+            .borrow()
+            .messages
+            .iter()
+            .filter_map(|m| match m {
+                StreamMessage::Batch(b) => Some(b.visible_to_vec()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// Number of visible events received so far (no clone).
+    pub fn event_count(&self) -> u64 {
+        self.buf.borrow().event_count
+    }
+
+    /// Has the stream completed?
+    pub fn is_completed(&self) -> bool {
+        self.buf.borrow().completed
+    }
+
+    /// Timestamp of the highest punctuation received, if any.
+    pub fn last_punctuation(&self) -> Option<Timestamp> {
+        self.buf
+            .borrow()
+            .messages
+            .iter()
+            .rev()
+            .find_map(|m| match m {
+                StreamMessage::Punctuation(t) => Some(*t),
+                _ => None,
+            })
+    }
+
+    /// Drops buffered messages, keeping counters (for long benchmark runs).
+    pub fn discard_messages(&self) {
+        self.buf.borrow_mut().messages.clear();
+    }
+}
+
+/// Terminal observer that records everything into an [`Output`].
+pub struct CollectorSink<P> {
+    buf: Rc<RefCell<OutputBuf<P>>>,
+}
+
+impl<P: Payload> Observer<P> for CollectorSink<P> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        let mut b = self.buf.borrow_mut();
+        b.event_count += batch.visible_len() as u64;
+        b.messages.push(StreamMessage::Batch(batch));
+    }
+    fn on_punctuation(&mut self, t: Timestamp) {
+        self.buf.borrow_mut().messages.push(StreamMessage::Punctuation(t));
+    }
+    fn on_completed(&mut self) {
+        let mut b = self.buf.borrow_mut();
+        b.completed = true;
+        b.messages.push(StreamMessage::Completed);
+    }
+}
+
+/// Terminal observer that invokes a callback per visible event — the
+/// `Subscribe(e => ...)` of the paper's code samples.
+pub struct FnSink<P, F> {
+    f: F,
+    _p: core::marker::PhantomData<P>,
+}
+
+impl<P, F> FnSink<P, F> {
+    /// Wraps a per-event callback.
+    pub fn new(f: F) -> Self {
+        FnSink {
+            f,
+            _p: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<P: Payload, F: FnMut(&Event<P>)> Observer<P> for FnSink<P, F> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        for e in batch.iter_visible() {
+            (self.f)(e);
+        }
+    }
+    fn on_punctuation(&mut self, _t: Timestamp) {}
+    fn on_completed(&mut self) {}
+}
+
+/// Terminal observer that counts events and discards them — zero-overhead
+/// sink for throughput benchmarks.
+#[derive(Default)]
+pub struct BlackHoleSink {
+    events: u64,
+    punctuations: u64,
+    completed: bool,
+}
+
+impl BlackHoleSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Events swallowed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+    /// Punctuations swallowed.
+    pub fn punctuations(&self) -> u64 {
+        self.punctuations
+    }
+    /// Completed?
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+}
+
+impl<P: Payload> Observer<P> for BlackHoleSink {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        self.events += batch.visible_len() as u64;
+    }
+    fn on_punctuation(&mut self, _t: Timestamp) {
+        self.punctuations += 1;
+    }
+    fn on_completed(&mut self) {
+        self.completed = true;
+    }
+}
+
+/// A shared (reference-counted) sink wrapper, for counting across a fan-out.
+pub struct SharedSink<S>(pub Rc<RefCell<S>>);
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink(self.0.clone())
+    }
+}
+
+impl<P: Payload, S: Observer<P>> Observer<P> for SharedSink<S> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        self.0.borrow_mut().on_batch(batch);
+    }
+    fn on_punctuation(&mut self, t: Timestamp) {
+        self.0.borrow_mut().on_punctuation(t);
+    }
+    fn on_completed(&mut self) {
+        self.0.borrow_mut().on_completed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(ts: &[i64]) -> EventBatch<u32> {
+        ts.iter()
+            .map(|&t| Event::point(Timestamp::new(t), t as u32))
+            .collect()
+    }
+
+    #[test]
+    fn collector_records_everything() {
+        let (out, mut sink) = Output::<u32>::new();
+        sink.on_batch(batch(&[1, 2]));
+        sink.on_punctuation(Timestamp::new(2));
+        sink.on_batch(batch(&[3]));
+        sink.on_completed();
+        assert_eq!(out.event_count(), 3);
+        assert!(out.is_completed());
+        assert_eq!(out.events().len(), 3);
+        assert_eq!(out.last_punctuation(), Some(Timestamp::new(2)));
+        assert_eq!(out.messages().len(), 4);
+        out.discard_messages();
+        assert!(out.messages().is_empty());
+        assert_eq!(out.event_count(), 3, "counters survive discard");
+    }
+
+    #[test]
+    fn fn_sink_sees_only_visible_events() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut sink = FnSink::new(move |e: &Event<u32>| seen2.borrow_mut().push(e.payload));
+        let mut b = batch(&[1, 2, 3]);
+        b.filter_mut().filter_out(1);
+        sink.on_batch(b);
+        sink.on_punctuation(Timestamp::new(5));
+        sink.on_completed();
+        assert_eq!(*seen.borrow(), vec![1, 3]);
+    }
+
+    #[test]
+    fn black_hole_counts() {
+        let mut s = BlackHoleSink::new();
+        Observer::<u32>::on_batch(&mut s, batch(&[1, 2, 3]));
+        Observer::<u32>::on_punctuation(&mut s, Timestamp::new(9));
+        Observer::<u32>::on_completed(&mut s);
+        assert_eq!(s.events(), 3);
+        assert_eq!(s.punctuations(), 1);
+        assert!(s.is_completed());
+    }
+
+    #[test]
+    fn on_message_dispatch() {
+        let (out, mut sink) = Output::<u32>::new();
+        sink.on_message(StreamMessage::batch(vec![Event::point(Timestamp::new(1), 9)]));
+        sink.on_message(StreamMessage::punctuation(4));
+        sink.on_message(StreamMessage::Completed);
+        assert_eq!(out.event_count(), 1);
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn shared_sink_fans_in() {
+        let hole = Rc::new(RefCell::new(BlackHoleSink::new()));
+        let mut a = SharedSink(hole.clone());
+        let mut b = a.clone();
+        Observer::<u32>::on_batch(&mut a, batch(&[1]));
+        Observer::<u32>::on_batch(&mut b, batch(&[2, 3]));
+        assert_eq!(hole.borrow().events(), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Selection (`Where`).
+//!
+//! Trill semantics (§VI-C): selection does **not** compact the batch — it
+//! marks unmatched rows in the filter bitmap and forwards the batch as-is.
+//! Downstream operators skip invisible rows but the rows still ride along
+//! in memory, which is why the paper's Fig 9(a) speedups fall short of the
+//! ideal `1/selectivity`. An order-insensitive operator: it never looks at
+//! timestamps.
+
+use crate::observer::Observer;
+use impatience_core::{Event, EventBatch, Payload, Timestamp};
+
+/// Bitmap-marking selection operator.
+pub struct FilterOp<P, F, S> {
+    pred: F,
+    next: S,
+    _p: core::marker::PhantomData<P>,
+}
+
+impl<P, F, S> FilterOp<P, F, S> {
+    /// Filters with `pred`; rows failing it become invisible.
+    pub fn new(pred: F, next: S) -> Self {
+        FilterOp {
+            pred,
+            next,
+            _p: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<P, F, S> Observer<P> for FilterOp<P, F, S>
+where
+    P: Payload,
+    F: FnMut(&Event<P>) -> bool,
+    S: Observer<P>,
+{
+    fn on_batch(&mut self, mut batch: EventBatch<P>) {
+        // Visit only currently visible rows; mark failures in the bitmap.
+        for i in 0..batch.len() {
+            if batch.is_visible(i) && !(self.pred)(&batch.events()[i]) {
+                batch.filter_mut().filter_out(i);
+            }
+        }
+        self.next.on_batch(batch);
+    }
+
+    fn on_punctuation(&mut self, t: Timestamp) {
+        self.next.on_punctuation(t);
+    }
+
+    fn on_completed(&mut self) {
+        self.next.on_completed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::Output;
+
+    fn batch(ts: &[i64]) -> EventBatch<u32> {
+        ts.iter()
+            .map(|&t| Event::point(Timestamp::new(t), t as u32))
+            .collect()
+    }
+
+    #[test]
+    fn marks_bitmap_without_compacting() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = FilterOp::new(|e: &Event<u32>| e.payload % 2 == 0, sink);
+        op.on_batch(batch(&[1, 2, 3, 4]));
+        op.on_completed();
+        let msgs = out.messages();
+        // The forwarded batch still has 4 rows, 2 visible.
+        if let impatience_core::StreamMessage::Batch(b) = &msgs[0] {
+            assert_eq!(b.len(), 4);
+            assert_eq!(b.visible_len(), 2);
+        } else {
+            panic!("expected batch");
+        }
+        let payloads: Vec<u32> = out.events().iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![2, 4]);
+    }
+
+    #[test]
+    fn respects_preexisting_filtering() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = FilterOp::new(|_: &Event<u32>| true, sink);
+        let mut b = batch(&[1, 2, 3]);
+        b.filter_mut().filter_out(0);
+        op.on_batch(b);
+        assert_eq!(out.event_count(), 2, "already-filtered rows stay hidden");
+    }
+
+    #[test]
+    fn forwards_control_messages() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = FilterOp::new(|_: &Event<u32>| false, sink);
+        op.on_punctuation(Timestamp::new(7));
+        op.on_completed();
+        assert_eq!(out.last_punctuation(), Some(Timestamp::new(7)));
+        assert!(out.is_completed());
+    }
+}

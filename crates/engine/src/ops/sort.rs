@@ -1,0 +1,173 @@
+//! The sorting operator: the only operator allowed to see disorder.
+//!
+//! Wraps any [`OnlineSorter`] (Impatience sort by default) as an observer.
+//! Input batches may be arbitrarily out of order **between** punctuations;
+//! on each punctuation `T` the operator emits every buffered event with
+//! `sync_time <= T` as one ordered batch followed by the punctuation —
+//! exactly the §III-A contract. Events at or below the previous punctuation
+//! are *late*: they are counted and dropped here (the Impatience framework
+//! routes them to a higher-latency partition before they ever reach a
+//! sorter).
+//!
+//! Buffered bytes are continuously mirrored into a [`MemoryMeter`].
+
+use crate::observer::Observer;
+use impatience_core::{Event, EventBatch, MemoryMeter, Payload, Timestamp};
+use impatience_sort::OnlineSorter;
+
+/// Sorting operator over an online sorter.
+pub struct SortOp<P: Payload, S> {
+    sorter: Box<dyn OnlineSorter<Event<P>>>,
+    meter: MemoryMeter,
+    charged: usize,
+    watermark: Timestamp,
+    dropped_late: u64,
+    next: S,
+}
+
+impl<P: Payload, S> SortOp<P, S> {
+    /// Wraps `sorter`; buffered state is charged to `meter`.
+    pub fn new(sorter: Box<dyn OnlineSorter<Event<P>>>, meter: MemoryMeter, next: S) -> Self {
+        SortOp {
+            sorter,
+            meter,
+            charged: 0,
+            watermark: Timestamp::MIN,
+            dropped_late: 0,
+            next,
+        }
+    }
+
+    /// Events dropped for arriving at or below an already-emitted
+    /// punctuation.
+    pub fn dropped_late(&self) -> u64 {
+        self.dropped_late
+    }
+
+    fn sync_meter(&mut self) {
+        let now = self.sorter.state_bytes();
+        self.meter.recharge(self.charged, now);
+        self.charged = now;
+    }
+}
+
+impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        for e in batch.iter_visible() {
+            if e.sync_time <= self.watermark {
+                self.dropped_late += 1;
+            } else {
+                self.sorter.push(e.clone());
+            }
+        }
+        self.sync_meter();
+    }
+
+    fn on_punctuation(&mut self, t: Timestamp) {
+        debug_assert!(t >= self.watermark, "punctuation regressed into sorter");
+        self.watermark = t;
+        let mut out = Vec::new();
+        self.sorter.punctuate(t, &mut out);
+        self.sync_meter();
+        if !out.is_empty() {
+            self.next.on_batch(EventBatch::from_events(out));
+        }
+        self.next.on_punctuation(t);
+    }
+
+    fn on_completed(&mut self) {
+        let mut out = Vec::new();
+        self.sorter.drain_all(&mut out);
+        self.sync_meter();
+        if !out.is_empty() {
+            self.next.on_batch(EventBatch::from_events(out));
+        }
+        self.next.on_completed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::Output;
+    use impatience_core::validate_ordered_stream;
+    use impatience_sort::ImpatienceSorter;
+
+    fn sort_op(
+        sink: crate::observer::CollectorSink<u32>,
+        meter: MemoryMeter,
+    ) -> SortOp<u32, crate::observer::CollectorSink<u32>> {
+        SortOp::new(Box::new(ImpatienceSorter::new()), meter, sink)
+    }
+
+    fn batch(ts: &[i64]) -> EventBatch<u32> {
+        ts.iter()
+            .map(|&t| Event::point(Timestamp::new(t), t as u32))
+            .collect()
+    }
+
+    #[test]
+    fn orders_the_paper_stream() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, MemoryMeter::new());
+        op.on_batch(batch(&[2, 6, 5, 1]));
+        op.on_punctuation(Timestamp::new(2));
+        op.on_batch(batch(&[4, 3, 7]));
+        op.on_punctuation(Timestamp::new(4));
+        op.on_batch(batch(&[8]));
+        op.on_completed();
+        let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
+        assert_eq!(op.dropped_late(), 0);
+    }
+
+    #[test]
+    fn drops_and_counts_late_events() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, MemoryMeter::new());
+        op.on_batch(batch(&[10]));
+        op.on_punctuation(Timestamp::new(10));
+        op.on_batch(batch(&[5, 10, 11])); // 5 and 10 are late
+        op.on_completed();
+        assert_eq!(op.dropped_late(), 2);
+        let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![10, 11]);
+    }
+
+    #[test]
+    fn meter_tracks_buffered_state() {
+        let meter = MemoryMeter::new();
+        let (_out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, meter.clone());
+        op.on_batch(batch(&[100, 50, 75]));
+        assert!(meter.current() >= 3 * core::mem::size_of::<Event<u32>>());
+        op.on_punctuation(Timestamp::new(200));
+        assert_eq!(meter.current(), 0, "flush released everything");
+        assert!(meter.peak() > 0);
+        op.on_completed();
+    }
+
+    #[test]
+    fn filtered_rows_never_enter_the_sorter() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, MemoryMeter::new());
+        let mut b = batch(&[3, 1, 2]);
+        b.filter_mut().filter_out(1);
+        op.on_batch(b);
+        op.on_completed();
+        let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_flushes_forward_punctuation_only() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, MemoryMeter::new());
+        op.on_punctuation(Timestamp::new(5));
+        op.on_completed();
+        let msgs = out.messages();
+        assert_eq!(msgs.len(), 2); // punctuation + completed, no batch
+        assert_eq!(out.last_punctuation(), Some(Timestamp::new(5)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-window top-k selection (the paper's Q4: "top 5 results for 100
+//! groups", §VI-D).
+//!
+//! Consumes an ordered stream of per-(window, key) scored events (typically
+//! grouped aggregates) and, at each window close, emits the `k` events with
+//! the highest score. Output is ordered by descending score, ties broken by
+//! ascending key, all carrying the window's interval.
+
+use crate::observer::Observer;
+use impatience_core::{Event, EventBatch, Payload, Timestamp};
+
+/// Top-k operator over scored events.
+pub struct TopKOp<P, F, S> {
+    k: usize,
+    score: F,
+    window: Option<(Timestamp, Timestamp)>,
+    items: Vec<Event<P>>,
+    next: S,
+}
+
+impl<P, F, S> TopKOp<P, F, S> {
+    /// Keeps the `k` highest-`score` events per window; `k` must be > 0.
+    pub fn new(k: usize, score: F, next: S) -> Self {
+        assert!(k > 0, "top-k requires k > 0");
+        TopKOp {
+            k,
+            score,
+            window: None,
+            items: Vec::new(),
+            next,
+        }
+    }
+}
+
+impl<P: Payload, F: FnMut(&P) -> i64, S: Observer<P>> TopKOp<P, F, S> {
+    fn emit_window(&mut self) {
+        if self.window.take().is_none() {
+            return;
+        }
+        let score = &mut self.score;
+        self.items
+            .sort_by_key(|e| (core::cmp::Reverse(score(&e.payload)), e.key));
+        self.items.truncate(self.k);
+        let batch: EventBatch<P> = self.items.drain(..).collect();
+        self.next.on_batch(batch);
+    }
+}
+
+impl<P: Payload, F: FnMut(&P) -> i64, S: Observer<P>> Observer<P> for TopKOp<P, F, S> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        for i in 0..batch.len() {
+            if !batch.is_visible(i) {
+                continue;
+            }
+            let e = &batch.events()[i];
+            match self.window {
+                Some((start, _)) if start == e.sync_time => {}
+                Some((start, _)) => {
+                    debug_assert!(e.sync_time > start, "top-k saw out-of-order event");
+                    self.emit_window();
+                    self.window = Some((e.sync_time, e.other_time));
+                }
+                None => self.window = Some((e.sync_time, e.other_time)),
+            }
+            self.items.push(e.clone());
+            // Opportunistic cap: keep at most 4k candidates between sorts
+            // so huge group counts don't balloon the buffer.
+            if self.items.len() > self.k * 4 + 16 {
+                let score = &mut self.score;
+                self.items
+                    .sort_by_key(|e| (core::cmp::Reverse(score(&e.payload)), e.key));
+                self.items.truncate(self.k);
+            }
+        }
+    }
+
+    fn on_punctuation(&mut self, t: Timestamp) {
+        if let Some((start, _)) = self.window {
+            if start <= t {
+                self.emit_window();
+            }
+        }
+        self.next.on_punctuation(t);
+    }
+
+    fn on_completed(&mut self) {
+        self.emit_window();
+        self.next.on_completed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::Output;
+
+    fn scored(w: i64, key: u32, v: u64) -> Event<u64> {
+        Event::interval(Timestamp::new(w), Timestamp::new(w + 10), key, v)
+    }
+
+    #[test]
+    fn emits_top_k_per_window() {
+        let (out, sink) = Output::<u64>::new();
+        let mut op = TopKOp::new(2, |p: &u64| *p as i64, sink);
+        op.on_batch(
+            [
+                scored(0, 1, 5),
+                scored(0, 2, 9),
+                scored(0, 3, 1),
+                scored(0, 4, 7),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        op.on_batch([scored(10, 1, 2)].into_iter().collect());
+        op.on_completed();
+        let got: Vec<(i64, u32, u64)> = out
+            .events()
+            .iter()
+            .map(|e| (e.sync_time.ticks(), e.key, e.payload))
+            .collect();
+        assert_eq!(got, vec![(0, 2, 9), (0, 4, 7), (10, 1, 2)]);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_key() {
+        let (out, sink) = Output::<u64>::new();
+        let mut op = TopKOp::new(2, |p: &u64| *p as i64, sink);
+        op.on_batch(
+            [scored(0, 9, 4), scored(0, 3, 4), scored(0, 5, 4)]
+                .into_iter()
+                .collect(),
+        );
+        op.on_completed();
+        let keys: Vec<u32> = out.events().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![3, 5]);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let (out, sink) = Output::<u64>::new();
+        let mut op = TopKOp::new(5, |p: &u64| *p as i64, sink);
+        op.on_batch([scored(0, 1, 3)].into_iter().collect());
+        op.on_completed();
+        assert_eq!(out.event_count(), 1);
+    }
+
+    #[test]
+    fn candidate_cap_does_not_change_result() {
+        let (out1, sink1) = Output::<u64>::new();
+        let mut op = TopKOp::new(3, |p: &u64| *p as i64, sink1);
+        // Enough keys to trip the opportunistic cap several times.
+        let evs: Vec<Event<u64>> = (0..500)
+            .map(|i| scored(0, i as u32, ((i * 37) % 211) as u64))
+            .collect();
+        op.on_batch(evs.clone().into_iter().collect());
+        op.on_completed();
+
+        let mut expect: Vec<(u64, u32)> = evs.iter().map(|e| (e.payload, e.key)).collect();
+        expect.sort_by_key(|&(v, k)| (core::cmp::Reverse(v), k));
+        let got: Vec<(u64, u32)> = out1.events().iter().map(|e| (e.payload, e.key)).collect();
+        assert_eq!(got, expect[..3].to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn zero_k_panics() {
+        let (_, sink) = Output::<u64>::new();
+        let _ = TopKOp::<u64, _, _>::new(0, |p: &u64| *p as i64, sink);
+    }
+}

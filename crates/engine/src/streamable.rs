@@ -1,0 +1,417 @@
+//! The `Streamable` abstraction: Trill's immutable stream handle (§IV-B).
+//!
+//! A [`Streamable`] is a lazy description of an **ordered** stream: a
+//! continuation that, given a terminal observer, builds the operator chain
+//! and connects it to the source. Chaining operators composes
+//! continuations; nothing runs until a subscription method is called.
+//!
+//! Sources come in two flavours:
+//!
+//! * static ([`Streamable::from_messages`] / `from_ordered_events`) — the
+//!   whole stream is known; it is driven synchronously at subscribe time;
+//! * live ([`input_stream`]) — subscription wires the chain to an
+//!   [`InputHandle`] that the caller pushes into afterwards, which is how
+//!   the benchmarks and the Impatience framework pump data.
+
+use crate::observer::{CollectorSink, FnSink, Observer, Output};
+use crate::ops;
+use impatience_core::{
+    Event, EventBatch, MemoryMeter, Payload, StreamMessage, TickDuration, Timestamp,
+};
+use impatience_sort::OnlineSorter;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type Connector<P> = Box<dyn FnOnce(Box<dyn Observer<P>>)>;
+
+/// A lazily constructed ordered stream of events with payload `P`.
+pub struct Streamable<P: Payload> {
+    connect: Connector<P>,
+}
+
+impl<P: Payload> Streamable<P> {
+    /// Builds a streamable from a raw connector.
+    pub fn from_connector(connect: impl FnOnce(Box<dyn Observer<P>>) + 'static) -> Self {
+        Streamable {
+            connect: Box::new(connect),
+        }
+    }
+
+    /// A static source that replays `msgs` at subscribe time. The messages
+    /// must satisfy the ordered-stream contract (debug-asserted).
+    pub fn from_messages(msgs: Vec<StreamMessage<P>>) -> Self {
+        debug_assert!(
+            impatience_core::validate_ordered_stream(&msgs).is_ok(),
+            "from_messages requires an ordered stream"
+        );
+        Streamable::from_connector(move |mut sink| {
+            let mut completed = false;
+            for m in msgs {
+                if matches!(m, StreamMessage::Completed) {
+                    completed = true;
+                }
+                sink.on_message(m);
+            }
+            if !completed {
+                sink.on_completed();
+            }
+        })
+    }
+
+    /// A static source over already-ordered events (one batch, completed).
+    pub fn from_ordered_events(events: Vec<Event<P>>) -> Self {
+        Streamable::from_messages(vec![
+            StreamMessage::Batch(EventBatch::from_events(events)),
+            StreamMessage::Completed,
+        ])
+    }
+
+    /// Applies an operator-builder stage.
+    pub fn apply<Q: Payload>(
+        self,
+        build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + 'static,
+    ) -> Streamable<Q> {
+        let upstream = self.connect;
+        Streamable::from_connector(move |sink| upstream(build(sink)))
+    }
+
+    /// Selection: keeps events matching `pred` (bitmap-marking, §VI-C).
+    pub fn where_(self, pred: impl FnMut(&Event<P>) -> bool + 'static) -> Streamable<P> {
+        self.apply(move |sink| Box::new(ops::FilterOp::new(pred, sink)))
+    }
+
+    /// Projection: maps payloads, preserving event metadata.
+    pub fn select<Q: Payload>(self, f: impl FnMut(&P) -> Q + 'static) -> Streamable<Q> {
+        self.apply(move |sink| Box::new(ops::SelectOp::new(f, sink)))
+    }
+
+    /// Re-keys events (grouping key + hash).
+    pub fn re_key(self, f: impl FnMut(&Event<P>) -> u32 + 'static) -> Streamable<P> {
+        self.apply(move |sink| Box::new(ops::ReKeyOp::new(f, sink)))
+    }
+
+    /// Tumbling window of `size`: aligns event lifetimes to fixed windows.
+    pub fn tumbling_window(self, size: TickDuration) -> Streamable<P> {
+        self.apply(move |sink| Box::new(ops::TumblingWindowOp::new(size, sink)))
+    }
+
+    /// Hopping window of `size` advancing every `hop`.
+    pub fn hopping_window(self, size: TickDuration, hop: TickDuration) -> Streamable<P> {
+        self.apply(move |sink| Box::new(ops::HoppingWindowOp::new(size, hop, sink)))
+    }
+
+    /// Windowed aggregate over the whole stream (one result per window).
+    pub fn aggregate<A: ops::Aggregate<P>>(self, agg: A) -> Streamable<A::Out> {
+        self.apply(move |sink| Box::new(ops::WindowAggregateOp::new(agg, sink)))
+    }
+
+    /// Windowed aggregate per grouping key.
+    pub fn group_aggregate<A: ops::Aggregate<P>>(self, agg: A) -> Streamable<A::Out> {
+        self.apply(move |sink| Box::new(ops::GroupedAggregateOp::new(agg, sink)))
+    }
+
+    /// `COUNT(*)` per window — the paper's `.Count()`.
+    pub fn count(self) -> Streamable<u64> {
+        self.aggregate(ops::CountAgg)
+    }
+
+    /// Combines same-(window, key) events with `combine`.
+    pub fn reduce_by_key(self, combine: impl FnMut(&mut P, P) + 'static) -> Streamable<P> {
+        self.apply(move |sink| Box::new(ops::ReduceByKeyOp::new(combine, sink)))
+    }
+
+    /// Keeps the `k` highest-scored events per window.
+    pub fn top_k(self, k: usize, score: impl FnMut(&P) -> i64 + 'static) -> Streamable<P> {
+        self.apply(move |sink| Box::new(ops::TopKOp::new(k, score, sink)))
+    }
+
+    /// Emits `second`-matching events preceded by a `first`-matching event
+    /// on the same key within `window`.
+    pub fn followed_by(
+        self,
+        first: impl FnMut(&P) -> bool + 'static,
+        second: impl FnMut(&P) -> bool + 'static,
+        window: TickDuration,
+    ) -> Streamable<P> {
+        self.apply(move |sink| Box::new(ops::FollowedByOp::new(first, second, window, sink)))
+    }
+
+    /// Temporal equi-join with `other`: matches events with equal keys and
+    /// overlapping validity intervals, combining payloads with `combine`.
+    /// Relation state is charged to `meter`. An order-sensitive operator
+    /// (§IV-A): both inputs must be ordered streams.
+    pub fn join<R: Payload, Out: Payload>(
+        self,
+        other: Streamable<R>,
+        combine: impl FnMut(&P, &R) -> Out + 'static,
+        meter: &MemoryMeter,
+    ) -> Streamable<Out> {
+        let meter = meter.clone();
+        let left_connect = self.connect;
+        let right_connect = other.connect;
+        Streamable::from_connector(move |sink| {
+            let (l, r) = ops::temporal_join(combine, sink, meter);
+            left_connect(Box::new(l));
+            right_connect(Box::new(r));
+        })
+    }
+
+    /// Merges this stream with `other` into one ordered stream; events
+    /// buffered for synchronization are charged to `meter` (§V-A).
+    pub fn union(self, other: Streamable<P>, meter: &MemoryMeter) -> Streamable<P> {
+        let meter = meter.clone();
+        let left_connect = self.connect;
+        let right_connect = other.connect;
+        Streamable::from_connector(move |sink| {
+            let (l, r, _probe) = ops::union(sink, meter);
+            left_connect(Box::new(l));
+            right_connect(Box::new(r));
+        })
+    }
+
+    /// Terminal: connects an arbitrary observer.
+    pub fn subscribe_observer(self, sink: Box<dyn Observer<P>>) {
+        (self.connect)(sink);
+    }
+
+    /// Terminal: invokes `f` per visible event (the paper's
+    /// `Subscribe(e => ...)`).
+    pub fn subscribe(self, f: impl FnMut(&Event<P>) + 'static) {
+        self.subscribe_observer(Box::new(FnSink::new(f)));
+    }
+
+    /// Terminal: collects all traffic into an [`Output`] handle.
+    pub fn collect_output(self) -> Output<P> {
+        let (out, sink) = Output::new();
+        self.subscribe_observer(Box::new(sink));
+        out
+    }
+
+    /// Terminal convenience for static pipelines: run and return events.
+    pub fn into_events(self) -> Vec<Event<P>> {
+        self.collect_output().events()
+    }
+
+    /// Terminal convenience: run and return payloads of visible events.
+    pub fn into_payloads(self) -> Vec<P> {
+        self.into_events().into_iter().map(|e| e.payload).collect()
+    }
+}
+
+/// A disordered stream handle that must pass through a sorting operator
+/// before order-sensitive operators apply — constructed by the framework
+/// crate's `DisorderedStreamable`; here it is the raw `sort` stage.
+impl<P: Payload> Streamable<P> {
+    /// Sorting stage over a *disordered* upstream: buffers in `sorter`,
+    /// flushing on punctuations. The result is an ordered stream. Buffered
+    /// state is charged to `meter`; late events are dropped and counted.
+    pub fn sorted_with(
+        self,
+        sorter: Box<dyn OnlineSorter<Event<P>>>,
+        meter: &MemoryMeter,
+    ) -> Streamable<P> {
+        let meter = meter.clone();
+        self.apply(move |sink| Box::new(ops::SortOp::new(sorter, meter, sink)))
+    }
+}
+
+struct InputState<P: Payload> {
+    sink: Option<Box<dyn Observer<P>>>,
+    /// Messages pushed before the chain was subscribed.
+    pending: Vec<StreamMessage<P>>,
+    completed: bool,
+}
+
+/// The push endpoint of a live input stream.
+pub struct InputHandle<P: Payload> {
+    state: Rc<RefCell<InputState<P>>>,
+}
+
+impl<P: Payload> Clone for InputHandle<P> {
+    fn clone(&self) -> Self {
+        InputHandle {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<P: Payload> InputHandle<P> {
+    fn deliver(&self, msg: StreamMessage<P>) {
+        let mut st = self.state.borrow_mut();
+        assert!(!st.completed, "push after completion");
+        if matches!(msg, StreamMessage::Completed) {
+            st.completed = true;
+        }
+        match &mut st.sink {
+            Some(sink) => sink.on_message(msg),
+            None => st.pending.push(msg),
+        }
+    }
+
+    /// Pushes a batch of events.
+    pub fn push_batch(&self, batch: EventBatch<P>) {
+        self.deliver(StreamMessage::Batch(batch));
+    }
+
+    /// Pushes loose events as one batch.
+    pub fn push_events(&self, events: Vec<Event<P>>) {
+        self.deliver(StreamMessage::batch(events));
+    }
+
+    /// Pushes a punctuation.
+    pub fn push_punctuation(&self, t: Timestamp) {
+        self.deliver(StreamMessage::Punctuation(t));
+    }
+
+    /// Pushes any message.
+    pub fn push_message(&self, msg: StreamMessage<P>) {
+        self.deliver(msg);
+    }
+
+    /// Completes the stream.
+    pub fn complete(&self) {
+        self.deliver(StreamMessage::Completed);
+    }
+}
+
+/// Creates a live input: push into the [`InputHandle`], consume via the
+/// [`Streamable`]. Messages pushed before subscription are buffered and
+/// replayed at subscribe time.
+pub fn input_stream<P: Payload>() -> (InputHandle<P>, Streamable<P>) {
+    let state = Rc::new(RefCell::new(InputState {
+        sink: None,
+        pending: Vec::new(),
+        completed: false,
+    }));
+    let handle = InputHandle {
+        state: state.clone(),
+    };
+    let streamable = Streamable::from_connector(move |mut sink| {
+        let mut st = state.borrow_mut();
+        assert!(st.sink.is_none(), "input stream already subscribed");
+        for m in st.pending.drain(..) {
+            sink.on_message(m);
+        }
+        st.sink = Some(sink);
+    });
+    (handle, streamable)
+}
+
+/// Collector sink re-export for custom wiring.
+pub type Collector<P> = CollectorSink<P>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evs(ts: &[i64]) -> Vec<Event<u32>> {
+        ts.iter()
+            .map(|&t| Event::point(Timestamp::new(t), t as u32))
+            .collect()
+    }
+
+    #[test]
+    fn static_pipeline_end_to_end() {
+        // where → select → window → count over an ordered source.
+        let result = Streamable::from_ordered_events(evs(&[1, 2, 3, 11, 12, 25]))
+            .where_(|e| e.payload != 2)
+            .select(|p| *p as u64)
+            .tumbling_window(TickDuration::ticks(10))
+            .count()
+            .into_payloads();
+        // Windows [0,10): {1,3}, [10,20): {11,12}, [20,30): {25}.
+        assert_eq!(result, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn live_input_pipeline() {
+        let (handle, stream) = input_stream::<u32>();
+        let out = stream
+            .tumbling_window(TickDuration::ticks(10))
+            .count()
+            .collect_output();
+        handle.push_events(evs(&[1, 5]));
+        handle.push_punctuation(Timestamp::new(5));
+        assert_eq!(out.event_count(), 0, "window 0 still open (punct < 10)");
+        handle.push_events(evs(&[12]));
+        handle.push_punctuation(Timestamp::new(12));
+        assert_eq!(out.event_count(), 1, "window 0 closed");
+        handle.complete();
+        let counts: Vec<u64> = out.events().iter().map(|e| e.payload).collect();
+        assert_eq!(counts, vec![2, 1]);
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn push_before_subscribe_is_replayed() {
+        let (handle, stream) = input_stream::<u32>();
+        handle.push_events(evs(&[7]));
+        handle.complete();
+        let out = stream.collect_output();
+        assert_eq!(out.event_count(), 1);
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn union_of_static_sources() {
+        let meter = MemoryMeter::new();
+        let a = Streamable::from_ordered_events(evs(&[1, 4, 9]));
+        let b = Streamable::from_ordered_events(evs(&[2, 3, 10]));
+        let merged = a.union(b, &meter).into_events();
+        let ts: Vec<i64> = merged.iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![1, 2, 3, 4, 9, 10]);
+        assert_eq!(meter.current(), 0);
+        assert!(meter.peak() > 0, "left side was buffered");
+    }
+
+    #[test]
+    fn sorted_with_turns_disorder_into_order() {
+        let meter = MemoryMeter::new();
+        // Bypass the ordered-stream debug check by pushing via a live input.
+        let (handle, stream) = input_stream::<u32>();
+        let out = stream
+            .sorted_with(Box::new(impatience_sort::ImpatienceSorter::new()), &meter)
+            .collect_output();
+        handle.push_events(evs(&[2, 6, 5, 1]));
+        handle.push_punctuation(Timestamp::new(2));
+        handle.push_events(evs(&[4, 3, 7]));
+        handle.push_punctuation(Timestamp::new(4));
+        handle.push_events(evs(&[8]));
+        handle.complete();
+        let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(impatience_core::validate_ordered_stream(&out.messages()).is_ok());
+    }
+
+    #[test]
+    fn subscribe_callback() {
+        let seen = Rc::new(RefCell::new(0u32));
+        let seen2 = seen.clone();
+        Streamable::from_ordered_events(evs(&[1, 2, 3]))
+            .subscribe(move |e| *seen2.borrow_mut() += e.payload);
+        assert_eq!(*seen.borrow(), 1 + 2 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "push after completion")]
+    fn push_after_complete_panics() {
+        let (handle, stream) = input_stream::<u32>();
+        let _out = stream.collect_output();
+        handle.complete();
+        handle.push_events(evs(&[1]));
+    }
+
+    #[test]
+    fn re_key_then_group_count() {
+        let events: Vec<Event<u32>> = (0..10)
+            .map(|i| Event::point(Timestamp::new(0), i % 3))
+            .collect();
+        let result = Streamable::from_ordered_events(events)
+            .re_key(|e| e.payload)
+            .tumbling_window(TickDuration::ticks(10))
+            .group_aggregate(ops::CountAgg)
+            .into_events();
+        let got: Vec<(u32, u64)> = result.iter().map(|e| (e.key, e.payload)).collect();
+        assert_eq!(got, vec![(0, 4), (1, 3), (2, 3)]);
+    }
+}

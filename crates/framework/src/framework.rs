@@ -1,0 +1,543 @@
+//! The Impatience framework (§V).
+//!
+//! Given reorder latencies `{l₁ < l₂ < … < l_k}`, the framework partitions
+//! a disordered input by *event delay* into k in-order streams and
+//! produces k output streams, where output i contains every event that
+//! arrived within `l_i`, delivered with latency `l_i` — the
+//! latency/completeness tradeoff as a user specification rather than a
+//! single forced choice (Fig 1, Fig 6).
+//!
+//! * **Basic framework** ([`to_streamables_basic`], Fig 6(a)): raw events
+//!   flow through sort → union chains. Downstream queries run redundantly
+//!   per output, and unions buffer raw events across the latency gap.
+//! * **Advanced framework** ([`to_streamables_advanced`], Fig 6(b)): a
+//!   user-supplied **PIQ** (partial input query) runs once per partition
+//!   and a **merge** function recombines partials after each union. Every
+//!   input event is evaluated exactly once, and unions buffer only small
+//!   intermediate results — the Fig 10 throughput (~2–3×) and memory
+//!   (~30×) wins.
+//!
+//! Delay partitioning uses the ingress watermark clock: an event's delay
+//! is `high_watermark − sync_time` at arrival; it is routed to the first
+//! partition whose latency strictly exceeds that delay, or dropped (and
+//! counted) if even the largest latency cannot accommodate it. Partition i
+//! is punctuated at `watermark − l_i` on every input punctuation, so its
+//! sorter flushes on exactly the cadence its latency promises.
+
+use crate::disordered::DisorderedStreamable;
+use crate::plumbing::{HandleSink, TeeOp};
+use impatience_core::{
+    Event, MemoryMeter, Payload, StreamError, TickDuration, Timestamp,
+};
+use impatience_engine::ops::union as build_union;
+use impatience_engine::{input_stream, InputHandle, Observer, Streamable};
+use impatience_sort::{ImpatienceConfig, ImpatienceSorter};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared routing counters for completeness accounting (Table II).
+#[derive(Clone)]
+pub struct FrameworkStats {
+    routed: Rc<Vec<Cell<u64>>>,
+    dropped: Rc<Cell<u64>>,
+}
+
+impl FrameworkStats {
+    fn new(k: usize) -> Self {
+        FrameworkStats {
+            routed: Rc::new((0..k).map(|_| Cell::new(0)).collect()),
+            dropped: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Events routed to partition `i`.
+    pub fn routed(&self, i: usize) -> u64 {
+        self.routed[i].get()
+    }
+
+    /// Events dropped because they exceeded the largest latency.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Total events seen (routed + dropped).
+    pub fn total(&self) -> u64 {
+        self.routed.iter().map(Cell::get).sum::<u64>() + self.dropped()
+    }
+
+    /// Fraction of input events present in output stream `i` (which
+    /// contains partitions `0..=i`).
+    pub fn completeness(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let in_stream: u64 = self.routed.iter().take(i + 1).map(Cell::get).sum();
+        in_stream as f64 / total as f64
+    }
+}
+
+impl core::fmt::Debug for FrameworkStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "FrameworkStats(routed={:?}, dropped={})",
+            self.routed.iter().map(Cell::get).collect::<Vec<_>>(),
+            self.dropped()
+        )
+    }
+}
+
+/// The sequence of output streams produced by the framework — the paper's
+/// `Streamables` abstraction (§V-C).
+pub struct Streamables<Q: Payload> {
+    streams: Vec<Option<Streamable<Q>>>,
+    latencies: Vec<TickDuration>,
+    stats: FrameworkStats,
+}
+
+impl<Q: Payload> Streamables<Q> {
+    /// Number of output streams (= number of reorder latencies).
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when no streams were produced (never for a valid config).
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Takes ownership of output stream `i` (the paper's
+    /// `ss.Streamable(i)`). Panics if already taken.
+    pub fn stream(&mut self, i: usize) -> Streamable<Q> {
+        self.streams[i]
+            .take()
+            .expect("output stream already subscribed")
+    }
+
+    /// Reorder latency of output stream `i`.
+    pub fn latency(&self, i: usize) -> TickDuration {
+        self.latencies[i]
+    }
+
+    /// Routing statistics (completeness per stream).
+    pub fn stats(&self) -> FrameworkStats {
+        self.stats.clone()
+    }
+}
+
+fn validate_latencies(latencies: &[TickDuration]) -> Result<(), StreamError> {
+    if latencies.is_empty() {
+        return Err(StreamError::InvalidConfig(
+            "at least one reorder latency required".into(),
+        ));
+    }
+    if latencies.iter().any(|l| l.as_ticks() < 0) {
+        return Err(StreamError::InvalidConfig(
+            "reorder latencies must be non-negative".into(),
+        ));
+    }
+    if latencies.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(StreamError::InvalidConfig(
+            "reorder latencies must be strictly increasing".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The delay-based partitioning operator (Fig 6's "partition").
+struct Partitioner<P: Payload> {
+    latencies: Vec<TickDuration>,
+    parts: Vec<InputHandle<P>>,
+    scratch: Vec<Vec<Event<P>>>,
+    wm: Timestamp,
+    last_punct: Vec<Timestamp>,
+    stats: FrameworkStats,
+}
+
+impl<P: Payload> Partitioner<P> {
+    fn flush_scratch(&mut self) {
+        for (i, buf) in self.scratch.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                self.parts[i].push_events(core::mem::take(buf));
+            }
+        }
+    }
+}
+
+impl<P: Payload> Observer<P> for Partitioner<P> {
+    fn on_batch(&mut self, batch: impatience_core::EventBatch<P>) {
+        for e in batch.iter_visible() {
+            if e.sync_time > self.wm {
+                self.wm = e.sync_time;
+            }
+            let delay = self.wm - e.sync_time;
+            // First partition whose latency strictly exceeds the delay
+            // (strictness matches the partition's punctuation rule
+            // `wm − lᵢ`: admitted events are strictly above it).
+            match self.latencies.iter().position(|&l| delay < l) {
+                Some(i) => {
+                    self.stats.routed[i].set(self.stats.routed[i].get() + 1);
+                    self.scratch[i].push(e.clone());
+                }
+                None => {
+                    self.stats.dropped.set(self.stats.dropped.get() + 1);
+                }
+            }
+        }
+        self.flush_scratch();
+    }
+
+    fn on_punctuation(&mut self, _t: Timestamp) {
+        // Input punctuations are a cadence signal; each partition is
+        // punctuated from the framework's own watermark clock.
+        for i in 0..self.parts.len() {
+            let p = self.wm.saturating_sub(self.latencies[i]);
+            if p > self.last_punct[i] {
+                self.last_punct[i] = p;
+                self.parts[i].push_punctuation(p);
+            }
+        }
+    }
+
+    fn on_completed(&mut self) {
+        self.flush_scratch();
+        for h in &self.parts {
+            h.complete();
+        }
+    }
+}
+
+/// Builds the advanced Impatience framework over `ds` (Fig 6(b)).
+///
+/// `piq` is instantiated once per partition on the partition's *sorted*
+/// stream; `merge` once per union output. For correct results the pair
+/// must satisfy the usual partial-aggregation law (e.g. per-window partial
+/// counts + addition). Returns the `k` output streams.
+pub fn to_streamables_advanced<P, Q>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    piq: impl Fn(Streamable<P>) -> Streamable<Q> + 'static,
+    merge: impl Fn(Streamable<Q>) -> Streamable<Q> + 'static,
+    meter: &MemoryMeter,
+) -> Result<Streamables<Q>, StreamError>
+where
+    P: Payload,
+    Q: Payload,
+{
+    validate_latencies(latencies)?;
+    let k = latencies.len();
+    let stats = FrameworkStats::new(k);
+
+    // Output relays (buffer until subscribed).
+    let mut out_handles: Vec<InputHandle<Q>> = Vec::with_capacity(k);
+    let mut out_streams: Vec<Option<Streamable<Q>>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (h, s) = input_stream::<Q>();
+        out_handles.push(h);
+        out_streams.push(Some(s));
+    }
+
+    // Build the union/merge chain from the deepest stage (k-1) downward.
+    // `stage_sink[i]` consumes the i-th output stream's traffic.
+    let mut right_inputs: Vec<Option<Box<dyn Observer<Q>>>> =
+        (0..k).map(|_| None).collect();
+    let mut stage_sink: Box<dyn Observer<Q>> =
+        Box::new(HandleSink::new(out_handles[k - 1].clone()));
+    for i in (1..k).rev() {
+        // union_i → merge_i → stage i's sink.
+        let (merge_handle, merge_stream) = input_stream::<Q>();
+        merge(merge_stream).subscribe_observer(stage_sink);
+        let (left, right, _probe) =
+            build_union(Box::new(HandleSink::new(merge_handle)), meter.clone());
+        right_inputs[i] = Some(Box::new(right));
+        // Stage i−1 fans out: to output i−1 and into union_i's left input.
+        stage_sink = Box::new(TeeOp::new(
+            HandleSink::new(out_handles[i - 1].clone()),
+            left,
+        ));
+    }
+
+    // Partition pipelines: relay → Impatience sort → PIQ → stage sink.
+    let mut part_handles: Vec<InputHandle<P>> = Vec::with_capacity(k);
+    let mut sinks: Vec<Box<dyn Observer<Q>>> = Vec::with_capacity(k);
+    sinks.push(stage_sink);
+    for r in right_inputs.into_iter().skip(1) {
+        sinks.push(r.expect("union right input built"));
+    }
+    for sink in sinks {
+        let (ph, ps) = input_stream::<P>();
+        part_handles.push(ph);
+        let sorter = ImpatienceSorter::with_config(ImpatienceConfig::default());
+        piq(ps.sorted_with(Box::new(sorter), meter)).subscribe_observer(sink);
+    }
+
+    // Wire the partitioner onto the disordered source.
+    let partitioner = Partitioner {
+        latencies: latencies.to_vec(),
+        scratch: (0..k).map(|_| Vec::new()).collect(),
+        parts: part_handles,
+        wm: Timestamp::MIN,
+        last_punct: vec![Timestamp::MIN; k],
+        stats: stats.clone(),
+    };
+    (ds.into_connector())(Box::new(partitioner));
+
+    Ok(Streamables {
+        streams: out_streams,
+        latencies: latencies.to_vec(),
+        stats,
+    })
+}
+
+/// Builds the basic Impatience framework (Fig 6(a)): identity PIQ and
+/// merge, so raw events flow through the sort/union chain and the user
+/// runs their query per output stream — with the redundant-computation and
+/// raw-event-buffering costs the advanced framework removes.
+pub fn to_streamables_basic<P: Payload>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    meter: &MemoryMeter,
+) -> Result<Streamables<P>, StreamError> {
+    to_streamables_advanced(ds, latencies, |s| s, |s| s, meter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::{validate_ordered_stream, StreamMessage};
+    use impatience_engine::IngressPolicy;
+
+    fn ev(t: i64) -> Event<u32> {
+        Event::point(Timestamp::new(t), t as u32)
+    }
+
+    /// Arrival sequence with known delays: (sync_time, …) where some
+    /// events trail the watermark.
+    fn arrivals() -> Vec<Event<u32>> {
+        // wm:      10  20  20  30  30   40  40
+        // delay:    0   0   5   0  25    0  35
+        [10i64, 20, 15, 30, 5, 40, 5]
+            .iter()
+            .map(|&t| ev(t))
+            .collect()
+    }
+
+    fn policy() -> IngressPolicy {
+        IngressPolicy {
+            punctuation_frequency: 1,
+            reorder_latency: TickDuration::ZERO,
+            batch_size: 1,
+        }
+    }
+
+    fn latencies() -> Vec<TickDuration> {
+        vec![
+            TickDuration::ticks(10),
+            TickDuration::ticks(30),
+            TickDuration::ticks(100),
+        ]
+    }
+
+    #[test]
+    fn validates_latency_config() {
+        let meter = MemoryMeter::new();
+        let bad: Vec<(Vec<TickDuration>, &str)> = vec![
+            (vec![], "empty"),
+            (
+                vec![TickDuration::ticks(5), TickDuration::ticks(5)],
+                "non-increasing",
+            ),
+            (
+                vec![TickDuration::ticks(9), TickDuration::ticks(3)],
+                "decreasing",
+            ),
+            (vec![TickDuration::ticks(-1)], "negative"),
+        ];
+        for (ls, label) in bad {
+            let ds = DisorderedStreamable::<u32>::from_messages(vec![]);
+            assert!(
+                to_streamables_basic(ds, &ls, &meter).is_err(),
+                "{label} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn basic_framework_stream_i_contains_partitions_up_to_i() {
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let mut ss = to_streamables_basic(ds, &latencies(), &meter).unwrap();
+        let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        // Delays: 0,0,5,0,25,0,35 → partitions 0,0,0,0,1,0,2; none dropped.
+        let times =
+            |o: &impatience_engine::Output<u32>| -> Vec<i64> {
+                o.events().iter().map(|e| e.sync_time.ticks()).collect()
+            };
+        assert_eq!(times(&outs[0]), vec![10, 15, 20, 30, 40]);
+        assert_eq!(times(&outs[1]), vec![5, 10, 15, 20, 30, 40]);
+        assert_eq!(times(&outs[2]), vec![5, 5, 10, 15, 20, 30, 40]);
+        for o in &outs {
+            assert!(validate_ordered_stream(&o.messages()).is_ok());
+            assert!(o.is_completed());
+        }
+        let stats = ss.stats();
+        assert_eq!(stats.routed(0), 5);
+        assert_eq!(stats.routed(1), 1);
+        assert_eq!(stats.routed(2), 1);
+        assert_eq!(stats.dropped(), 0);
+        assert!((stats.completeness(0) - 5.0 / 7.0).abs() < 1e-9);
+        assert!((stats.completeness(2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_beyond_max_latency_are_dropped() {
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        // Max latency 30: the delay-35 event is dropped.
+        let ls = vec![TickDuration::ticks(10), TickDuration::ticks(30)];
+        let mut ss = to_streamables_basic(ds, &ls, &meter).unwrap();
+        let out_last = ss.stream(1).collect_output();
+        assert_eq!(out_last.event_count(), 6);
+        assert_eq!(ss.stats().dropped(), 1);
+        assert!(ss.stats().completeness(1) < 1.0);
+    }
+
+    #[test]
+    fn advanced_framework_counts_match_basic_query() {
+        // Tumbling-window count with PIQ = windowed count per partition,
+        // merge = add partial counts (the paper's Q1 shape).
+        let meter = MemoryMeter::new();
+        let window = TickDuration::ticks(20);
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy())
+            .tumbling_window(window);
+        let mut ss = to_streamables_advanced(
+            ds,
+            &latencies(),
+            |s: Streamable<u32>| s.count(),
+            |s: Streamable<u64>| s.reduce_by_key(|a, b| *a += b),
+            &meter,
+        )
+        .unwrap();
+        let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        // Full data windows (size 20): {5,5,10,15} → w0: but window op is
+        // below the framework: events aligned before partitioning.
+        // Aligned times: 10→0, 20→20, 15→0, 30→20, 5→0, 40→40, 5→0.
+        // Complete counts: w0: 4 (10,15,5,5), w20: 2 (20,30), w40: 1 (40).
+        let counts = |o: &impatience_engine::Output<u64>| -> Vec<(i64, u64)> {
+            o.events()
+                .iter()
+                .map(|e| (e.sync_time.ticks(), e.payload))
+                .collect()
+        };
+        // The last (most complete) stream must carry the exact counts.
+        assert_eq!(counts(&outs[2]), vec![(0, 4), (20, 2), (40, 1)]);
+        // Earlier streams under-count only where late events were missed.
+        for o in &outs {
+            assert!(validate_ordered_stream(&o.messages()).is_ok());
+            assert!(o.is_completed());
+        }
+        let c0 = counts(&outs[0]);
+        assert!(c0.iter().all(|&(w, c)| {
+            counts(&outs[2])
+                .iter()
+                .find(|&&(w2, _)| w2 == w)
+                .is_some_and(|&(_, c2)| c <= c2)
+        }));
+    }
+
+    #[test]
+    fn advanced_buffers_less_than_basic() {
+        // The Fig 10(b) effect in miniature: the basic framework's unions
+        // buffer raw events; the advanced one buffers per-window partials.
+        let window = TickDuration::ticks(100);
+        let n = 20_000usize;
+        // Sorted arrivals with occasional stragglers delayed ~5000 ticks.
+        let arrivals: Vec<Event<u32>> = (0..n)
+            .map(|i| {
+                let t = if i % 100 == 99 {
+                    (i as i64) - 5_000
+                } else {
+                    i as i64
+                };
+                ev(t.max(0))
+            })
+            .collect();
+        let ls = vec![TickDuration::ticks(10), TickDuration::ticks(10_000)];
+        let pol = IngressPolicy {
+            punctuation_frequency: 100,
+            reorder_latency: TickDuration::ZERO,
+            batch_size: 512,
+        };
+
+        let basic_meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals.clone(), &pol)
+            .tumbling_window(window);
+        let mut ss = to_streamables_basic(ds, &ls, &basic_meter).unwrap();
+        // Subscribe both outputs (queries applied per stream, redundantly).
+        let _o0 = ss.stream(0).count().collect_output();
+        let _o1 = ss.stream(1).count().collect_output();
+
+        let adv_meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals, &pol)
+            .tumbling_window(window);
+        let mut ss = to_streamables_advanced(
+            ds,
+            &ls,
+            |s: Streamable<u32>| s.count(),
+            |s: Streamable<u64>| s.reduce_by_key(|a, b| *a += b),
+            &adv_meter,
+        )
+        .unwrap();
+        let _a0 = ss.stream(0).collect_output();
+        let _a1 = ss.stream(1).collect_output();
+
+        assert!(
+            adv_meter.peak() * 3 < basic_meter.peak(),
+            "advanced peak {} not well below basic peak {}",
+            adv_meter.peak(),
+            basic_meter.peak()
+        );
+    }
+
+    #[test]
+    fn single_latency_framework_is_buffer_and_sort() {
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let mut ss =
+            to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
+        assert_eq!(ss.len(), 1);
+        let out = ss.stream(0).collect_output();
+        // Only delay<10 events survive: 10,20,15,30,5(d25 dropped),40,5.
+        let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![10, 15, 20, 30, 40]);
+        assert_eq!(ss.stats().dropped(), 2);
+    }
+
+    #[test]
+    fn streams_complete_and_carry_final_punctuation() {
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let mut ss = to_streamables_basic(ds, &latencies(), &meter).unwrap();
+        for i in 0..ss.len() {
+            let out = ss.stream(i).collect_output();
+            assert!(out.is_completed(), "stream {i}");
+            assert!(matches!(
+                out.messages().last(),
+                Some(StreamMessage::Completed)
+            ));
+        }
+        assert_eq!(meter.current(), 0, "all buffered state released");
+    }
+
+    #[test]
+    #[should_panic(expected = "already subscribed")]
+    fn taking_a_stream_twice_panics() {
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let mut ss =
+            to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
+        let _a = ss.stream(0);
+        let _b = ss.stream(0);
+    }
+}

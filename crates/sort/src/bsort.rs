@@ -1,0 +1,150 @@
+//! BSort: Aurora's incremental sorting operator (§VII related work).
+//!
+//! "BSort, an incremental sorting algorithm used in the Aurora streaming
+//! engine, is essentially a variant of insertion sort, and therefore is
+//! not efficient in sorting a large number of events." Included as an
+//! extra baseline: every pushed event is binary-searched into a sorted
+//! buffer and spliced in place — `O(log n)` comparisons but `O(n)` moves
+//! per event, so throughput collapses as the buffered volume grows (the
+//! same volume-sensitivity Fig 8 shows for the cut-buffer adapters, but
+//! paid on *every event* instead of every punctuation).
+
+use crate::traits::OnlineSorter;
+use impatience_core::{EventTimed, Timestamp};
+
+/// The insertion-sort-based incremental sorter.
+pub struct BSortSorter<T> {
+    /// Sorted buffer with an advancing emitted-prefix offset.
+    sorted: Vec<T>,
+    head: usize,
+    last_punctuation: Timestamp,
+}
+
+impl<T: EventTimed> BSortSorter<T> {
+    /// An empty BSort buffer.
+    pub fn new() -> Self {
+        BSortSorter {
+            sorted: Vec::new(),
+            head: 0,
+            last_punctuation: Timestamp::MIN,
+        }
+    }
+}
+
+impl<T: EventTimed> Default for BSortSorter<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: EventTimed + Clone> OnlineSorter<T> for BSortSorter<T> {
+    fn push(&mut self, item: T) {
+        debug_assert!(item.event_time() > self.last_punctuation);
+        let ts = item.event_time();
+        // Rightmost insertion point (FIFO among equal times).
+        let pos = self.head
+            + self.sorted[self.head..].partition_point(|x| x.event_time() <= ts);
+        self.sorted.insert(pos, item);
+    }
+
+    fn punctuate(&mut self, t: Timestamp, out: &mut Vec<T>) {
+        debug_assert!(t >= self.last_punctuation);
+        self.last_punctuation = t;
+        let cnt = self.sorted[self.head..].partition_point(|x| x.event_time() <= t);
+        if cnt > 0 {
+            out.extend_from_slice(&self.sorted[self.head..self.head + cnt]);
+            self.head += cnt;
+            if self.head * 2 >= self.sorted.len() && self.head >= 64 {
+                self.sorted = self.sorted[self.head..].to_vec();
+                self.head = 0;
+            }
+        }
+    }
+
+    fn buffered_len(&self) -> usize {
+        self.sorted.len() - self.head
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.sorted.capacity() * core::mem::size_of::<T>()
+    }
+
+    fn name(&self) -> &'static str {
+        "BSort"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::assert_sorted_until;
+
+    #[test]
+    fn sorts_incrementally() {
+        let mut s: BSortSorter<i64> = BSortSorter::new();
+        let mut out = Vec::new();
+        for x in [5i64, 1, 9, 3, 7] {
+            s.push(x);
+        }
+        s.punctuate(Timestamp::new(5), &mut out);
+        assert_eq!(out, vec![1, 3, 5]);
+        assert_eq!(s.buffered_len(), 2);
+        s.push(6);
+        s.drain_all(&mut out);
+        assert_eq!(out, vec![1, 3, 5, 6, 7, 9]);
+        assert_eq!(s.buffered_len(), 0);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut s: BSortSorter<(i64, u32)> = BSortSorter::new();
+        let mut out = Vec::new();
+        for (i, t) in [4i64, 4, 4].into_iter().enumerate() {
+            s.push((t, i as u32));
+        }
+        s.drain_all(&mut out);
+        assert_eq!(out, vec![(4, 0), (4, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn matches_oracle_under_random_punctuation() {
+        let data: Vec<i64> = (0..2000).map(|i| (i * 7919) % 977 + 100).collect();
+        let mut s: BSortSorter<i64> = BSortSorter::new();
+        let mut out = Vec::new();
+        let mut accepted = Vec::new();
+        let mut wm = i64::MIN;
+        for (i, &x) in data.iter().enumerate() {
+            if x > wm {
+                s.push(x);
+                accepted.push(x);
+            }
+            if i % 150 == 149 {
+                let high = accepted.iter().copied().max().unwrap();
+                let p = high - 300;
+                if p > wm {
+                    wm = p;
+                    s.punctuate(Timestamp::new(p), &mut out);
+                    assert_sorted_until(&out, Timestamp::new(p));
+                }
+            }
+        }
+        s.drain_all(&mut out);
+        let mut expect = accepted;
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn compaction_reclaims_state() {
+        let mut s: BSortSorter<i64> = BSortSorter::new();
+        let mut out = Vec::new();
+        for x in 0..1000 {
+            s.push(x);
+        }
+        let full = s.state_bytes();
+        s.punctuate(Timestamp::new(899), &mut out);
+        assert_eq!(s.buffered_len(), 100);
+        assert!(s.state_bytes() < full);
+        assert_eq!(s.name(), "BSort");
+    }
+}

@@ -1,0 +1,360 @@
+//! Impatience sort (§III-D/E): the paper's primary sorting contribution.
+//!
+//! An online variant of Patience sort. Events are partitioned into sorted
+//! runs exactly as Patience sort does; on the i-th punctuation `Tᵢ` the
+//! sorter cuts the *head run* (`event_time <= Tᵢ`) off every sorted run,
+//! merges the head runs, and emits the result — sorting only the events
+//! between `Tᵢ₋₁` and `Tᵢ` without touching the rest of the buffer. Runs
+//! emptied by the cut are removed, which "gradually cleans up sorted runs
+//! created by severely delayed events" (Fig 4/5).
+//!
+//! Two optimizations, both on by default and independently toggleable for
+//! the Fig 7 ablation:
+//!
+//! * **Huffman merge** (§III-E1): head runs are merged smallest-pair-first.
+//! * **Speculative run selection** (§III-E2): the partition phase tries the
+//!   last-inserted run before binary searching.
+
+use crate::merge::{merge_runs, MergePolicy};
+use crate::runset::RunSet;
+use crate::traits::OnlineSorter;
+use impatience_core::{EventTimed, Timestamp};
+
+/// Configuration for [`ImpatienceSorter`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImpatienceConfig {
+    /// Merge head runs smallest-first (§III-E1). When `false`, head runs
+    /// merge sequentially — the "Impt w/o HM" series of Fig 7.
+    pub huffman_merge: bool,
+    /// Try the last-inserted run before binary searching (§III-E2). When
+    /// `false` as well, the sorter degrades to plain online Patience — the
+    /// "Impt w/o HM&SRS" series of Fig 7.
+    pub speculative_run_selection: bool,
+}
+
+impl Default for ImpatienceConfig {
+    fn default() -> Self {
+        ImpatienceConfig {
+            huffman_merge: true,
+            speculative_run_selection: true,
+        }
+    }
+}
+
+impl ImpatienceConfig {
+    /// Both optimizations off (the paper's plain Patience baseline).
+    pub fn baseline() -> Self {
+        ImpatienceConfig {
+            huffman_merge: false,
+            speculative_run_selection: false,
+        }
+    }
+
+    /// Huffman merge off, speculation on.
+    pub fn without_huffman() -> Self {
+        ImpatienceConfig {
+            huffman_merge: false,
+            speculative_run_selection: true,
+        }
+    }
+}
+
+/// The Impatience sorter.
+///
+/// ```
+/// use impatience_core::Timestamp;
+/// use impatience_sort::{ImpatienceSorter, OnlineSorter};
+///
+/// // The paper's §III-A example stream: 2 6 5 1 2* 4 3 7 4* 8 ∞*
+/// let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+/// let mut out = Vec::new();
+/// for x in [2, 6, 5, 1] { s.push(x); }
+/// s.punctuate(Timestamp::new(2), &mut out);
+/// assert_eq!(out, vec![1, 2]);
+/// out.clear();
+/// for x in [4, 3, 7] { s.push(x); }
+/// s.punctuate(Timestamp::new(4), &mut out);
+/// assert_eq!(out, vec![3, 4]);
+/// out.clear();
+/// s.push(8);
+/// s.drain_all(&mut out);
+/// assert_eq!(out, vec![5, 6, 7, 8]);
+/// ```
+#[derive(Debug)]
+pub struct ImpatienceSorter<T> {
+    runs: RunSet<T>,
+    huffman: bool,
+    last_punctuation: Timestamp,
+    /// Total items ever pushed (diagnostics).
+    pushed: u64,
+}
+
+impl<T: EventTimed + Clone> ImpatienceSorter<T> {
+    /// A sorter with both optimizations enabled.
+    pub fn new() -> Self {
+        Self::with_config(ImpatienceConfig::default())
+    }
+
+    /// A sorter with explicit optimization toggles.
+    pub fn with_config(cfg: ImpatienceConfig) -> Self {
+        ImpatienceSorter {
+            runs: RunSet::new(cfg.speculative_run_selection),
+            huffman: cfg.huffman_merge,
+            last_punctuation: Timestamp::MIN,
+            pushed: 0,
+        }
+    }
+
+    /// Number of live sorted runs (the paper's `k`, plotted in Fig 5).
+    pub fn run_count(&self) -> usize {
+        self.runs.run_count()
+    }
+
+    /// Speculation fast-path hits (ablation diagnostics).
+    pub fn speculative_hits(&self) -> u64 {
+        self.runs.speculative_hits()
+    }
+
+    /// Partition-phase binary searches performed.
+    pub fn binary_searches(&self) -> u64 {
+        self.runs.binary_searches()
+    }
+
+    /// The most recent punctuation processed.
+    pub fn watermark(&self) -> Timestamp {
+        self.last_punctuation
+    }
+}
+
+impl<T: EventTimed + Clone> Default for ImpatienceSorter<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: EventTimed + Clone> OnlineSorter<T> for ImpatienceSorter<T> {
+    fn push(&mut self, item: T) {
+        debug_assert!(
+            item.event_time() > self.last_punctuation,
+            "item at {:?} violates punctuation {:?}",
+            item.event_time(),
+            self.last_punctuation
+        );
+        self.pushed += 1;
+        self.runs.insert(item);
+    }
+
+    fn punctuate(&mut self, t: Timestamp, out: &mut Vec<T>) {
+        debug_assert!(
+            t >= self.last_punctuation,
+            "punctuation regressed: {t:?} after {:?}",
+            self.last_punctuation
+        );
+        self.last_punctuation = t;
+        let heads = self.runs.cut_heads(t);
+        if heads.is_empty() {
+            return;
+        }
+        let policy = if self.huffman {
+            MergePolicy::Huffman
+        } else {
+            MergePolicy::Sequential
+        };
+        let merged = merge_runs(heads, policy);
+        out.extend(merged);
+    }
+
+    fn buffered_len(&self) -> usize {
+        self.runs.buffered_len()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.runs.state_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "Impatience"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::assert_sorted_until;
+
+    fn all_configs() -> Vec<(&'static str, ImpatienceConfig)> {
+        vec![
+            ("full", ImpatienceConfig::default()),
+            ("no-hm", ImpatienceConfig::without_huffman()),
+            ("baseline", ImpatienceConfig::baseline()),
+        ]
+    }
+
+    #[test]
+    fn paper_stream_fig4() {
+        // Checked in the doctest too, but keep a unit test for all configs.
+        for (label, cfg) in all_configs() {
+            let mut s: ImpatienceSorter<i64> = ImpatienceSorter::with_config(cfg);
+            let mut out = Vec::new();
+            for x in [2i64, 6, 5, 1] {
+                s.push(x);
+            }
+            s.punctuate(Timestamp::new(2), &mut out);
+            assert_eq!(out, vec![1, 2], "{label}");
+            // Fig 4(a): after punctuation 2 the run [1] vanished; 2 runs
+            // remain ([6] and [5]).
+            assert_eq!(s.run_count(), 2, "{label}");
+            out.clear();
+            for x in [4i64, 3, 7] {
+                s.push(x);
+            }
+            s.punctuate(Timestamp::new(4), &mut out);
+            assert_eq!(out, vec![3, 4], "{label}");
+            // Fig 4(b): Impatience keeps 2 runs here where offline Patience
+            // would be holding 4.
+            assert_eq!(s.run_count(), 2, "{label}");
+            out.clear();
+            s.push(8);
+            s.drain_all(&mut out);
+            assert_eq!(out, vec![5, 6, 7, 8], "{label}");
+            assert_eq!(s.buffered_len(), 0, "{label}");
+            assert_eq!(s.run_count(), 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn run_cleanup_after_burst_delay() {
+        // A burst of severely late events inflates the run count; the next
+        // punctuation that covers them must clean the runs up (§III-D's
+        // "healthy status" recovery, Fig 5).
+        let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        let mut out = Vec::new();
+        for x in 1000..1100i64 {
+            s.push(x);
+        }
+        // Burst: 50 late events in reverse order -> ~50 new runs.
+        for x in (100..150i64).rev() {
+            s.push(x);
+        }
+        let inflated = s.run_count();
+        assert!(inflated >= 50, "burst should inflate runs: {inflated}");
+        s.punctuate(Timestamp::new(999), &mut out);
+        assert_eq!(out.len(), 50);
+        assert_sorted_until(&out, Timestamp::new(999));
+        assert_eq!(s.run_count(), 1, "burst runs cleaned up");
+    }
+
+    #[test]
+    fn incremental_equals_offline_sort() {
+        let data: Vec<i64> = (0..2000).map(|i| (i * 7919) % 1009).collect();
+        for (label, cfg) in all_configs() {
+            let mut s: ImpatienceSorter<i64> = ImpatienceSorter::with_config(cfg);
+            let mut out = Vec::new();
+            let mut accepted = Vec::new();
+            // Feed with periodic punctuations trailing the watermark;
+            // items at or below the watermark would violate the contract
+            // and are skipped (the ingress layer's job).
+            let mut high = i64::MIN;
+            for (i, &x) in data.iter().enumerate() {
+                if x > s.watermark().ticks() || s.watermark() == Timestamp::MIN {
+                    s.push(x);
+                    accepted.push(x);
+                    high = high.max(x);
+                }
+                if i % 100 == 99 {
+                    let p = Timestamp::new(high - 600);
+                    if p > s.watermark() {
+                        s.punctuate(p, &mut out);
+                    }
+                }
+            }
+            s.drain_all(&mut out);
+            let mut expect = accepted;
+            expect.sort_unstable();
+            assert_eq!(out, expect, "{label}");
+        }
+    }
+
+    #[test]
+    fn punctuate_on_empty_and_repeat() {
+        let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        let mut out = Vec::new();
+        s.punctuate(Timestamp::new(5), &mut out);
+        assert!(out.is_empty());
+        s.punctuate(Timestamp::new(5), &mut out); // idempotent repeat
+        assert!(out.is_empty());
+        s.push(10);
+        s.punctuate(Timestamp::new(7), &mut out);
+        assert!(out.is_empty(), "10 is beyond punctuation 7");
+        assert_eq!(s.buffered_len(), 1);
+    }
+
+    #[test]
+    fn emits_items_equal_to_punctuation() {
+        // Contract: flush all events <= T, inclusive.
+        let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        let mut out = Vec::new();
+        for x in [5i64, 3, 5, 4] {
+            s.push(x);
+        }
+        s.punctuate(Timestamp::new(5), &mut out);
+        assert_eq!(out, vec![3, 4, 5, 5]);
+        assert_eq!(s.buffered_len(), 0);
+    }
+
+    #[test]
+    fn output_is_permutation_under_random_punctuation() {
+        let data: Vec<i64> = (0..1000).map(|i| (i * 31 + (i % 13) * 97) % 500).collect();
+        let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        let mut out = Vec::new();
+        let mut pending: Vec<i64> = Vec::new();
+        let mut wm = i64::MIN;
+        for (i, &x) in data.iter().enumerate() {
+            if x > wm {
+                s.push(x);
+                pending.push(x);
+            }
+            if i % 37 == 36 {
+                let p = pending.iter().copied().max().unwrap_or(0) - 50;
+                if p > wm {
+                    wm = p;
+                    s.punctuate(Timestamp::new(p), &mut out);
+                }
+            }
+        }
+        s.drain_all(&mut out);
+        let mut expect = pending;
+        expect.sort_unstable();
+        let mut got = out.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect, "output must be a permutation of input");
+        assert_sorted_until(&out, Timestamp::MAX);
+    }
+
+    #[test]
+    fn diagnostics_counters() {
+        let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        for x in 0..100 {
+            s.push(x);
+        }
+        assert!(s.speculative_hits() + s.binary_searches() == 100);
+        assert!(s.speculative_hits() >= 98, "sorted input should speculate");
+        assert_eq!(s.name(), "Impatience");
+        assert!(s.state_bytes() >= 100 * core::mem::size_of::<i64>());
+    }
+
+    #[test]
+    fn works_with_event_payloads() {
+        use impatience_core::Event;
+        let mut s: ImpatienceSorter<Event<u32>> = ImpatienceSorter::new();
+        let mut out = Vec::new();
+        for (i, t) in [30i64, 10, 20].into_iter().enumerate() {
+            s.push(Event::point(Timestamp::new(t), i as u32));
+        }
+        s.drain_all(&mut out);
+        let ts: Vec<i64> = out.iter().map(|e| e.sync_time.ticks()).collect();
+        let payloads: Vec<u32> = out.iter().map(|e| e.payload).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(payloads, vec![1, 2, 0], "payloads travel with events");
+    }
+}

@@ -1,0 +1,192 @@
+//! Quicksort baseline.
+//!
+//! Median-of-three Hoare-partition quicksort with an insertion-sort cutoff
+//! for small slices. As the paper notes (§VI-B, citing Brodal et al.),
+//! median-of-three quicksort is in practice adaptive to presortedness —
+//! nearly sorted inputs produce balanced partitions — which is why it is a
+//! serious competitor in Fig 7. Not stable.
+
+use crate::traits::SortAlgorithm;
+use impatience_core::EventTimed;
+
+/// Slices at or below this length use insertion sort.
+const INSERTION_CUTOFF: usize = 24;
+
+/// Sorts a slice by event time with quicksort.
+pub fn quicksort<T: EventTimed>(a: &mut [T]) {
+    quicksort_rec(a, 0);
+}
+
+fn quicksort_rec<T: EventTimed>(mut a: &mut [T], mut depth: u32) {
+    loop {
+        let n = a.len();
+        if n <= INSERTION_CUTOFF {
+            insertion_sort(a);
+            return;
+        }
+        // Introsort-style guard: past 2·log₂(n) levels, fall back to
+        // heapsort so adversarial inputs cannot go quadratic. Ordinary
+        // log-workload inputs never trigger it.
+        if depth > 2 * (usize::BITS - n.leading_zeros()) {
+            crate::heapsort::heapsort(a);
+            return;
+        }
+        depth += 1;
+        let p = partition(a);
+        // Recurse into the smaller side, loop on the larger (O(log n)
+        // stack).
+        let (lo, hi) = a.split_at_mut(p);
+        // `hi[0]` is the pivot position start; both halves exclude nothing.
+        if lo.len() < hi.len() {
+            quicksort_rec(lo, depth);
+            a = hi;
+        } else {
+            quicksort_rec(hi, depth);
+            a = lo;
+        }
+    }
+}
+
+/// Hoare partition with median-of-three pivot selection. Returns the split
+/// point `p` such that `a[..p]` keys `<=` pivot and `a[p..]` keys `>=`
+/// pivot, with `0 < p < n`.
+fn partition<T: EventTimed>(a: &mut [T]) -> usize {
+    let n = a.len();
+    let mid = n / 2;
+    // Median of first, middle, last → place median at a[0] as pivot.
+    let (k0, km, kn) = (
+        a[0].event_time(),
+        a[mid].event_time(),
+        a[n - 1].event_time(),
+    );
+    let median_idx = if (k0 <= km) == (km <= kn) {
+        mid
+    } else if (km <= k0) == (k0 <= kn) {
+        0
+    } else {
+        n - 1
+    };
+    a.swap(0, median_idx);
+    let pivot = a[0].event_time();
+
+    let mut i = 0usize;
+    let mut j = n;
+    loop {
+        i += 1;
+        while i < n && a[i].event_time() < pivot {
+            i += 1;
+        }
+        j -= 1;
+        while a[j].event_time() > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            // Move pivot into its final region.
+            a.swap(0, j);
+            // Ensure both sides are non-empty: j may be 0 when the pivot is
+            // the minimum; then a[0] is placed correctly and we split at 1.
+            return if j == 0 { 1 } else { j };
+        }
+        a.swap(i, j);
+    }
+}
+
+/// Binary-shift insertion sort for small slices.
+pub fn insertion_sort<T: EventTimed>(a: &mut [T]) {
+    for j in 1..a.len() {
+        let key = a[j].event_time();
+        let mut i = j;
+        while i > 0 && a[i - 1].event_time() > key {
+            a.swap(i, i - 1);
+            i -= 1;
+        }
+    }
+}
+
+/// `SortAlgorithm` adapter.
+pub struct QuicksortAlgorithm;
+
+impl SortAlgorithm for QuicksortAlgorithm {
+    const NAME: &'static str = "Quicksort";
+
+    fn sort<T: EventTimed + Clone>(items: &mut Vec<T>) {
+        quicksort(items);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(mut v: Vec<i64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn basic_shapes() {
+        check(vec![]);
+        check(vec![1]);
+        check(vec![2, 1]);
+        check(vec![3, 1, 2]);
+        check((0..100).collect());
+        check((0..100).rev().collect());
+        check(vec![5; 50]);
+    }
+
+    #[test]
+    fn random_and_structured() {
+        check((0..10_000).map(|i| (i * 7919) % 4099).collect());
+        check((0..5_000).map(|i| i % 3).collect());
+        // Organ pipe (ascending then descending) — a classic quicksort
+        // stress shape.
+        let mut v: Vec<i64> = (0..500).collect();
+        v.extend((0..500).rev());
+        check(v);
+    }
+
+    #[test]
+    fn nearly_sorted_input() {
+        let mut v: Vec<i64> = (0..2_000).collect();
+        for i in (0..v.len()).step_by(50) {
+            v[i] -= 30;
+        }
+        check(v);
+    }
+
+    #[test]
+    fn adversarial_equal_heavy() {
+        check((0..3_000).map(|i| if i % 100 == 0 { i } else { 7 }).collect());
+    }
+
+    #[test]
+    fn insertion_sort_small() {
+        let mut v = vec![4i64, 2, 5, 1, 3];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        let mut e: Vec<i64> = vec![];
+        insertion_sort(&mut e);
+    }
+
+    #[test]
+    fn algorithm_adapter() {
+        let mut v = vec![9i64, 1, 5];
+        QuicksortAlgorithm::sort(&mut v);
+        assert_eq!(v, vec![1, 5, 9]);
+        assert_eq!(QuicksortAlgorithm::NAME, "Quicksort");
+    }
+
+    #[test]
+    fn sorts_events_by_sync_time() {
+        use impatience_core::{Event, Timestamp};
+        let mut evs: Vec<Event<u32>> = [5i64, 2, 8, 1]
+            .iter()
+            .map(|&t| Event::point(Timestamp::new(t), t as u32))
+            .collect();
+        quicksort(&mut evs);
+        let ts: Vec<i64> = evs.iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![1, 2, 5, 8]);
+    }
+}

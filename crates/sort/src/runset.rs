@@ -1,0 +1,412 @@
+//! The partition-phase data structure shared by Patience and Impatience
+//! sort: a set of sorted runs whose tails are strictly descending.
+//!
+//! Each run supports cheap **head cut-off** (§III-D): removing the prefix of
+//! events `<= T` is a binary search plus an offset bump, never a data move.
+//! This is the property that lets Impatience sort answer a punctuation
+//! without touching the bulk of its buffered data.
+
+use impatience_core::{EventTimed, Timestamp};
+
+/// One sorted run with an advancing head offset.
+#[derive(Debug, Clone)]
+pub struct SortedRun<T> {
+    data: Vec<T>,
+    head: usize,
+}
+
+impl<T: EventTimed> SortedRun<T> {
+    /// A new run seeded with one item.
+    pub fn new(first: T) -> Self {
+        SortedRun {
+            data: vec![first],
+            head: 0,
+        }
+    }
+
+    /// Appends an item; must not be smaller than the current tail.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        debug_assert!(
+            self.data
+                .last()
+                .is_none_or(|t| t.event_time() <= item.event_time()),
+            "append would break run order"
+        );
+        self.data.push(item);
+    }
+
+    /// Live items in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// True when fully consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.data.len()
+    }
+
+    /// Event time of the last element (the run's *tail*).
+    #[inline]
+    pub fn tail_time(&self) -> Timestamp {
+        debug_assert!(!self.is_empty());
+        self.data[self.data.len() - 1].event_time()
+    }
+
+    /// Event time of the first live element (the run's *head*).
+    #[inline]
+    pub fn head_time(&self) -> Timestamp {
+        debug_assert!(!self.is_empty());
+        self.data[self.head].event_time()
+    }
+
+    /// Live slice view.
+    #[inline]
+    pub fn live(&self) -> &[T] {
+        &self.data[self.head..]
+    }
+
+    /// Cuts off the head run: all live items with `event_time <= t`,
+    /// returned as an owned sorted vector. `O(log n)` search + one copy of
+    /// just the cut items; periodically compacts consumed storage.
+    pub fn cut_head(&mut self, t: Timestamp) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let live = &self.data[self.head..];
+        let cnt = live.partition_point(|x| x.event_time() <= t);
+        if cnt == 0 {
+            return Vec::new();
+        }
+        // Whole-run cut (the common case for the final/∞ punctuation):
+        // move the storage out instead of copying it.
+        if cnt == live.len() && self.head == 0 {
+            return core::mem::take(&mut self.data);
+        }
+        let cut = live[..cnt].to_vec();
+        self.head += cnt;
+        self.maybe_compact();
+        cut
+    }
+
+    /// Reclaims consumed prefix storage once it dominates the allocation.
+    /// Reallocates to exactly the live length so memory accounting (and the
+    /// allocator) actually get the bytes back.
+    fn maybe_compact(&mut self)
+    where
+        T: Clone,
+    {
+        if self.head >= 64 && self.head * 2 >= self.data.len() {
+            self.data = self.data[self.head..].to_vec();
+            self.head = 0;
+        }
+    }
+
+    /// Bytes held (capacity-based, matching allocator behaviour).
+    pub fn state_bytes(&self) -> usize {
+        self.data.capacity() * core::mem::size_of::<T>()
+    }
+}
+
+/// A set of sorted runs with the Patience invariant: tails strictly
+/// descending in creation order.
+///
+/// `insert` implements the partition phase (§III-B) with the optional
+/// **speculative run selection** optimization (§III-E2): before binary
+/// searching, try the run that received the previous element — out-of-order
+/// logs contain long consecutive sorted stretches (AndroidLog), making this
+/// hit constantly.
+#[derive(Debug)]
+pub struct RunSet<T> {
+    runs: Vec<SortedRun<T>>,
+    /// Cached tail times, parallel to `runs`, strictly descending.
+    tails: Vec<Timestamp>,
+    /// Index of the run that received the last insert (speculation target).
+    last_insert: usize,
+    speculative: bool,
+    /// Lifetime counters for ablation reporting.
+    speculative_hits: u64,
+    binary_searches: u64,
+}
+
+impl<T: EventTimed + Clone> RunSet<T> {
+    /// An empty run set; `speculative` toggles §III-E2.
+    pub fn new(speculative: bool) -> Self {
+        RunSet {
+            runs: Vec::new(),
+            tails: Vec::new(),
+            last_insert: 0,
+            speculative,
+            speculative_hits: 0,
+            binary_searches: 0,
+        }
+    }
+
+    /// Number of live runs (the paper's `k`).
+    #[inline]
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total live items across runs.
+    pub fn buffered_len(&self) -> usize {
+        self.runs.iter().map(SortedRun::len).sum()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.runs.iter().all(SortedRun::is_empty)
+    }
+
+    /// Times the speculation fast path hit.
+    pub fn speculative_hits(&self) -> u64 {
+        self.speculative_hits
+    }
+
+    /// Times the slow binary-search path ran.
+    pub fn binary_searches(&self) -> u64 {
+        self.binary_searches
+    }
+
+    /// Inserts one item into the appropriate run (partition phase).
+    pub fn insert(&mut self, item: T) {
+        let ts = item.event_time();
+        if self.speculative && !self.runs.is_empty() {
+            // §III-E2, extended with the dominant special case: an on-time
+            // event (at or above the largest tail) always extends run 0 —
+            // one comparison instead of a binary search.
+            if self.tails[0] <= ts {
+                self.speculative_hits += 1;
+                self.runs[0].push(item);
+                self.tails[0] = ts;
+                self.last_insert = 0;
+                return;
+            }
+            // If the item fits between the last-inserted run's tail and
+            // the tail of its predecessor, append directly — the strictly
+            // descending tails invariant is preserved.
+            let li = self.last_insert;
+            if li < self.tails.len()
+                && self.tails[li] <= ts
+                && (li == 0 || self.tails[li - 1] > ts)
+            {
+                self.speculative_hits += 1;
+                self.runs[li].push(item);
+                self.tails[li] = ts;
+                return;
+            }
+        }
+        self.binary_searches += 1;
+        // Tails are strictly descending: the first run whose tail <= ts is
+        // the leftmost (largest-tail) run the item can extend.
+        let idx = self.tails.partition_point(|&t| t > ts);
+        if idx == self.runs.len() {
+            self.runs.push(SortedRun::new(item));
+            self.tails.push(ts);
+        } else {
+            self.runs[idx].push(item);
+            self.tails[idx] = ts;
+        }
+        self.last_insert = idx;
+        debug_assert!(self.tails_strictly_descending());
+    }
+
+    /// Cuts the head run (`<= t`) off every run, returning the non-empty
+    /// head runs and dropping runs that became empty (§III-D).
+    pub fn cut_heads(&mut self, t: Timestamp) -> Vec<Vec<T>> {
+        let mut heads = Vec::new();
+        // Only runs whose head <= t contribute; others are untouched.
+        for run in &mut self.runs {
+            if !run.is_empty() && run.head_time() <= t {
+                let h = run.cut_head(t);
+                if !h.is_empty() {
+                    heads.push(h);
+                }
+            }
+        }
+        if heads.is_empty() {
+            return heads;
+        }
+        // Remove exhausted runs; tails of survivors are unchanged, so the
+        // descending invariant survives removal.
+        if self.runs.iter().any(SortedRun::is_empty) {
+            let mut kept_tails = Vec::with_capacity(self.runs.len());
+            let mut kept_runs = Vec::with_capacity(self.runs.len());
+            for (run, tail) in self.runs.drain(..).zip(self.tails.drain(..)) {
+                if !run.is_empty() {
+                    kept_runs.push(run);
+                    kept_tails.push(tail);
+                }
+            }
+            self.runs = kept_runs;
+            self.tails = kept_tails;
+            self.last_insert = 0;
+            if self.runs.is_empty() {
+                // Fully drained: hand all capacity back so an idle sorter
+                // accounts for zero bytes.
+                self.runs = Vec::new();
+                self.tails = Vec::new();
+            }
+        }
+        debug_assert!(self.tails_strictly_descending());
+        heads
+    }
+
+    /// Bytes held across all runs plus the tails cache.
+    pub fn state_bytes(&self) -> usize {
+        self.runs.iter().map(SortedRun::state_bytes).sum::<usize>()
+            + self.tails.capacity() * core::mem::size_of::<Timestamp>()
+    }
+
+    fn tails_strictly_descending(&self) -> bool {
+        self.tails.windows(2).all(|w| w[0] > w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_partition_example() {
+        // Fig 3: [2, 6, 5, 1, 4, 3, 7, 8] partitions into
+        // Run0=[2,6,7,8], Run1=[5], Run2=[1,4], Run3=[3].
+        let mut rs: RunSet<i64> = RunSet::new(false);
+        for x in [2i64, 6, 5, 1, 4, 3, 7, 8] {
+            rs.insert(x);
+        }
+        assert_eq!(rs.run_count(), 4);
+        let runs: Vec<Vec<i64>> = rs.runs.iter().map(|r| r.live().to_vec()).collect();
+        assert_eq!(runs, vec![vec![2, 6, 7, 8], vec![5], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn sorted_input_is_one_run() {
+        for spec in [false, true] {
+            let mut rs: RunSet<i64> = RunSet::new(spec);
+            for x in 0..100 {
+                rs.insert(x);
+            }
+            assert_eq!(rs.run_count(), 1, "speculative={spec}");
+            assert_eq!(rs.buffered_len(), 100);
+        }
+    }
+
+    #[test]
+    fn speculation_hits_on_consecutive_sorted_stretches() {
+        let mut rs: RunSet<i64> = RunSet::new(true);
+        // AndroidLog-like: long sorted stretches with occasional jumps back.
+        for base in [1000i64, 0, 2000] {
+            for i in 0..50 {
+                rs.insert(base + i);
+            }
+        }
+        assert!(rs.speculative_hits() > 100, "hits={}", rs.speculative_hits());
+        // Same content without speculation must produce identical runs.
+        let mut plain: RunSet<i64> = RunSet::new(false);
+        for base in [1000i64, 0, 2000] {
+            for i in 0..50 {
+                plain.insert(base + i);
+            }
+        }
+        assert_eq!(rs.run_count(), plain.run_count());
+    }
+
+    #[test]
+    fn speculative_and_plain_produce_equal_runs() {
+        // Speculation is a pure fast path: the chosen run must be identical.
+        let data: Vec<i64> = (0..500).map(|i| (i * 37) % 97).collect();
+        let mut a: RunSet<i64> = RunSet::new(true);
+        let mut b: RunSet<i64> = RunSet::new(false);
+        for &x in &data {
+            a.insert(x);
+            b.insert(x);
+        }
+        let ra: Vec<Vec<i64>> = a.runs.iter().map(|r| r.live().to_vec()).collect();
+        let rb: Vec<Vec<i64>> = b.runs.iter().map(|r| r.live().to_vec()).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn cut_heads_paper_example() {
+        // Fig 4: punctuation 2 cuts [2] from Run0 and [1] from Run2; Run2
+        // survives with [4]... wait — Run2=[1,4], cutting <=2 leaves [4].
+        let mut rs: RunSet<i64> = RunSet::new(false);
+        for x in [2i64, 6, 5, 1] {
+            rs.insert(x);
+        }
+        // Runs now: [2,6], [5], [1].
+        assert_eq!(rs.run_count(), 3);
+        let heads = rs.cut_heads(Timestamp::new(2));
+        let mut cut: Vec<i64> = heads.into_iter().flatten().collect();
+        cut.sort_unstable();
+        assert_eq!(cut, vec![1, 2]);
+        // Run [1] became empty and is removed.
+        assert_eq!(rs.run_count(), 2);
+        assert_eq!(rs.buffered_len(), 2); // 6 and 5
+    }
+
+    #[test]
+    fn cut_heads_noop_below_all_heads() {
+        let mut rs: RunSet<i64> = RunSet::new(false);
+        for x in [10i64, 5, 20] {
+            rs.insert(x);
+        }
+        let heads = rs.cut_heads(Timestamp::new(1));
+        assert!(heads.is_empty());
+        assert_eq!(rs.buffered_len(), 3);
+    }
+
+    #[test]
+    fn run_head_cut_and_compaction() {
+        let mut run = SortedRun::new(0i64);
+        for x in 1..200 {
+            run.push(x);
+        }
+        let cut = run.cut_head(Timestamp::new(149));
+        assert_eq!(cut.len(), 150);
+        assert_eq!(run.len(), 50);
+        assert_eq!(run.head_time(), Timestamp::new(150));
+        assert_eq!(run.tail_time(), Timestamp::new(199));
+        // Compaction fired (head >= 64 and >= half): storage reclaimed.
+        assert!(run.state_bytes() <= 200 * core::mem::size_of::<i64>());
+        let rest = run.cut_head(Timestamp::MAX);
+        assert_eq!(rest.len(), 50);
+        assert!(run.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_extend_first_run() {
+        let mut rs: RunSet<i64> = RunSet::new(false);
+        for _ in 0..10 {
+            rs.insert(7);
+        }
+        // tail <= x admits equal values: one run of ten 7s.
+        assert_eq!(rs.run_count(), 1);
+        assert_eq!(rs.buffered_len(), 10);
+    }
+
+    #[test]
+    fn reverse_input_creates_n_runs() {
+        let mut rs: RunSet<i64> = RunSet::new(true);
+        for x in (0..50).rev() {
+            rs.insert(x);
+        }
+        assert_eq!(rs.run_count(), 50);
+    }
+
+    #[test]
+    fn state_bytes_reflects_buffering() {
+        let mut rs: RunSet<i64> = RunSet::new(false);
+        assert_eq!(rs.buffered_len(), 0);
+        for x in 0..1000 {
+            rs.insert(x);
+        }
+        assert!(rs.state_bytes() >= 1000 * core::mem::size_of::<i64>());
+        rs.cut_heads(Timestamp::MAX);
+        assert!(rs.is_empty());
+        assert_eq!(rs.run_count(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Sorter abstractions.
+//!
+//! Two shapes of sorter appear in the paper's evaluation (§VI-B):
+//!
+//! * **Online sorters** ([`OnlineSorter`]) ingest a disordered stream and,
+//!   on every punctuation `T`, must emit all buffered items with
+//!   `event_time <= T` in nondecreasing order. Impatience sort and Heapsort
+//!   support this natively; the offline algorithms are adapted via
+//!   [`crate::incremental::CutBuffer`].
+//! * **Offline algorithms** ([`SortAlgorithm`]) sort a slice in one shot.
+
+use impatience_core::{EventTimed, Timestamp};
+
+/// An incremental sorter for out-of-order streams (§III-A's sorting
+/// operator contract).
+pub trait OnlineSorter<T: EventTimed> {
+    /// Buffers one out-of-order item.
+    fn push(&mut self, item: T);
+
+    /// Handles a punctuation: appends to `out` every buffered item with
+    /// `event_time <= t`, in nondecreasing event-time order, and removes
+    /// them from the buffer.
+    ///
+    /// Punctuations must be nondecreasing; debug builds assert this.
+    fn punctuate(&mut self, t: Timestamp, out: &mut Vec<T>);
+
+    /// Flushes everything (a punctuation at `+∞`).
+    fn drain_all(&mut self, out: &mut Vec<T>) {
+        self.punctuate(Timestamp::MAX, out);
+    }
+
+    /// Items currently buffered.
+    fn buffered_len(&self) -> usize;
+
+    /// Bytes of state currently held (buffers at capacity). Used by the
+    /// engine's deterministic memory accounting.
+    fn state_bytes(&self) -> usize;
+
+    /// Human-readable algorithm name (figure legends).
+    fn name(&self) -> &'static str;
+}
+
+/// A one-shot comparison sort keyed by event time.
+///
+/// Implementations must produce a permutation of the input in nondecreasing
+/// `event_time` order. Stability is implementation-specific and documented
+/// per algorithm (Timsort is stable; Quicksort and Heapsort are not).
+pub trait SortAlgorithm {
+    /// Algorithm name (figure legends).
+    const NAME: &'static str;
+
+    /// Sorts `items` by `event_time` in place.
+    fn sort<T: EventTimed + Clone>(items: &mut Vec<T>);
+}
+
+/// Convenience: sorts a vector with the given algorithm and returns it.
+pub fn sort_with<A: SortAlgorithm, T: EventTimed + Clone>(mut items: Vec<T>) -> Vec<T> {
+    A::sort(&mut items);
+    items
+}
+
+/// Checks the online-sorter output contract: `out` nondecreasing and every
+/// element `<= t`. Test helper shared across the crate.
+#[cfg(test)]
+pub(crate) fn assert_sorted_until<T: EventTimed>(out: &[T], t: Timestamp) {
+    for w in out.windows(2) {
+        assert!(
+            w[0].event_time() <= w[1].event_time(),
+            "output not sorted: {:?} > {:?}",
+            w[0].event_time(),
+            w[1].event_time()
+        );
+    }
+    if let Some(last) = out.last() {
+        assert!(last.event_time() <= t, "emitted item beyond punctuation");
+    }
+}

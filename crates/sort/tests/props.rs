@@ -1,0 +1,215 @@
+//! Property tests for the sorting layer.
+//!
+//! Core contracts: every sorter is a permutation-preserving, order-correct
+//! sort; every online sorter honours the punctuation contract under random
+//! punctuation schedules; the Propositions 3.1–3.3 run-count bounds hold.
+
+use impatience_core::Timestamp;
+use impatience_disorder as _;
+use impatience_sort::*;
+use proptest::prelude::*;
+
+/// Drives an online sorter with a random punctuation schedule derived from
+/// `punct_gaps`; returns (accepted input, emitted output).
+fn drive_online(
+    sorter: &mut dyn OnlineSorter<i64>,
+    data: &[i64],
+    punct_every: usize,
+    lag: i64,
+) -> (Vec<i64>, Vec<i64>) {
+    let mut out = Vec::new();
+    let mut accepted = Vec::new();
+    let mut wm = i64::MIN;
+    let mut high = i64::MIN;
+    for (i, &x) in data.iter().enumerate() {
+        if x > wm {
+            sorter.push(x);
+            accepted.push(x);
+            high = high.max(x);
+        }
+        if punct_every > 0 && i % punct_every == punct_every - 1 && high > i64::MIN {
+            let p = high.saturating_sub(lag);
+            if p > wm {
+                wm = p;
+                sorter.punctuate(Timestamp::new(p), &mut out);
+            }
+        }
+    }
+    sorter.drain_all(&mut out);
+    (accepted, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn online_sorters_sort_correctly(
+        data in prop::collection::vec(-10_000i64..10_000, 0..500),
+        punct_every in 1usize..60,
+        lag in 0i64..5_000,
+    ) {
+        for name in ONLINE_SORTER_NAMES {
+            let mut s = online_sorter_by_name::<i64>(name).unwrap();
+            let (accepted, out) = drive_online(s.as_mut(), &data, punct_every, lag);
+            let mut expect = accepted.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(&out, &expect, "{} output mismatch", name);
+            prop_assert_eq!(s.buffered_len(), 0, "{} left residue", name);
+        }
+    }
+
+    #[test]
+    fn online_outputs_identical_across_algorithms(
+        data in prop::collection::vec(0i64..2_000, 1..400),
+        punct_every in 5usize..40,
+    ) {
+        let mut reference: Option<Vec<i64>> = None;
+        for name in ONLINE_SORTER_NAMES {
+            let mut s = online_sorter_by_name::<i64>(name).unwrap();
+            let (_, out) = drive_online(s.as_mut(), &data, punct_every, 300);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => prop_assert_eq!(r, &out, "{} diverged", name),
+            }
+        }
+    }
+
+    #[test]
+    fn offline_algorithms_match_std_sort(
+        data in prop::collection::vec(i64::MIN..i64::MAX, 0..600),
+    ) {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+
+        let mut v = data.clone();
+        quicksort(&mut v);
+        prop_assert_eq!(&v, &expect, "quicksort");
+
+        let mut v = data.clone();
+        timsort(&mut v);
+        prop_assert_eq!(&v, &expect, "timsort");
+
+        let mut v = data.clone();
+        heapsort(&mut v);
+        prop_assert_eq!(&v, &expect, "heapsort");
+
+        let (v, _) = PatienceSort::default().sort_counting_runs(data.clone());
+        prop_assert_eq!(&v, &expect, "patience");
+    }
+
+    #[test]
+    fn timsort_is_stable(
+        times in prop::collection::vec(0i64..20, 0..400),
+    ) {
+        let mut v: Vec<(i64, usize)> = times.into_iter().enumerate()
+            .map(|(i, t)| (t, i)).collect();
+        timsort(&mut v);
+        for w in v.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn merge_policies_agree(
+        runs in prop::collection::vec(prop::collection::vec(-500i64..500, 0..50), 0..8),
+    ) {
+        let mut sorted_runs = runs;
+        for r in &mut sorted_runs { r.sort_unstable(); }
+        let mut expect: Vec<i64> = sorted_runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        for policy in [MergePolicy::Huffman, MergePolicy::Sequential, MergePolicy::LoserTree] {
+            prop_assert_eq!(merge_runs(sorted_runs.clone(), policy), expect.clone(), "{:?}", policy);
+        }
+    }
+
+    #[test]
+    fn proposition_3_1_interleaved_bound(
+        data in prop::collection::vec(-5_000i64..5_000, 0..400),
+    ) {
+        // k <= minimum interleave of the input.
+        let k = PatienceSort::partition_run_count(&data);
+        let d = impatience_disorder::min_interleaved_runs(&data);
+        prop_assert!(k <= d, "k={} > interleaved={}", k, d);
+        // Together with the propositions, Patience achieves exactly the
+        // minimum here because the greedy pile cover is the same greedy.
+        prop_assert_eq!(k, d);
+    }
+
+    #[test]
+    fn proposition_3_2_distinct_bound(
+        data in prop::collection::vec(0i64..12, 0..400),
+    ) {
+        let k = PatienceSort::partition_run_count(&data);
+        let mut distinct = data.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(k <= distinct.len().max(1) || data.is_empty());
+        prop_assert!(k <= 12);
+    }
+
+    #[test]
+    fn proposition_3_3_natural_runs_bound(
+        data in prop::collection::vec(-5_000i64..5_000, 1..400),
+    ) {
+        let k = PatienceSort::partition_run_count(&data);
+        let natural = impatience_disorder::count_natural_runs(&data);
+        prop_assert!(k <= natural, "k={} > runs={}", k, natural);
+    }
+
+    #[test]
+    fn impatience_configs_equivalent_output(
+        data in prop::collection::vec(0i64..3_000, 0..400),
+        punct_every in 5usize..50,
+    ) {
+        // HM and SRS are pure optimizations: output identical across all
+        // four on/off combinations.
+        let configs = [
+            ImpatienceConfig { huffman_merge: true, speculative_run_selection: true },
+            ImpatienceConfig { huffman_merge: true, speculative_run_selection: false },
+            ImpatienceConfig { huffman_merge: false, speculative_run_selection: true },
+            ImpatienceConfig { huffman_merge: false, speculative_run_selection: false },
+        ];
+        let mut reference: Option<Vec<i64>> = None;
+        for cfg in configs {
+            let mut s = ImpatienceSorter::with_config(cfg);
+            let (_, out) = drive_online(&mut s, &data, punct_every, 500);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => prop_assert_eq!(r, &out),
+            }
+        }
+    }
+
+    #[test]
+    fn impatience_run_count_never_exceeds_patience(
+        data in prop::collection::vec(0i64..2_000, 1..300),
+        punct_every in 5usize..40,
+    ) {
+        // Incremental cleanup can only reduce the number of live runs
+        // relative to offline Patience on the same prefix consumed so far.
+        let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        let mut out = Vec::new();
+        let mut wm = i64::MIN;
+        let mut high = i64::MIN;
+        let mut fed: Vec<i64> = Vec::new();
+        for (i, &x) in data.iter().enumerate() {
+            if x > wm {
+                s.push(x);
+                fed.push(x);
+                high = high.max(x);
+            }
+            if i % punct_every == punct_every - 1 {
+                let p = high - 200;
+                if p > wm {
+                    wm = p;
+                    s.punctuate(Timestamp::new(p), &mut out);
+                }
+                let offline_k = PatienceSort::partition_run_count(&fed);
+                prop_assert!(
+                    s.run_count() <= offline_k,
+                    "impatience {} > patience {}", s.run_count(), offline_k
+                );
+            }
+        }
+    }
+}

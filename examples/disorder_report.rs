@@ -1,0 +1,83 @@
+//! Workload analysis à la §II: generate the three dataset families and
+//! print their Table I-style disorder statistics side by side, plus the
+//! latency/completeness curve behind Fig 1 and Table II.
+//!
+//! ```sh
+//! cargo run --release --example disorder_report [events]
+//! ```
+
+use impatience::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    let datasets = [
+        generate_cloudlog(&CloudLogConfig::sized(n)),
+        generate_androidlog(&AndroidLogConfig::sized(n)),
+        generate_synthetic(&SyntheticConfig::paper_default(n)),
+    ];
+
+    println!("Measure of disorder ({n} events per dataset)\n");
+    println!(
+        "{:<14}{:>18}{:>12}{:>12}{:>12}{:>10}",
+        "dataset", "inversions", "distance", "runs", "interleaved", "run-len"
+    );
+    let mut reports = Vec::new();
+    for ds in &datasets {
+        let r = DisorderReport::of_events(&ds.events);
+        println!(
+            "{:<14}{:>18}{:>12}{:>12}{:>12}{:>10.1}",
+            ds.name,
+            r.inversions,
+            r.distance,
+            r.runs,
+            r.interleaved,
+            r.mean_run_length()
+        );
+        reports.push(r);
+    }
+
+    // The Table I story: CloudLog is fine-grained chaos (tiny runs, modest
+    // inversions); AndroidLog is coarse-grained chaos (huge inversions,
+    // few long runs).
+    println!("\nLatency vs completeness (the Fig 1 tradeoff):\n");
+    println!(
+        "{:<14}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}",
+        "dataset", "1ms", "1s", "1m", "10m", "1h", "1d"
+    );
+    for ds in &datasets {
+        let row: Vec<String> = [
+            TickDuration::millis(1),
+            TickDuration::secs(1),
+            TickDuration::minutes(1),
+            TickDuration::minutes(10),
+            TickDuration::hours(1),
+            TickDuration::days(1),
+        ]
+        .iter()
+        .map(|&l| format!("{:.1}%", ds.completeness_at(l) * 100.0))
+        .collect();
+        println!(
+            "{:<14}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}",
+            ds.name, row[0], row[1], row[2], row[3], row[4], row[5]
+        );
+    }
+
+    // Proposition 3.1 in action: Patience's run count never exceeds the
+    // interleaved measure.
+    println!("\nProposition 3.1 check (patience runs <= interleaved):");
+    for (ds, r) in datasets.iter().zip(&reports) {
+        let k = PatienceSort::partition_run_count(&ds.event_times());
+        println!(
+            "  {:<12} patience k = {:<8} interleaved = {:<8} {}",
+            ds.name,
+            k,
+            r.interleaved,
+            if k <= r.interleaved { "ok" } else { "VIOLATION" }
+        );
+        assert!(k <= r.interleaved);
+    }
+}
