@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks for the engine operators and the
-//! sort-as-needed plans of Fig 9 at small scale.
+//! Micro-benchmarks for the engine operators and the sort-as-needed plans
+//! of Fig 9 at small scale, on the in-tree timer
+//! (`impatience_testkit::bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use impatience_core::{EvalPayload, MemoryMeter, TickDuration};
 use impatience_engine::{BlackHoleSink, IngressPolicy, Streamable};
 use impatience_framework::DisorderedStreamable;
+use impatience_testkit::bench::Harness;
 use impatience_workloads::{generate_synthetic, Dataset, SyntheticConfig};
 
 const N: usize = 100_000;
@@ -24,165 +25,136 @@ fn drive<P: impatience_core::Payload>(s: Streamable<P>) {
     s.subscribe_observer(Box::new(BlackHoleSink::new()));
 }
 
-fn bench_plans(c: &mut Criterion) {
+fn bench_plans(h: &Harness) {
     let ds = dataset();
-    let mut g = c.benchmark_group("sort_as_needed_plans");
-    g.throughput(Throughput::Elements(N as u64));
+    let mut g = h.group("sort_as_needed_plans");
+    g.throughput_elements(N as u64);
 
-    g.bench_function("sort_only", |b| {
-        b.iter(|| {
-            let meter = MemoryMeter::new();
-            drive(
-                DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
-                    .to_streamable(&meter),
-            );
-        })
+    g.bench_function("sort_only", || {
+        let meter = MemoryMeter::new();
+        drive(
+            DisorderedStreamable::from_arrivals(ds.events.clone(), &policy()).to_streamable(&meter),
+        );
     });
-    g.bench_function("filter_below_sort_sel10", |b| {
-        b.iter(|| {
-            let meter = MemoryMeter::new();
-            drive(
-                DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
-                    .where_(|e| e.payload[1] % 100 < 10)
-                    .to_streamable(&meter),
-            );
-        })
+    g.bench_function("filter_below_sort_sel10", || {
+        let meter = MemoryMeter::new();
+        drive(
+            DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
+                .where_(|e| e.payload[1] % 100 < 10)
+                .to_streamable(&meter),
+        );
     });
-    g.bench_function("filter_above_sort_sel10", |b| {
-        b.iter(|| {
-            let meter = MemoryMeter::new();
-            drive(
-                DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
-                    .to_streamable(&meter)
-                    .where_(|e| e.payload[1] % 100 < 10),
-            );
-        })
+    g.bench_function("filter_above_sort_sel10", || {
+        let meter = MemoryMeter::new();
+        drive(
+            DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
+                .to_streamable(&meter)
+                .where_(|e| e.payload[1] % 100 < 10),
+        );
     });
-    g.bench_function("window_below_sort", |b| {
-        b.iter(|| {
-            let meter = MemoryMeter::new();
-            drive(
-                DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
-                    .tumbling_window(TickDuration::ticks(10_000))
-                    .to_streamable(&meter),
-            );
-        })
+    g.bench_function("window_below_sort", || {
+        let meter = MemoryMeter::new();
+        drive(
+            DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
+                .tumbling_window(TickDuration::ticks(10_000))
+                .to_streamable(&meter),
+        );
     });
-    g.bench_function("windowed_count_full_query", |b| {
-        b.iter(|| {
-            let meter = MemoryMeter::new();
-            drive(
-                DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
-                    .tumbling_window(TickDuration::ticks(10_000))
-                    .to_streamable(&meter)
-                    .count(),
-            );
-        })
+    g.bench_function("windowed_count_full_query", || {
+        let meter = MemoryMeter::new();
+        drive(
+            DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
+                .tumbling_window(TickDuration::ticks(10_000))
+                .to_streamable(&meter)
+                .count(),
+        );
     });
-    g.bench_function("grouped_count_100_groups", |b| {
-        b.iter(|| {
-            let meter = MemoryMeter::new();
-            drive(
-                DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
-                    .re_key(|e| e.payload[2] % 100)
-                    .tumbling_window(TickDuration::ticks(10_000))
-                    .to_streamable(&meter)
-                    .group_aggregate(impatience_engine::ops::CountAgg),
-            );
-        })
+    g.bench_function("grouped_count_100_groups", || {
+        let meter = MemoryMeter::new();
+        drive(
+            DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
+                .re_key(|e| e.payload[2] % 100)
+                .tumbling_window(TickDuration::ticks(10_000))
+                .to_streamable(&meter)
+                .group_aggregate(impatience_engine::ops::CountAgg),
+        );
     });
     g.finish();
 }
 
-fn bench_projection_cost(c: &mut Criterion) {
+fn bench_projection_cost(h: &Harness) {
     let ds = dataset();
-    let mut g = c.benchmark_group("projection_width");
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("project_1_of_4_below_sort", |b| {
-        b.iter(|| {
-            let meter = MemoryMeter::new();
-            drive(
-                DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
-                    .select(|p: &EvalPayload| [p[0]])
-                    .to_streamable(&meter),
-            );
-        })
+    let mut g = h.group("projection_width");
+    g.throughput_elements(N as u64);
+    g.bench_function("project_1_of_4_below_sort", || {
+        let meter = MemoryMeter::new();
+        drive(
+            DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
+                .select(|p: &EvalPayload| [p[0]])
+                .to_streamable(&meter),
+        );
     });
-    g.bench_function("project_4_of_4_below_sort", |b| {
-        b.iter(|| {
-            let meter = MemoryMeter::new();
-            drive(
-                DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
-                    .select(|p: &EvalPayload| *p)
-                    .to_streamable(&meter),
-            );
-        })
+    g.bench_function("project_4_of_4_below_sort", || {
+        let meter = MemoryMeter::new();
+        drive(
+            DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
+                .select(|p: &EvalPayload| *p)
+                .to_streamable(&meter),
+        );
     });
     g.finish();
 }
 
-fn bench_columnar_vs_row(c: &mut Criterion) {
+fn bench_columnar_vs_row(h: &Harness) {
     use impatience_core::{ColumnarBatch, EventBatch, Timestamp};
     let ds = dataset();
     let rows: EventBatch<EvalPayload> = ds.events.clone().into_iter().collect();
     let cols = ColumnarBatch::from_rows(&rows);
     let w = TickDuration::ticks(10_000);
-    let mut g = c.benchmark_group("columnar_vs_row");
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("window_align_rows", |b| {
-        b.iter(|| {
-            let mut r = rows.clone();
-            for i in 0..r.len() {
-                impatience_engine::ops::align_tumbling(&mut r.events_mut()[i], w);
+    let mut g = h.group("columnar_vs_row");
+    g.throughput_elements(N as u64);
+    g.bench_function("window_align_rows", || {
+        let mut r = rows.clone();
+        for i in 0..r.len() {
+            impatience_engine::ops::align_tumbling(&mut r.events_mut()[i], w);
+        }
+        r.len()
+    });
+    g.bench_function("window_align_columns", || {
+        let mut c2 = cols.clone();
+        c2.align_tumbling(w);
+        c2.len()
+    });
+    g.bench_function("key_filter_rows", || {
+        let mut r = rows.clone();
+        for i in 0..r.len() {
+            if r.events()[i].key % 7 != 0 {
+                r.filter_mut().filter_out(i);
             }
-            r.len()
-        })
+        }
+        r.visible_len()
     });
-    g.bench_function("window_align_columns", |b| {
-        b.iter(|| {
-            let mut c2 = cols.clone();
-            c2.align_tumbling(w);
-            c2.len()
-        })
+    g.bench_function("key_filter_columns", || {
+        let mut c2 = cols.clone();
+        c2.filter_keys(|k| k % 7 == 0);
+        c2.visible_len()
     });
-    g.bench_function("key_filter_rows", |b| {
-        b.iter(|| {
-            let mut r = rows.clone();
-            for i in 0..r.len() {
-                if r.events()[i].key % 7 != 0 {
-                    r.filter_mut().filter_out(i);
-                }
-            }
-            r.visible_len()
-        })
+    g.bench_function("sort_rows_directly", || {
+        let mut v = ds.events.clone();
+        v.sort_by_key(|e| e.sync_time);
+        v.len()
     });
-    g.bench_function("key_filter_columns", |b| {
-        b.iter(|| {
-            let mut c2 = cols.clone();
-            c2.filter_keys(|k| k % 7 == 0);
-            c2.visible_len()
-        })
-    });
-    g.bench_function("sort_rows_directly", |b| {
-        b.iter(|| {
-            let mut v = ds.events.clone();
-            v.sort_by_key(|e| e.sync_time);
-            v.len()
-        })
-    });
-    g.bench_function("sort_columns_perm_gather", |b| {
-        b.iter(|| {
-            let perm = cols.sort_permutation();
-            cols.gather(&perm).len()
-        })
+    g.bench_function("sort_columns_perm_gather", || {
+        let perm = cols.sort_permutation();
+        cols.gather(&perm).len()
     });
     let _ = Timestamp::MIN;
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_plans, bench_projection_cost, bench_columnar_vs_row
+fn main() {
+    let h = Harness::new();
+    bench_plans(&h);
+    bench_projection_cost(&h);
+    bench_columnar_vs_row(&h);
 }
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks for the Impatience framework: basic vs
-//! advanced vs single-latency plans (the Fig 10 comparison at small,
-//! statistically sampled scale).
+//! Micro-benchmarks for the Impatience framework: basic vs advanced vs
+//! single-latency plans (the Fig 10 comparison at small scale), on the
+//! in-tree timer (`impatience_testkit::bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use impatience_bench::{run_query, Method, Query};
 use impatience_core::TickDuration;
+use impatience_testkit::bench::Harness;
 use impatience_workloads::{generate_cloudlog, CloudLogConfig, Dataset};
 
 const N: usize = 100_000;
@@ -21,53 +21,48 @@ fn ladder() -> [TickDuration; 3] {
     ]
 }
 
-fn bench_methods_q1(c: &mut Criterion) {
+fn bench_methods_q1(h: &Harness) {
     let ds = dataset();
-    let mut g = c.benchmark_group("framework_q1");
-    g.throughput(Throughput::Elements(N as u64));
+    let mut g = h.group("framework_q1");
+    g.throughput_elements(N as u64);
     for method in Method::all() {
-        g.bench_function(method.name(), |b| {
-            b.iter(|| {
-                run_query(
-                    Query::Q1,
-                    method,
-                    &ds,
-                    &ladder(),
-                    TickDuration::secs(1),
-                    10_000,
-                )
-                .events
-            })
+        g.bench_function(method.name(), || {
+            run_query(
+                Query::Q1,
+                method,
+                &ds,
+                &ladder(),
+                TickDuration::secs(1),
+                10_000,
+            )
+            .events
         });
     }
     g.finish();
 }
 
-fn bench_advanced_queries(c: &mut Criterion) {
+fn bench_advanced_queries(h: &Harness) {
     let ds = dataset();
-    let mut g = c.benchmark_group("framework_advanced_queries");
-    g.throughput(Throughput::Elements(N as u64));
+    let mut g = h.group("framework_advanced_queries");
+    g.throughput_elements(N as u64);
     for query in Query::all() {
-        g.bench_function(query.name(), |b| {
-            b.iter(|| {
-                run_query(
-                    query,
-                    Method::Advanced,
-                    &ds,
-                    &ladder(),
-                    TickDuration::secs(1),
-                    10_000,
-                )
-                .events
-            })
+        g.bench_function(query.name(), || {
+            run_query(
+                query,
+                Method::Advanced,
+                &ds,
+                &ladder(),
+                TickDuration::secs(1),
+                10_000,
+            )
+            .events
         });
     }
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_methods_q1, bench_advanced_queries
+fn main() {
+    let h = Harness::new();
+    bench_methods_q1(&h);
+    bench_advanced_queries(&h);
 }
-criterion_main!(benches);

@@ -1,15 +1,15 @@
-//! Criterion micro-benchmarks for the sorting layer: offline algorithms,
-//! Impatience ablations (Huffman merge / speculative run selection), and
-//! merge policies. Complements the `fig7`/`fig8` repro binaries with
-//! statistically rigorous small-scale numbers.
+//! Micro-benchmarks for the sorting layer: offline algorithms, Impatience
+//! ablations (Huffman merge / speculative run selection), and merge
+//! policies. Complements the `fig7`/`fig8` repro binaries with quick
+//! small-scale numbers. Runs on the in-tree timer
+//! (`impatience_testkit::bench`), so `cargo bench` works offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use impatience_bench::drive::{drive_online_sorter, online_sorter_for};
 use impatience_core::{EvalPayload, Event, TickDuration};
 use impatience_sort::{
-    merge_runs, quicksort, timsort, ImpatienceConfig, ImpatienceSorter, MergePolicy,
-    OnlineSorter,
+    merge_runs, quicksort, timsort, ImpatienceConfig, ImpatienceSorter, MergePolicy, OnlineSorter,
 };
+use impatience_testkit::bench::Harness;
 use impatience_workloads::{
     generate_cloudlog, generate_synthetic, CloudLogConfig, SyntheticConfig,
 };
@@ -24,116 +24,94 @@ fn events() -> Vec<Event<EvalPayload>> {
     .events
 }
 
-fn bench_offline(c: &mut Criterion) {
+fn bench_offline(h: &Harness) {
     let evs = events();
-    let mut g = c.benchmark_group("offline_sort");
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("impatience", |b| {
-        b.iter(|| {
-            let mut s = ImpatienceSorter::new();
-            for e in &evs {
-                s.push(e.clone());
-            }
-            let mut out = Vec::with_capacity(N);
-            s.drain_all(&mut out);
-            out.len()
-        })
+    let mut g = h.group("offline_sort");
+    g.throughput_elements(N as u64);
+    g.bench_function("impatience", || {
+        let mut s = ImpatienceSorter::new();
+        for e in &evs {
+            s.push(e.clone());
+        }
+        let mut out = Vec::with_capacity(N);
+        s.drain_all(&mut out);
+        out.len()
     });
-    g.bench_function("quicksort", |b| {
-        b.iter(|| {
-            let mut v = evs.clone();
-            quicksort(&mut v);
-            v.len()
-        })
+    g.bench_function("quicksort", || {
+        let mut v = evs.clone();
+        quicksort(&mut v);
+        v.len()
     });
-    g.bench_function("timsort", |b| {
-        b.iter(|| {
-            let mut v = evs.clone();
-            timsort(&mut v);
-            v.len()
-        })
+    g.bench_function("timsort", || {
+        let mut v = evs.clone();
+        timsort(&mut v);
+        v.len()
     });
-    g.bench_function("std_sort_unstable_baseline", |b| {
-        b.iter(|| {
-            let mut v = evs.clone();
-            v.sort_unstable_by_key(|e| e.sync_time);
-            v.len()
-        })
+    g.bench_function("std_sort_unstable_baseline", || {
+        let mut v = evs.clone();
+        v.sort_unstable_by_key(|e| e.sync_time);
+        v.len()
     });
     g.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations(h: &Harness) {
     let evs = generate_cloudlog(&CloudLogConfig::sized(N)).events;
-    let mut g = c.benchmark_group("impatience_ablation");
-    g.throughput(Throughput::Elements(N as u64));
+    let mut g = h.group("impatience_ablation");
+    g.throughput_elements(N as u64);
     for (label, cfg) in [
         ("full", ImpatienceConfig::default()),
         ("no_huffman", ImpatienceConfig::without_huffman()),
         ("no_hm_no_srs", ImpatienceConfig::baseline()),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut s = ImpatienceSorter::with_config(cfg);
-                let o = drive_online_sorter(&mut s, &evs, 10_000, TickDuration::minutes(30));
-                o.emitted
-            })
+        g.bench_function(label, || {
+            let mut s = ImpatienceSorter::with_config(cfg);
+            let o = drive_online_sorter(&mut s, &evs, 10_000, TickDuration::minutes(30));
+            o.emitted
         });
     }
     g.finish();
 }
 
-fn bench_online_by_frequency(c: &mut Criterion) {
+fn bench_online_by_frequency(h: &Harness) {
     let evs = events();
-    let mut g = c.benchmark_group("online_punctuation_frequency");
-    g.throughput(Throughput::Elements(N as u64));
+    let mut g = h.group("online_punctuation_frequency");
+    g.throughput_elements(N as u64);
     for freq in [100usize, 10_000] {
         for name in ["Impatience", "Timsort", "Heapsort"] {
-            g.bench_with_input(
-                BenchmarkId::new(name, freq),
-                &freq,
-                |b, &freq| {
-                    b.iter(|| {
-                        let mut s = online_sorter_for(name);
-                        let o = drive_online_sorter(
-                            s.as_mut(),
-                            &evs,
-                            freq,
-                            TickDuration::ticks(2_000),
-                        );
-                        o.emitted
-                    })
-                },
-            );
+            g.bench_function(&format!("{name}/{freq}"), || {
+                let mut s = online_sorter_for(name);
+                let o = drive_online_sorter(s.as_mut(), &evs, freq, TickDuration::ticks(2_000));
+                o.emitted
+            });
         }
     }
     g.finish();
 }
 
-fn bench_merge_policies(c: &mut Criterion) {
+fn bench_merge_policies(h: &Harness) {
     // Skewed run sizes: the Huffman case.
     let mut runs: Vec<Vec<i64>> = vec![(0..50_000).collect()];
     for i in 0..64 {
         runs.push((0..100).map(|j| i * 100 + j).collect());
     }
     let total: usize = runs.iter().map(Vec::len).sum();
-    let mut g = c.benchmark_group("merge_policy_skewed_runs");
-    g.throughput(Throughput::Elements(total as u64));
+    let mut g = h.group("merge_policy_skewed_runs");
+    g.throughput_elements(total as u64);
     for policy in [
         MergePolicy::Huffman,
         MergePolicy::Sequential,
         MergePolicy::LoserTree,
     ] {
-        g.bench_function(policy.name(), |b| {
-            b.iter(|| merge_runs(runs.clone(), policy).len())
-        });
+        g.bench_function(policy.name(), || merge_runs(runs.clone(), policy).len());
     }
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_offline, bench_ablations, bench_online_by_frequency, bench_merge_policies
+fn main() {
+    let h = Harness::new();
+    bench_offline(&h);
+    bench_ablations(&h);
+    bench_online_by_frequency(&h);
+    bench_merge_policies(&h);
 }
-criterion_main!(benches);

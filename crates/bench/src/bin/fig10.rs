@@ -84,9 +84,9 @@ fn main() {
                 tp_cells.push(format!("{:.2}", o.meps()));
                 mem_cells.push(format_bytes(o.peak_bytes));
                 per_q.push((o.meps(), o.peak_bytes));
-                args.emit_json(&serde_json::json!({
+                args.emit_json(&impatience_core::json!({
                     "exhibit": "fig10",
-                    "dataset": setup.ds.name,
+                    "dataset": setup.ds.name.clone(),
                     "query": query.name(),
                     "method": method.name(),
                     "throughput_meps": o.meps(),
@@ -115,8 +115,11 @@ fn main() {
         // bulk must sit in *some* sorter under every plan, so we only
         // require direction there.
         let cloud = setup.ds.name.starts_with("Cloud");
-        let (tp_factor, mem_basic_factor, mem_max_factor) =
-            if cloud { (2.0, 4.0, 4.0) } else { (1.25, 1.0, 1.0) };
+        let (tp_factor, mem_basic_factor, mem_max_factor) = if cloud {
+            (2.0, 4.0, 4.0)
+        } else {
+            (1.25, 1.0, 1.0)
+        };
         println!("shape checks ({}):", setup.ds.name);
         for (qi, q) in Query::all().iter().enumerate() {
             assert_speedup(

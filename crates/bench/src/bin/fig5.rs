@@ -75,7 +75,7 @@ fn main() {
             label: format!("{n}"),
             cells: vec![p.to_string(), i.to_string()],
         });
-        args.emit_json(&serde_json::json!({
+        args.emit_json(&impatience_core::json!({
             "exhibit": "fig5", "events": n, "patience_runs": p, "impatience_runs": i,
         }));
     }

@@ -15,13 +15,12 @@
 //! grows as disorder shrinks; Heapsort is flat and worst.
 
 use impatience_bench::{
-    assert_speedup, fmt_throughput, offline_sorter_names, run_offline_sorter, BenchArgs, Row,
-    Table,
+    assert_speedup, fmt_throughput, offline_sorter_names, run_offline_sorter, BenchArgs, Row, Table,
 };
 use impatience_core::{EvalPayload, Event};
 use impatience_workloads::{
-    generate_androidlog, generate_cloudlog, generate_synthetic, AndroidLogConfig,
-    CloudLogConfig, SyntheticConfig,
+    generate_androidlog, generate_cloudlog, generate_synthetic, AndroidLogConfig, CloudLogConfig,
+    SyntheticConfig,
 };
 
 fn best_of(events: &[Event<EvalPayload>], name: &str, reps: usize) -> f64 {
@@ -51,8 +50,8 @@ fn main() {
         for d in &real {
             let secs = best_of(&d.events, name, reps);
             row.push(d.len() as f64 / secs);
-            args.emit_json(&serde_json::json!({
-                "exhibit": "fig7a", "algorithm": name, "dataset": d.name,
+            args.emit_json(&impatience_core::json!({
+                "exhibit": "fig7a", "algorithm": name, "dataset": d.name.clone(),
                 "throughput_meps": d.len() as f64 / secs / 1e6,
             }));
         }
@@ -72,10 +71,7 @@ fn main() {
     // online benchmark (fig8) carries the strict win checks.
     for (col, d) in real.iter().enumerate() {
         let imp = tp_real[0][col];
-        let best_other = tp_real[3..]
-            .iter()
-            .map(|r| r[col])
-            .fold(f64::MIN, f64::max);
+        let best_other = tp_real[3..].iter().map(|r| r[col]).fold(f64::MIN, f64::max);
         assert_speedup(
             &format!("Impatience within 2.5x of best on {}", d.name),
             imp,
@@ -129,7 +125,7 @@ fn main() {
             });
             let secs = best_of(&ds.events, name, reps);
             row.push(ds.len() as f64 / secs);
-            args.emit_json(&serde_json::json!({
+            args.emit_json(&impatience_core::json!({
                 "exhibit": "fig7b", "algorithm": name, "d": d,
                 "throughput_meps": ds.len() as f64 / secs / 1e6,
             }));
@@ -161,8 +157,8 @@ fn main() {
     // Heapsort is roughly flat: max/min within 3x while Impatience's
     // throughput grows as disorder shrinks.
     let heap = &tp_b[5];
-    let flat = heap.iter().fold(f64::MIN, |a, &b| a.max(b))
-        / heap.iter().fold(f64::MAX, |a, &b| a.min(b));
+    let flat =
+        heap.iter().fold(f64::MIN, |a, &b| a.max(b)) / heap.iter().fold(f64::MAX, |a, &b| a.min(b));
     println!("  [shape] Heapsort flatness ratio {flat:.2} (expect < 3)");
     if args.check {
         assert!(flat < 3.0);
@@ -173,7 +169,10 @@ fn main() {
     let mut t7c = Table::new(
         "Fig 7(c): synthetic, varying percentage of disorder, d=64",
         "algorithm",
-        percents.iter().map(|p| format!("{:.0}%", p * 100.0)).collect(),
+        percents
+            .iter()
+            .map(|p| format!("{:.0}%", p * 100.0))
+            .collect(),
     );
     let mut tp_c: Vec<Vec<f64>> = Vec::new();
     for &name in &names {
@@ -186,7 +185,7 @@ fn main() {
             });
             let secs = best_of(&ds.events, name, reps);
             row.push(ds.len() as f64 / secs);
-            args.emit_json(&serde_json::json!({
+            args.emit_json(&impatience_core::json!({
                 "exhibit": "fig7c", "algorithm": name, "p": p,
                 "throughput_meps": ds.len() as f64 / secs / 1e6,
             }));

@@ -13,12 +13,12 @@
 //! frequency, not buffered volume.
 
 use impatience_bench::{
-    assert_speedup, drive_online_sorter, drive::online_sorter_for, BenchArgs, Row, Table,
+    assert_speedup, drive::online_sorter_for, drive_online_sorter, BenchArgs, Row, Table,
 };
 use impatience_core::TickDuration;
 use impatience_workloads::{
-    generate_androidlog, generate_cloudlog, generate_synthetic, AndroidLogConfig,
-    CloudLogConfig, Dataset, SyntheticConfig,
+    generate_androidlog, generate_cloudlog, generate_synthetic, AndroidLogConfig, CloudLogConfig,
+    Dataset, SyntheticConfig,
 };
 
 const SERIES: [&str; 5] = ["Impatience", "Patience", "Timsort", "Quicksort", "Heapsort"];
@@ -30,10 +30,18 @@ fn frequencies(events: usize) -> Vec<usize> {
         .collect()
 }
 
-fn run_dataset(ds: &Dataset, latency: TickDuration, args: &BenchArgs, exhibit: &str) -> Vec<Vec<f64>> {
+fn run_dataset(
+    ds: &Dataset,
+    latency: TickDuration,
+    args: &BenchArgs,
+    exhibit: &str,
+) -> Vec<Vec<f64>> {
     let freqs = frequencies(ds.len());
     let mut table = Table::new(
-        &format!("{exhibit}: online sorting throughput (million events/sec) — {}", ds.name),
+        &format!(
+            "{exhibit}: online sorting throughput (million events/sec) — {}",
+            ds.name
+        ),
         "algorithm",
         freqs.iter().map(|f| f.to_string()).collect(),
     );
@@ -57,8 +65,8 @@ fn run_dataset(ds: &Dataset, latency: TickDuration, args: &BenchArgs, exhibit: &
             }
             let o = best;
             row.push(o.throughput());
-            args.emit_json(&serde_json::json!({
-                "exhibit": exhibit, "dataset": ds.name, "algorithm": name,
+            args.emit_json(&impatience_core::json!({
+                "exhibit": exhibit, "dataset": ds.name.clone(), "algorithm": name,
                 "punctuation_frequency": f,
                 "throughput_meps": o.throughput() / 1e6,
                 "dropped": o.dropped,

@@ -16,8 +16,8 @@ use impatience_core::{EvalPayload, Event, MemoryMeter, Payload, TickDuration};
 use impatience_engine::{BlackHoleSink, IngressPolicy, Streamable};
 use impatience_framework::DisorderedStreamable;
 use impatience_workloads::{
-    generate_androidlog, generate_cloudlog, generate_synthetic, AndroidLogConfig,
-    CloudLogConfig, Dataset, SyntheticConfig,
+    generate_androidlog, generate_cloudlog, generate_synthetic, AndroidLogConfig, CloudLogConfig,
+    Dataset, SyntheticConfig,
 };
 use std::time::Instant;
 
@@ -75,18 +75,22 @@ fn main() {
         for (d, pol) in &sets {
             let pred = move |e: &Event<EvalPayload>| e.payload[1] % 100 < s;
             let below = timed2(|| {
-                ds_of(d, pol).where_(pred).to_streamable(&MemoryMeter::new())
+                ds_of(d, pol)
+                    .where_(pred)
+                    .to_streamable(&MemoryMeter::new())
             });
             let above = timed2(|| {
-                ds_of(d, pol).to_streamable(&MemoryMeter::new()).where_(pred)
+                ds_of(d, pol)
+                    .to_streamable(&MemoryMeter::new())
+                    .where_(pred)
             });
             let speedup = above / below;
             cells.push(format!("{speedup:.2}x"));
             if s == selectivities[0] {
                 first_col_speedups.push(speedup);
             }
-            args.emit_json(&serde_json::json!({
-                "exhibit": "fig9a", "dataset": d.name, "selectivity": s, "speedup": speedup,
+            args.emit_json(&impatience_core::json!({
+                "exhibit": "fig9a", "dataset": d.name.clone(), "selectivity": s, "speedup": speedup,
             }));
         }
         t.push(Row {
@@ -125,8 +129,8 @@ fn main() {
             if cols == 1 {
                 one_col_speedups.push(speedup);
             }
-            args.emit_json(&serde_json::json!({
-                "exhibit": "fig9b", "dataset": d.name, "columns": cols, "speedup": speedup,
+            args.emit_json(&impatience_core::json!({
+                "exhibit": "fig9b", "dataset": d.name.clone(), "columns": cols, "speedup": speedup,
             }));
         }
         t.push(Row {
@@ -156,16 +160,20 @@ fn main() {
         let mut cells = Vec::new();
         for (i, (d, pol)) in sets.iter().enumerate() {
             let below = timed2(|| {
-                ds_of(d, pol).tumbling_window(size).to_streamable(&MemoryMeter::new())
+                ds_of(d, pol)
+                    .tumbling_window(size)
+                    .to_streamable(&MemoryMeter::new())
             });
             let above = timed2(|| {
-                ds_of(d, pol).to_streamable(&MemoryMeter::new()).tumbling_window(size)
+                ds_of(d, pol)
+                    .to_streamable(&MemoryMeter::new())
+                    .tumbling_window(size)
             });
             let speedup = above / below;
             best_by_ds[i] = best_by_ds[i].max(speedup);
             cells.push(format!("{speedup:.2}x"));
-            args.emit_json(&serde_json::json!({
-                "exhibit": "fig9c", "dataset": d.name, "window": w, "speedup": speedup,
+            args.emit_json(&impatience_core::json!({
+                "exhibit": "fig9c", "dataset": d.name.clone(), "window": w, "speedup": speedup,
             }));
         }
         t.push(Row {
@@ -195,7 +203,15 @@ fn main() {
 
 fn projection_speedup<const N: usize>(d: &Dataset, pol: &IngressPolicy) -> f64 {
     let project = |p: &EvalPayload| -> [u32; N] { core::array::from_fn(|i| p[i]) };
-    let below = timed2(|| ds_of(d, pol).select(project).to_streamable(&MemoryMeter::new()));
-    let above = timed2(|| ds_of(d, pol).to_streamable(&MemoryMeter::new()).select(project));
+    let below = timed2(|| {
+        ds_of(d, pol)
+            .select(project)
+            .to_streamable(&MemoryMeter::new())
+    });
+    let above = timed2(|| {
+        ds_of(d, pol)
+            .to_streamable(&MemoryMeter::new())
+            .select(project)
+    });
     above / below
 }

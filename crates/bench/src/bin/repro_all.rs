@@ -16,9 +16,7 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
 
-    let exhibits = [
-        "table1", "fig5", "fig7", "fig8", "fig9", "fig10", "table2",
-    ];
+    let exhibits = ["table1", "fig5", "fig7", "fig8", "fig9", "fig10", "table2"];
     let mut failed = Vec::new();
     for bin in exhibits {
         println!("\n################ {bin} ################\n");

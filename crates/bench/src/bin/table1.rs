@@ -9,8 +9,8 @@
 use impatience_bench::{BenchArgs, Row, Table};
 use impatience_disorder::DisorderReport;
 use impatience_workloads::{
-    generate_androidlog, generate_cloudlog, generate_synthetic, AndroidLogConfig,
-    CloudLogConfig, SyntheticConfig,
+    generate_androidlog, generate_cloudlog, generate_synthetic, AndroidLogConfig, CloudLogConfig,
+    SyntheticConfig,
 };
 
 fn main() {
@@ -59,9 +59,9 @@ fn main() {
     table.print();
 
     for (d, r) in datasets.iter().zip(&reports) {
-        args.emit_json(&serde_json::json!({
+        args.emit_json(&impatience_core::json!({
             "exhibit": "table1",
-            "dataset": d.name,
+            "dataset": d.name.clone(),
             "events": r.events,
             "inversions": r.inversions.to_string(),
             "distance": r.distance,

@@ -51,14 +51,7 @@ fn main() {
         let mut cells = Vec::new();
         let mut compl_row = Vec::new();
         for (ds, ladder, window) in &setups {
-            let o = impatience_bench::run_query(
-                Query::Q1,
-                method,
-                ds,
-                ladder,
-                *window,
-                10_000,
-            );
+            let o = impatience_bench::run_query(Query::Q1, method, ds, ladder, *window, 10_000);
             let latency_str = match method {
                 Method::Advanced | Method::Basic => format!(
                     "{{{}}}",
@@ -74,9 +67,9 @@ fn main() {
             cells.push(latency_str);
             cells.push(format!("{:.1}%", o.completeness * 100.0));
             compl_row.push(o.completeness);
-            args.emit_json(&serde_json::json!({
+            args.emit_json(&impatience_core::json!({
                 "exhibit": "table2",
-                "dataset": ds.name,
+                "dataset": ds.name.clone(),
                 "method": method.name(),
                 "completeness": o.completeness,
             }));

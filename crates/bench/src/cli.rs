@@ -51,7 +51,7 @@ impl BenchArgs {
     }
 
     /// Appends a JSON line to the `--json` file, if configured.
-    pub fn emit_json(&self, value: &serde_json::Value) {
+    pub fn emit_json(&self, value: &impatience_core::Json) {
         if let Some(path) = &self.json {
             use std::io::Write;
             let mut f = std::fs::OpenOptions::new()

@@ -28,10 +28,8 @@ pub mod queries;
 pub mod report;
 
 pub use cli::BenchArgs;
+pub use drive::{drive_online_sorter, offline_sorter_names, run_offline_sorter, DriveOutcome};
 pub use queries::{run_query, Method, Query, QueryRunOutcome};
-pub use drive::{
-    drive_online_sorter, offline_sorter_names, run_offline_sorter, DriveOutcome,
-};
 pub use report::{fmt_throughput, Row, Table};
 
 /// Shape-check helper: assert `a >= factor * b` with a readable message.
@@ -43,6 +41,9 @@ pub fn assert_speedup(label: &str, a: f64, b: f64, factor: f64, check: bool) {
     let verdict = if ok { "ok" } else { "FAILED" };
     println!("  [shape] {label}: {a:.2} vs {b:.2} (need {factor:.2}x) ... {verdict}");
     if check {
-        assert!(ok, "shape check failed: {label}: {a:.2} < {factor:.2} x {b:.2}");
+        assert!(
+            ok,
+            "shape check failed: {label}: {a:.2} < {factor:.2} x {b:.2}"
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! The §VI-D evaluation queries (Q1–Q4) under the four execution methods
 //! of Fig 10 / Table II, shared by the `fig10` and `table2` binaries.
 
-use impatience_core::{
-    EvalPayload, MemoryMeter, TickDuration,
-};
+use impatience_core::{EvalPayload, MemoryMeter, TickDuration};
 use impatience_engine::{punctuate_arrivals, BlackHoleSink, IngressPolicy, Streamable};
 use impatience_framework::{
     to_streamables_advanced, to_streamables_basic, DisorderedStreamable, FrameworkStats,

@@ -16,7 +16,6 @@ pub const DEFAULT_BATCH_SIZE: usize = 4_096;
 
 /// A batch of events with a visibility bitmap.
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventBatch<P> {
     events: Vec<Event<P>>,
     filter: FilterBitmap,

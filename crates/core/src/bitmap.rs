@@ -11,7 +11,6 @@
 
 /// A dynamically sized bitmap marking *removed* rows of a batch.
 #[derive(Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FilterBitmap {
     words: Vec<u64>,
     len: usize,

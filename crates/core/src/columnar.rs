@@ -180,11 +180,7 @@ impl<P: Payload> ColumnarBatch<P> {
             + self.keys.capacity() * 4
             + self.hashes.capacity() * 8
             + self.payloads.capacity() * core::mem::size_of::<P>()
-            + self
-                .payloads
-                .iter()
-                .map(Payload::heap_bytes)
-                .sum::<usize>()
+            + self.payloads.iter().map(Payload::heap_bytes).sum::<usize>()
             + self.filter.heap_bytes()
     }
 

@@ -84,7 +84,9 @@ mod tests {
         };
         assert!(e.to_string().contains("violation"));
 
-        assert!(StreamError::PushAfterCompleted.to_string().contains("completion"));
+        assert!(StreamError::PushAfterCompleted
+            .to_string()
+            .contains("completion"));
         assert!(StreamError::InvalidConfig("empty".into())
             .to_string()
             .contains("empty"));

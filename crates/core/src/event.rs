@@ -70,7 +70,6 @@ pub type EvalPayload = [u32; 4];
 /// * `key` / `hash` are the grouping key and its hash, precomputed at
 ///   ingress like Trill does so grouped operators never rehash per batch.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Event<P> {
     /// Event time (start of validity).
     pub sync_time: Timestamp,
@@ -251,7 +250,12 @@ mod tests {
 
     #[test]
     fn interval_and_map_payload() {
-        let e = Event::interval(Timestamp::new(0), Timestamp::new(60_000), 3, [1u32, 2, 3, 4]);
+        let e = Event::interval(
+            Timestamp::new(0),
+            Timestamp::new(60_000),
+            3,
+            [1u32, 2, 3, 4],
+        );
         assert_eq!(e.lifetime(), TickDuration::minutes(1));
         let f = e.map_payload(|p| p[0] + p[3]);
         assert_eq!(f.payload, 5);
@@ -290,7 +294,10 @@ mod tests {
         let payload = 16;
         let sz = core::mem::size_of::<Event<EvalPayload>>();
         assert!(sz >= meta + payload, "layout lost fields: {sz}");
-        assert!(sz <= meta + payload + 8, "layout has excessive padding: {sz}");
+        assert!(
+            sz <= meta + payload + 8,
+            "layout has excessive padding: {sz}"
+        );
     }
 
     #[test]

@@ -27,10 +27,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
-pub mod columnar;
 pub mod bitmap;
+pub mod columnar;
 pub mod error;
 pub mod event;
+pub mod json;
 pub mod memory;
 pub mod message;
 pub mod stats;
@@ -41,6 +42,7 @@ pub use bitmap::FilterBitmap;
 pub use columnar::ColumnarBatch;
 pub use error::{Result, StreamError};
 pub use event::{hash_key, EvalPayload, Event, EventTimed, Payload};
+pub use json::{Json, JsonError};
 pub use memory::{format_bytes, MemoryMeter, ScopedCharge};
 pub use message::{validate_ordered_stream, validate_punctuation_contract, StreamMessage};
 pub use stats::IngressStats;

@@ -56,9 +56,7 @@ impl<P: Payload> StreamMessage<P> {
 /// Returns the index of the first violating message, or `Ok(())`.
 /// Primarily a test/debug utility; the engine enforces the same contract
 /// with `debug_assert!`s on its hot path.
-pub fn validate_punctuation_contract<P: Payload>(
-    msgs: &[StreamMessage<P>],
-) -> Result<(), usize> {
+pub fn validate_punctuation_contract<P: Payload>(msgs: &[StreamMessage<P>]) -> Result<(), usize> {
     let mut last_punct = Timestamp::MIN;
     for (i, m) in msgs.iter().enumerate() {
         match m {
@@ -159,25 +157,19 @@ mod tests {
 
     #[test]
     fn contract_rejects_regressing_punctuation() {
-        let msgs: Vec<StreamMessage<()>> = vec![
-            StreamMessage::punctuation(5),
-            StreamMessage::punctuation(4),
-        ];
+        let msgs: Vec<StreamMessage<()>> =
+            vec![StreamMessage::punctuation(5), StreamMessage::punctuation(4)];
         assert_eq!(validate_punctuation_contract(&msgs), Err(1));
         // Equal punctuations are allowed (idempotent progress).
-        let msgs: Vec<StreamMessage<()>> = vec![
-            StreamMessage::punctuation(5),
-            StreamMessage::punctuation(5),
-        ];
+        let msgs: Vec<StreamMessage<()>> =
+            vec![StreamMessage::punctuation(5), StreamMessage::punctuation(5)];
         assert_eq!(validate_punctuation_contract(&msgs), Ok(()));
     }
 
     #[test]
     fn completed_must_be_last() {
-        let msgs: Vec<StreamMessage<()>> = vec![
-            StreamMessage::Completed,
-            StreamMessage::punctuation(1),
-        ];
+        let msgs: Vec<StreamMessage<()>> =
+            vec![StreamMessage::Completed, StreamMessage::punctuation(1)];
         assert_eq!(validate_punctuation_contract(&msgs), Err(0));
     }
 
@@ -199,10 +191,7 @@ mod tests {
     fn filtered_rows_do_not_violate_contracts() {
         let mut b = EventBatch::from_events(vec![ev(10), ev(1)]);
         b.filter_mut().filter_out(1); // hide the out-of-order row
-        let msgs = vec![
-            StreamMessage::punctuation(5),
-            StreamMessage::Batch(b),
-        ];
+        let msgs = vec![StreamMessage::punctuation(5), StreamMessage::Batch(b)];
         assert_eq!(validate_ordered_stream(&msgs), Ok(()));
     }
 }

@@ -43,13 +43,17 @@ impl IngressStats {
     /// Records `n` events dropped for arriving too late.
     #[inline]
     pub fn add_dropped_late(&self, n: u64) {
-        self.inner.dropped_late.set(self.inner.dropped_late.get() + n);
+        self.inner
+            .dropped_late
+            .set(self.inner.dropped_late.get() + n);
     }
 
     /// Records one punctuation propagated.
     #[inline]
     pub fn add_punctuation(&self) {
-        self.inner.punctuations.set(self.inner.punctuations.get() + 1);
+        self.inner
+            .punctuations
+            .set(self.inner.punctuations.get() + 1);
     }
 
     /// Total ingested events.

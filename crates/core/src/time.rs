@@ -23,7 +23,6 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// and totally ordered; [`Timestamp::MIN`] and [`Timestamp::MAX`] act as
 /// `-∞` / `+∞` sentinels (the paper's final punctuation `∞*`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(transparent)]
 pub struct Timestamp(pub i64);
 
@@ -152,7 +151,6 @@ impl Sub<Timestamp> for Timestamp {
 /// Reorder latencies, window sizes, and hop sizes are all `TickDuration`s.
 /// The constructors mirror the units used throughout the paper.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(transparent)]
 pub struct TickDuration(pub i64);
 

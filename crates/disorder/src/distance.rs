@@ -81,10 +81,7 @@ mod tests {
         // (2@0, 1@3)? distances: 6>3 span 4; 2>1 span 3; 6>1 span 2... check
         // naive.
         let v = [2i64, 6, 5, 1, 4, 3, 7, 8];
-        assert_eq!(
-            max_inversion_distance(&v),
-            max_inversion_distance_naive(&v)
-        );
+        assert_eq!(max_inversion_distance(&v), max_inversion_distance_naive(&v));
         assert_eq!(max_inversion_distance(&v), 4);
     }
 

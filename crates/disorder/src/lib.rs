@@ -30,6 +30,8 @@ pub use interleaved::{
     longest_strictly_decreasing, longest_strictly_decreasing_naive, min_interleaved_runs,
 };
 pub use inversions::{count_inversions, count_inversions_naive};
-pub use rem_exc::{longest_nondecreasing, longest_nondecreasing_naive, min_exchanges, min_removals};
+pub use rem_exc::{
+    longest_nondecreasing, longest_nondecreasing_naive, min_exchanges, min_removals,
+};
 pub use report::DisorderReport;
 pub use runs::{count_natural_runs, mean_run_length, natural_run_lengths};

@@ -1,73 +1,71 @@
 //! Property tests: the O(n log n) disorder measures must agree with their
 //! brute-force references, and the measure hierarchy of §II must hold.
+//!
+//! On failure the harness prints the failing case seed; replay with
+//! `IMPATIENCE_PROP_SEED=0x<seed> cargo test <test name>`.
 
 use impatience_disorder::*;
-use proptest::prelude::*;
+use impatience_testkit::prop::{any, vec};
+use impatience_testkit::props;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    cases = 256;
 
-    #[test]
-    fn inversions_matches_naive(v in prop::collection::vec(-1000i64..1000, 0..300)) {
-        prop_assert_eq!(count_inversions(&v), count_inversions_naive(&v));
+    fn inversions_matches_naive(v in vec(-1000i64..1000, 0..300)) {
+        assert_eq!(count_inversions(&v), count_inversions_naive(&v));
     }
 
-    #[test]
-    fn distance_matches_naive(v in prop::collection::vec(-1000i64..1000, 0..300)) {
-        prop_assert_eq!(max_inversion_distance(&v), max_inversion_distance_naive(&v));
+    fn distance_matches_naive(v in vec(-1000i64..1000, 0..300)) {
+        assert_eq!(max_inversion_distance(&v), max_inversion_distance_naive(&v));
     }
 
-    #[test]
-    fn interleaved_equals_dilworth(v in prop::collection::vec(-100i64..100, 0..300)) {
+    fn interleaved_equals_dilworth(v in vec(-100i64..100, 0..300)) {
         let greedy = min_interleaved_runs(&v);
-        prop_assert_eq!(greedy, longest_strictly_decreasing(&v));
-        prop_assert_eq!(greedy, longest_strictly_decreasing_naive(&v));
+        assert_eq!(greedy, longest_strictly_decreasing(&v));
+        assert_eq!(greedy, longest_strictly_decreasing_naive(&v));
     }
 
-    #[test]
-    fn hierarchy_holds(v in prop::collection::vec(-1000i64..1000, 1..300)) {
+    fn hierarchy_holds(v in vec(-1000i64..1000, 1..300)) {
         let r = DisorderReport::compute(&v);
         // interleaved <= runs <= n; distance < n; inversions bounded.
-        prop_assert!(r.interleaved <= r.runs);
-        prop_assert!(r.runs <= r.events);
-        prop_assert!(r.distance < r.events);
+        assert!(r.interleaved <= r.runs);
+        assert!(r.runs <= r.events);
+        assert!(r.distance < r.events);
         let n = r.events as u128;
-        prop_assert!(r.inversions <= n * (n - 1) / 2);
+        assert!(r.inversions <= n * (n - 1) / 2);
         // All measures vanish together on sorted input.
-        prop_assert_eq!(r.inversions == 0, r.distance == 0);
-        prop_assert_eq!(r.inversions == 0, r.interleaved <= 1);
+        assert_eq!(r.inversions == 0, r.distance == 0);
+        assert_eq!(r.inversions == 0, r.interleaved <= 1);
     }
 
-    #[test]
-    fn sorting_zeroes_all_measures(mut v in prop::collection::vec(-1000i64..1000, 0..300)) {
+    fn sorting_zeroes_all_measures(v in vec(-1000i64..1000, 0..300)) {
+        let mut v = v;
         v.sort_unstable();
         let r = DisorderReport::compute(&v);
-        prop_assert!(r.is_sorted());
-        prop_assert_eq!(r.distance, 0);
-        prop_assert!(r.runs <= 1);
-        prop_assert!(r.interleaved <= 1);
+        assert!(r.is_sorted());
+        assert_eq!(r.distance, 0);
+        assert!(r.runs <= 1);
+        assert!(r.interleaved <= 1);
     }
 
-    #[test]
-    fn run_lengths_partition_input(v in prop::collection::vec(-50i64..50, 0..300)) {
+    fn run_lengths_partition_input(v in vec(-50i64..50, 0..300)) {
         let lens = natural_run_lengths(&v);
-        prop_assert_eq!(lens.iter().sum::<usize>(), v.len());
-        prop_assert_eq!(lens.len(), count_natural_runs(&v));
+        assert_eq!(lens.iter().sum::<usize>(), v.len());
+        assert_eq!(lens.len(), count_natural_runs(&v));
         // Each reported run really is nondecreasing and maximal.
         let mut pos = 0;
         for (k, &l) in lens.iter().enumerate() {
             let run = &v[pos..pos + l];
-            prop_assert!(run.windows(2).all(|w| w[0] <= w[1]));
+            assert!(run.windows(2).all(|w| w[0] <= w[1]));
             if k + 1 < lens.len() {
-                prop_assert!(v[pos + l - 1] > v[pos + l], "run not maximal");
+                assert!(v[pos + l - 1] > v[pos + l], "run not maximal");
             }
             pos += l;
         }
     }
 
-    #[test]
     fn interleave_of_k_sorted_runs_needs_at_most_k(
-        runs in prop::collection::vec(prop::collection::vec(-1000i64..1000, 1..40), 1..6),
+        runs in vec(vec(-1000i64..1000, 1..40), 1..6),
         seed in any::<u64>(),
     ) {
         // Build an interleaving of k sorted runs; Proposition 3.1 says the
@@ -88,40 +86,36 @@ proptest! {
             out.push(sorted[p][idx[p]]);
             idx[p] += 1;
         }
-        prop_assert!(min_interleaved_runs(&out) <= k);
+        assert!(min_interleaved_runs(&out) <= k);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+props! {
+    cases = 192;
 
-    #[test]
-    fn lnds_matches_naive(v in prop::collection::vec(-100i64..100, 0..250)) {
-        prop_assert_eq!(longest_nondecreasing(&v), longest_nondecreasing_naive(&v));
+    fn lnds_matches_naive(v in vec(-100i64..100, 0..250)) {
+        assert_eq!(longest_nondecreasing(&v), longest_nondecreasing_naive(&v));
     }
 
-    #[test]
-    fn rem_and_exc_vanish_iff_sorted(v in prop::collection::vec(-100i64..100, 0..250)) {
+    fn rem_and_exc_vanish_iff_sorted(v in vec(-100i64..100, 0..250)) {
         let sorted = v.windows(2).all(|w| w[0] <= w[1]);
-        prop_assert_eq!(min_removals(&v) == 0, sorted);
-        prop_assert_eq!(min_exchanges(&v) == 0, sorted);
+        assert_eq!(min_removals(&v) == 0, sorted);
+        assert_eq!(min_exchanges(&v) == 0, sorted);
     }
 
-    #[test]
-    fn rem_bounded_by_inversions_and_size(v in prop::collection::vec(-100i64..100, 1..250)) {
+    fn rem_bounded_by_inversions_and_size(v in vec(-100i64..100, 1..250)) {
         // Each removal can fix many inversions, but a sequence with k
         // inversions needs at most k removals; both bounded by n-1.
         let rem = min_removals(&v);
         let exc = min_exchanges(&v);
-        prop_assert!(rem < v.len());
-        prop_assert!(exc < v.len());
+        assert!(rem < v.len());
+        assert!(exc < v.len());
         let inv = count_inversions(&v);
-        prop_assert!(rem as u128 <= inv);
-        prop_assert!(exc as u128 <= inv, "every exchange fixes >= 1 inversion");
+        assert!(rem as u128 <= inv);
+        assert!(exc as u128 <= inv, "every exchange fixes >= 1 inversion");
     }
 
-    #[test]
-    fn removals_witness_exists(v in prop::collection::vec(-50i64..50, 0..200)) {
+    fn removals_witness_exists(v in vec(-50i64..50, 0..200)) {
         // Removing the complement of a longest nondecreasing subsequence
         // must leave a sorted sequence of the claimed length.
         let keep = longest_nondecreasing(&v);
@@ -134,6 +128,6 @@ proptest! {
             if i == tails.len() { tails.push((x, len)); } else { tails[i] = (x, len); }
             best_len = best_len.max(len);
         }
-        prop_assert_eq!(best_len, keep);
+        assert_eq!(best_len, keep);
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::streamable::{input_stream, InputHandle, Streamable};
 use impatience_core::{
-    Event, EventBatch, IngressStats, MemoryMeter, Payload, StreamMessage, TickDuration,
-    Timestamp, DEFAULT_BATCH_SIZE,
+    Event, EventBatch, IngressStats, MemoryMeter, Payload, StreamMessage, TickDuration, Timestamp,
+    DEFAULT_BATCH_SIZE,
 };
 use impatience_sort::{ImpatienceSorter, OnlineSorter};
 
@@ -222,10 +222,11 @@ mod tests {
             batch_size: 4,
         };
         // Mildly disordered arrivals.
-        let arrivals: Vec<Event<u32>> =
-            [5i64, 3, 7, 6, 9, 8, 12, 11, 15, 14].iter().map(|&t| ev(t)).collect();
-        let out =
-            ingress_sorted(arrivals, &policy, &meter, &stats).collect_output();
+        let arrivals: Vec<Event<u32>> = [5i64, 3, 7, 6, 9, 8, 12, 11, 15, 14]
+            .iter()
+            .map(|&t| ev(t))
+            .collect();
+        let out = ingress_sorted(arrivals, &policy, &meter, &stats).collect_output();
         let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
         assert_eq!(ts, vec![3, 5, 6, 7, 8, 9, 11, 12, 14, 15]);
         assert!(impatience_core::validate_ordered_stream(&out.messages()).is_ok());
@@ -245,8 +246,7 @@ mod tests {
         };
         // Event 5 arrives after the watermark has reached 20.
         let arrivals: Vec<Event<u32>> = [10i64, 20, 5, 30].iter().map(|&t| ev(t)).collect();
-        let out =
-            ingress_sorted(arrivals, &policy, &meter, &stats).collect_output();
+        let out = ingress_sorted(arrivals, &policy, &meter, &stats).collect_output();
         let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
         assert_eq!(ts, vec![10, 20, 30], "late event 5 dropped");
     }
@@ -254,8 +254,7 @@ mod tests {
     #[test]
     fn disordered_input_live() {
         let meter = MemoryMeter::new();
-        let (handle, stream) =
-            disordered_input::<u32>(Box::new(ImpatienceSorter::new()), &meter);
+        let (handle, stream) = disordered_input::<u32>(Box::new(ImpatienceSorter::new()), &meter);
         let out = stream.collect_output();
         handle.push_events(vec![ev(3), ev(1), ev(2)]);
         handle.push_punctuation(Timestamp::new(2));

@@ -78,10 +78,7 @@ impl<P: Payload> Output<P> {
     /// A fresh output with an attached collector observer.
     pub fn new() -> (Output<P>, CollectorSink<P>) {
         let buf = Rc::new(RefCell::new(OutputBuf::default()));
-        (
-            Output { buf: buf.clone() },
-            CollectorSink { buf },
-        )
+        (Output { buf: buf.clone() }, CollectorSink { buf })
     }
 
     /// All messages received so far (cloned).
@@ -144,7 +141,10 @@ impl<P: Payload> Observer<P> for CollectorSink<P> {
         b.messages.push(StreamMessage::Batch(batch));
     }
     fn on_punctuation(&mut self, t: Timestamp) {
-        self.buf.borrow_mut().messages.push(StreamMessage::Punctuation(t));
+        self.buf
+            .borrow_mut()
+            .messages
+            .push(StreamMessage::Punctuation(t));
     }
     fn on_completed(&mut self) {
         let mut b = self.buf.borrow_mut();
@@ -295,7 +295,10 @@ mod tests {
     #[test]
     fn on_message_dispatch() {
         let (out, mut sink) = Output::<u32>::new();
-        sink.on_message(StreamMessage::batch(vec![Event::point(Timestamp::new(1), 9)]));
+        sink.on_message(StreamMessage::batch(vec![Event::point(
+            Timestamp::new(1),
+            9,
+        )]));
         sink.on_message(StreamMessage::punctuation(4));
         sink.on_message(StreamMessage::Completed);
         assert_eq!(out.event_count(), 1);

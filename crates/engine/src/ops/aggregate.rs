@@ -238,17 +238,14 @@ impl<P: Payload, A: Aggregate<P>, S> WindowAggregateOp<P, A, S> {
     }
 }
 
-impl<P: Payload, A: Aggregate<P>, S: Observer<A::Out>> Observer<P>
-    for WindowAggregateOp<P, A, S>
-{
+impl<P: Payload, A: Aggregate<P>, S: Observer<A::Out>> Observer<P> for WindowAggregateOp<P, A, S> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
         for i in 0..batch.len() {
             if !batch.is_visible(i) {
                 continue;
             }
             let e = &batch.events()[i];
-            let same_window =
-                matches!(&self.current, Some((start, ..)) if *start == e.sync_time);
+            let same_window = matches!(&self.current, Some((start, ..)) if *start == e.sync_time);
             if !same_window {
                 if let Some((start, ..)) = &self.current {
                     debug_assert!(
@@ -327,9 +324,7 @@ impl<P: Payload, A: Aggregate<P>, S> GroupedAggregateOp<P, A, S> {
     }
 }
 
-impl<P: Payload, A: Aggregate<P>, S: Observer<A::Out>> Observer<P>
-    for GroupedAggregateOp<P, A, S>
-{
+impl<P: Payload, A: Aggregate<P>, S: Observer<A::Out>> Observer<P> for GroupedAggregateOp<P, A, S> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
         for i in 0..batch.len() {
             if !batch.is_visible(i) {
@@ -375,9 +370,7 @@ mod tests {
         // (window_start, key, payload) — already aligned to 10-tick windows.
         items
             .iter()
-            .map(|&(w, k, p)| {
-                Event::interval(Timestamp::new(w), Timestamp::new(w + 10), k, p)
-            })
+            .map(|&(w, k, p)| Event::interval(Timestamp::new(w), Timestamp::new(w + 10), k, p))
             .collect()
     }
 

@@ -258,10 +258,7 @@ pub fn temporal_join<L, R, Out>(
     combine: impl FnMut(&L, &R) -> Out + 'static,
     sink: Box<dyn Observer<Out>>,
     meter: MemoryMeter,
-) -> (
-    JoinInput<L, R, Out, true>,
-    JoinInput<L, R, Out, false>,
-)
+) -> (JoinInput<L, R, Out, true>, JoinInput<L, R, Out, false>)
 where
     L: Payload,
     R: Payload,
@@ -278,10 +275,7 @@ where
         out_wm: Timestamp::MIN,
         completed: false,
     }));
-    (
-        JoinInput { core: core.clone() },
-        JoinInput { core },
-    )
+    (JoinInput { core: core.clone() }, JoinInput { core })
 }
 
 #[cfg(test)]
@@ -326,7 +320,9 @@ mod tests {
         let (out, mut l, mut r, _) = setup();
         l.on_batch([iv(0, 5, 1, 100), iv(0, 50, 2, 101)].into_iter().collect());
         r.on_batch(
-            [iv(5, 15, 1, 200), iv(10, 20, 3, 201)].into_iter().collect(),
+            [iv(5, 15, 1, 200), iv(10, 20, 3, 201)]
+                .into_iter()
+                .collect(),
         );
         l.on_completed();
         r.on_completed();
@@ -340,7 +336,11 @@ mod tests {
         for t in [0i64, 10, 20, 30] {
             l.on_batch([iv(t, t + 15, 1, t as u32)].into_iter().collect());
             l.on_punctuation(Timestamp::new(t));
-            r.on_batch([iv(t + 5, t + 12, 1, (t + 1000) as u32)].into_iter().collect());
+            r.on_batch(
+                [iv(t + 5, t + 12, 1, (t + 1000) as u32)]
+                    .into_iter()
+                    .collect(),
+            );
             r.on_punctuation(Timestamp::new(t + 5));
         }
         l.on_completed();
@@ -383,11 +383,11 @@ mod tests {
     #[test]
     fn many_to_many_matches() {
         let (out, mut l, mut r, _) = setup();
-        l.on_batch(
-            [iv(0, 100, 1, 1), iv(0, 100, 1, 2)].into_iter().collect(),
-        );
+        l.on_batch([iv(0, 100, 1, 1), iv(0, 100, 1, 2)].into_iter().collect());
         r.on_batch(
-            [iv(0, 100, 1, 10), iv(50, 100, 1, 20)].into_iter().collect(),
+            [iv(0, 100, 1, 10), iv(50, 100, 1, 20)]
+                .into_iter()
+                .collect(),
         );
         l.on_completed();
         r.on_completed();

@@ -28,4 +28,6 @@ pub use reduce::ReduceByKeyOp;
 pub use sort::SortOp;
 pub use topk::TopKOp;
 pub use union::{union, UnionInput, UnionProbe};
-pub use window::{align_tumbling, hop_start, window_punctuation, HoppingWindowOp, TumblingWindowOp};
+pub use window::{
+    align_tumbling, hop_start, window_punctuation, HoppingWindowOp, TumblingWindowOp,
+};

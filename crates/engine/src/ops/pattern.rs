@@ -66,9 +66,7 @@ where
                 if let Some(&t0) = self.open.get(&e.key) {
                     if t0 < e.sync_time && e.sync_time - t0 <= self.window {
                         let mut m = e.clone();
-                        m.other_time = Timestamp(
-                            e.sync_time.ticks().saturating_add(1),
-                        );
+                        m.other_time = Timestamp(e.sync_time.ticks().saturating_add(1));
                         out.push(m);
                         self.matches_emitted += 1;
                         self.open.remove(&e.key);
@@ -115,8 +113,12 @@ mod tests {
     fn op(
         window: i64,
         sink: crate::observer::CollectorSink<u32>,
-    ) -> FollowedByOp<u32, impl FnMut(&u32) -> bool, impl FnMut(&u32) -> bool, crate::observer::CollectorSink<u32>>
-    {
+    ) -> FollowedByOp<
+        u32,
+        impl FnMut(&u32) -> bool,
+        impl FnMut(&u32) -> bool,
+        crate::observer::CollectorSink<u32>,
+    > {
         FollowedByOp::new(
             |p: &u32| *p == X,
             |p: &u32| *p == Y,
@@ -129,9 +131,7 @@ mod tests {
     fn matches_x_followed_by_y_within_window() {
         let (out, sink) = Output::<u32>::new();
         let mut p = op(60, sink);
-        p.on_batch(
-            [click(0, 7, X), click(30, 7, Y)].into_iter().collect(),
-        );
+        p.on_batch([click(0, 7, X), click(30, 7, Y)].into_iter().collect());
         p.on_completed();
         assert_eq!(out.event_count(), 1);
         let m = &out.events()[0];

@@ -238,10 +238,10 @@ mod tests {
     fn hopping_replicates_into_each_window() {
         let (out, sink) = Output::<u32>::new();
         // size 30, hop 10 → 3 copies per event.
-        let mut op =
-            HoppingWindowOp::new(TickDuration::ticks(30), TickDuration::ticks(10), sink);
-        let b: EventBatch<u32> =
-            [Event::point(Timestamp::new(25), 1u32)].into_iter().collect();
+        let mut op = HoppingWindowOp::new(TickDuration::ticks(30), TickDuration::ticks(10), sink);
+        let b: EventBatch<u32> = [Event::point(Timestamp::new(25), 1u32)]
+            .into_iter()
+            .collect();
         op.on_batch(b);
         op.on_completed();
         let starts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
@@ -257,9 +257,12 @@ mod tests {
     #[test]
     fn hopping_buffers_until_punctuation() {
         let (out, sink) = Output::<u32>::new();
-        let mut op =
-            HoppingWindowOp::new(TickDuration::ticks(30), TickDuration::ticks(10), sink);
-        op.on_batch([Event::point(Timestamp::new(25), 1u32)].into_iter().collect());
+        let mut op = HoppingWindowOp::new(TickDuration::ticks(30), TickDuration::ticks(10), sink);
+        op.on_batch(
+            [Event::point(Timestamp::new(25), 1u32)]
+                .into_iter()
+                .collect(),
+        );
         assert_eq!(out.event_count(), 0, "copies held until progress known");
         // Punctuation 55: future events > 55 produce window starts
         // >= floor(55) - 20 = 30, so copies <= 29 can be released.
@@ -272,11 +275,22 @@ mod tests {
     #[test]
     fn hopping_output_is_ordered_across_batches() {
         let (out, sink) = Output::<u32>::new();
-        let mut op =
-            HoppingWindowOp::new(TickDuration::ticks(40), TickDuration::ticks(10), sink);
-        op.on_batch([Event::point(Timestamp::new(15), 1u32)].into_iter().collect());
-        op.on_batch([Event::point(Timestamp::new(18), 2u32)].into_iter().collect());
-        op.on_batch([Event::point(Timestamp::new(42), 3u32)].into_iter().collect());
+        let mut op = HoppingWindowOp::new(TickDuration::ticks(40), TickDuration::ticks(10), sink);
+        op.on_batch(
+            [Event::point(Timestamp::new(15), 1u32)]
+                .into_iter()
+                .collect(),
+        );
+        op.on_batch(
+            [Event::point(Timestamp::new(18), 2u32)]
+                .into_iter()
+                .collect(),
+        );
+        op.on_batch(
+            [Event::point(Timestamp::new(42), 3u32)]
+                .into_iter()
+                .collect(),
+        );
         op.on_completed();
         let msgs = out.messages();
         assert!(impatience_core::validate_ordered_stream(&msgs).is_ok());
@@ -286,9 +300,12 @@ mod tests {
     #[test]
     fn hopping_with_hop_equal_size_is_tumbling() {
         let (out, sink) = Output::<u32>::new();
-        let mut op =
-            HoppingWindowOp::new(TickDuration::ticks(10), TickDuration::ticks(10), sink);
-        op.on_batch([Event::point(Timestamp::new(25), 1u32)].into_iter().collect());
+        let mut op = HoppingWindowOp::new(TickDuration::ticks(10), TickDuration::ticks(10), sink);
+        op.on_batch(
+            [Event::point(Timestamp::new(25), 1u32)]
+                .into_iter()
+                .collect(),
+        );
         op.on_completed();
         let evs = out.events();
         assert_eq!(evs.len(), 1);
@@ -314,10 +331,7 @@ mod tests {
     #[should_panic(expected = "multiple of the hop")]
     fn non_multiple_hop_panics() {
         let (_, sink) = Output::<u32>::new();
-        let _ = HoppingWindowOp::<u32, _>::new(
-            TickDuration::ticks(25),
-            TickDuration::ticks(10),
-            sink,
-        );
+        let _ =
+            HoppingWindowOp::<u32, _>::new(TickDuration::ticks(25), TickDuration::ticks(10), sink);
     }
 }

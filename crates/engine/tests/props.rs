@@ -1,48 +1,45 @@
 //! Property tests for engine operators: each operator must match a simple
 //! functional oracle over arbitrary ordered inputs, and compositions must
 //! preserve the ordered-stream contract.
+//!
+//! On failure the harness prints the failing case seed; replay with
+//! `IMPATIENCE_PROP_SEED=0x<seed> cargo test <test name>`.
 
 use impatience_core::{
-    validate_ordered_stream, Event, EventBatch, MemoryMeter, StreamMessage, TickDuration,
-    Timestamp,
+    validate_ordered_stream, Event, EventBatch, MemoryMeter, StreamMessage, TickDuration, Timestamp,
 };
 use impatience_engine::ops::CountAgg;
 use impatience_engine::Streamable;
-use proptest::prelude::*;
+use impatience_testkit::prop::{vec, Strategy};
+use impatience_testkit::props;
 use std::collections::BTreeMap;
 
 /// Ordered events with keys, split into arbitrary batch boundaries and
 /// punctuations.
 fn ordered_messages() -> impl Strategy<Value = Vec<StreamMessage<u32>>> {
-    (
-        prop::collection::vec((0i64..200, 0u32..6), 0..200),
-        prop::collection::vec(1usize..12, 0..30),
-    )
-        .prop_map(|(mut raw, cuts)| {
-            raw.sort_by_key(|&(t, _)| t);
-            let events: Vec<Event<u32>> = raw
-                .into_iter()
-                .map(|(t, k)| Event::keyed(Timestamp::new(t), k, k))
-                .collect();
-            let mut msgs = Vec::new();
-            let mut idx = 0usize;
-            let mut cut_iter = cuts.into_iter();
-            while idx < events.len() {
-                let take = cut_iter.next().unwrap_or(7).min(events.len() - idx);
-                let chunk: Vec<Event<u32>> = events[idx..idx + take].to_vec();
-                let last = chunk.last().unwrap().sync_time;
-                msgs.push(StreamMessage::Batch(EventBatch::from_events(chunk)));
-                // Punctuate at the last emitted time (legal: future events
-                // are >= it; strictly greater events may still share it...
-                // so punctuate one below).
-                msgs.push(StreamMessage::Punctuation(Timestamp::new(
-                    last.ticks() - 1,
-                )));
-                idx += take;
-            }
-            msgs.push(StreamMessage::Completed);
-            msgs
-        })
+    (vec((0i64..200, 0u32..6), 0..200), vec(1usize..12, 0..30)).prop_map(|(mut raw, cuts)| {
+        raw.sort_by_key(|&(t, _)| t);
+        let events: Vec<Event<u32>> = raw
+            .into_iter()
+            .map(|(t, k)| Event::keyed(Timestamp::new(t), k, k))
+            .collect();
+        let mut msgs = Vec::new();
+        let mut idx = 0usize;
+        let mut cut_iter = cuts.into_iter();
+        while idx < events.len() {
+            let take = cut_iter.next().unwrap_or(7).min(events.len() - idx);
+            let chunk: Vec<Event<u32>> = events[idx..idx + take].to_vec();
+            let last = chunk.last().unwrap().sync_time;
+            msgs.push(StreamMessage::Batch(EventBatch::from_events(chunk)));
+            // Punctuate at the last emitted time (legal: future events
+            // are >= it; strictly greater events may still share it...
+            // so punctuate one below).
+            msgs.push(StreamMessage::Punctuation(Timestamp::new(last.ticks() - 1)));
+            idx += take;
+        }
+        msgs.push(StreamMessage::Completed);
+        msgs
+    })
 }
 
 fn flat_events(msgs: &[StreamMessage<u32>]) -> Vec<Event<u32>> {
@@ -55,10 +52,9 @@ fn flat_events(msgs: &[StreamMessage<u32>]) -> Vec<Event<u32>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+props! {
+    cases = 96;
 
-    #[test]
     fn filter_matches_oracle(msgs in ordered_messages(), m in 1u32..6) {
         let input = flat_events(&msgs);
         let out = Streamable::from_messages(msgs)
@@ -70,11 +66,10 @@ proptest! {
             .filter(|p| p % m == 0)
             .collect();
         let got: Vec<u32> = out.events().iter().map(|e| e.payload).collect();
-        prop_assert_eq!(got, expect);
-        prop_assert!(validate_ordered_stream(&out.messages()).is_ok());
+        assert_eq!(got, expect);
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
     }
 
-    #[test]
     fn select_preserves_count_and_order(msgs in ordered_messages()) {
         let input = flat_events(&msgs);
         let out = Streamable::from_messages(msgs)
@@ -82,11 +77,10 @@ proptest! {
             .collect_output();
         let got: Vec<u64> = out.events().iter().map(|e| e.payload).collect();
         let expect: Vec<u64> = input.iter().map(|e| (e.payload as u64) * 3 + 1).collect();
-        prop_assert_eq!(got, expect);
-        prop_assert!(validate_ordered_stream(&out.messages()).is_ok());
+        assert_eq!(got, expect);
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
     }
 
-    #[test]
     fn windowed_count_matches_oracle(msgs in ordered_messages(), w in 1i64..50) {
         let input = flat_events(&msgs);
         let size = TickDuration::ticks(w);
@@ -103,13 +97,12 @@ proptest! {
             .iter()
             .map(|e| (e.sync_time.ticks(), e.payload))
             .collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
         // Exactly one output event per distinct window.
-        prop_assert_eq!(out.events().len(), out.events().iter()
+        assert_eq!(out.events().len(), out.events().iter()
             .map(|e| e.sync_time).collect::<std::collections::BTreeSet<_>>().len());
     }
 
-    #[test]
     fn grouped_count_matches_oracle(msgs in ordered_messages(), w in 1i64..50) {
         let input = flat_events(&msgs);
         let size = TickDuration::ticks(w);
@@ -128,11 +121,10 @@ proptest! {
             .iter()
             .map(|e| ((e.sync_time.ticks(), e.key), e.payload))
             .collect();
-        prop_assert_eq!(got, expect);
-        prop_assert!(validate_ordered_stream(&out.messages()).is_ok());
+        assert_eq!(got, expect);
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
     }
 
-    #[test]
     fn union_is_a_sorted_merge(
         a in ordered_messages(),
         b in ordered_messages(),
@@ -148,13 +140,12 @@ proptest! {
             .union(Streamable::from_messages(b), &meter)
             .collect_output();
         let got: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
-        prop_assert_eq!(got, expect);
-        prop_assert!(validate_ordered_stream(&out.messages()).is_ok());
-        prop_assert!(out.is_completed());
-        prop_assert_eq!(meter.current(), 0);
+        assert_eq!(got, expect);
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
+        assert!(out.is_completed());
+        assert_eq!(meter.current(), 0);
     }
 
-    #[test]
     fn hopping_window_replicates_correctly(
         msgs in ordered_messages(),
         hop in 1i64..20,
@@ -167,14 +158,13 @@ proptest! {
             .collect_output();
         // Every input event appears exactly `copies` times, each within a
         // window containing it.
-        prop_assert_eq!(out.events().len(), input.len() * copies as usize);
+        assert_eq!(out.events().len(), input.len() * copies as usize);
         for e in out.events() {
-            prop_assert_eq!(e.other_time - e.sync_time, size);
+            assert_eq!(e.other_time - e.sync_time, size);
         }
-        prop_assert!(validate_ordered_stream(&out.messages()).is_ok());
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
     }
 
-    #[test]
     fn top_k_returns_k_best_per_window(
         msgs in ordered_messages(),
         k in 1usize..5,
@@ -203,8 +193,8 @@ proptest! {
         for (win, mut oracle) in windows {
             oracle.sort_by_key(|&(c, key)| (core::cmp::Reverse(c), key));
             oracle.truncate(k);
-            prop_assert_eq!(got.get(&win).cloned().unwrap_or_default(), oracle,
-                "window {}", win);
+            assert_eq!(got.get(&win).cloned().unwrap_or_default(), oracle,
+                "window {win}");
         }
     }
 }

@@ -3,8 +3,7 @@
 //! shapes.
 
 use impatience_core::{
-    validate_ordered_stream, Event, EventBatch, MemoryMeter, StreamMessage, TickDuration,
-    Timestamp,
+    validate_ordered_stream, Event, EventBatch, MemoryMeter, StreamMessage, TickDuration, Timestamp,
 };
 use impatience_engine::ops::CountAgg;
 use impatience_engine::{input_stream, Streamable};

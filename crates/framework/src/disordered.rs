@@ -15,9 +15,7 @@
 //! distinct timestamps (Proposition 3.2) and *reduce disorder* — the
 //! Fig 9 speedups.
 
-use impatience_core::{
-    Event, MemoryMeter, Payload, StreamMessage, TickDuration,
-};
+use impatience_core::{Event, MemoryMeter, Payload, StreamMessage, TickDuration};
 use impatience_engine::ops::{align_tumbling, window_punctuation, FilterOp, ReKeyOp, SelectOp};
 use impatience_engine::{IngressPolicy, InputHandle, Observer, Streamable};
 use impatience_sort::{ImpatienceSorter, OnlineSorter};
@@ -86,10 +84,7 @@ impl<P: Payload> DisorderedStreamable<P> {
     }
 
     /// Projection (order-insensitive).
-    pub fn select<Q: Payload>(
-        self,
-        f: impl FnMut(&P) -> Q + 'static,
-    ) -> DisorderedStreamable<Q> {
+    pub fn select<Q: Payload>(self, f: impl FnMut(&P) -> Q + 'static) -> DisorderedStreamable<Q> {
         self.apply(move |sink| Box::new(SelectOp::new(f, sink)))
     }
 
@@ -171,7 +166,7 @@ impl<P, S> DisorderedWindowOp<P, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use impatience_core::{Timestamp, validate_ordered_stream};
+    use impatience_core::{validate_ordered_stream, Timestamp};
 
     fn ev(t: i64, p: u32) -> Event<u32> {
         Event::point(Timestamp::new(t), p)

@@ -26,9 +26,7 @@
 
 use crate::disordered::DisorderedStreamable;
 use crate::plumbing::{HandleSink, TeeOp};
-use impatience_core::{
-    Event, MemoryMeter, Payload, StreamError, TickDuration, Timestamp,
-};
+use impatience_core::{Event, MemoryMeter, Payload, StreamError, TickDuration, Timestamp};
 use impatience_engine::ops::union as build_union;
 use impatience_engine::{input_stream, InputHandle, Observer, Streamable};
 use impatience_sort::{ImpatienceConfig, ImpatienceSorter};
@@ -240,8 +238,7 @@ where
 
     // Build the union/merge chain from the deepest stage (k-1) downward.
     // `stage_sink[i]` consumes the i-th output stream's traffic.
-    let mut right_inputs: Vec<Option<Box<dyn Observer<Q>>>> =
-        (0..k).map(|_| None).collect();
+    let mut right_inputs: Vec<Option<Box<dyn Observer<Q>>>> = (0..k).map(|_| None).collect();
     let mut stage_sink: Box<dyn Observer<Q>> =
         Box::new(HandleSink::new(out_handles[k - 1].clone()));
     for i in (1..k).rev() {
@@ -370,10 +367,9 @@ mod tests {
         let mut ss = to_streamables_basic(ds, &latencies(), &meter).unwrap();
         let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
         // Delays: 0,0,5,0,25,0,35 → partitions 0,0,0,0,1,0,2; none dropped.
-        let times =
-            |o: &impatience_engine::Output<u32>| -> Vec<i64> {
-                o.events().iter().map(|e| e.sync_time.ticks()).collect()
-            };
+        let times = |o: &impatience_engine::Output<u32>| -> Vec<i64> {
+            o.events().iter().map(|e| e.sync_time.ticks()).collect()
+        };
         assert_eq!(times(&outs[0]), vec![10, 15, 20, 30, 40]);
         assert_eq!(times(&outs[1]), vec![5, 10, 15, 20, 30, 40]);
         assert_eq!(times(&outs[2]), vec![5, 5, 10, 15, 20, 30, 40]);
@@ -409,8 +405,7 @@ mod tests {
         // merge = add partial counts (the paper's Q1 shape).
         let meter = MemoryMeter::new();
         let window = TickDuration::ticks(20);
-        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy())
-            .tumbling_window(window);
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy()).tumbling_window(window);
         let mut ss = to_streamables_advanced(
             ds,
             &latencies(),
@@ -471,16 +466,15 @@ mod tests {
         };
 
         let basic_meter = MemoryMeter::new();
-        let ds = DisorderedStreamable::from_arrivals(arrivals.clone(), &pol)
-            .tumbling_window(window);
+        let ds =
+            DisorderedStreamable::from_arrivals(arrivals.clone(), &pol).tumbling_window(window);
         let mut ss = to_streamables_basic(ds, &ls, &basic_meter).unwrap();
         // Subscribe both outputs (queries applied per stream, redundantly).
         let _o0 = ss.stream(0).count().collect_output();
         let _o1 = ss.stream(1).count().collect_output();
 
         let adv_meter = MemoryMeter::new();
-        let ds = DisorderedStreamable::from_arrivals(arrivals, &pol)
-            .tumbling_window(window);
+        let ds = DisorderedStreamable::from_arrivals(arrivals, &pol).tumbling_window(window);
         let mut ss = to_streamables_advanced(
             ds,
             &ls,
@@ -504,8 +498,7 @@ mod tests {
     fn single_latency_framework_is_buffer_and_sort() {
         let meter = MemoryMeter::new();
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
-        let mut ss =
-            to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
+        let mut ss = to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
         assert_eq!(ss.len(), 1);
         let out = ss.stream(0).collect_output();
         // Only delay<10 events survive: 10,20,15,30,5(d25 dropped),40,5.
@@ -535,8 +528,7 @@ mod tests {
     fn taking_a_stream_twice_panics() {
         let meter = MemoryMeter::new();
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
-        let mut ss =
-            to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
+        let mut ss = to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
         let _a = ss.stream(0);
         let _b = ss.stream(0);
     }

@@ -50,7 +50,5 @@ pub mod framework;
 pub mod plumbing;
 
 pub use disordered::DisorderedStreamable;
-pub use framework::{
-    to_streamables_advanced, to_streamables_basic, FrameworkStats, Streamables,
-};
+pub use framework::{to_streamables_advanced, to_streamables_basic, FrameworkStats, Streamables};
 pub use plumbing::{HandleSink, TeeOp};

@@ -1,7 +1,7 @@
 //! Small observer adapters used to wire the framework DAG.
 
-use impatience_engine::{InputHandle, Observer};
 use impatience_core::{EventBatch, Payload, Timestamp};
+use impatience_engine::{InputHandle, Observer};
 
 /// Observer that forwards traffic into an [`InputHandle`] — the bridge
 /// between an observer-level DAG edge and a `Streamable`-level stage.

@@ -42,8 +42,7 @@ impl<T: EventTimed + Clone> OnlineSorter<T> for BSortSorter<T> {
         debug_assert!(item.event_time() > self.last_punctuation);
         let ts = item.event_time();
         // Rightmost insertion point (FIFO among equal times).
-        let pos = self.head
-            + self.sorted[self.head..].partition_point(|x| x.event_time() <= ts);
+        let pos = self.head + self.sorted[self.head..].partition_point(|x| x.event_time() <= ts);
         self.sorted.insert(pos, item);
     }
 

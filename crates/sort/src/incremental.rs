@@ -71,8 +71,8 @@ impl<T: EventTimed + Clone, A: SortAlgorithm> OnlineSorter<T> for CutBuffer<T, A
             // (Fig 8's real-dataset gap).
             let newly = core::mem::take(&mut self.unsorted);
             let min_new = newly[0].event_time();
-            let cut = self.head
-                + self.sorted[self.head..].partition_point(|x| x.event_time() <= min_new);
+            let cut =
+                self.head + self.sorted[self.head..].partition_point(|x| x.event_time() <= min_new);
             let tail = self.sorted.split_off(cut);
             let merged = binary_merge(tail, newly);
             self.sorted.extend(merged);
@@ -110,7 +110,9 @@ mod tests {
     use crate::traits::assert_sorted_until;
 
     fn exercise<A: SortAlgorithm>() {
-        let data: Vec<i64> = (0..2500).map(|i| (i * 7919) % 1300 + (i / 100) as i64).collect();
+        let data: Vec<i64> = (0..2500)
+            .map(|i| (i * 7919) % 1300 + (i / 100) as i64)
+            .collect();
         let mut s: CutBuffer<i64, A> = CutBuffer::new();
         let mut out = Vec::new();
         let mut accepted = Vec::new();

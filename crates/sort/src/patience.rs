@@ -35,10 +35,7 @@ impl PatienceSort {
 
     /// Sorts `items`, returning the sorted vector and the number of runs
     /// the partition phase created (the paper's `k`).
-    pub fn sort_counting_runs<T: EventTimed + Clone>(
-        &self,
-        items: Vec<T>,
-    ) -> (Vec<T>, usize) {
+    pub fn sort_counting_runs<T: EventTimed + Clone>(&self, items: Vec<T>) -> (Vec<T>, usize) {
         let mut rs: RunSet<T> = RunSet::new(false);
         for item in items {
             rs.insert(item);

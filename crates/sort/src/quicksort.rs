@@ -158,7 +158,11 @@ mod tests {
 
     #[test]
     fn adversarial_equal_heavy() {
-        check((0..3_000).map(|i| if i % 100 == 0 { i } else { 7 }).collect());
+        check(
+            (0..3_000)
+                .map(|i| if i % 100 == 0 { i } else { 7 })
+                .collect(),
+        );
     }
 
     #[test]

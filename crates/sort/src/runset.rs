@@ -188,9 +188,7 @@ impl<T: EventTimed + Clone> RunSet<T> {
             // the tail of its predecessor, append directly — the strictly
             // descending tails invariant is preserved.
             let li = self.last_insert;
-            if li < self.tails.len()
-                && self.tails[li] <= ts
-                && (li == 0 || self.tails[li - 1] > ts)
+            if li < self.tails.len() && self.tails[li] <= ts && (li == 0 || self.tails[li - 1] > ts)
             {
                 self.speculative_hits += 1;
                 self.runs[li].push(item);
@@ -303,7 +301,11 @@ mod tests {
                 rs.insert(base + i);
             }
         }
-        assert!(rs.speculative_hits() > 100, "hits={}", rs.speculative_hits());
+        assert!(
+            rs.speculative_hits() > 100,
+            "hits={}",
+            rs.speculative_hits()
+        );
         // Same content without speculation must produce identical runs.
         let mut plain: RunSet<i64> = RunSet::new(false);
         for base in [1000i64, 0, 2000] {

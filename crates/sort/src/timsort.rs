@@ -185,8 +185,7 @@ fn merge_adjacent<T: EventTimed + Clone>(
         return;
     }
     let last_left = a[base + len1 - 1].event_time();
-    let keep = a[base + len1..base + len1 + len2]
-        .partition_point(|x| x.event_time() < last_left);
+    let keep = a[base + len1..base + len1 + len2].partition_point(|x| x.event_time() < last_left);
     let len2 = keep;
     if len2 == 0 {
         return;

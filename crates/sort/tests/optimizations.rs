@@ -1,0 +1,240 @@
+//! Targeted unit tests for the two Impatience optimizations:
+//!
+//! * **Huffman merge (§III-E1)** — the merge phase must repeatedly combine
+//!   the two *smallest* head runs first. Observed through a clone-counting
+//!   element type: with the concat fast-paths defeated, each pairwise merge
+//!   clones exactly the elements it emits, so the total clone count IS the
+//!   merge-tree cost, which is minimal exactly for the Huffman order.
+//! * **Speculative run selection (§III-E2)** — inserts that extend the
+//!   last-inserted run (or the on-time run 0) must skip the binary search,
+//!   observed through the `speculative_hits` / `binary_searches` counters.
+
+use impatience_core::{EventTimed, Timestamp};
+use impatience_sort::{merge_runs, ImpatienceConfig, ImpatienceSorter, MergePolicy, RunSet};
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+// ---------------------------------------------------------------------------
+// Huffman merge order (§III-E1)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// An event whose clones are counted, so merge passes become observable.
+#[derive(Debug, PartialEq)]
+struct Counted(i64);
+
+impl Clone for Counted {
+    fn clone(&self) -> Self {
+        CLONES.with(|c| c.set(c.get() + 1));
+        Counted(self.0)
+    }
+}
+
+impl EventTimed for Counted {
+    fn event_time(&self) -> Timestamp {
+        Timestamp::new(self.0)
+    }
+}
+
+/// A sorted run of `size >= 2` elements that spans the whole value domain:
+/// first element small (`< 50`), last element large (`> 1000`). Any two
+/// such runs — and any merge of such runs — interleave, so the concat
+/// fast-paths never fire and every pairwise merge clones exactly the
+/// elements it emits.
+fn spanning_run(id: i64, size: usize) -> Vec<Counted> {
+    assert!(size >= 2);
+    let mut run: Vec<Counted> = (0..size as i64 - 1).map(|i| Counted(id + 8 * i)).collect();
+    run.push(Counted(1_000 + id));
+    run
+}
+
+fn clones_of(f: impl FnOnce() -> Vec<Counted>) -> (u64, Vec<Counted>) {
+    CLONES.with(|c| c.set(0));
+    let out = f();
+    (CLONES.with(Cell::get), out)
+}
+
+/// Reference: the optimal merge-tree cost — repeatedly combine the two
+/// smallest sizes, paying their sum (textbook Huffman coding cost).
+fn optimal_merge_cost(sizes: &[usize]) -> u64 {
+    let mut heap: BinaryHeap<Reverse<usize>> = sizes.iter().map(|&s| Reverse(s)).collect();
+    let mut cost = 0u64;
+    while heap.len() > 1 {
+        let Reverse(a) = heap.pop().unwrap();
+        let Reverse(b) = heap.pop().unwrap();
+        cost += (a + b) as u64;
+        heap.push(Reverse(a + b));
+    }
+    cost
+}
+
+fn assert_sorted(out: &[Counted], expect_len: usize) {
+    assert_eq!(out.len(), expect_len);
+    assert!(out.windows(2).all(|w| w[0].0 <= w[1].0), "output unsorted");
+}
+
+#[test]
+fn huffman_merge_cost_is_optimal() {
+    // One big run and four small ones: the shape §III-E1 optimizes. The
+    // Huffman order is ((2+2)+(2+2))+16: cost 4+4+8+24 = 40.
+    let sizes = [16usize, 2, 2, 2, 2];
+    let runs: Vec<Vec<Counted>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| spanning_run(i as i64, s))
+        .collect();
+    let total: usize = sizes.iter().sum();
+    let (clones, out) = clones_of(|| merge_runs(runs, MergePolicy::Huffman));
+    assert_sorted(&out, total);
+    assert_eq!(optimal_merge_cost(&sizes), 40);
+    assert_eq!(
+        clones, 40,
+        "Huffman merge did not combine the two smallest runs first"
+    );
+}
+
+#[test]
+fn huffman_merges_two_smallest_first() {
+    // Three runs where the first-listed pair is the WRONG pair: merging in
+    // arrival order (8,2) then (10,3) costs 10 + 13 = 23; Huffman merges
+    // (2,3) then (5,8): 5 + 13 = 18. The clone count distinguishes them.
+    let sizes = [8usize, 2, 3];
+    let runs: Vec<Vec<Counted>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| spanning_run(i as i64, s))
+        .collect();
+    let (clones, out) = clones_of(|| merge_runs(runs, MergePolicy::Huffman));
+    assert_sorted(&out, 13);
+    assert_eq!(clones, 18, "expected the (2,3) pair to merge first");
+}
+
+#[test]
+fn huffman_beats_sequential_on_skewed_runs() {
+    let sizes = [16usize, 2, 2, 2, 2];
+    let make = || -> Vec<Vec<Counted>> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| spanning_run(i as i64, s))
+            .collect()
+    };
+    let total: usize = sizes.iter().sum();
+    let (huffman, out_h) = clones_of(|| merge_runs(make(), MergePolicy::Huffman));
+    let (sequential, out_s) = clones_of(|| merge_runs(make(), MergePolicy::Sequential));
+    assert_sorted(&out_h, total);
+    assert_sorted(&out_s, total);
+    assert_eq!(
+        out_h.iter().map(|c| c.0).collect::<Vec<_>>(),
+        out_s.iter().map(|c| c.0).collect::<Vec<_>>(),
+    );
+    assert!(
+        huffman < sequential,
+        "Huffman ({huffman} clones) should beat size-blind rounds ({sequential})"
+    );
+}
+
+#[test]
+fn huffman_concat_fast_path_reuses_storage() {
+    // Fully concatenable runs: the fast path extends one input in place,
+    // cloning only the appended side — far fewer than a full merge.
+    let a: Vec<Counted> = (0..10).map(Counted).collect();
+    let b: Vec<Counted> = (100..110).map(Counted).collect();
+    let (clones, out) = clones_of(|| merge_runs(vec![a, b], MergePolicy::Huffman));
+    assert_sorted(&out, 20);
+    assert_eq!(clones, 10, "only the appended run should be cloned");
+}
+
+// ---------------------------------------------------------------------------
+// Speculative run selection (§III-E2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn srs_hits_last_inserted_run_before_binary_search() {
+    let mut rs: RunSet<i64> = RunSet::new(true);
+    // Build three runs with strictly descending tails [100, 50, 10]; each
+    // creation is a binary-search (slow-path) insert.
+    for x in [100, 50, 10] {
+        rs.insert(x);
+    }
+    assert_eq!(rs.run_count(), 3);
+    assert_eq!(rs.binary_searches(), 3);
+    assert_eq!(rs.speculative_hits(), 0);
+
+    // 60 extends run 1 (between tails 100 and 50) but the last insert was
+    // run 2, so speculation misses and the binary search finds it.
+    rs.insert(60);
+    assert_eq!(rs.binary_searches(), 4);
+    assert_eq!(rs.speculative_hits(), 0);
+
+    // 61, 62, 63 land in the SAME run as the previous insert: each is one
+    // tail comparison, no binary search (the §III-E2 fast path).
+    for x in [61, 62, 63] {
+        rs.insert(x);
+    }
+    assert_eq!(rs.speculative_hits(), 3);
+    assert_eq!(rs.binary_searches(), 4, "speculation must skip the search");
+    assert_eq!(rs.run_count(), 3, "no new runs created");
+}
+
+#[test]
+fn srs_on_time_events_hit_run_zero() {
+    let mut rs: RunSet<i64> = RunSet::new(true);
+    for x in [100, 50, 10] {
+        rs.insert(x);
+    }
+    let before = rs.binary_searches();
+    // On-time events (>= the largest tail) extend run 0 via the one-
+    // comparison special case, even though the last insert was run 2.
+    for x in [150, 151, 200] {
+        rs.insert(x);
+    }
+    assert_eq!(rs.speculative_hits(), 3);
+    assert_eq!(rs.binary_searches(), before);
+}
+
+#[test]
+fn srs_disabled_always_binary_searches() {
+    let mut rs: RunSet<i64> = RunSet::new(false);
+    for x in [100, 50, 10, 60, 61, 62, 63, 150] {
+        rs.insert(x);
+    }
+    assert_eq!(rs.speculative_hits(), 0, "speculation is off");
+    assert_eq!(rs.binary_searches(), 8, "every insert takes the slow path");
+}
+
+#[test]
+fn srs_counters_surface_through_the_sorter() {
+    // An ascending stream: after the first event, every push hits the
+    // on-time speculation path; with SRS disabled, none do.
+    let stream: Vec<i64> = (0..500).map(|i| i * 2).collect();
+
+    let mut fast = ImpatienceSorter::with_config(ImpatienceConfig {
+        huffman_merge: true,
+        speculative_run_selection: true,
+    });
+    let mut slow = ImpatienceSorter::with_config(ImpatienceConfig {
+        huffman_merge: true,
+        speculative_run_selection: false,
+    });
+    for &x in &stream {
+        use impatience_sort::OnlineSorter;
+        fast.push(x);
+        slow.push(x);
+    }
+    assert_eq!(slow.speculative_hits(), 0);
+    assert_eq!(slow.binary_searches(), stream.len() as u64);
+    assert_eq!(
+        fast.speculative_hits(),
+        stream.len() as u64 - 1,
+        "every push after the first should hit speculation"
+    );
+    assert_eq!(
+        fast.speculative_hits() + fast.binary_searches(),
+        stream.len() as u64
+    );
+}

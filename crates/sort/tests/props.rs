@@ -3,11 +3,14 @@
 //! Core contracts: every sorter is a permutation-preserving, order-correct
 //! sort; every online sorter honours the punctuation contract under random
 //! punctuation schedules; the Propositions 3.1–3.3 run-count bounds hold.
+//!
+//! On failure the harness prints the failing case seed; replay with
+//! `IMPATIENCE_PROP_SEED=0x<seed> cargo test <test name>`.
 
 use impatience_core::Timestamp;
-use impatience_disorder as _;
 use impatience_sort::*;
-use proptest::prelude::*;
+use impatience_testkit::prop::vec;
+use impatience_testkit::props;
 
 /// Drives an online sorter with a random punctuation schedule derived from
 /// `punct_gaps`; returns (accepted input, emitted output).
@@ -39,12 +42,11 @@ fn drive_online(
     (accepted, out)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    cases = 128;
 
-    #[test]
     fn online_sorters_sort_correctly(
-        data in prop::collection::vec(-10_000i64..10_000, 0..500),
+        data in vec(-10_000i64..10_000, 0..500),
         punct_every in 1usize..60,
         lag in 0i64..5_000,
     ) {
@@ -53,14 +55,13 @@ proptest! {
             let (accepted, out) = drive_online(s.as_mut(), &data, punct_every, lag);
             let mut expect = accepted.clone();
             expect.sort_unstable();
-            prop_assert_eq!(&out, &expect, "{} output mismatch", name);
-            prop_assert_eq!(s.buffered_len(), 0, "{} left residue", name);
+            assert_eq!(out, expect, "{name} output mismatch");
+            assert_eq!(s.buffered_len(), 0, "{name} left residue");
         }
     }
 
-    #[test]
     fn online_outputs_identical_across_algorithms(
-        data in prop::collection::vec(0i64..2_000, 1..400),
+        data in vec(0i64..2_000, 1..400),
         punct_every in 5usize..40,
     ) {
         let mut reference: Option<Vec<i64>> = None;
@@ -69,96 +70,89 @@ proptest! {
             let (_, out) = drive_online(s.as_mut(), &data, punct_every, 300);
             match &reference {
                 None => reference = Some(out),
-                Some(r) => prop_assert_eq!(r, &out, "{} diverged", name),
+                Some(r) => assert_eq!(r, &out, "{name} diverged"),
             }
         }
     }
 
-    #[test]
     fn offline_algorithms_match_std_sort(
-        data in prop::collection::vec(i64::MIN..i64::MAX, 0..600),
+        data in vec(i64::MIN..i64::MAX, 0..600),
     ) {
         let mut expect = data.clone();
         expect.sort_unstable();
 
         let mut v = data.clone();
         quicksort(&mut v);
-        prop_assert_eq!(&v, &expect, "quicksort");
+        assert_eq!(v, expect, "quicksort");
 
         let mut v = data.clone();
         timsort(&mut v);
-        prop_assert_eq!(&v, &expect, "timsort");
+        assert_eq!(v, expect, "timsort");
 
         let mut v = data.clone();
         heapsort(&mut v);
-        prop_assert_eq!(&v, &expect, "heapsort");
+        assert_eq!(v, expect, "heapsort");
 
         let (v, _) = PatienceSort::default().sort_counting_runs(data.clone());
-        prop_assert_eq!(&v, &expect, "patience");
+        assert_eq!(v, expect, "patience");
     }
 
-    #[test]
     fn timsort_is_stable(
-        times in prop::collection::vec(0i64..20, 0..400),
+        times in vec(0i64..20, 0..400),
     ) {
         let mut v: Vec<(i64, usize)> = times.into_iter().enumerate()
             .map(|(i, t)| (t, i)).collect();
         timsort(&mut v);
         for w in v.windows(2) {
-            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
         }
     }
 
-    #[test]
     fn merge_policies_agree(
-        runs in prop::collection::vec(prop::collection::vec(-500i64..500, 0..50), 0..8),
+        runs in vec(vec(-500i64..500, 0..50), 0..8),
     ) {
         let mut sorted_runs = runs;
         for r in &mut sorted_runs { r.sort_unstable(); }
         let mut expect: Vec<i64> = sorted_runs.iter().flatten().copied().collect();
         expect.sort_unstable();
         for policy in [MergePolicy::Huffman, MergePolicy::Sequential, MergePolicy::LoserTree] {
-            prop_assert_eq!(merge_runs(sorted_runs.clone(), policy), expect.clone(), "{:?}", policy);
+            assert_eq!(merge_runs(sorted_runs.clone(), policy), expect, "{policy:?}");
         }
     }
 
-    #[test]
     fn proposition_3_1_interleaved_bound(
-        data in prop::collection::vec(-5_000i64..5_000, 0..400),
+        data in vec(-5_000i64..5_000, 0..400),
     ) {
         // k <= minimum interleave of the input.
         let k = PatienceSort::partition_run_count(&data);
         let d = impatience_disorder::min_interleaved_runs(&data);
-        prop_assert!(k <= d, "k={} > interleaved={}", k, d);
+        assert!(k <= d, "k={k} > interleaved={d}");
         // Together with the propositions, Patience achieves exactly the
         // minimum here because the greedy pile cover is the same greedy.
-        prop_assert_eq!(k, d);
+        assert_eq!(k, d);
     }
 
-    #[test]
     fn proposition_3_2_distinct_bound(
-        data in prop::collection::vec(0i64..12, 0..400),
+        data in vec(0i64..12, 0..400),
     ) {
         let k = PatienceSort::partition_run_count(&data);
         let mut distinct = data.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert!(k <= distinct.len().max(1) || data.is_empty());
-        prop_assert!(k <= 12);
+        assert!(k <= distinct.len().max(1) || data.is_empty());
+        assert!(k <= 12);
     }
 
-    #[test]
     fn proposition_3_3_natural_runs_bound(
-        data in prop::collection::vec(-5_000i64..5_000, 1..400),
+        data in vec(-5_000i64..5_000, 1..400),
     ) {
         let k = PatienceSort::partition_run_count(&data);
         let natural = impatience_disorder::count_natural_runs(&data);
-        prop_assert!(k <= natural, "k={} > runs={}", k, natural);
+        assert!(k <= natural, "k={k} > runs={natural}");
     }
 
-    #[test]
     fn impatience_configs_equivalent_output(
-        data in prop::collection::vec(0i64..3_000, 0..400),
+        data in vec(0i64..3_000, 0..400),
         punct_every in 5usize..50,
     ) {
         // HM and SRS are pure optimizations: output identical across all
@@ -175,14 +169,13 @@ proptest! {
             let (_, out) = drive_online(&mut s, &data, punct_every, 500);
             match &reference {
                 None => reference = Some(out),
-                Some(r) => prop_assert_eq!(r, &out),
+                Some(r) => assert_eq!(r, &out),
             }
         }
     }
 
-    #[test]
     fn impatience_run_count_never_exceeds_patience(
-        data in prop::collection::vec(0i64..2_000, 1..300),
+        data in vec(0i64..2_000, 1..300),
         punct_every in 5usize..40,
     ) {
         // Incremental cleanup can only reduce the number of live runs
@@ -205,9 +198,9 @@ proptest! {
                     s.punctuate(Timestamp::new(p), &mut out);
                 }
                 let offline_k = PatienceSort::partition_run_count(&fed);
-                prop_assert!(
+                assert!(
                     s.run_count() <= offline_k,
-                    "impatience {} > patience {}", s.run_count(), offline_k
+                    "impatience {} > patience {offline_k}", s.run_count()
                 );
             }
         }

@@ -1,0 +1,175 @@
+//! A wall-clock micro-benchmark harness (the workspace's `criterion`
+//! replacement).
+//!
+//! Deliberately simple: one warmup run, then `sample_size` timed
+//! iterations, reporting median / p95 / min and optional throughput. No
+//! statistical outlier machinery — the repro binaries in `crates/bench`
+//! already encode the paper's qualitative shape checks; these numbers are
+//! for eyeballing relative cost.
+//!
+//! ```no_run
+//! use impatience_testkit::bench::Harness;
+//!
+//! let mut h = Harness::new();
+//! let mut g = h.group("offline_sort");
+//! g.throughput_elements(100_000);
+//! g.bench_function("std_sort", || {
+//!     let mut v: Vec<u64> = (0..100_000).rev().collect();
+//!     v.sort_unstable();
+//!     v.len()
+//! });
+//! g.finish();
+//! ```
+//!
+//! `IMPATIENCE_BENCH_SAMPLES` overrides the sample count globally.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level bench configuration; hands out [`Group`]s.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    sample_size: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness with the default sample count (10, matching the
+    /// `sample_size(10)` the criterion benches used), overridable via
+    /// `IMPATIENCE_BENCH_SAMPLES`.
+    pub fn new() -> Self {
+        let sample_size = std::env::var("IMPATIENCE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(10);
+        Harness { sample_size }
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn group(&self, name: &str) -> Group {
+        println!("\n== bench group: {name} ==");
+        Group {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput_elements: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput denominator.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    throughput_elements: Option<u64>,
+}
+
+/// Summary statistics of one benchmark, in seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median of the timed samples.
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Fastest sample.
+    pub min: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl Group {
+    /// Sets the element count used to derive throughput lines.
+    pub fn throughput_elements(&mut self, elements: u64) {
+        self.throughput_elements = Some(elements);
+    }
+
+    /// Times `f` (warmup + samples) and prints one summary line. Returns
+    /// the stats so callers can assert on them.
+    pub fn bench_function<R>(&mut self, label: &str, mut f: impl FnMut() -> R) -> Stats {
+        black_box(f()); // warmup: page in data, warm caches/allocator
+        let mut times = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let stats = Stats {
+            median: times[times.len() / 2],
+            p95: times[(times.len() * 95).div_ceil(100).saturating_sub(1)],
+            min: times[0],
+            samples: times.len(),
+        };
+        let thr = match self.throughput_elements {
+            Some(n) => format!("  {:>8.2} Melem/s", n as f64 / stats.median / 1e6),
+            None => String::new(),
+        };
+        println!(
+            "{}/{label:<32} median {:>10}  p95 {:>10}  min {:>10}{thr}",
+            self.name,
+            fmt_seconds(stats.median),
+            fmt_seconds(stats.p95),
+            fmt_seconds(stats.min),
+        );
+        stats
+    }
+
+    /// Ends the group (parity with the criterion API; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Formats a duration in seconds with an adaptive unit.
+pub fn fmt_seconds(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let h = Harness::new().sample_size(5);
+        let mut g = h.group("smoke");
+        g.throughput_elements(1_000);
+        let mut runs = 0u32;
+        let stats = g.bench_function("count_up", || {
+            runs += 1;
+            (0..1_000u64).sum::<u64>()
+        });
+        g.finish();
+        assert_eq!(stats.samples, 5);
+        assert_eq!(runs, 6, "warmup + samples");
+        assert!(stats.min <= stats.median && stats.median <= stats.p95);
+        let _ = h.sample_size(1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_seconds(0.5e-9 * 2.0), "1.0 ns");
+        assert!(fmt_seconds(2.5e-6).contains("µs"));
+        assert!(fmt_seconds(3.0e-3).contains("ms"));
+        assert!(fmt_seconds(2.0).contains("s"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # impatience-testkit
+//!
+//! In-tree, zero-dependency test infrastructure for the Impatience
+//! workspace. This crate exists so the whole repository builds and tests
+//! **offline**: no registry access, no vendored third-party code.
+//!
+//! Three subsystems:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (SplitMix64-seeded
+//!   xoshiro256**) with a `rand`-style [`rng::Rng`] trait, uniform ranges,
+//!   and the `normal` / `exponential` / `log_normal` samplers the workload
+//!   generators need;
+//! * [`prop`] — a minimal property-testing harness: composable strategies
+//!   ([`prop::vec`], integer ranges, tuples, [`prop::Strategy::prop_map`]),
+//!   a case runner with greedy input shrinking, and fixed-seed replay via
+//!   `IMPATIENCE_PROP_SEED`;
+//! * [`bench`] — a wall-clock micro-benchmark timer (warmup + N iterations,
+//!   median / p95 / min) replacing the `criterion` dependency.
+//!
+//! ## Replaying a property failure
+//!
+//! When a property fails, the harness shrinks the input greedily and panics
+//! with a report containing the failing case seed:
+//!
+//! ```text
+//! [impatience-testkit] property 'online_sorters_sort_correctly' failed
+//!   case 17 of 128, seed 0x9e3779b97f4a7c15
+//!   replay with: IMPATIENCE_PROP_SEED=0x9e3779b97f4a7c15 cargo test <test name>
+//! ```
+//!
+//! Setting `IMPATIENCE_PROP_SEED` runs exactly that case (no other cases,
+//! no re-seeding), which makes failures bit-for-bit reproducible on any
+//! machine. `IMPATIENCE_PROP_CASES` overrides the case count globally.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Rng, SeedableRng, StdRng};

@@ -15,8 +15,7 @@
 use crate::dataset::Dataset;
 use crate::rand_util::{exponential, log_normal};
 use impatience_core::{Event, Timestamp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration for [`generate_androidlog`].
 #[derive(Debug, Clone, Copy)]
@@ -162,7 +161,12 @@ mod tests {
             })
             .events,
         );
-        assert!(a.inversions > c.inversions, "a={} c={}", a.inversions, c.inversions);
+        assert!(
+            a.inversions > c.inversions,
+            "a={} c={}",
+            a.inversions,
+            c.inversions
+        );
         assert!(a.runs < c.runs / 10, "a={} c={}", a.runs, c.runs);
     }
 

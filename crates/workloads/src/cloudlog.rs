@@ -20,8 +20,7 @@
 use crate::dataset::Dataset;
 use crate::rand_util::{exponential, normal};
 use impatience_core::{Event, Timestamp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration for [`generate_cloudlog`].
 #[derive(Debug, Clone, Copy)]
@@ -139,9 +138,8 @@ pub fn generate_cloudlog(cfg: &CloudLogConfig) -> Dataset {
         while burst_idx < bursts.len() && i >= bursts[burst_idx].1 {
             burst_idx += 1;
         }
-        let in_burst = burst_idx < bursts.len()
-            && i >= bursts[burst_idx].0
-            && i < bursts[burst_idx].1;
+        let in_burst =
+            burst_idx < bursts.len() && i >= bursts[burst_idx].0 && i < bursts[burst_idx].1;
         // During a burst window the failed server owns these events (it is
         // replaying its buffered traffic); otherwise a random server.
         let server = if in_burst {
@@ -154,8 +152,7 @@ pub fn generate_cloudlog(cfg: &CloudLogConfig) -> Dataset {
         if rng.gen::<f64>() < cfg.late_fraction {
             jitter += exponential(&mut rng, cfg.late_mean);
         }
-        let mut arrival =
-            event_time + base_latency[server] + jitter.round() as i64;
+        let mut arrival = event_time + base_latency[server] + jitter.round() as i64;
         if in_burst {
             // Buffered until reconnection: everything in the burst lands
             // just after `burst_delay`, closely packed but re-jittered by

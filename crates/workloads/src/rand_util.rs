@@ -1,62 +1,9 @@
-//! Small sampling helpers over `rand::Rng` (the workspace deliberately
-//! avoids `rand_distr`; Box–Muller and inverse-CDF sampling below cover
-//! everything the generators need).
+//! Sampling helpers for the workload generators.
+//!
+//! These are re-exports of the in-tree samplers in
+//! [`impatience_testkit::rng`] (the workspace deliberately avoids `rand` /
+//! `rand_distr`; Box–Muller and inverse-CDF sampling cover everything the
+//! generators need). Kept as a module so generator code keeps reading
+//! `rand_util::normal(...)`.
 
-use rand::Rng;
-
-/// One sample from `N(0, std²)` via Box–Muller.
-pub fn normal(rng: &mut impl Rng, std: f64) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(1e-300);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos() * std
-}
-
-/// One sample from `Exp(1/mean)` (inverse CDF).
-pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
-    let u: f64 = rng.gen::<f64>().max(1e-300);
-    -mean * u.ln()
-}
-
-/// One sample from `LogNormal` parameterized by the *median* and a shape
-/// factor `sigma` (σ of the underlying normal).
-pub fn log_normal(rng: &mut impl Rng, median: f64, sigma: f64) -> f64 {
-    median * normal(rng, sigma).exp()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    #[test]
-    fn normal_moments() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let n = 50_000;
-        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0)).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 0.5, "mean={mean}");
-        assert!((var.sqrt() - 10.0).abs() < 0.5, "std={}", var.sqrt());
-    }
-
-    #[test]
-    fn exponential_mean() {
-        let mut rng = StdRng::seed_from_u64(8);
-        let n = 50_000;
-        let mean = (0..n).map(|_| exponential(&mut rng, 42.0)).sum::<f64>() / n as f64;
-        assert!((mean - 42.0).abs() < 2.0, "mean={mean}");
-        assert!((0..1000).all(|_| exponential(&mut rng, 5.0) >= 0.0));
-    }
-
-    #[test]
-    fn log_normal_median() {
-        let mut rng = StdRng::seed_from_u64(9);
-        let n = 20_001;
-        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 100.0, 0.8)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = samples[n / 2];
-        assert!((median / 100.0 - 1.0).abs() < 0.1, "median={median}");
-        assert!(samples.iter().all(|&x| x > 0.0));
-    }
-}
+pub use impatience_testkit::rng::{exponential, log_normal, normal};

@@ -12,8 +12,7 @@
 use crate::dataset::Dataset;
 use crate::rand_util::normal;
 use impatience_core::{Event, Timestamp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration for [`generate_synthetic`].
 #[derive(Debug, Clone, Copy)]
@@ -142,13 +141,7 @@ mod tests {
             amount_disorder: 1024.0,
             ..Default::default()
         });
-        let max_delay = |d: &Dataset| {
-            d.delays()
-                .iter()
-                .map(|x| x.as_ticks())
-                .max()
-                .unwrap()
-        };
+        let max_delay = |d: &Dataset| d.delays().iter().map(|x| x.as_ticks()).max().unwrap();
         assert!(max_delay(&large) > 10 * max_delay(&small));
     }
 

@@ -8,8 +8,7 @@
 
 use impatience::prelude::*;
 use impatience_engine::Streamable;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
 
 const ADS: u32 = 20;
 
@@ -20,7 +19,7 @@ fn click_feed() -> Vec<Event<u32>> {
     let mut out = Vec::with_capacity(200_000);
     for i in 0..200_000i64 {
         let t = i; // one click per ms
-        // Zipf-ish ad choice: ad k with weight ~ 1/(k+1).
+                   // Zipf-ish ad choice: ad k with weight ~ 1/(k+1).
         let ad = loop {
             let k = rng.gen_range(0..ADS);
             if rng.gen::<f64>() < 1.0 / (k as f64 + 1.0) {
@@ -28,7 +27,7 @@ fn click_feed() -> Vec<Event<u32>> {
             }
         };
         let sync = if rng.gen::<f64>() < 0.02 {
-            (t - rng.gen_range(5_000..30_000)).max(0)
+            (t - rng.gen_range(5_000i64..30_000)).max(0)
         } else {
             t
         };
@@ -66,7 +65,10 @@ fn main() {
     // ss.Streamable(1).Subscribe(...): corrected counts one minute later.
     let corrected = ss.stream(1).collect_output();
 
-    println!("live stream     : {} (window, ad, count) results", live.event_count());
+    println!(
+        "live stream     : {} (window, ad, count) results",
+        live.event_count()
+    );
     println!("corrected stream: {} results", corrected.event_count());
 
     // Show the top ads in the first second, live vs corrected.
@@ -81,8 +83,14 @@ fn main() {
         v.truncate(5);
         v
     };
-    println!("\ntop ads in window [0, 1s) — live@1s    : {:?}", window0(&live));
-    println!("top ads in window [0, 1s) — corrected@1m: {:?}", window0(&corrected));
+    println!(
+        "\ntop ads in window [0, 1s) — live@1s    : {:?}",
+        window0(&live)
+    );
+    println!(
+        "top ads in window [0, 1s) — corrected@1m: {:?}",
+        window0(&corrected)
+    );
 
     let stats = ss.stats();
     println!(

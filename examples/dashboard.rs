@@ -74,7 +74,10 @@ fn main() {
     }
 
     let stats = ss.stats();
-    println!("\nwindows patched by late data : {patched} / {}", board.len());
+    println!(
+        "\nwindows patched by late data : {patched} / {}",
+        board.len()
+    );
     println!(
         "completeness per tier        : {:.2}% / {:.2}% / {:.2}%",
         stats.completeness(0) * 100.0,

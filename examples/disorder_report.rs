@@ -76,7 +76,11 @@ fn main() {
             ds.name,
             k,
             r.interleaved,
-            if k <= r.interleaved { "ok" } else { "VIOLATION" }
+            if k <= r.interleaved {
+                "ok"
+            } else {
+                "VIOLATION"
+            }
         );
         assert!(k <= r.interleaved);
     }

@@ -10,10 +10,9 @@
 //! join runs *above* two Impatience sorting operators, never seeing
 //! disorder, while both inputs arrive out of order.
 
-use impatience::prelude::*;
 use impatience::engine::Streamable;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impatience::prelude::*;
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
 
 const CAMPAIGNS: u32 = 8;
 
@@ -27,7 +26,7 @@ fn feeds() -> (Vec<Event<u32>>, Vec<Event<u32>>) {
         let t = i * 5; // an impression every 5 ms
         let user = rng.gen_range(0..2_000u32);
         let campaign = rng.gen_range(0..CAMPAIGNS);
-        let jitter = rng.gen_range(0..40);
+        let jitter = rng.gen_range(0i64..40);
         let mut imp = Event::interval(
             Timestamp::new(t),
             Timestamp::new(t + 30_000),
@@ -38,12 +37,12 @@ fn feeds() -> (Vec<Event<u32>>, Vec<Event<u32>>) {
         impressions.push(imp);
         // ~8% of impressions convert within 0.2–20 s.
         if rng.gen::<f64>() < 0.08 {
-            let ct = t + rng.gen_range(200..20_000);
+            let ct = t + rng.gen_range(200i64..20_000);
             clicks.push(Event::keyed(Timestamp::new(ct), user, campaign));
         }
     }
     // Clicks arrive in click-time order with some shuffling.
-    clicks.sort_by_key(|e| e.sync_time.ticks() + rng.gen_range(0..500));
+    clicks.sort_by_key(|e| e.sync_time.ticks() + rng.gen_range(0i64..500));
     (impressions, clicks)
 }
 

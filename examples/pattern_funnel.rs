@@ -8,8 +8,7 @@
 //! ```
 
 use impatience::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
 
 const AD_X: u32 = 7;
 const AD_Y: u32 = 11;
@@ -30,13 +29,13 @@ fn click_feed() -> Vec<Event<u32>> {
         } else if rng.gen_ratio(1, 25) {
             AD_Y
         } else {
-            rng.gen_range(0..20)
+            rng.gen_range(0u32..20)
         };
         let sync = if rng.gen::<f64>() < 0.05 {
             // Retried uploads: 2–20 minutes late, so a 5-minute reorder
             // latency misses some of them and the 1-hour tier recovers
             // the funnels they complete.
-            (t - rng.gen_range(120_000..1_200_000)).max(0)
+            (t - rng.gen_range(120_000i64..1_200_000)).max(0)
         } else {
             t
         };
@@ -81,8 +80,14 @@ fn main() {
         )
         .collect_output();
 
-    println!("funnel matches @5m latency : {}", fast_matches.event_count());
-    println!("funnel matches @1h latency : {}", full_matches.event_count());
+    println!(
+        "funnel matches @5m latency : {}",
+        fast_matches.event_count()
+    );
+    println!(
+        "funnel matches @1h latency : {}",
+        full_matches.event_count()
+    );
     println!(
         "extra funnels recovered from late clicks: {}",
         full_matches.event_count() as i64 - fast_matches.event_count() as i64

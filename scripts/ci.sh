@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the workspace. Everything runs --offline: the build has
+# no external dependencies (see README.md "Zero external dependencies"),
+# so CI must never touch the network or a registry cache.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline (root crate: conformance + e2e) =="
+cargo test -q --offline
+
+echo "== cargo test -q --offline --workspace (all member crates) =="
+cargo test -q --offline --workspace
+
+echo "CI OK"

@@ -88,8 +88,7 @@ fn q1_windowed_count_advanced_framework_matches_oracle() {
         let name = ds.name.clone();
         let expect = oracle_q1(&surviving_events(&ds, *latencies().last().unwrap()));
         let meter = MemoryMeter::new();
-        let d = DisorderedStreamable::from_arrivals(ds.events, &policy())
-            .tumbling_window(WINDOW);
+        let d = DisorderedStreamable::from_arrivals(ds.events, &policy()).tumbling_window(WINDOW);
         let mut ss = to_streamables_advanced(
             d,
             &latencies(),
@@ -142,8 +141,7 @@ fn q4_top5_is_consistent_with_grouped_oracle() {
     const GROUPS: u32 = 100;
     const K: usize = 5;
     let ds = &datasets()[0];
-    let expect_counts =
-        oracle_grouped(&surviving_events(ds, *latencies().last().unwrap()), GROUPS);
+    let expect_counts = oracle_grouped(&surviving_events(ds, *latencies().last().unwrap()), GROUPS);
     let meter = MemoryMeter::new();
     let d = DisorderedStreamable::from_arrivals(ds.events.clone(), &policy())
         .re_key(|e| e.key % GROUPS)

@@ -2,10 +2,14 @@
 //! latency ladders, the Impatience framework must agree with a batch
 //! oracle, the basic and advanced frameworks must agree with each other,
 //! and output streams must be ordered and monotone in completeness.
+//!
+//! On failure the harness prints the failing case seed; replay with
+//! `IMPATIENCE_PROP_SEED=0x<seed> cargo test <test name>`.
 
 use impatience::prelude::*;
 use impatience_engine::Streamable;
-use proptest::prelude::*;
+use impatience_testkit::prop::{vec as pvec, weighted_bool, Strategy};
+use impatience_testkit::props;
 use std::collections::BTreeMap;
 
 fn window() -> TickDuration {
@@ -15,18 +19,16 @@ fn window() -> TickDuration {
 /// Arbitrary arrival sequence: mostly advancing with occasional big
 /// regressions (late stragglers).
 fn arrivals_strategy() -> impl Strategy<Value = Vec<Event<u32>>> {
-    prop::collection::vec((0i64..40, prop::bool::weighted(0.15), 0u32..8), 1..400).prop_map(
-        |steps| {
-            let mut t = 0i64;
-            let mut out = Vec::new();
-            for (advance, late, key) in steps {
-                t += advance;
-                let sync = if late { (t - 100).max(0) } else { t };
-                out.push(Event::keyed(Timestamp::new(sync), key, key));
-            }
-            out
-        },
-    )
+    pvec((0i64..40, weighted_bool(0.15), 0u32..8), 1..400).prop_map(|steps| {
+        let mut t = 0i64;
+        let mut out = Vec::new();
+        for (advance, late, key) in steps {
+            t += advance;
+            let sync = if late { (t - 100).max(0) } else { t };
+            out.push(Event::keyed(Timestamp::new(sync), key, key));
+        }
+        out
+    })
 }
 
 fn policy(freq: usize) -> IngressPolicy {
@@ -39,10 +41,7 @@ fn policy(freq: usize) -> IngressPolicy {
 
 /// Oracle: windowed grouped counts over events surviving the aligned
 /// watermark-delay drop rule.
-fn oracle(
-    arrivals: &[Event<u32>],
-    max_latency: TickDuration,
-) -> BTreeMap<(i64, u32), u64> {
+fn oracle(arrivals: &[Event<u32>], max_latency: TickDuration) -> BTreeMap<(i64, u32), u64> {
     let mut wm = Timestamp::MIN;
     let mut m = BTreeMap::new();
     for e in arrivals {
@@ -61,8 +60,7 @@ fn run_advanced(
     freq: usize,
 ) -> (Vec<BTreeMap<(i64, u32), u64>>, f64) {
     let meter = MemoryMeter::new();
-    let ds = DisorderedStreamable::from_arrivals(arrivals, &policy(freq))
-        .tumbling_window(window());
+    let ds = DisorderedStreamable::from_arrivals(arrivals, &policy(freq)).tumbling_window(window());
     let mut ss = to_streamables_advanced(
         ds,
         latencies,
@@ -92,15 +90,11 @@ fn run_basic_with_query(
     freq: usize,
 ) -> Vec<BTreeMap<(i64, u32), u64>> {
     let meter = MemoryMeter::new();
-    let ds = DisorderedStreamable::from_arrivals(arrivals, &policy(freq))
-        .tumbling_window(window());
+    let ds = DisorderedStreamable::from_arrivals(arrivals, &policy(freq)).tumbling_window(window());
     let mut ss = to_streamables_basic(ds, latencies, &meter).unwrap();
     (0..latencies.len())
         .map(|i| {
-            let o = ss
-                .stream(i)
-                .group_aggregate(CountAgg)
-                .collect_output();
+            let o = ss.stream(i).group_aggregate(CountAgg).collect_output();
             o.events()
                 .iter()
                 .map(|e| ((e.sync_time.ticks(), e.key), e.payload))
@@ -109,10 +103,9 @@ fn run_basic_with_query(
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases = 64;
 
-    #[test]
     fn final_stream_matches_oracle(
         arrivals in arrivals_strategy(),
         freq in 1usize..60,
@@ -124,11 +117,10 @@ proptest! {
         ];
         let expect = oracle(&arrivals, ls[2]);
         let (outs, leak) = run_advanced(arrivals, &ls, freq);
-        prop_assert_eq!(&outs[2], &expect);
-        prop_assert_eq!(leak, 0.0, "buffered state leaked");
+        assert_eq!(outs[2], expect);
+        assert_eq!(leak, 0.0, "buffered state leaked");
     }
 
-    #[test]
     fn basic_and_advanced_agree(
         arrivals in arrivals_strategy(),
         freq in 1usize..40,
@@ -137,11 +129,10 @@ proptest! {
         let (adv, _) = run_advanced(arrivals.clone(), &ls, freq);
         let basic = run_basic_with_query(arrivals, &ls, freq);
         // Same query, same partitions: identical results stream by stream.
-        prop_assert_eq!(&adv[0], &basic[0]);
-        prop_assert_eq!(&adv[1], &basic[1]);
+        assert_eq!(adv[0], basic[0]);
+        assert_eq!(adv[1], basic[1]);
     }
 
-    #[test]
     fn completeness_monotone_in_latency(
         arrivals in arrivals_strategy(),
         freq in 1usize..40,
@@ -155,12 +146,11 @@ proptest! {
         for i in 0..outs.len() - 1 {
             for (wk, n) in &outs[i] {
                 let later = outs[i + 1].get(wk).copied().unwrap_or(0);
-                prop_assert!(*n <= later, "stream {} over-counted {:?}", i, wk);
+                assert!(*n <= later, "stream {i} over-counted {wk:?}");
             }
         }
     }
 
-    #[test]
     fn single_latency_equals_plain_buffer_and_sort(
         arrivals in arrivals_strategy(),
         freq in 1usize..40,
@@ -172,6 +162,6 @@ proptest! {
         let ls = vec![TickDuration::ticks(64)];
         let expect = oracle(&arrivals, ls[0]);
         let (outs, _) = run_advanced(arrivals, &ls, freq);
-        prop_assert_eq!(&outs[0], &expect);
+        assert_eq!(outs[0], expect);
     }
 }

@@ -1,0 +1,219 @@
+//! Differential conformance suite: every online sorter in the workspace is
+//! driven over ≥1000 seeded punctuated streams and checked event-for-event
+//! against a stable `Vec::sort_by` oracle — per punctuation segment, not
+//! just on the final output.
+//!
+//! Checked per stream and per sorter:
+//!
+//! * each `punctuate(T)` emits exactly the buffered events with `ts <= T`,
+//!   in nondecreasing order (the paper's punctuation cut);
+//! * nothing with `ts > T` leaks out early;
+//! * `drain_all` flushes the rest and leaves no residue;
+//! * the concatenated output equals the stably sorted accepted input.
+//!
+//! Streams deliberately cover duplicate timestamps (tiny value domains),
+//! empty and singleton inputs, sorted/reversed extremes, and varied
+//! punctuation cadences and lags.
+
+use impatience_core::Timestamp;
+use impatience_sort::{
+    online_sorter_by_name, CutBuffer, HeapsortAlgorithm, OnlineSorter, ONLINE_SORTER_NAMES,
+};
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
+
+/// The 6 factory sorters plus the generic incremental adapter
+/// (`CutBuffer<_, HeapsortAlgorithm>`), which the factory does not name.
+fn all_sorters() -> Vec<(&'static str, Box<dyn OnlineSorter<i64>>)> {
+    let mut v: Vec<(&'static str, Box<dyn OnlineSorter<i64>>)> = Vec::new();
+    for name in ONLINE_SORTER_NAMES {
+        v.push((name, online_sorter_by_name::<i64>(name).unwrap()));
+    }
+    v.push(("BSort", online_sorter_by_name::<i64>("BSort").unwrap()));
+    v.push((
+        "Incremental(Heapsort)",
+        Box::new(CutBuffer::<i64, HeapsortAlgorithm>::new()),
+    ));
+    v
+}
+
+/// One generated stream: event timestamps plus a punctuation schedule.
+struct StreamCase {
+    data: Vec<i64>,
+    punct_every: usize,
+    lag: i64,
+}
+
+fn generate_case(seed: u64) -> StreamCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cycle through shapes so duplicates, near-sorted, reversed, and tiny
+    // inputs all appear many times across the 1000+ streams.
+    let len = match seed % 8 {
+        0 => 0,                          // empty stream
+        1 => 1,                          // singleton
+        2 => rng.gen_range(2usize..6),   // tiny
+        _ => rng.gen_range(6usize..160), // general
+    };
+    let domain: i64 = match seed % 5 {
+        0 => 3, // heavy duplicate timestamps
+        1 => 12,
+        _ => 5_000,
+    };
+    let mut data: Vec<i64> = (0..len).map(|_| rng.gen_range(0..domain.max(1))).collect();
+    match seed % 7 {
+        5 => data.sort_unstable(),                   // already sorted
+        6 => data.sort_unstable_by(|a, b| b.cmp(a)), // fully reversed
+        _ => {}
+    }
+    StreamCase {
+        data,
+        punct_every: rng.gen_range(1usize..24),
+        lag: rng.gen_range(0i64..domain.max(1)),
+    }
+}
+
+/// Drives `sorter` through `case`, verifying the punctuation cut against a
+/// stable oracle at every punctuation and at the final drain.
+fn run_conformance(name: &str, sorter: &mut dyn OnlineSorter<i64>, case: &StreamCase, seed: u64) {
+    let mut pending: Vec<i64> = Vec::new(); // accepted, not yet emitted
+    let mut emitted_total = 0usize;
+    let mut wm = i64::MIN;
+    let mut high = i64::MIN;
+
+    for (i, &x) in case.data.iter().enumerate() {
+        // The ingress contract: events at or below the watermark were
+        // already sealed by a punctuation and must not be pushed.
+        if x > wm {
+            sorter.push(x);
+            pending.push(x);
+            high = high.max(x);
+        }
+        if i % case.punct_every == case.punct_every - 1 && high > i64::MIN {
+            let t = high.saturating_sub(case.lag);
+            if t > wm {
+                wm = t;
+                let mut out = Vec::new();
+                sorter.punctuate(Timestamp::new(t), &mut out);
+
+                // Oracle: the stable sort of everything accepted so far
+                // that falls at or below the cut.
+                let mut expect: Vec<i64> = pending.iter().copied().filter(|&v| v <= t).collect();
+                expect.sort_by(|a, b| a.cmp(b));
+                assert_eq!(
+                    out, expect,
+                    "{name}: punctuation cut at T={t} mismatch (seed {seed})"
+                );
+                assert!(
+                    out.iter().all(|&v| v <= t),
+                    "{name}: emitted an event above the punctuation (seed {seed})"
+                );
+                pending.retain(|&v| v > t);
+                emitted_total += out.len();
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    sorter.drain_all(&mut out);
+    let mut expect = pending.clone();
+    expect.sort_by(|a, b| a.cmp(b));
+    assert_eq!(out, expect, "{name}: final drain mismatch (seed {seed})");
+    emitted_total += out.len();
+
+    assert_eq!(
+        sorter.buffered_len(),
+        0,
+        "{name}: residue after drain (seed {seed})"
+    );
+    let accepted = {
+        // Recompute the accepted count with the same watermark replay.
+        let mut wm = i64::MIN;
+        let mut high = i64::MIN;
+        let mut n = 0usize;
+        for (i, &x) in case.data.iter().enumerate() {
+            if x > wm {
+                n += 1;
+                high = high.max(x);
+            }
+            if i % case.punct_every == case.punct_every - 1 && high > i64::MIN {
+                let t = high.saturating_sub(case.lag);
+                if t > wm {
+                    wm = t;
+                }
+            }
+        }
+        n
+    };
+    assert_eq!(
+        emitted_total, accepted,
+        "{name}: event count not conserved (seed {seed})"
+    );
+}
+
+#[test]
+fn all_sorters_conform_on_seeded_streams() {
+    const STREAMS: u64 = 1_000;
+    for seed in 0..STREAMS {
+        let case = generate_case(seed);
+        for (name, mut sorter) in all_sorters() {
+            run_conformance(name, sorter.as_mut(), &case, seed);
+        }
+    }
+}
+
+#[test]
+fn empty_and_singleton_streams() {
+    for (name, mut sorter) in all_sorters() {
+        // Empty: drain without any input.
+        let mut out = Vec::new();
+        sorter.drain_all(&mut out);
+        assert!(out.is_empty(), "{name}: output from empty stream");
+        assert_eq!(sorter.buffered_len(), 0, "{name}");
+    }
+    for (name, mut sorter) in all_sorters() {
+        // Singleton: one event, punctuate exactly at it (ts <= T emits it).
+        sorter.push(7);
+        let mut out = Vec::new();
+        sorter.punctuate(Timestamp::new(7), &mut out);
+        assert_eq!(out, vec![7], "{name}: ts == T must be emitted");
+        sorter.drain_all(&mut out);
+        assert_eq!(out, vec![7], "{name}");
+    }
+}
+
+#[test]
+fn punctuation_boundary_is_inclusive_with_duplicates() {
+    // Duplicate timestamps straddling the cut: all copies at T emit, all
+    // copies above T stay buffered.
+    for (name, mut sorter) in all_sorters() {
+        for x in [5, 3, 5, 8, 3, 5, 8, 1] {
+            sorter.push(x);
+        }
+        let mut out = Vec::new();
+        sorter.punctuate(Timestamp::new(5), &mut out);
+        assert_eq!(out, vec![1, 3, 3, 5, 5, 5], "{name}");
+        assert_eq!(sorter.buffered_len(), 2, "{name}: the two 8s remain");
+        let mut rest = Vec::new();
+        sorter.drain_all(&mut rest);
+        assert_eq!(rest, vec![8, 8], "{name}");
+    }
+}
+
+#[test]
+fn repeated_punctuations_without_new_input() {
+    for (name, mut sorter) in all_sorters() {
+        for x in [10, 30, 20] {
+            sorter.push(x);
+        }
+        let mut out = Vec::new();
+        sorter.punctuate(Timestamp::new(15), &mut out);
+        assert_eq!(out, vec![10], "{name}");
+        out.clear();
+        // A later punctuation with nothing new below it still must not
+        // emit anything extra...
+        sorter.punctuate(Timestamp::new(15), &mut out);
+        assert!(out.is_empty(), "{name}: re-punctuation re-emitted events");
+        // ...and advancing it releases the rest in order.
+        sorter.punctuate(Timestamp::new(100), &mut out);
+        assert_eq!(out, vec![20, 30], "{name}");
+    }
+}

@@ -55,9 +55,8 @@ fn all_sorters_produce_identical_ordered_output() {
             let meter = MemoryMeter::new();
             let stats = IngressStats::new();
             let sorter = online_sorter_by_name::<Event<EvalPayload>>(name).unwrap();
-            let out =
-                ingress_sorted_with(ds.events.clone(), &policy, sorter, &meter, &stats)
-                    .collect_output();
+            let out = ingress_sorted_with(ds.events.clone(), &policy, sorter, &meter, &stats)
+                .collect_output();
             assert!(
                 impatience_core::validate_ordered_stream(&out.messages()).is_ok(),
                 "{name} on {} violates order",
@@ -69,8 +68,7 @@ fn all_sorters_produce_identical_ordered_output() {
                 Some(r) => {
                     // Sorters differ in tie order among equal timestamps;
                     // compare the timestamp sequences and multisets.
-                    let ts: Vec<i64> =
-                        events.iter().map(|e| e.sync_time.ticks()).collect();
+                    let ts: Vec<i64> = events.iter().map(|e| e.sync_time.ticks()).collect();
                     let rts: Vec<i64> = r.iter().map(|e| e.sync_time.ticks()).collect();
                     assert_eq!(ts, rts, "{name} on {}", ds.name);
                     let mut p1: Vec<u32> = events.iter().map(|e| e.key).collect();
@@ -138,8 +136,7 @@ fn punctuation_frequency_does_not_change_content() {
             reorder_latency: TickDuration::ticks(2_000),
             batch_size: 1_024,
         };
-        let out = ingress_sorted(ds.events.clone(), &policy, &meter, &stats)
-            .collect_output();
+        let out = ingress_sorted(ds.events.clone(), &policy, &meter, &stats).collect_output();
         let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
         match &reference {
             None => reference = Some(ts),
