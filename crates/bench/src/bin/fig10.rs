@@ -145,5 +145,27 @@ fn main() {
             );
         }
         println!();
+
+        // Metrics snapshot: one instrumented advanced Q1 run over the same
+        // setup, capturing framework routing counters, per-partition
+        // reorder-latency gauges, and per-operator instruments.
+        let registry = impatience_core::MetricsRegistry::new();
+        let _ = impatience_bench::run_query_metered(
+            Query::Q1,
+            Method::Advanced,
+            &setup.ds,
+            &setup.latencies,
+            setup.window,
+            PUNCT_FREQ,
+            Some(&registry),
+        );
+        let snap = registry.snapshot();
+        println!(
+            "metrics snapshot ({}, instrumented advanced Q1 run):",
+            setup.ds.name
+        );
+        print!("{snap}");
+        impatience_bench::emit_metrics_json(&args, "fig10", &setup.ds.name, &snap);
+        println!();
     }
 }

@@ -104,4 +104,6 @@ fn main() {
         assert!(monotone);
         assert!(recovers, "cleanup effect missing");
     }
+
+    impatience_bench::emit_pipeline_metrics(&args, "fig5", &ds);
 }

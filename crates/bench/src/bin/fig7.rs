@@ -105,6 +105,7 @@ fn main() {
             args.check,
         );
     }
+    impatience_bench::emit_pipeline_metrics(&args, "fig7", &real[0]);
     drop(real);
 
     // ---------------- Fig 7(b): varying amount of disorder ----------------

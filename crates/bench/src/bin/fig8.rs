@@ -156,4 +156,6 @@ fn main() {
         1.3,
         args.check,
     );
+
+    impatience_bench::emit_pipeline_metrics(&args, "fig8", &android);
 }

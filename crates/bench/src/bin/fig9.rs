@@ -199,6 +199,8 @@ fn main() {
         1.1,
         args.check,
     );
+
+    impatience_bench::emit_pipeline_metrics(&args, "fig9", &sets[1].0);
 }
 
 fn projection_speedup<const N: usize>(d: &Dataset, pol: &IngressPolicy) -> f64 {

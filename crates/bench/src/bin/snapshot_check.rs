@@ -1,0 +1,121 @@
+//! CI helper: validates the JSON-lines output of a bench-binary run.
+//!
+//! ```sh
+//! snapshot_check <path.jsonl>
+//! ```
+//!
+//! Asserts that every line parses with the in-tree JSON parser and that at
+//! least one line is a `"kind": "metrics"` snapshot carrying the
+//! observability payload the repro binaries promise: per-operator
+//! event/punctuation counters, sorter run-count and state-bytes gauges
+//! (with high-water marks), and a watermark-lag histogram. Exits non-zero
+//! with a message on the first violation.
+
+use impatience_bench::metrics_of_line;
+use impatience_core::Json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("snapshot_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: snapshot_check <path.jsonl>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+
+    let mut lines = 0usize;
+    let mut snapshots = 0usize;
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let js = Json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("{path}:{}: invalid JSON: {e:?}", no + 1)));
+        if js.get("exhibit").is_none() {
+            fail(&format!("{path}:{}: line has no \"exhibit\" field", no + 1));
+        }
+        if let Some(metrics) = metrics_of_line(&js) {
+            snapshots += 1;
+            check_snapshot(&path, no + 1, metrics);
+        }
+    }
+    if lines == 0 {
+        fail(&format!("{path}: no JSON lines found"));
+    }
+    if snapshots == 0 {
+        fail(&format!(
+            "{path}: {lines} lines but no \"kind\": \"metrics\" snapshot"
+        ));
+    }
+    println!("snapshot_check: {path}: {lines} lines ok, {snapshots} metrics snapshot(s)");
+}
+
+/// One metrics snapshot must carry per-operator counters, sorter gauges
+/// with high-water marks, and a watermark-lag histogram with buckets.
+fn check_snapshot(path: &str, no: usize, metrics: &Json) {
+    let ctx = format!("{path}:{no}");
+    let counters = metrics
+        .get("counters")
+        .unwrap_or_else(|| fail(&format!("{ctx}: snapshot has no counters object")));
+    let gauges = metrics
+        .get("gauges")
+        .unwrap_or_else(|| fail(&format!("{ctx}: snapshot has no gauges object")));
+    let histograms = metrics
+        .get("histograms")
+        .unwrap_or_else(|| fail(&format!("{ctx}: snapshot has no histograms object")));
+
+    let (counter_names, gauge_names, histogram_names) = match (counters, gauges, histograms) {
+        (Json::Object(c), Json::Object(g), Json::Object(h)) => (
+            c.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            g.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            h.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+        ),
+        _ => fail(&format!("{ctx}: counters/gauges/histograms not objects")),
+    };
+
+    // Per-operator instrument pairs from at least one metered stage.
+    for suffix in ["events_in", "events_out", "punctuations_in"] {
+        if !counter_names.iter().any(|n| n.ends_with(suffix)) {
+            fail(&format!("{ctx}: no per-operator \"*.{suffix}\" counter"));
+        }
+    }
+    // Sorter gauges, each carrying value + high-water.
+    for suffix in ["sorter.runs", "sorter.state_bytes"] {
+        let name = gauge_names
+            .iter()
+            .find(|n| n.ends_with(suffix))
+            .unwrap_or_else(|| fail(&format!("{ctx}: no \"*.{suffix}\" gauge")));
+        let g = gauges.get(name).expect("gauge by name");
+        if g.get("value").and_then(Json::as_i64).is_none()
+            || g.get("high_water").and_then(Json::as_i64).is_none()
+        {
+            fail(&format!("{ctx}: gauge {name} lacks value/high_water"));
+        }
+    }
+    // A watermark-lag histogram with the fixed log2 bucket layout.
+    let name = histogram_names
+        .iter()
+        .find(|n| n.ends_with("watermark_lag"))
+        .unwrap_or_else(|| fail(&format!("{ctx}: no \"*.watermark_lag\" histogram")));
+    let h = histograms.get(name).expect("histogram by name");
+    let buckets = match h.get("buckets") {
+        Some(Json::Array(b)) => b,
+        _ => fail(&format!("{ctx}: histogram {name} lacks buckets array")),
+    };
+    if buckets.len() != impatience_core::HISTOGRAM_BUCKETS {
+        fail(&format!(
+            "{ctx}: histogram {name} has {} buckets, expected {}",
+            buckets.len(),
+            impatience_core::HISTOGRAM_BUCKETS
+        ));
+    }
+    for field in ["count", "sum", "min", "max"] {
+        if h.get(field).is_none() {
+            fail(&format!("{ctx}: histogram {name} lacks \"{field}\""));
+        }
+    }
+}

@@ -100,4 +100,6 @@ fn main() {
             assert!(ok, "shape check failed: {label}");
         }
     }
+
+    impatience_bench::emit_pipeline_metrics(&args, "table1", &datasets[0]);
 }

@@ -122,4 +122,26 @@ fn main() {
             assert!(ok, "shape check failed: {label}");
         }
     }
+
+    // Metrics snapshot: instrumented advanced Q1 run on CloudLog exposing
+    // the Table-II ingredients (per-partition routed counts and reorder
+    // latencies) as registry metrics.
+    let (ds, ladder, window) = &setups[0];
+    let registry = impatience_core::MetricsRegistry::new();
+    let _ = impatience_bench::run_query_metered(
+        Query::Q1,
+        Method::Advanced,
+        ds,
+        ladder,
+        *window,
+        10_000,
+        Some(&registry),
+    );
+    let snap = registry.snapshot();
+    println!(
+        "\nmetrics snapshot ({}, instrumented advanced Q1 run):",
+        ds.name
+    );
+    print!("{snap}");
+    impatience_bench::emit_metrics_json(&args, "table2", &ds.name, &snap);
 }

@@ -13,23 +13,27 @@
 //! | `fig10` | Fig 10(a–d) | Impatience framework throughput & memory, Q1–Q4 |
 //! | `table2` | Table II | latency & completeness of the four methods |
 //! | `repro_all` | everything | one-shot run of all exhibits |
+//! | `snapshot_check` | CI | validates a `--json` file's metrics snapshots |
 //!
 //! Every binary accepts `--events N` (dataset size; the paper uses 20M,
 //! the default here is laptop-friendly) and `--check` (assert the
 //! qualitative shapes the paper reports — who wins, roughly by how much).
 //! Results are printed as aligned text tables and optionally appended as
-//! JSON lines via `--json <path>`.
+//! JSON lines via `--json <path>`; each exhibit also appends one
+//! `{"kind": "metrics", ...}` observability snapshot (see [`metrics`]).
 
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod drive;
+pub mod metrics;
 pub mod queries;
 pub mod report;
 
 pub use cli::BenchArgs;
 pub use drive::{drive_online_sorter, offline_sorter_names, run_offline_sorter, DriveOutcome};
-pub use queries::{run_query, Method, Query, QueryRunOutcome};
+pub use metrics::{emit_metrics_json, emit_pipeline_metrics, metrics_of_line, pipeline_metrics};
+pub use queries::{run_query, run_query_metered, Method, Query, QueryRunOutcome};
 pub use report::{fmt_throughput, Row, Table};
 
 /// Shape-check helper: assert `a >= factor * b` with a readable message.

@@ -1,0 +1,129 @@
+//! Metrics-snapshot embedding for the repro binaries.
+//!
+//! Every exhibit binary, next to its measured results, runs one *sampled*
+//! instrumented pipeline over (a prefix of) its dataset and appends the
+//! resulting registry snapshot to the `--json` output as a
+//! `{"kind": "metrics", ...}` line. The measured runs themselves stay
+//! uninstrumented so probe overhead never skews reported throughput; the
+//! snapshot run is capped at [`METRICS_SAMPLE_EVENTS`] events.
+
+use impatience_core::{
+    json, EvalPayload, Event, IngressStats, Json, MemoryMeter, MetricsRegistry, MetricsSnapshot,
+    StreamMessage, TickDuration,
+};
+use impatience_engine::{input_stream, punctuate_arrivals, BlackHoleSink, IngressPolicy};
+use impatience_sort::ImpatienceSorter;
+use impatience_workloads::Dataset;
+
+use crate::cli::BenchArgs;
+
+/// Cap on events pumped through the instrumented snapshot pipeline.
+pub const METRICS_SAMPLE_EVENTS: usize = 200_000;
+
+/// Runs the canonical instrumented pipeline —
+/// `ingress → Impatience sort → tumbling window → count` — over a prefix of
+/// `ds` and returns the registry snapshot. The reorder latency is scaled to
+/// a fifth of the sampled timespan (the Fig 5 tuning) and the window to a
+/// fiftieth.
+pub fn pipeline_metrics(ds: &Dataset, punctuation_frequency: usize) -> MetricsSnapshot {
+    let n = ds.len().min(METRICS_SAMPLE_EVENTS);
+    let events: Vec<Event<EvalPayload>> = ds.events[..n].to_vec();
+    let span = events
+        .iter()
+        .map(|e| e.sync_time.ticks())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let latency = TickDuration::ticks((span / 5).max(1));
+    let window = TickDuration::ticks((span / 50).max(1));
+
+    let registry = MetricsRegistry::new();
+    let stats = IngressStats::registered(&registry);
+    let meter = MemoryMeter::new();
+    let (handle, stream) = input_stream::<EvalPayload>();
+    stream
+        .instrument(&registry, "pipeline")
+        .sorted_with(Box::new(ImpatienceSorter::new()), &meter)
+        .tumbling_window(window)
+        .count()
+        .subscribe_observer(Box::new(BlackHoleSink::new()));
+
+    let policy = IngressPolicy {
+        punctuation_frequency,
+        reorder_latency: latency,
+        batch_size: 4_096,
+    };
+    stats.add_ingested(events.len() as u64);
+    for m in punctuate_arrivals(events, &policy) {
+        if matches!(m, StreamMessage::Punctuation(_)) {
+            stats.add_punctuation();
+        }
+        handle.push_message(m);
+    }
+    // Events surviving the sort stage (ingested minus dropped-late).
+    let sorted_out = registry.counter("pipeline.00.sort.events_out").get();
+    stats.add_emitted(sorted_out);
+    stats.add_dropped_late(stats.ingested().saturating_sub(sorted_out));
+    registry.snapshot()
+}
+
+/// Runs [`pipeline_metrics`] over `ds`, prints the compact top view, and
+/// appends a `{"exhibit": ..., "kind": "metrics", ...}` JSON line.
+pub fn emit_pipeline_metrics(args: &BenchArgs, exhibit: &str, ds: &Dataset) {
+    let snapshot = pipeline_metrics(ds, 10_000);
+    println!("\nmetrics snapshot ({}, sampled pipeline):", ds.name);
+    print!("{snapshot}");
+    emit_metrics_json(args, exhibit, &ds.name, &snapshot);
+}
+
+/// Appends a snapshot (however it was produced) as a metrics JSON line.
+pub fn emit_metrics_json(args: &BenchArgs, exhibit: &str, dataset: &str, snap: &MetricsSnapshot) {
+    args.emit_json(&json!({
+        "exhibit": exhibit,
+        "kind": "metrics",
+        "dataset": dataset,
+        "metrics": snap.to_json(),
+    }));
+}
+
+/// Extracts the `metrics` object from a parsed bench JSON line, if the line
+/// is a metrics line.
+pub fn metrics_of_line(line: &Json) -> Option<&Json> {
+    if line.get("kind").and_then(Json::as_str) == Some("metrics") {
+        line.get("metrics")
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_workloads::{generate_cloudlog, CloudLogConfig};
+
+    #[test]
+    fn snapshot_contains_expected_instruments() {
+        let ds = generate_cloudlog(&CloudLogConfig::sized(4_000));
+        let snap = pipeline_metrics(&ds, 500);
+        let js = snap.to_json();
+        let counters = js.get("counters").expect("counters");
+        assert_eq!(
+            counters
+                .get("ingress.ingested")
+                .and_then(Json::as_i64)
+                .unwrap(),
+            4_000
+        );
+        assert!(counters.get("pipeline.00.sort.events_in").is_some());
+        assert!(counters.get("pipeline.00.sort.punctuations_in").is_some());
+        let gauges = js.get("gauges").expect("gauges");
+        let state = gauges.get("pipeline.00.sorter.state_bytes").expect("gauge");
+        assert!(state.get("high_water").and_then(Json::as_i64).unwrap() > 0);
+        let hists = js.get("histograms").expect("histograms");
+        let lag = hists.get("pipeline.00.sort.watermark_lag").expect("hist");
+        assert!(lag.get("count").and_then(Json::as_i64).unwrap() > 0);
+        // The snapshot is self-describing JSON: it round-trips the parser.
+        let text = js.to_string();
+        assert!(Json::parse(&text).is_ok());
+    }
+}

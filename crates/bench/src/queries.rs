@@ -1,10 +1,11 @@
 //! The §VI-D evaluation queries (Q1–Q4) under the four execution methods
 //! of Fig 10 / Table II, shared by the `fig10` and `table2` binaries.
 
-use impatience_core::{EvalPayload, MemoryMeter, TickDuration};
+use impatience_core::{EvalPayload, MemoryMeter, MetricsRegistry, TickDuration};
 use impatience_engine::{punctuate_arrivals, BlackHoleSink, IngressPolicy, Streamable};
 use impatience_framework::{
-    to_streamables_advanced, to_streamables_basic, DisorderedStreamable, FrameworkStats,
+    to_streamables_advanced_metered, to_streamables_basic_metered, DisorderedStreamable,
+    FrameworkStats,
 };
 use impatience_workloads::Dataset;
 use std::time::Instant;
@@ -114,6 +115,31 @@ pub fn run_query(
     window: TickDuration,
     punctuation_frequency: usize,
 ) -> QueryRunOutcome {
+    run_query_metered(
+        query,
+        method,
+        ds,
+        latencies,
+        window,
+        punctuation_frequency,
+        None,
+    )
+}
+
+/// [`run_query`] with optional pipeline-wide instrumentation: when a
+/// registry is supplied, framework routing counters, per-partition
+/// reorder-latency gauges, and per-operator counts (under
+/// `partition{i:02}.*`) accumulate into it alongside the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_metered(
+    query: Query,
+    method: Method,
+    ds: &Dataset,
+    latencies: &[TickDuration],
+    window: TickDuration,
+    punctuation_frequency: usize,
+    registry: Option<&MetricsRegistry>,
+) -> QueryRunOutcome {
     let ladder: Vec<TickDuration> = match method {
         Method::Advanced | Method::Basic => latencies.to_vec(),
         Method::MinLatency => vec![latencies[0]],
@@ -134,7 +160,8 @@ pub fn run_query(
     let stats;
     match method {
         Method::Basic => {
-            let mut ss = to_streamables_basic(prepped, &ladder, &meter).expect("ladder");
+            let mut ss =
+                to_streamables_basic_metered(prepped, &ladder, &meter, registry).expect("ladder");
             stats = ss.stats();
             for i in 0..ladder.len() {
                 // The basic framework re-runs the full query per stream.
@@ -143,14 +170,15 @@ pub fn run_query(
         }
         _ => {
             let mut ss = match query {
-                Query::Q1 => to_streamables_advanced(
+                Query::Q1 => to_streamables_advanced_metered(
                     prepped,
                     &ladder,
                     |s: Streamable<EvalPayload>| s.count(),
                     |s: Streamable<u64>| s.reduce_by_key(|a, b| *a += b),
                     &meter,
+                    registry,
                 ),
-                _ => to_streamables_advanced(
+                _ => to_streamables_advanced_metered(
                     prepped,
                     &ladder,
                     |s: Streamable<EvalPayload>| {
@@ -158,6 +186,7 @@ pub fn run_query(
                     },
                     |s: Streamable<u64>| s.reduce_by_key(|a, b| *a += b),
                     &meter,
+                    registry,
                 ),
             }
             .expect("ladder");
@@ -235,6 +264,33 @@ mod tests {
                 assert!(o.meps() > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn metered_query_run_populates_registry() {
+        let ds = generate_cloudlog(&CloudLogConfig::sized(4_000));
+        let ladder = [TickDuration::secs(1), TickDuration::hours(1)];
+        let registry = MetricsRegistry::new();
+        let o = run_query_metered(
+            Query::Q2,
+            Method::Advanced,
+            &ds,
+            &ladder,
+            TickDuration::secs(1),
+            500,
+            Some(&registry),
+        );
+        assert_eq!(o.events, 4_000);
+        let routed: u64 = (0..ladder.len())
+            .map(|i| {
+                registry
+                    .counter(&format!("framework.partition{i:02}.routed"))
+                    .get()
+            })
+            .sum();
+        assert_eq!(routed + registry.counter("framework.dropped").get(), 4_000);
+        assert!(registry.counter("partition00.00.sort.events_in").get() > 0);
+        assert!(registry.gauge("framework.partition01.latency_ticks").get() > 0);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   punctuation and ordered-stream contracts;
 //! * [`MemoryMeter`] — deterministic accounting of buffered operator state
 //!   (the paper's Fig 10 memory metric);
-//! * [`IngressStats`] — completeness accounting (the paper's Table II).
+//! * [`IngressStats`] — completeness accounting (the paper's Table II);
+//! * [`MetricsRegistry`] — named counters, gauges, and log2 histograms with
+//!   deterministic JSON snapshot export ([`MetricsSnapshot`]).
 //!
 //! Higher layers: `impatience-sort` (the sorting algorithms),
 //! `impatience-engine` (the in-order operator substrate),
@@ -34,6 +36,7 @@ pub mod event;
 pub mod json;
 pub mod memory;
 pub mod message;
+pub mod metrics;
 pub mod stats;
 pub mod time;
 
@@ -45,5 +48,9 @@ pub use event::{hash_key, EvalPayload, Event, EventTimed, Payload};
 pub use json::{Json, JsonError};
 pub use memory::{format_bytes, MemoryMeter, ScopedCharge};
 pub use message::{validate_ordered_stream, validate_punctuation_contract, StreamMessage};
+pub use metrics::{
+    Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    HISTOGRAM_BUCKETS,
+};
 pub use stats::IngressStats;
 pub use time::{TickDuration, Timestamp};

@@ -1,15 +1,6 @@
 //! Ingress / egress counters used for completeness accounting (Table II).
 
-use std::cell::Cell;
-use std::rc::Rc;
-
-#[derive(Default)]
-struct Inner {
-    ingested: Cell<u64>,
-    emitted: Cell<u64>,
-    dropped_late: Cell<u64>,
-    punctuations: Cell<u64>,
-}
+use crate::metrics::{Counter, MetricsRegistry};
 
 /// Shared counters describing how an ingress (or a whole plan) treated its
 /// input: how many events were ingested, emitted downstream, or dropped
@@ -17,9 +8,16 @@ struct Inner {
 ///
 /// `completeness()` is the paper's Table II metric: the fraction of input
 /// events that survive into the output.
+///
+/// This is a thin facade over [`Counter`] handles; use
+/// [`IngressStats::registered`] to surface the same counters through a
+/// [`MetricsRegistry`] snapshot.
 #[derive(Clone, Default)]
 pub struct IngressStats {
-    inner: Rc<Inner>,
+    ingested: Counter,
+    emitted: Counter,
+    dropped_late: Counter,
+    punctuations: Counter,
 }
 
 impl IngressStats {
@@ -28,52 +26,59 @@ impl IngressStats {
         Self::default()
     }
 
+    /// Counters backed by `registry` under the `ingress.*` names, so they
+    /// appear in [`MetricsRegistry::snapshot`] output.
+    pub fn registered(registry: &MetricsRegistry) -> Self {
+        IngressStats {
+            ingested: registry.counter("ingress.ingested"),
+            emitted: registry.counter("ingress.emitted"),
+            dropped_late: registry.counter("ingress.dropped_late"),
+            punctuations: registry.counter("ingress.punctuations"),
+        }
+    }
+
     /// Records `n` ingested events.
     #[inline]
     pub fn add_ingested(&self, n: u64) {
-        self.inner.ingested.set(self.inner.ingested.get() + n);
+        self.ingested.add(n);
     }
 
     /// Records `n` events emitted to the output.
     #[inline]
     pub fn add_emitted(&self, n: u64) {
-        self.inner.emitted.set(self.inner.emitted.get() + n);
+        self.emitted.add(n);
     }
 
     /// Records `n` events dropped for arriving too late.
     #[inline]
     pub fn add_dropped_late(&self, n: u64) {
-        self.inner
-            .dropped_late
-            .set(self.inner.dropped_late.get() + n);
+        self.dropped_late.add(n);
     }
 
     /// Records one punctuation propagated.
     #[inline]
     pub fn add_punctuation(&self) {
-        self.inner
-            .punctuations
-            .set(self.inner.punctuations.get() + 1);
+        self.punctuations.inc();
     }
 
     /// Total ingested events.
     pub fn ingested(&self) -> u64 {
-        self.inner.ingested.get()
+        self.ingested.get()
     }
 
     /// Total emitted events.
     pub fn emitted(&self) -> u64 {
-        self.inner.emitted.get()
+        self.emitted.get()
     }
 
     /// Total dropped-late events.
     pub fn dropped_late(&self) -> u64 {
-        self.inner.dropped_late.get()
+        self.dropped_late.get()
     }
 
     /// Total punctuations propagated.
     pub fn punctuations(&self) -> u64 {
-        self.inner.punctuations.get()
+        self.punctuations.get()
     }
 
     /// Fraction of ingested events that were *not* dropped, in `[0, 1]`.
@@ -135,5 +140,17 @@ mod tests {
         let t = s.clone();
         t.add_ingested(5);
         assert_eq!(s.ingested(), 5);
+    }
+
+    #[test]
+    fn registered_stats_surface_through_registry() {
+        let registry = crate::metrics::MetricsRegistry::new();
+        let s = IngressStats::registered(&registry);
+        s.add_ingested(9);
+        s.add_dropped_late(2);
+        s.add_punctuation();
+        assert_eq!(registry.counter("ingress.ingested").get(), 9);
+        assert_eq!(registry.counter("ingress.dropped_late").get(), 2);
+        assert_eq!(registry.counter("ingress.punctuations").get(), 1);
     }
 }

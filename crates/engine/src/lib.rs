@@ -16,7 +16,10 @@
 //! * [`ops`] — the operator implementations (bitmap selection §VI-C,
 //!   timestamp-adjusting windows §IV-A2, synchronizing union §V-A, ...);
 //! * [`ingress`] — punctuation policies (`watermark − reorder_latency`)
-//!   and disordered-to-ordered entry points.
+//!   and disordered-to-ordered entry points;
+//! * [`metered`] — opt-in per-operator instrumentation
+//!   ([`Streamable::instrument`]): traffic counters, busy time,
+//!   watermark-lag histograms, sorter gauges.
 //!
 //! ```
 //! use impatience_core::{Event, TickDuration, Timestamp};
@@ -37,6 +40,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ingress;
+pub mod metered;
 pub mod observer;
 pub mod ops;
 pub mod streamable;
@@ -44,5 +48,6 @@ pub mod streamable;
 pub use ingress::{
     disordered_input, ingress_sorted, ingress_sorted_with, punctuate_arrivals, IngressPolicy,
 };
+pub use metered::{EgressProbe, MeteredObserver, OperatorMetrics};
 pub use observer::{BlackHoleSink, CollectorSink, FnSink, Observer, Output, SharedSink};
 pub use streamable::{input_stream, InputHandle, Streamable};

@@ -13,7 +13,7 @@
 
 use crate::observer::Observer;
 use impatience_core::{Event, EventBatch, MemoryMeter, Payload, Timestamp};
-use impatience_sort::OnlineSorter;
+use impatience_sort::{OnlineSorter, SorterGauges};
 
 /// Sorting operator over an online sorter.
 pub struct SortOp<P: Payload, S> {
@@ -22,6 +22,7 @@ pub struct SortOp<P: Payload, S> {
     charged: usize,
     watermark: Timestamp,
     dropped_late: u64,
+    gauges: Option<SorterGauges>,
     next: S,
 }
 
@@ -34,8 +35,18 @@ impl<P: Payload, S> SortOp<P, S> {
             charged: 0,
             watermark: Timestamp::MIN,
             dropped_late: 0,
+            gauges: None,
             next,
         }
+    }
+
+    /// Publishes sorter state into `gauges` at punctuation boundaries: the
+    /// sync just before a flush captures the per-punctuation high-water
+    /// marks (buffering and state bytes peak there), the one just after
+    /// captures the post-flush level.
+    pub fn with_gauges(mut self, gauges: SorterGauges) -> Self {
+        self.gauges = Some(gauges);
+        self
     }
 
     /// Events dropped for arriving at or below an already-emitted
@@ -48,6 +59,12 @@ impl<P: Payload, S> SortOp<P, S> {
         let now = self.sorter.state_bytes();
         self.meter.recharge(self.charged, now);
         self.charged = now;
+    }
+
+    fn sync_gauges(&self) {
+        if let Some(g) = &self.gauges {
+            self.sorter.sync_gauges(g);
+        }
     }
 }
 
@@ -66,9 +83,11 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
     fn on_punctuation(&mut self, t: Timestamp) {
         debug_assert!(t >= self.watermark, "punctuation regressed into sorter");
         self.watermark = t;
+        self.sync_gauges();
         let mut out = Vec::new();
         self.sorter.punctuate(t, &mut out);
         self.sync_meter();
+        self.sync_gauges();
         if !out.is_empty() {
             self.next.on_batch(EventBatch::from_events(out));
         }
@@ -76,9 +95,11 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
     }
 
     fn on_completed(&mut self) {
+        self.sync_gauges();
         let mut out = Vec::new();
         self.sorter.drain_all(&mut out);
         self.sync_meter();
+        self.sync_gauges();
         if !out.is_empty() {
             self.next.on_batch(EventBatch::from_events(out));
         }

@@ -13,20 +13,45 @@
 //!   [`InputHandle`] that the caller pushes into afterwards, which is how
 //!   the benchmarks and the Impatience framework pump data.
 
+use crate::metered::{EgressProbe, MeteredObserver, OperatorMetrics};
 use crate::observer::{CollectorSink, FnSink, Observer, Output};
 use crate::ops;
 use impatience_core::{
-    Event, EventBatch, MemoryMeter, Payload, StreamMessage, TickDuration, Timestamp,
+    Event, EventBatch, MemoryMeter, MetricsRegistry, Payload, StreamMessage, TickDuration,
+    Timestamp,
 };
-use impatience_sort::OnlineSorter;
+use impatience_sort::{OnlineSorter, SorterGauges};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 type Connector<P> = Box<dyn FnOnce(Box<dyn Observer<P>>)>;
 
+/// Instrumentation context carried along a streamable chain: every stage
+/// appended after [`Streamable::instrument`] registers its operator metrics
+/// under `{prefix}.{stage:02}.{name}` and is wrapped in metering probes.
+#[derive(Clone)]
+struct Instrument {
+    registry: MetricsRegistry,
+    prefix: String,
+    stage: usize,
+}
+
+impl Instrument {
+    /// Registers instruments for the next stage and advances the counter.
+    fn next_op(&mut self, name: &str) -> OperatorMetrics {
+        let metrics = OperatorMetrics::register(
+            &self.registry,
+            &format!("{}.{:02}.{name}", self.prefix, self.stage),
+        );
+        self.stage += 1;
+        metrics
+    }
+}
+
 /// A lazily constructed ordered stream of events with payload `P`.
 pub struct Streamable<P: Payload> {
     connect: Connector<P>,
+    instr: Option<Instrument>,
 }
 
 impl<P: Payload> Streamable<P> {
@@ -34,7 +59,24 @@ impl<P: Payload> Streamable<P> {
     pub fn from_connector(connect: impl FnOnce(Box<dyn Observer<P>>) + 'static) -> Self {
         Streamable {
             connect: Box::new(connect),
+            instr: None,
         }
+    }
+
+    /// Enables per-operator instrumentation: every stage chained after this
+    /// call is wrapped in a [`MeteredObserver`] / [`EgressProbe`] pair whose
+    /// instruments register in `registry` under
+    /// `{prefix}.{stage:02}.{operator}` names (see [`OperatorMetrics`] for
+    /// the per-operator instrument set). Instrumentation never alters the
+    /// stream: an instrumented pipeline produces exactly the output of an
+    /// uninstrumented one.
+    pub fn instrument(mut self, registry: &MetricsRegistry, prefix: &str) -> Self {
+        self.instr = Some(Instrument {
+            registry: registry.clone(),
+            prefix: prefix.to_string(),
+            stage: 0,
+        });
+        self
     }
 
     /// A static source that replays `msgs` at subscribe time. The messages
@@ -71,58 +113,103 @@ impl<P: Payload> Streamable<P> {
         self,
         build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + 'static,
     ) -> Streamable<Q> {
+        self.apply_named("op", build)
+    }
+
+    /// Applies an operator-builder stage under an operator name. When the
+    /// chain is instrumented, the stage is sandwiched between a
+    /// [`MeteredObserver`] (in-traffic, busy time, watermark lag) and an
+    /// [`EgressProbe`] (out-traffic); otherwise it connects bare.
+    fn apply_named<Q: Payload>(
+        mut self,
+        name: &str,
+        build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + 'static,
+    ) -> Streamable<Q> {
         let upstream = self.connect;
-        Streamable::from_connector(move |sink| upstream(build(sink)))
+        match self.instr.take() {
+            None => Streamable {
+                connect: Box::new(move |sink| upstream(build(sink))),
+                instr: None,
+            },
+            Some(mut ins) => {
+                let metrics = ins.next_op(name);
+                let connect = move |sink: Box<dyn Observer<Q>>| {
+                    let egress: Box<dyn Observer<Q>> =
+                        Box::new(EgressProbe::new(metrics.clone(), sink));
+                    upstream(Box::new(MeteredObserver::new(metrics, build(egress))));
+                };
+                Streamable {
+                    connect: Box::new(connect),
+                    instr: Some(ins),
+                }
+            }
+        }
     }
 
     /// Selection: keeps events matching `pred` (bitmap-marking, §VI-C).
     pub fn where_(self, pred: impl FnMut(&Event<P>) -> bool + 'static) -> Streamable<P> {
-        self.apply(move |sink| Box::new(ops::FilterOp::new(pred, sink)))
+        self.apply_named("where", move |sink| {
+            Box::new(ops::FilterOp::new(pred, sink))
+        })
     }
 
     /// Projection: maps payloads, preserving event metadata.
     pub fn select<Q: Payload>(self, f: impl FnMut(&P) -> Q + 'static) -> Streamable<Q> {
-        self.apply(move |sink| Box::new(ops::SelectOp::new(f, sink)))
+        self.apply_named("select", move |sink| Box::new(ops::SelectOp::new(f, sink)))
     }
 
     /// Re-keys events (grouping key + hash).
     pub fn re_key(self, f: impl FnMut(&Event<P>) -> u32 + 'static) -> Streamable<P> {
-        self.apply(move |sink| Box::new(ops::ReKeyOp::new(f, sink)))
+        self.apply_named("re_key", move |sink| Box::new(ops::ReKeyOp::new(f, sink)))
     }
 
     /// Tumbling window of `size`: aligns event lifetimes to fixed windows.
     pub fn tumbling_window(self, size: TickDuration) -> Streamable<P> {
-        self.apply(move |sink| Box::new(ops::TumblingWindowOp::new(size, sink)))
+        self.apply_named("tumbling_window", move |sink| {
+            Box::new(ops::TumblingWindowOp::new(size, sink))
+        })
     }
 
     /// Hopping window of `size` advancing every `hop`.
     pub fn hopping_window(self, size: TickDuration, hop: TickDuration) -> Streamable<P> {
-        self.apply(move |sink| Box::new(ops::HoppingWindowOp::new(size, hop, sink)))
+        self.apply_named("hopping_window", move |sink| {
+            Box::new(ops::HoppingWindowOp::new(size, hop, sink))
+        })
     }
 
     /// Windowed aggregate over the whole stream (one result per window).
     pub fn aggregate<A: ops::Aggregate<P>>(self, agg: A) -> Streamable<A::Out> {
-        self.apply(move |sink| Box::new(ops::WindowAggregateOp::new(agg, sink)))
+        self.apply_named("aggregate", move |sink| {
+            Box::new(ops::WindowAggregateOp::new(agg, sink))
+        })
     }
 
     /// Windowed aggregate per grouping key.
     pub fn group_aggregate<A: ops::Aggregate<P>>(self, agg: A) -> Streamable<A::Out> {
-        self.apply(move |sink| Box::new(ops::GroupedAggregateOp::new(agg, sink)))
+        self.apply_named("group_aggregate", move |sink| {
+            Box::new(ops::GroupedAggregateOp::new(agg, sink))
+        })
     }
 
     /// `COUNT(*)` per window — the paper's `.Count()`.
     pub fn count(self) -> Streamable<u64> {
-        self.aggregate(ops::CountAgg)
+        self.apply_named("count", move |sink| {
+            Box::new(ops::WindowAggregateOp::new(ops::CountAgg, sink))
+        })
     }
 
     /// Combines same-(window, key) events with `combine`.
     pub fn reduce_by_key(self, combine: impl FnMut(&mut P, P) + 'static) -> Streamable<P> {
-        self.apply(move |sink| Box::new(ops::ReduceByKeyOp::new(combine, sink)))
+        self.apply_named("reduce_by_key", move |sink| {
+            Box::new(ops::ReduceByKeyOp::new(combine, sink))
+        })
     }
 
     /// Keeps the `k` highest-scored events per window.
     pub fn top_k(self, k: usize, score: impl FnMut(&P) -> i64 + 'static) -> Streamable<P> {
-        self.apply(move |sink| Box::new(ops::TopKOp::new(k, score, sink)))
+        self.apply_named("top_k", move |sink| {
+            Box::new(ops::TopKOp::new(k, score, sink))
+        })
     }
 
     /// Emits `second`-matching events preceded by a `first`-matching event
@@ -133,7 +220,9 @@ impl<P: Payload> Streamable<P> {
         second: impl FnMut(&P) -> bool + 'static,
         window: TickDuration,
     ) -> Streamable<P> {
-        self.apply(move |sink| Box::new(ops::FollowedByOp::new(first, second, window, sink)))
+        self.apply_named("followed_by", move |sink| {
+            Box::new(ops::FollowedByOp::new(first, second, window, sink))
+        })
     }
 
     /// Temporal equi-join with `other`: matches events with equal keys and
@@ -141,32 +230,62 @@ impl<P: Payload> Streamable<P> {
     /// Relation state is charged to `meter`. An order-sensitive operator
     /// (§IV-A): both inputs must be ordered streams.
     pub fn join<R: Payload, Out: Payload>(
-        self,
+        mut self,
         other: Streamable<R>,
         combine: impl FnMut(&P, &R) -> Out + 'static,
         meter: &MemoryMeter,
     ) -> Streamable<Out> {
         let meter = meter.clone();
+        let mut instr = self.instr.take();
+        // Binary operator: one instrument set shared by both inputs (the
+        // in-side counters sum over the two legs) plus an egress probe.
+        let metrics = instr.as_mut().map(|ins| ins.next_op("join"));
         let left_connect = self.connect;
         let right_connect = other.connect;
-        Streamable::from_connector(move |sink| {
-            let (l, r) = ops::temporal_join(combine, sink, meter);
-            left_connect(Box::new(l));
-            right_connect(Box::new(r));
-        })
+        let connect = move |sink: Box<dyn Observer<Out>>| match metrics {
+            None => {
+                let (l, r) = ops::temporal_join(combine, sink, meter);
+                left_connect(Box::new(l));
+                right_connect(Box::new(r));
+            }
+            Some(m) => {
+                let egress: Box<dyn Observer<Out>> = Box::new(EgressProbe::new(m.clone(), sink));
+                let (l, r) = ops::temporal_join(combine, egress, meter);
+                left_connect(Box::new(MeteredObserver::new(m.clone(), l)));
+                right_connect(Box::new(MeteredObserver::new(m, r)));
+            }
+        };
+        Streamable {
+            connect: Box::new(connect),
+            instr,
+        }
     }
 
     /// Merges this stream with `other` into one ordered stream; events
     /// buffered for synchronization are charged to `meter` (§V-A).
-    pub fn union(self, other: Streamable<P>, meter: &MemoryMeter) -> Streamable<P> {
+    pub fn union(mut self, other: Streamable<P>, meter: &MemoryMeter) -> Streamable<P> {
         let meter = meter.clone();
+        let mut instr = self.instr.take();
+        let metrics = instr.as_mut().map(|ins| ins.next_op("union"));
         let left_connect = self.connect;
         let right_connect = other.connect;
-        Streamable::from_connector(move |sink| {
-            let (l, r, _probe) = ops::union(sink, meter);
-            left_connect(Box::new(l));
-            right_connect(Box::new(r));
-        })
+        let connect = move |sink: Box<dyn Observer<P>>| match metrics {
+            None => {
+                let (l, r, _probe) = ops::union(sink, meter);
+                left_connect(Box::new(l));
+                right_connect(Box::new(r));
+            }
+            Some(m) => {
+                let egress: Box<dyn Observer<P>> = Box::new(EgressProbe::new(m.clone(), sink));
+                let (l, r, _probe) = ops::union(egress, meter);
+                left_connect(Box::new(MeteredObserver::new(m.clone(), l)));
+                right_connect(Box::new(MeteredObserver::new(m, r)));
+            }
+        };
+        Streamable {
+            connect: Box::new(connect),
+            instr,
+        }
     }
 
     /// Terminal: connects an arbitrary observer.
@@ -205,13 +324,29 @@ impl<P: Payload> Streamable<P> {
     /// Sorting stage over a *disordered* upstream: buffers in `sorter`,
     /// flushing on punctuations. The result is an ordered stream. Buffered
     /// state is charged to `meter`; late events are dropped and counted.
+    ///
+    /// On an instrumented chain the sorter additionally publishes
+    /// [`SorterGauges`] (run count, buffered events, state-byte high-water
+    /// mark, speculation counters) under `{prefix}.{stage:02}.sorter.*`.
     pub fn sorted_with(
         self,
         sorter: Box<dyn OnlineSorter<Event<P>>>,
         meter: &MemoryMeter,
     ) -> Streamable<P> {
         let meter = meter.clone();
-        self.apply(move |sink| Box::new(ops::SortOp::new(sorter, meter, sink)))
+        let gauges = self.instr.as_ref().map(|ins| {
+            SorterGauges::register(
+                &ins.registry,
+                &format!("{}.{:02}.sorter", ins.prefix, ins.stage),
+            )
+        });
+        self.apply_named("sort", move |sink| {
+            let op = ops::SortOp::new(sorter, meter, sink);
+            Box::new(match gauges {
+                Some(g) => op.with_gauges(g),
+                None => op,
+            })
+        })
     }
 }
 
@@ -399,6 +534,73 @@ mod tests {
         let _out = stream.collect_output();
         handle.complete();
         handle.push_events(evs(&[1]));
+    }
+
+    #[test]
+    fn instrumented_pipeline_output_is_identical() {
+        let run = |registry: Option<&MetricsRegistry>| {
+            let meter = MemoryMeter::new();
+            let (handle, stream) = input_stream::<u32>();
+            let stream = match registry {
+                Some(r) => stream.instrument(r, "pipeline"),
+                None => stream,
+            };
+            let out = stream
+                .sorted_with(Box::new(impatience_sort::ImpatienceSorter::new()), &meter)
+                .where_(|e| e.payload != 6)
+                .tumbling_window(TickDuration::ticks(4))
+                .count()
+                .collect_output();
+            handle.push_events(evs(&[2, 6, 5, 1]));
+            handle.push_punctuation(Timestamp::new(2));
+            handle.push_events(evs(&[4, 3, 7]));
+            handle.push_punctuation(Timestamp::new(4));
+            handle.push_events(evs(&[8]));
+            handle.complete();
+            out.messages()
+        };
+        let registry = MetricsRegistry::new();
+        assert_eq!(run(None), run(Some(&registry)), "instrumentation is inert");
+        // Stage names follow chain order; in/out traffic is conserved
+        // through the identity-count stages.
+        assert_eq!(registry.counter("pipeline.00.sort.events_in").get(), 8);
+        assert_eq!(
+            registry.counter("pipeline.00.sort.punctuations_in").get(),
+            2
+        );
+        assert_eq!(
+            registry.counter("pipeline.01.where.events_in").get(),
+            registry.counter("pipeline.00.sort.events_out").get()
+        );
+        assert_eq!(registry.counter("pipeline.01.where.events_out").get(), 7);
+        assert_eq!(
+            registry.counter("pipeline.03.count.events_out").get(),
+            3,
+            "three closed windows"
+        );
+        assert_eq!(
+            registry.gauge("pipeline.00.sorter.runs").high_water() > 0,
+            true
+        );
+        assert!(
+            registry
+                .gauge("pipeline.00.sorter.state_bytes")
+                .high_water()
+                > 0
+        );
+        assert!(registry.histogram("pipeline.00.sort.watermark_lag").count() > 0);
+    }
+
+    #[test]
+    fn instrumented_union_counts_both_legs() {
+        let registry = MetricsRegistry::new();
+        let meter = MemoryMeter::new();
+        let a = Streamable::from_ordered_events(evs(&[1, 4])).instrument(&registry, "u");
+        let b = Streamable::from_ordered_events(evs(&[2, 3]));
+        let merged = a.union(b, &meter).into_events();
+        assert_eq!(merged.len(), 4);
+        assert_eq!(registry.counter("u.00.union.events_in").get(), 4);
+        assert_eq!(registry.counter("u.00.union.events_out").get(), 4);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! `IMPATIENCE_PROP_SEED=0x<seed> cargo test <test name>`.
 
 use impatience_core::{
-    validate_ordered_stream, Event, EventBatch, MemoryMeter, StreamMessage, TickDuration, Timestamp,
+    validate_ordered_stream, Event, EventBatch, MemoryMeter, MetricsRegistry, StreamMessage,
+    TickDuration, Timestamp,
 };
 use impatience_engine::ops::CountAgg;
-use impatience_engine::Streamable;
+use impatience_engine::{MeteredObserver, Observer, OperatorMetrics, Output, Streamable};
 use impatience_testkit::prop::{vec, Strategy};
 use impatience_testkit::props;
 use std::collections::BTreeMap;
@@ -163,6 +164,37 @@ props! {
             assert_eq!(e.other_time - e.sync_time, size);
         }
         assert!(validate_ordered_stream(&out.messages()).is_ok());
+    }
+
+    fn metered_identity_is_exact_and_inert(msgs in ordered_messages()) {
+        // A MeteredObserver around an identity operator (here: a bare
+        // collector) must forward every message unchanged while counting
+        // each event and punctuation exactly once.
+        let input = flat_events(&msgs);
+        let punctuations = msgs
+            .iter()
+            .filter(|m| matches!(m, StreamMessage::Punctuation(_)))
+            .count() as u64;
+        let batches = msgs
+            .iter()
+            .filter(|m| matches!(m, StreamMessage::Batch(_)))
+            .count() as u64;
+        let registry = MetricsRegistry::new();
+        let metrics = OperatorMetrics::register(&registry, "identity");
+        let (plain_out, plain_sink) = Output::<u32>::new();
+        let (metered_out, metered_sink) = Output::<u32>::new();
+        let mut plain: Box<dyn Observer<u32>> = Box::new(plain_sink);
+        let mut metered: Box<dyn Observer<u32>> =
+            Box::new(MeteredObserver::new(metrics.clone(), metered_sink));
+        for m in &msgs {
+            plain.on_message(m.clone());
+            metered.on_message(m.clone());
+        }
+        assert_eq!(plain_out.messages(), metered_out.messages());
+        assert_eq!(metrics.events_in.get(), input.len() as u64);
+        assert_eq!(metrics.punctuations_in.get(), punctuations);
+        assert_eq!(metrics.batches_in.get(), batches);
+        assert!(validate_ordered_stream(&metered_out.messages()).is_ok());
     }
 
     fn top_k_returns_k_best_per_window(

@@ -26,25 +26,40 @@
 
 use crate::disordered::DisorderedStreamable;
 use crate::plumbing::{HandleSink, TeeOp};
+use impatience_core::metrics::{Counter, MetricsRegistry};
 use impatience_core::{Event, MemoryMeter, Payload, StreamError, TickDuration, Timestamp};
 use impatience_engine::ops::union as build_union;
 use impatience_engine::{input_stream, InputHandle, Observer, Streamable};
 use impatience_sort::{ImpatienceConfig, ImpatienceSorter};
-use std::cell::Cell;
 use std::rc::Rc;
 
-/// Shared routing counters for completeness accounting (Table II).
+/// Shared routing counters for completeness accounting (Table II), built on
+/// the core metrics primitives so they can surface in a registry snapshot.
 #[derive(Clone)]
 pub struct FrameworkStats {
-    routed: Rc<Vec<Cell<u64>>>,
-    dropped: Rc<Cell<u64>>,
+    routed: Rc<Vec<Counter>>,
+    dropped: Counter,
 }
 
 impl FrameworkStats {
     fn new(k: usize) -> Self {
         FrameworkStats {
-            routed: Rc::new((0..k).map(|_| Cell::new(0)).collect()),
-            dropped: Rc::new(Cell::new(0)),
+            routed: Rc::new((0..k).map(|_| Counter::new()).collect()),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Counters backed by `registry` under
+    /// `framework.partition{i:02}.routed` and `framework.dropped`, so the
+    /// Table-II routing split appears in snapshots.
+    fn registered(k: usize, registry: &MetricsRegistry) -> Self {
+        FrameworkStats {
+            routed: Rc::new(
+                (0..k)
+                    .map(|i| registry.counter(&format!("framework.partition{i:02}.routed")))
+                    .collect(),
+            ),
+            dropped: registry.counter("framework.dropped"),
         }
     }
 
@@ -60,7 +75,7 @@ impl FrameworkStats {
 
     /// Total events seen (routed + dropped).
     pub fn total(&self) -> u64 {
-        self.routed.iter().map(Cell::get).sum::<u64>() + self.dropped()
+        self.routed.iter().map(Counter::get).sum::<u64>() + self.dropped()
     }
 
     /// Fraction of input events present in output stream `i` (which
@@ -70,7 +85,7 @@ impl FrameworkStats {
         if total == 0 {
             return 1.0;
         }
-        let in_stream: u64 = self.routed.iter().take(i + 1).map(Cell::get).sum();
+        let in_stream: u64 = self.routed.iter().take(i + 1).map(Counter::get).sum();
         in_stream as f64 / total as f64
     }
 }
@@ -80,7 +95,7 @@ impl core::fmt::Debug for FrameworkStats {
         write!(
             f,
             "FrameworkStats(routed={:?}, dropped={})",
-            self.routed.iter().map(Cell::get).collect::<Vec<_>>(),
+            self.routed.iter().map(Counter::get).collect::<Vec<_>>(),
             self.dropped()
         )
     }
@@ -175,11 +190,11 @@ impl<P: Payload> Observer<P> for Partitioner<P> {
             // `wm − lᵢ`: admitted events are strictly above it).
             match self.latencies.iter().position(|&l| delay < l) {
                 Some(i) => {
-                    self.stats.routed[i].set(self.stats.routed[i].get() + 1);
+                    self.stats.routed[i].inc();
                     self.scratch[i].push(e.clone());
                 }
                 None => {
-                    self.stats.dropped.set(self.stats.dropped.get() + 1);
+                    self.stats.dropped.inc();
                 }
             }
         }
@@ -223,9 +238,45 @@ where
     P: Payload,
     Q: Payload,
 {
+    to_streamables_advanced_metered(ds, latencies, piq, merge, meter, None)
+}
+
+/// [`to_streamables_advanced`] with optional pipeline-wide instrumentation.
+///
+/// With a registry, the framework publishes:
+///
+/// * `framework.partition{i:02}.routed` / `framework.dropped` — the
+///   Table-II routing split (completeness of stream `i` is
+///   `routed(0..=i) / total`);
+/// * `framework.partition{i:02}.latency_ticks` — the reorder latency `lᵢ`
+///   each partition promises;
+/// * per-operator metrics and sorter gauges for every partition pipeline,
+///   under `partition{i:02}.*` prefixes (see
+///   [`Streamable::instrument`]).
+pub fn to_streamables_advanced_metered<P, Q>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    piq: impl Fn(Streamable<P>) -> Streamable<Q> + 'static,
+    merge: impl Fn(Streamable<Q>) -> Streamable<Q> + 'static,
+    meter: &MemoryMeter,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Streamables<Q>, StreamError>
+where
+    P: Payload,
+    Q: Payload,
+{
     validate_latencies(latencies)?;
     let k = latencies.len();
-    let stats = FrameworkStats::new(k);
+    let stats = match registry {
+        Some(r) => FrameworkStats::registered(k, r),
+        None => FrameworkStats::new(k),
+    };
+    if let Some(r) = registry {
+        for (i, l) in latencies.iter().enumerate() {
+            r.gauge(&format!("framework.partition{i:02}.latency_ticks"))
+                .set(l.as_ticks());
+        }
+    }
 
     // Output relays (buffer until subscribed).
     let mut out_handles: Vec<InputHandle<Q>> = Vec::with_capacity(k);
@@ -262,9 +313,13 @@ where
     for r in right_inputs.into_iter().skip(1) {
         sinks.push(r.expect("union right input built"));
     }
-    for sink in sinks {
+    for (i, sink) in sinks.into_iter().enumerate() {
         let (ph, ps) = input_stream::<P>();
         part_handles.push(ph);
+        let ps = match registry {
+            Some(r) => ps.instrument(r, &format!("partition{i:02}")),
+            None => ps,
+        };
         let sorter = ImpatienceSorter::with_config(ImpatienceConfig::default());
         piq(ps.sorted_with(Box::new(sorter), meter)).subscribe_observer(sink);
     }
@@ -297,6 +352,17 @@ pub fn to_streamables_basic<P: Payload>(
     meter: &MemoryMeter,
 ) -> Result<Streamables<P>, StreamError> {
     to_streamables_advanced(ds, latencies, |s| s, |s| s, meter)
+}
+
+/// [`to_streamables_basic`] with optional pipeline-wide instrumentation —
+/// see [`to_streamables_advanced_metered`] for the published metrics.
+pub fn to_streamables_basic_metered<P: Payload>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    meter: &MemoryMeter,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Streamables<P>, StreamError> {
+    to_streamables_advanced_metered(ds, latencies, |s| s, |s| s, meter, registry)
 }
 
 #[cfg(test)]
@@ -521,6 +587,44 @@ mod tests {
             ));
         }
         assert_eq!(meter.current(), 0, "all buffered state released");
+    }
+
+    #[test]
+    fn metered_framework_publishes_table_ii_metrics() {
+        let registry = MetricsRegistry::new();
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let mut ss =
+            to_streamables_basic_metered(ds, &latencies(), &meter, Some(&registry)).unwrap();
+        let _outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        // Routing split surfaces through the registry (delays 0,0,5,0,25,0,35).
+        assert_eq!(registry.counter("framework.partition00.routed").get(), 5);
+        assert_eq!(registry.counter("framework.partition01.routed").get(), 1);
+        assert_eq!(registry.counter("framework.partition02.routed").get(), 1);
+        assert_eq!(registry.counter("framework.dropped").get(), 0);
+        assert_eq!(
+            registry.gauge("framework.partition01.latency_ticks").get(),
+            30
+        );
+        // Partition pipelines are instrumented: sorter gauges + op counters.
+        assert_eq!(registry.counter("partition00.00.sort.events_in").get(), 5);
+        assert!(
+            registry
+                .gauge("partition00.00.sorter.state_bytes")
+                .high_water()
+                > 0
+        );
+        // FrameworkStats reads the same storage.
+        assert_eq!(ss.stats().routed(0), 5);
+        assert!((ss.stats().completeness(2) - 1.0).abs() < 1e-9);
+        // Metered and unmetered frameworks produce identical streams.
+        let plain_meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let mut plain = to_streamables_basic(ds, &latencies(), &plain_meter).unwrap();
+        let plain_outs: Vec<_> = (0..3).map(|i| plain.stream(i).collect_output()).collect();
+        for (a, b) in _outs.iter().zip(&plain_outs) {
+            assert_eq!(a.messages(), b.messages());
+        }
     }
 
     #[test]

@@ -50,5 +50,8 @@ pub mod framework;
 pub mod plumbing;
 
 pub use disordered::DisorderedStreamable;
-pub use framework::{to_streamables_advanced, to_streamables_basic, FrameworkStats, Streamables};
+pub use framework::{
+    to_streamables_advanced, to_streamables_advanced_metered, to_streamables_basic,
+    to_streamables_basic_metered, FrameworkStats, Streamables,
+};
 pub use plumbing::{HandleSink, TeeOp};

@@ -1,0 +1,73 @@
+//! Registry-surfaced sorter diagnostics.
+//!
+//! The one-off accessors on [`crate::RunSet`] / [`crate::ImpatienceSorter`]
+//! (run count, speculation counters) are useful in tests but invisible to a
+//! pipeline-wide metrics snapshot. [`SorterGauges`] bundles them as shared
+//! [`Gauge`] handles registered under a common name prefix, so the engine's
+//! sorting operator can publish sorter state (the paper's Fig 5 run-count
+//! and Fig 10 memory quantities) through a
+//! [`MetricsRegistry`](impatience_core::MetricsRegistry).
+
+use impatience_core::{Gauge, MetricsRegistry};
+
+/// Shared gauges describing the live state of one online sorter.
+///
+/// Updated by the engine at punctuation boundaries (just before a flush,
+/// when buffering peaks, and just after), so the `high_water` marks capture
+/// the true per-punctuation maxima without per-event overhead.
+#[derive(Clone, Debug, Default)]
+pub struct SorterGauges {
+    /// Live sorted-run count (the paper's `k`, Fig 5). Zero for sorters
+    /// without a run structure.
+    pub runs: Gauge,
+    /// Events currently buffered.
+    pub buffered: Gauge,
+    /// Bytes of sorter state held (buffers at capacity); the high-water
+    /// mark is the Fig 10 memory footprint.
+    pub state_bytes: Gauge,
+    /// Lifetime speculation fast-path hits (§III-E2).
+    pub speculative_hits: Gauge,
+    /// Lifetime speculation misses; hit rate is `hits / (hits + misses)`.
+    pub speculative_misses: Gauge,
+}
+
+impl SorterGauges {
+    /// Fresh unregistered gauges (not visible in any snapshot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gauges backed by `registry` under `{prefix}.runs`,
+    /// `{prefix}.buffered_events`, `{prefix}.state_bytes`,
+    /// `{prefix}.speculative_hits`, and `{prefix}.speculative_misses`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        SorterGauges {
+            runs: registry.gauge(&format!("{prefix}.runs")),
+            buffered: registry.gauge(&format!("{prefix}.buffered_events")),
+            state_bytes: registry.gauge(&format!("{prefix}.state_bytes")),
+            speculative_hits: registry.gauge(&format!("{prefix}.speculative_hits")),
+            speculative_misses: registry.gauge(&format!("{prefix}.speculative_misses")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_gauges_share_with_registry() {
+        let registry = MetricsRegistry::new();
+        let g = SorterGauges::register(&registry, "pipeline.00.sorter");
+        g.runs.set(4);
+        g.state_bytes.set(4096);
+        g.state_bytes.set(128);
+        assert_eq!(registry.gauge("pipeline.00.sorter.runs").get(), 4);
+        assert_eq!(
+            registry
+                .gauge("pipeline.00.sorter.state_bytes")
+                .high_water(),
+            4096
+        );
+    }
+}

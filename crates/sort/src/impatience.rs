@@ -115,6 +115,12 @@ impl<T: EventTimed + Clone> ImpatienceSorter<T> {
         self.runs.speculative_hits()
     }
 
+    /// Speculation attempts that fell through to a binary search; hit rate
+    /// is `hits / (hits + misses)`.
+    pub fn speculative_misses(&self) -> u64 {
+        self.runs.speculative_misses()
+    }
+
     /// Partition-phase binary searches performed.
     pub fn binary_searches(&self) -> u64 {
         self.runs.binary_searches()
@@ -174,6 +180,16 @@ impl<T: EventTimed + Clone> OnlineSorter<T> for ImpatienceSorter<T> {
 
     fn name(&self) -> &'static str {
         "Impatience"
+    }
+
+    fn sync_gauges(&self, gauges: &crate::gauges::SorterGauges) {
+        gauges.buffered.set(self.buffered_len() as i64);
+        gauges.state_bytes.set(self.state_bytes() as i64);
+        gauges.runs.set(self.run_count() as i64);
+        gauges.speculative_hits.set(self.speculative_hits() as i64);
+        gauges
+            .speculative_misses
+            .set(self.speculative_misses() as i64);
     }
 }
 

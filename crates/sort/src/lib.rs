@@ -29,6 +29,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bsort;
+pub mod gauges;
 pub mod heapsort;
 pub mod impatience;
 pub mod incremental;
@@ -40,6 +41,7 @@ pub mod timsort;
 pub mod traits;
 
 pub use bsort::BSortSorter;
+pub use gauges::SorterGauges;
 pub use heapsort::{heapsort, HeapSorter, HeapsortAlgorithm};
 pub use impatience::{ImpatienceConfig, ImpatienceSorter};
 pub use incremental::CutBuffer;

@@ -128,6 +128,7 @@ pub struct RunSet<T> {
     speculative: bool,
     /// Lifetime counters for ablation reporting.
     speculative_hits: u64,
+    speculative_misses: u64,
     binary_searches: u64,
 }
 
@@ -140,6 +141,7 @@ impl<T: EventTimed + Clone> RunSet<T> {
             last_insert: 0,
             speculative,
             speculative_hits: 0,
+            speculative_misses: 0,
             binary_searches: 0,
         }
     }
@@ -163,6 +165,13 @@ impl<T: EventTimed + Clone> RunSet<T> {
     /// Times the speculation fast path hit.
     pub fn speculative_hits(&self) -> u64 {
         self.speculative_hits
+    }
+
+    /// Times speculation was attempted but fell through to a binary search.
+    /// Hit rate is `hits / (hits + misses)`; with speculation disabled both
+    /// stay zero (every insert is a plain binary search, not a miss).
+    pub fn speculative_misses(&self) -> u64 {
+        self.speculative_misses
     }
 
     /// Times the slow binary-search path ran.
@@ -195,6 +204,7 @@ impl<T: EventTimed + Clone> RunSet<T> {
                 self.tails[li] = ts;
                 return;
             }
+            self.speculative_misses += 1;
         }
         self.binary_searches += 1;
         // Tails are strictly descending: the first run whose tail <= ts is
@@ -397,6 +407,37 @@ mod tests {
             rs.insert(x);
         }
         assert_eq!(rs.run_count(), 50);
+    }
+
+    #[test]
+    fn speculative_misses_complement_hits() {
+        // Reverse input defeats speculation: every attempt after the first
+        // insert misses and falls through to a binary search.
+        let mut rs: RunSet<i64> = RunSet::new(true);
+        for x in (0..50).rev() {
+            rs.insert(x);
+        }
+        assert_eq!(rs.speculative_hits(), 0);
+        assert_eq!(rs.speculative_misses(), 49, "first insert has no target");
+        assert_eq!(rs.binary_searches(), 50);
+        // Every insert either hits or misses (once a target run exists).
+        let mut mixed: RunSet<i64> = RunSet::new(true);
+        let data: Vec<i64> = (0..500).map(|i| (i * 37) % 97).collect();
+        for &x in &data {
+            mixed.insert(x);
+        }
+        assert_eq!(
+            mixed.speculative_hits() + mixed.speculative_misses(),
+            data.len() as u64 - 1
+        );
+        // Speculation disabled: no hits, no misses, all binary searches.
+        let mut plain: RunSet<i64> = RunSet::new(false);
+        for &x in &data {
+            plain.insert(x);
+        }
+        assert_eq!(plain.speculative_hits(), 0);
+        assert_eq!(plain.speculative_misses(), 0);
+        assert_eq!(plain.binary_searches(), data.len() as u64);
     }
 
     #[test]

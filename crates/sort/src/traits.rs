@@ -9,6 +9,7 @@
 //!   [`crate::incremental::CutBuffer`].
 //! * **Offline algorithms** ([`SortAlgorithm`]) sort a slice in one shot.
 
+use crate::gauges::SorterGauges;
 use impatience_core::{EventTimed, Timestamp};
 
 /// An incremental sorter for out-of-order streams (§III-A's sorting
@@ -38,6 +39,15 @@ pub trait OnlineSorter<T: EventTimed> {
 
     /// Human-readable algorithm name (figure legends).
     fn name(&self) -> &'static str;
+
+    /// Publishes current sorter state into `gauges`. The default covers the
+    /// universal quantities (buffered events, state bytes); sorters with a
+    /// run structure override it to also publish run counts and speculation
+    /// counters.
+    fn sync_gauges(&self, gauges: &SorterGauges) {
+        gauges.buffered.set(self.buffered_len() as i64);
+        gauges.state_bytes.set(self.state_bytes() as i64);
+    }
 }
 
 /// A one-shot comparison sort keyed by event time.

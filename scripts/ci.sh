@@ -19,4 +19,14 @@ cargo test -q --offline
 echo "== cargo test -q --offline --workspace (all member crates) =="
 cargo test -q --offline --workspace
 
+echo "== bench metrics smoke (fig5 --json, validated by snapshot_check) =="
+# A small fig5 run must emit JSON lines that parse with the in-tree JSON
+# parser and include a metrics snapshot with per-operator counters, sorter
+# gauges, and a watermark-lag histogram.
+tmp_json="$(mktemp)"
+trap 'rm -f "$tmp_json"' EXIT
+cargo run --release --offline -q -p impatience-bench --bin fig5 -- \
+    --events 60000 --json "$tmp_json" > /dev/null
+cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- "$tmp_json"
+
 echo "CI OK"
