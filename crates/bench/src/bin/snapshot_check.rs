@@ -1,15 +1,19 @@
 //! CI helper: validates the JSON-lines output of a bench-binary run.
 //!
 //! ```sh
-//! snapshot_check <path.jsonl>
+//! snapshot_check <path.jsonl> [--require-fault-activity]
 //! ```
 //!
 //! Asserts that every line parses with the in-tree JSON parser and that at
 //! least one line is a `"kind": "metrics"` snapshot carrying the
 //! observability payload the repro binaries promise: per-operator
-//! event/punctuation counters, sorter run-count and state-bytes gauges
-//! (with high-water marks), and a watermark-lag histogram. Exits non-zero
-//! with a message on the first violation.
+//! event/punctuation counters, the failure-model counters (late-dropped /
+//! dead-lettered / shed / operator-panic), sorter run-count and
+//! state-bytes gauges (with high-water marks), and a watermark-lag
+//! histogram. With `--require-fault-activity` it additionally demands that
+//! the degradation path actually fired — nonzero dead-letter **and** shed
+//! counts somewhere in the file (for budgeted runs). Exits non-zero with a
+//! message on the first violation.
 
 use impatience_bench::metrics_of_line;
 use impatience_core::Json;
@@ -20,14 +24,24 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| fail("usage: snapshot_check <path.jsonl>"));
+    let mut path: Option<String> = None;
+    let mut require_fault_activity = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--require-fault-activity" => require_fault_activity = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other}")),
+        }
+    }
+    let path = path
+        .unwrap_or_else(|| fail("usage: snapshot_check <path.jsonl> [--require-fault-activity]"));
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
 
     let mut lines = 0usize;
     let mut snapshots = 0usize;
+    let mut dead_lettered = 0u64;
+    let mut shed = 0u64;
     for (no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -40,7 +54,9 @@ fn main() {
         }
         if let Some(metrics) = metrics_of_line(&js) {
             snapshots += 1;
-            check_snapshot(&path, no + 1, metrics);
+            let (dl, sh) = check_snapshot(&path, no + 1, metrics);
+            dead_lettered += dl;
+            shed += sh;
         }
     }
     if lines == 0 {
@@ -51,12 +67,23 @@ fn main() {
             "{path}: {lines} lines but no \"kind\": \"metrics\" snapshot"
         ));
     }
-    println!("snapshot_check: {path}: {lines} lines ok, {snapshots} metrics snapshot(s)");
+    if require_fault_activity && (dead_lettered == 0 || shed == 0) {
+        fail(&format!(
+            "{path}: --require-fault-activity: expected nonzero dead-letter and shed activity, \
+             got dead_lettered={dead_lettered} shed_events={shed}"
+        ));
+    }
+    println!(
+        "snapshot_check: {path}: {lines} lines ok, {snapshots} metrics snapshot(s), \
+         {dead_lettered} dead-lettered, {shed} shed"
+    );
 }
 
-/// One metrics snapshot must carry per-operator counters, sorter gauges
-/// with high-water marks, and a watermark-lag histogram with buckets.
-fn check_snapshot(path: &str, no: usize, metrics: &Json) {
+/// One metrics snapshot must carry per-operator counters, the
+/// failure-model counters, sorter gauges with high-water marks, and a
+/// watermark-lag histogram with buckets. Returns the snapshot's total
+/// (dead-lettered, shed) counts for the fault-activity check.
+fn check_snapshot(path: &str, no: usize, metrics: &Json) -> (u64, u64) {
     let ctx = format!("{path}:{no}");
     let counters = metrics
         .get("counters")
@@ -82,6 +109,30 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) {
         if !counter_names.iter().any(|n| n.ends_with(suffix)) {
             fail(&format!("{ctx}: no per-operator \"*.{suffix}\" counter"));
         }
+    }
+    // The failure-model counters: every instrumented pipeline publishes
+    // its late/dead-letter/shed accounting and a panic counter, even when
+    // (healthy run) they are all zero.
+    for suffix in [
+        "sort.late_dropped",
+        "sort.dead_lettered",
+        "sort.shed_events",
+        "operator_panics",
+    ] {
+        if !counter_names.iter().any(|n| n.ends_with(suffix)) {
+            fail(&format!("{ctx}: no failure-model \"*.{suffix}\" counter"));
+        }
+    }
+    let sum_of = |suffix: &str| -> u64 {
+        counter_names
+            .iter()
+            .filter(|n| n.ends_with(suffix))
+            .filter_map(|n| counters.get(n).and_then(Json::as_i64))
+            .map(|v| v.max(0) as u64)
+            .sum()
+    };
+    if sum_of("operator_panics") > 0 {
+        fail(&format!("{ctx}: nonzero operator_panics in a bench run"));
     }
     // Sorter gauges, each carrying value + high-water.
     for suffix in ["sorter.runs", "sorter.state_bytes"] {
@@ -118,4 +169,5 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) {
             fail(&format!("{ctx}: histogram {name} lacks \"{field}\""));
         }
     }
+    (sum_of("sort.dead_lettered"), sum_of("sort.shed_events"))
 }

@@ -10,6 +10,10 @@ pub struct BenchArgs {
     pub check: bool,
     /// Optional path to append JSON-lines results to.
     pub json: Option<String>,
+    /// Optional sorter-state budget (bytes) for the sampled metrics
+    /// pipeline: runs it degraded (dead-letter + shed-oldest-runs) and
+    /// asserts the state-bytes high water never exceeds the budget.
+    pub memory_budget: Option<usize>,
 }
 
 impl BenchArgs {
@@ -21,6 +25,7 @@ impl BenchArgs {
             events: default_events,
             check: false,
             json: None,
+            memory_budget: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -40,6 +45,14 @@ impl BenchArgs {
                         argv.get(i)
                             .cloned()
                             .unwrap_or_else(|| usage("--json needs a path")),
+                    );
+                }
+                "--memory-budget" => {
+                    i += 1;
+                    args.memory_budget = Some(
+                        argv.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage("--memory-budget needs a byte count")),
                     );
                 }
                 "--help" | "-h" => usage(""),
@@ -68,6 +81,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--events N] [--check] [--json PATH]");
+    eprintln!("usage: <bin> [--events N] [--check] [--json PATH] [--memory-budget BYTES]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -8,9 +8,10 @@
 //! snapshot run is capped at [`METRICS_SAMPLE_EVENTS`] events.
 
 use impatience_core::{
-    json, EvalPayload, Event, IngressStats, Json, MemoryMeter, MetricsRegistry, MetricsSnapshot,
-    StreamMessage, TickDuration,
+    json, DeadLetterQueue, EvalPayload, Event, IngressStats, Json, LatePolicy, MemoryMeter,
+    MetricsRegistry, MetricsSnapshot, ShedPolicy, StreamMessage, TickDuration,
 };
+use impatience_engine::ops::SortPolicy;
 use impatience_engine::{input_stream, punctuate_arrivals, BlackHoleSink, IngressPolicy};
 use impatience_sort::ImpatienceSorter;
 use impatience_workloads::Dataset;
@@ -26,6 +27,19 @@ pub const METRICS_SAMPLE_EVENTS: usize = 200_000;
 /// a fifth of the sampled timespan (the Fig 5 tuning) and the window to a
 /// fiftieth.
 pub fn pipeline_metrics(ds: &Dataset, punctuation_frequency: usize) -> MetricsSnapshot {
+    pipeline_metrics_with(ds, punctuation_frequency, None)
+}
+
+/// [`pipeline_metrics`] with an optional sorter-state **budget** (bytes).
+/// With a budget, the pipeline runs hardened and degraded — late events
+/// dead-letter instead of dropping, memory pressure sheds the oldest runs
+/// into the dead-letter queue — and this function asserts the sorter's
+/// `state_bytes` high water never exceeded the budget.
+pub fn pipeline_metrics_with(
+    ds: &Dataset,
+    punctuation_frequency: usize,
+    budget: Option<usize>,
+) -> MetricsSnapshot {
     let n = ds.len().min(METRICS_SAMPLE_EVENTS);
     let events: Vec<Event<EvalPayload>> = ds.events[..n].to_vec();
     let span = events
@@ -39,11 +53,33 @@ pub fn pipeline_metrics(ds: &Dataset, punctuation_frequency: usize) -> MetricsSn
 
     let registry = MetricsRegistry::new();
     let stats = IngressStats::registered(&registry);
-    let meter = MemoryMeter::new();
+    let meter = match budget {
+        Some(b) => MemoryMeter::with_budget(b),
+        None => MemoryMeter::new(),
+    };
+    let policy = SortPolicy {
+        late: if budget.is_some() {
+            LatePolicy::DeadLetter
+        } else {
+            LatePolicy::Drop
+        },
+        shed: if budget.is_some() {
+            ShedPolicy::ShedOldestRuns
+        } else {
+            ShedPolicy::ForcePunctuation
+        },
+        dead_letters: budget.is_some().then(DeadLetterQueue::new),
+    };
     let (handle, stream) = input_stream::<EvalPayload>();
+    let stream = stream.instrument(&registry, "pipeline");
+    let stream = if budget.is_some() {
+        stream.hardened()
+    } else {
+        stream
+    };
     stream
-        .instrument(&registry, "pipeline")
-        .sorted_with(Box::new(ImpatienceSorter::new()), &meter)
+        .sorted_with_policy(Box::new(ImpatienceSorter::new()), &meter, policy)
+        .expect("Drop/DeadLetter sort policies are accepted")
         .tumbling_window(window)
         .count()
         .subscribe_observer(Box::new(BlackHoleSink::new()));
@@ -64,14 +100,29 @@ pub fn pipeline_metrics(ds: &Dataset, punctuation_frequency: usize) -> MetricsSn
     let sorted_out = registry.counter("pipeline.00.sort.events_out").get();
     stats.add_emitted(sorted_out);
     stats.add_dropped_late(stats.ingested().saturating_sub(sorted_out));
+    if let Some(b) = budget {
+        let hwm = registry
+            .gauge("pipeline.00.sorter.state_bytes")
+            .high_water();
+        assert!(
+            hwm <= b as i64,
+            "budgeted pipeline exceeded its memory budget: state_bytes hwm {hwm} > {b}"
+        );
+    }
     registry.snapshot()
 }
 
 /// Runs [`pipeline_metrics`] over `ds`, prints the compact top view, and
 /// appends a `{"exhibit": ..., "kind": "metrics", ...}` JSON line.
 pub fn emit_pipeline_metrics(args: &BenchArgs, exhibit: &str, ds: &Dataset) {
-    let snapshot = pipeline_metrics(ds, 10_000);
-    println!("\nmetrics snapshot ({}, sampled pipeline):", ds.name);
+    let snapshot = pipeline_metrics_with(ds, 10_000, args.memory_budget);
+    match args.memory_budget {
+        Some(b) => println!(
+            "\nmetrics snapshot ({}, sampled pipeline, {b}-byte budget):",
+            ds.name
+        ),
+        None => println!("\nmetrics snapshot ({}, sampled pipeline):", ds.name),
+    }
     print!("{snapshot}");
     emit_metrics_json(args, exhibit, &ds.name, &snapshot);
 }

@@ -5,11 +5,13 @@ use core::fmt;
 
 /// Errors surfaced by stream construction and execution.
 ///
-/// Note that a *late event* (arriving after the relevant punctuation) is not
-/// an error: per the paper it is either dropped or routed to a
-/// higher-latency partition, and both outcomes are counted by
-/// [`crate::stats::IngressStats`]-style accounting in the framework crate.
-/// Errors here are API-misuse conditions.
+/// A *late event* (arriving after the relevant punctuation) is normally a
+/// policy matter, not an error: per the paper it is dropped, dead-lettered,
+/// or rerouted to a higher-latency partition under a
+/// [`LatePolicy`](crate::policy::LatePolicy), and every outcome is counted.
+/// [`StreamError::LateEvent`] exists for callers that opt into strict
+/// handling and for reporting a rejected push as typed data. The remaining
+/// variants are API-misuse or resource-exhaustion conditions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamError {
     /// A punctuation was issued with a timestamp lower than a previously
@@ -33,6 +35,30 @@ pub enum StreamError {
     /// Invalid configuration (empty latency set, non-increasing latencies,
     /// zero window size, ...).
     InvalidConfig(String),
+    /// An event arrived at or below an already-issued punctuation and the
+    /// active [`LatePolicy`](crate::policy::LatePolicy) rejected it.
+    LateEvent {
+        /// The punctuation the event fell behind.
+        watermark: Timestamp,
+        /// The late event's time.
+        event_time: Timestamp,
+    },
+    /// A charge would push a [`MemoryMeter`](crate::MemoryMeter) past its
+    /// enforced budget and no shed policy could reclaim enough state.
+    MemoryExceeded {
+        /// The enforced budget, bytes.
+        budget: usize,
+        /// Bytes the account attempted to hold.
+        attempted: usize,
+    },
+    /// An operator panicked; the chain was poisoned and this terminal error
+    /// delivered downstream instead of aborting the process.
+    OperatorPanicked {
+        /// Instrumented name of the panicking operator.
+        operator: String,
+        /// The panic payload, stringified when possible.
+        message: String,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -56,11 +82,41 @@ impl fmt::Display for StreamError {
                 "ordered-stream violation: event at {event_time} behind watermark {watermark}"
             ),
             StreamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StreamError::LateEvent {
+                watermark,
+                event_time,
+            } => write!(
+                f,
+                "late event: {event_time} arrived at or behind punctuation {watermark}"
+            ),
+            StreamError::MemoryExceeded { budget, attempted } => write!(
+                f,
+                "memory budget exceeded: {attempted} B attempted against a {budget} B budget"
+            ),
+            StreamError::OperatorPanicked { operator, message } => {
+                write!(f, "operator '{operator}' panicked: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for StreamError {}
+
+/// Plumbing that previously carried stringified errors can now lift them
+/// into the typed domain: a bare message is an [`InvalidConfig`].
+///
+/// [`InvalidConfig`]: StreamError::InvalidConfig
+impl From<String> for StreamError {
+    fn from(msg: String) -> Self {
+        StreamError::InvalidConfig(msg)
+    }
+}
+
+impl From<&str> for StreamError {
+    fn from(msg: &str) -> Self {
+        StreamError::InvalidConfig(msg.to_string())
+    }
+}
 
 /// Convenience alias.
 pub type Result<T, E = StreamError> = core::result::Result<T, E>;
@@ -90,6 +146,36 @@ mod tests {
         assert!(StreamError::InvalidConfig("empty".into())
             .to_string()
             .contains("empty"));
+
+        let e = StreamError::LateEvent {
+            watermark: Timestamp::new(9),
+            event_time: Timestamp::new(4),
+        };
+        assert!(e.to_string().contains("late event"));
+        assert!(e.to_string().contains("T[4]"));
+        assert!(e.to_string().contains("T[9]"));
+
+        let e = StreamError::MemoryExceeded {
+            budget: 1024,
+            attempted: 2048,
+        };
+        assert!(e.to_string().contains("1024 B budget"));
+        assert!(e.to_string().contains("2048 B attempted"));
+
+        let e = StreamError::OperatorPanicked {
+            operator: "pipeline.03.window".into(),
+            message: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("pipeline.03.window"));
+        assert!(e.to_string().contains("index out of bounds"));
+    }
+
+    #[test]
+    fn from_string_lifts_to_invalid_config() {
+        let e: StreamError = "bad ladder".into();
+        assert_eq!(e, StreamError::InvalidConfig("bad ladder".into()));
+        let e: StreamError = String::from("oops").into();
+        assert!(matches!(e, StreamError::InvalidConfig(m) if m == "oops"));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod json;
 pub mod memory;
 pub mod message;
 pub mod metrics;
+pub mod policy;
 pub mod stats;
 pub mod time;
 
@@ -52,5 +53,6 @@ pub use metrics::{
     Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
 };
+pub use policy::{DeadLetter, DeadLetterQueue, DeadLetterReason, LatePolicy, ShedPolicy};
 pub use stats::IngressStats;
 pub use time::{TickDuration, Timestamp};

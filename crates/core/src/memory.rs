@@ -7,13 +7,18 @@
 //! [`MemoryMeter`], tracking current and peak usage exactly. Ratios between
 //! plans (the paper reports up to 31.5×) are preserved.
 
-use std::cell::Cell;
+use crate::error::StreamError;
+use crate::metrics::Counter;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 #[derive(Default)]
 struct Inner {
     current: Cell<usize>,
     peak: Cell<usize>,
+    budget: Cell<Option<usize>>,
+    over_releases: Cell<u64>,
+    over_release_counter: RefCell<Option<Counter>>,
 }
 
 /// A cheaply cloneable handle to a shared memory account.
@@ -27,9 +32,46 @@ pub struct MemoryMeter {
 }
 
 impl MemoryMeter {
-    /// A fresh meter at zero.
+    /// A fresh meter at zero, with no enforced budget.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh meter with an enforced budget of `bytes`.
+    ///
+    /// The budget is advisory at the accounting layer: [`charge`] still
+    /// succeeds past it (the meter must reflect reality), but
+    /// [`over_budget`] turns true and enforcement points — the engine's
+    /// sorting operator, via its shed policy — use [`try_charge`] /
+    /// [`over_budget`] to degrade gracefully.
+    ///
+    /// [`charge`]: MemoryMeter::charge
+    /// [`try_charge`]: MemoryMeter::try_charge
+    /// [`over_budget`]: MemoryMeter::over_budget
+    pub fn with_budget(bytes: usize) -> Self {
+        let m = Self::default();
+        m.inner.budget.set(Some(bytes));
+        m
+    }
+
+    /// Sets or clears the enforced budget on the shared account.
+    pub fn set_budget(&self, bytes: Option<usize>) {
+        self.inner.budget.set(bytes);
+    }
+
+    /// The enforced budget, if any.
+    #[inline]
+    pub fn budget(&self) -> Option<usize> {
+        self.inner.budget.get()
+    }
+
+    /// True when the current charge exceeds the enforced budget.
+    #[inline]
+    pub fn over_budget(&self) -> bool {
+        match self.inner.budget.get() {
+            Some(b) => self.inner.current.get() > b,
+            None => false,
+        }
     }
 
     /// Charges `bytes` to the account.
@@ -42,14 +84,52 @@ impl MemoryMeter {
         }
     }
 
+    /// Charges `bytes` only if the result stays within the budget; returns
+    /// [`StreamError::MemoryExceeded`] (and charges nothing) otherwise.
+    pub fn try_charge(&self, bytes: usize) -> Result<(), StreamError> {
+        let attempted = self.inner.current.get() + bytes;
+        if let Some(budget) = self.inner.budget.get() {
+            if attempted > budget {
+                return Err(StreamError::MemoryExceeded { budget, attempted });
+            }
+        }
+        self.charge(bytes);
+        Ok(())
+    }
+
     /// Releases `bytes` from the account. Saturates at zero rather than
     /// panicking so that conservative over-release (e.g. after a buffer
-    /// shrink estimate) cannot poison a benchmark run; debug builds assert.
+    /// shrink estimate) cannot poison a benchmark run; each over-release is
+    /// counted (see [`over_releases`]) and surfaces in metrics snapshots
+    /// when a counter is bound via [`bind_over_release_counter`].
+    ///
+    /// [`over_releases`]: MemoryMeter::over_releases
+    /// [`bind_over_release_counter`]: MemoryMeter::bind_over_release_counter
     #[inline]
     pub fn release(&self, bytes: usize) {
         let cur = self.inner.current.get();
-        debug_assert!(bytes <= cur, "releasing {bytes} B but only {cur} B charged");
+        if bytes > cur {
+            self.inner
+                .over_releases
+                .set(self.inner.over_releases.get() + 1);
+            if let Some(c) = self.inner.over_release_counter.borrow().as_ref() {
+                c.inc();
+            }
+        }
         self.inner.current.set(cur.saturating_sub(bytes));
+    }
+
+    /// Number of releases that exceeded the charged balance.
+    #[inline]
+    pub fn over_releases(&self) -> u64 {
+        self.inner.over_releases.get()
+    }
+
+    /// Binds a metrics [`Counter`] that is bumped on every over-release, so
+    /// accounting bugs show up in pipeline snapshots instead of only in
+    /// debug builds.
+    pub fn bind_over_release_counter(&self, counter: Counter) {
+        *self.inner.over_release_counter.borrow_mut() = Some(counter);
     }
 
     /// Replaces a previous charge with a new one in a single adjustment.
@@ -213,6 +293,59 @@ mod tests {
         }
         assert_eq!(m.current(), 0);
         assert_eq!(m.peak(), 128);
+    }
+
+    #[test]
+    fn over_release_is_counted_not_fatal() {
+        let m = MemoryMeter::new();
+        let c = crate::metrics::Counter::new();
+        m.bind_over_release_counter(c.clone());
+        m.charge(10);
+        m.release(25);
+        assert_eq!(m.current(), 0, "saturates at zero");
+        assert_eq!(m.over_releases(), 1);
+        assert_eq!(c.get(), 1);
+        m.release(1);
+        assert_eq!(m.over_releases(), 2);
+        m.charge(5);
+        m.release(5);
+        assert_eq!(m.over_releases(), 2, "balanced release is not counted");
+    }
+
+    #[test]
+    fn budget_and_try_charge() {
+        let m = MemoryMeter::with_budget(100);
+        assert_eq!(m.budget(), Some(100));
+        assert!(m.try_charge(80).is_ok());
+        assert!(!m.over_budget());
+        let err = m.try_charge(30).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::MemoryExceeded {
+                budget: 100,
+                attempted: 110
+            }
+        );
+        assert_eq!(m.current(), 80, "failed try_charge charges nothing");
+        m.set_budget(None);
+        assert!(m.try_charge(30).is_ok());
+        assert!(!m.over_budget());
+    }
+
+    #[test]
+    fn recharge_crossing_the_budget_is_visible() {
+        // Regression: the sorter recharges state in one step
+        // (`recharge(old, new)`); a growing recharge that crosses the
+        // budget must flip `over_budget` even though no `try_charge` ran.
+        let m = MemoryMeter::with_budget(100);
+        m.charge(90);
+        assert!(!m.over_budget());
+        m.recharge(90, 140);
+        assert_eq!(m.current(), 140);
+        assert!(m.over_budget(), "growing recharge crossed the budget");
+        m.recharge(140, 60);
+        assert!(!m.over_budget(), "shrinking recharge recovered");
+        assert_eq!(m.over_releases(), 0, "recharge within balance is clean");
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Failure-model policies: what to do with late events and what to shed
+//! when a memory budget is exceeded.
+//!
+//! The paper treats disorder as the common case (§II, Fig 1) and gives two
+//! answers for events that arrive behind an already-issued punctuation:
+//! drop them (the single-sorter baseline) or reroute them to a
+//! higher-latency partition of the Impatience framework (§V). Production
+//! stream engines add a third: divert them to a *dead-letter* channel so
+//! the consumer can audit or replay them. [`LatePolicy`] names all three;
+//! every outcome is counted so none is silent.
+//!
+//! [`ShedPolicy`] answers the companion question raised by Fig 10's state
+//! curves: when sorter state hits an enforced
+//! [`MemoryMeter`](crate::MemoryMeter) budget, either cut runs early with a
+//! forced punctuation (degrading the effective reorder latency but keeping
+//! every event) or shed the oldest — most severely delayed — runs
+//! wholesale (keeping latency semantics but losing the shed events to the
+//! dead-letter channel).
+
+use crate::event::{Event, Payload};
+use crate::time::Timestamp;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What the sorter boundary does with an event at or behind the watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatePolicy {
+    /// Count and discard the event (the paper's single-sorter baseline).
+    #[default]
+    Drop,
+    /// Divert the event to a typed [`DeadLetterQueue`] for audit/replay.
+    DeadLetter,
+    /// Hand the event to the next (higher-latency) framework partition,
+    /// per §V. Only meaningful inside the partitioned framework; a
+    /// standalone sorter rejects this policy at configuration time.
+    RerouteNextPartition,
+}
+
+/// How a budgeted sorter reclaims state once it exceeds its memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Flush buffered runs early with a forced punctuation. No events are
+    /// lost, but the effective reorder latency degrades: events later than
+    /// the forced cut become late and fall under the [`LatePolicy`].
+    #[default]
+    ForcePunctuation,
+    /// Evict whole runs, oldest (most delayed) first, until back under
+    /// budget. Latency semantics are preserved for surviving events; shed
+    /// events are counted and dead-lettered when a queue is attached.
+    ShedOldestRuns,
+}
+
+/// Why an event landed in the dead-letter queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadLetterReason {
+    /// Arrived at or behind this punctuation under
+    /// [`LatePolicy::DeadLetter`].
+    Late {
+        /// The punctuation the event fell behind.
+        watermark: Timestamp,
+    },
+    /// Evicted by [`ShedPolicy::ShedOldestRuns`] under memory pressure.
+    Shed,
+}
+
+/// One dead-lettered event with its reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter<P: Payload> {
+    /// The diverted event, unmodified.
+    pub event: Event<P>,
+    /// Why it was diverted.
+    pub reason: DeadLetterReason,
+}
+
+#[derive(Debug)]
+struct DlqInner<P: Payload> {
+    letters: Vec<DeadLetter<P>>,
+    total: u64,
+}
+
+/// A shared, cheaply cloneable dead-letter channel.
+///
+/// Clones share the queue (like [`MemoryMeter`](crate::MemoryMeter)
+/// clones share the account): the producer side lives inside the sorting
+/// operator or framework partitioner, the consumer side wherever the
+/// pipeline was built. `total` survives [`drain`](DeadLetterQueue::drain),
+/// so metrics stay monotonic even when the consumer empties the queue.
+#[derive(Debug, Clone)]
+pub struct DeadLetterQueue<P: Payload> {
+    inner: Rc<RefCell<DlqInner<P>>>,
+}
+
+impl<P: Payload> Default for DeadLetterQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Payload> DeadLetterQueue<P> {
+    /// A fresh, empty queue.
+    pub fn new() -> Self {
+        DeadLetterQueue {
+            inner: Rc::new(RefCell::new(DlqInner {
+                letters: Vec::new(),
+                total: 0,
+            })),
+        }
+    }
+
+    /// Appends one dead letter.
+    pub fn push(&self, event: Event<P>, reason: DeadLetterReason) {
+        let mut inner = self.inner.borrow_mut();
+        inner.total += 1;
+        inner.letters.push(DeadLetter { event, reason });
+    }
+
+    /// Letters currently queued (undrained).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().letters.len()
+    }
+
+    /// True when no letters are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of letters ever pushed (monotonic across drains).
+    pub fn total(&self) -> u64 {
+        self.inner.borrow().total
+    }
+
+    /// Removes and returns all queued letters, oldest first.
+    pub fn drain(&self) -> Vec<DeadLetter<P>> {
+        std::mem::take(&mut self.inner.borrow_mut().letters)
+    }
+
+    /// True if this and `other` share the same queue.
+    pub fn same_queue(&self, other: &DeadLetterQueue<P>) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_baseline() {
+        assert_eq!(LatePolicy::default(), LatePolicy::Drop);
+        assert_eq!(ShedPolicy::default(), ShedPolicy::ForcePunctuation);
+    }
+
+    #[test]
+    fn dead_letter_queue_shares_and_drains() {
+        let q: DeadLetterQueue<u32> = DeadLetterQueue::new();
+        let q2 = q.clone();
+        assert!(q.same_queue(&q2));
+        assert!(q.is_empty());
+
+        q2.push(
+            Event::point(Timestamp::new(3), 7),
+            DeadLetterReason::Late {
+                watermark: Timestamp::new(5),
+            },
+        );
+        q2.push(Event::point(Timestamp::new(9), 8), DeadLetterReason::Shed);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total(), 2);
+
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].event.payload, 7);
+        assert_eq!(
+            drained[0].reason,
+            DeadLetterReason::Late {
+                watermark: Timestamp::new(5)
+            }
+        );
+        assert_eq!(drained[1].reason, DeadLetterReason::Shed);
+        assert!(q.is_empty(), "drain empties the shared queue");
+        assert_eq!(q.total(), 2, "total survives the drain");
+        assert!(!q.same_queue(&DeadLetterQueue::new()));
+    }
+}

@@ -1,0 +1,261 @@
+//! Panic isolation: the [`PanicGuard`] observer wrapper.
+//!
+//! A panicking operator normally aborts the whole process — one bad
+//! aggregate closure takes down every partition of a query. Under
+//! [`crate::Streamable::hardened`], each stage is wrapped in a
+//! [`PanicGuard`] that catches the panic with `catch_unwind`, **poisons**
+//! the chain (all further traffic is swallowed), and delivers a terminal
+//! [`StreamError::OperatorPanicked`] to the stage's downstream — which
+//! forwards it, unflushed, to the pipeline's sink.
+//!
+//! The guard needs a handle to the operator's downstream that survives the
+//! operator being consumed by the panic, so hardened stages are built with
+//! a shared (`Rc<RefCell<...>>`) downstream: the operator writes into it in
+//! normal operation, and the guard writes the terminal error into the same
+//! cell when the operator dies.
+
+use crate::observer::Observer;
+use impatience_core::metrics::Counter;
+use impatience_core::{EventBatch, Payload, StreamError, Timestamp};
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::Once;
+
+thread_local! {
+    static GUARDING: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Silences the default panic report while a guard is actively catching,
+/// chaining to the previous hook otherwise (so genuine unguarded panics —
+/// and the testkit's own probes — still report normally).
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !GUARDING.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f` with panics captured; returns the panic message on failure.
+fn guarded<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    let was = GUARDING.with(Cell::get);
+    GUARDING.with(|g| g.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    GUARDING.with(|g| g.set(was));
+    result.map_err(|payload| payload_message(&*payload))
+}
+
+/// Observer wrapper that catches panics in the wrapped operator and turns
+/// them into a terminal [`StreamError::OperatorPanicked`] delivered to the
+/// shared `downstream`.
+pub struct PanicGuard<P: Payload, Q: Payload> {
+    name: String,
+    inner: Box<dyn Observer<P>>,
+    downstream: Rc<RefCell<Box<dyn Observer<Q>>>>,
+    poisoned: bool,
+    panics: Counter,
+}
+
+impl<P: Payload, Q: Payload> PanicGuard<P, Q> {
+    /// Guards `inner` (the operator, already connected to a
+    /// [`SharedSink`](crate::SharedSink) view of `downstream`), delivering
+    /// failures to `downstream` and counting them in `panics`.
+    pub fn new(
+        name: impl Into<String>,
+        inner: Box<dyn Observer<P>>,
+        downstream: Rc<RefCell<Box<dyn Observer<Q>>>>,
+        panics: Counter,
+    ) -> Self {
+        PanicGuard {
+            name: name.into(),
+            inner,
+            downstream,
+            poisoned: false,
+            panics,
+        }
+    }
+
+    /// Has the guarded operator panicked?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn trip(&mut self, message: String) {
+        self.poisoned = true;
+        self.panics.inc();
+        let err = StreamError::OperatorPanicked {
+            operator: self.name.clone(),
+            message,
+        };
+        // Error delivery itself runs guarded: a sink that panics while
+        // handling the error must not escape either. A secondary panic is
+        // counted and swallowed — the chain is already poisoned.
+        let down = self.downstream.clone();
+        if guarded(move || down.borrow_mut().on_error(err)).is_err() {
+            self.panics.inc();
+        }
+    }
+
+    fn run(&mut self, f: impl FnOnce(&mut Box<dyn Observer<P>>)) {
+        if self.poisoned {
+            return;
+        }
+        let inner = &mut self.inner;
+        if let Err(msg) = guarded(|| f(inner)) {
+            self.trip(msg);
+        }
+    }
+}
+
+impl<P: Payload, Q: Payload> Observer<P> for PanicGuard<P, Q> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        self.run(move |inner| inner.on_batch(batch));
+    }
+
+    fn on_punctuation(&mut self, t: Timestamp) {
+        self.run(move |inner| inner.on_punctuation(t));
+    }
+
+    fn on_completed(&mut self) {
+        self.run(|inner| inner.on_completed());
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        if self.poisoned {
+            return;
+        }
+        self.poisoned = true;
+        let down = self.downstream.clone();
+        if guarded(move || down.borrow_mut().on_error(err)).is_err() {
+            self.panics.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{CollectorSink, Output, SharedSink};
+    use impatience_core::{Event, StreamMessage};
+
+    struct PanicOn {
+        at: i64,
+        next: SharedSink<Box<dyn Observer<u32>>>,
+    }
+
+    impl Observer<u32> for PanicOn {
+        fn on_batch(&mut self, batch: EventBatch<u32>) {
+            for e in batch.iter_visible() {
+                assert!(e.sync_time.ticks() != self.at, "boom at {}", self.at);
+            }
+            self.next.on_batch(batch);
+        }
+        fn on_punctuation(&mut self, t: Timestamp) {
+            self.next.on_punctuation(t);
+        }
+        fn on_completed(&mut self) {
+            self.next.on_completed();
+        }
+        fn on_error(&mut self, err: StreamError) {
+            self.next.on_error(err);
+        }
+    }
+
+    fn guard_over(at: i64) -> (Output<u32>, PanicGuard<u32, u32>, Counter) {
+        let (out, sink) = Output::<u32>::new();
+        let shared: Rc<RefCell<Box<dyn Observer<u32>>>> =
+            Rc::new(RefCell::new(Box::new(sink) as Box<dyn Observer<u32>>));
+        let op = PanicOn {
+            at,
+            next: SharedSink(shared.clone()),
+        };
+        let panics = Counter::new();
+        let guard = PanicGuard::new("test.op", Box::new(op), shared, panics.clone());
+        (out, guard, panics)
+    }
+
+    fn batch(ts: &[i64]) -> EventBatch<u32> {
+        ts.iter()
+            .map(|&t| Event::point(Timestamp::new(t), t as u32))
+            .collect()
+    }
+
+    #[test]
+    fn transparent_when_nothing_panics() {
+        let (out, mut guard, panics) = guard_over(-1);
+        guard.on_batch(batch(&[1, 2]));
+        guard.on_punctuation(Timestamp::new(2));
+        guard.on_completed();
+        assert_eq!(out.event_count(), 2);
+        assert!(out.is_completed());
+        assert!(out.error().is_none());
+        assert_eq!(panics.get(), 0);
+        assert!(!guard.is_poisoned());
+    }
+
+    #[test]
+    fn panic_becomes_typed_terminal_error() {
+        let (out, mut guard, panics) = guard_over(5);
+        guard.on_batch(batch(&[1]));
+        guard.on_batch(batch(&[5])); // operator panics here
+        guard.on_batch(batch(&[9])); // poisoned: swallowed
+        guard.on_punctuation(Timestamp::new(9));
+        guard.on_completed();
+        assert!(guard.is_poisoned());
+        assert_eq!(panics.get(), 1);
+        match out.error() {
+            Some(StreamError::OperatorPanicked { operator, message }) => {
+                assert_eq!(operator, "test.op");
+                assert!(message.contains("boom at 5"), "message: {message}");
+            }
+            other => panic!("expected OperatorPanicked, got {other:?}"),
+        }
+        assert!(!out.is_completed(), "no completion after the panic");
+        assert_eq!(out.event_count(), 1, "traffic after the panic swallowed");
+        // The last recorded message is pre-panic traffic, not completion.
+        assert!(matches!(
+            out.messages().last(),
+            Some(StreamMessage::Batch(_))
+        ));
+    }
+
+    #[test]
+    fn upstream_error_forwards_to_downstream_once() {
+        let (out, mut guard, panics) = guard_over(-1);
+        guard.on_error(StreamError::PushAfterCompleted);
+        guard.on_error(StreamError::InvalidConfig("dup".into()));
+        guard.on_completed();
+        assert_eq!(out.error(), Some(StreamError::PushAfterCompleted));
+        assert_eq!(panics.get(), 0);
+    }
+
+    #[test]
+    fn collector_sink_keeps_pre_panic_output() {
+        let (out, mut guard, _panics) = guard_over(3);
+        guard.on_batch(batch(&[1, 2]));
+        guard.on_punctuation(Timestamp::new(2));
+        guard.on_batch(batch(&[3]));
+        assert_eq!(out.event_count(), 2);
+        assert_eq!(out.last_punctuation(), Some(Timestamp::new(2)));
+    }
+
+    #[allow(dead_code)]
+    fn collector_sink_type_check(_: CollectorSink<u32>) {}
+}

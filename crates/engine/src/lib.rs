@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod hardened;
 pub mod ingress;
 pub mod metered;
 pub mod observer;
 pub mod ops;
 pub mod streamable;
 
+pub use hardened::PanicGuard;
 pub use ingress::{
     disordered_input, ingress_sorted, ingress_sorted_with, punctuate_arrivals, IngressPolicy,
 };

@@ -18,7 +18,7 @@
 
 use crate::observer::Observer;
 use impatience_core::metrics::{Counter, Histogram, MetricsRegistry};
-use impatience_core::{EventBatch, Payload, Timestamp};
+use impatience_core::{EventBatch, Payload, StreamError, Timestamp};
 use std::time::Instant;
 
 /// Shared handles to one operator's instruments, registered under
@@ -117,6 +117,10 @@ impl<P: Payload, S: Observer<P>> Observer<P> for MeteredObserver<P, S> {
         self.inner.on_completed();
         self.metrics.busy_ns.add(start.elapsed().as_nanos() as u64);
     }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.inner.on_error(err);
+    }
 }
 
 /// Transparent observer wrapper that records an operator's *output* traffic
@@ -153,6 +157,10 @@ impl<P: Payload, S: Observer<P>> Observer<P> for EgressProbe<P, S> {
 
     fn on_completed(&mut self) {
         self.inner.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.inner.on_error(err);
     }
 }
 

@@ -7,7 +7,7 @@
 //! unless explicitly documented otherwise — the whole point of the paper's
 //! architecture is that only the sorting operator ever sees disorder.
 
-use impatience_core::{Event, EventBatch, Payload, StreamMessage, Timestamp};
+use impatience_core::{Event, EventBatch, Payload, StreamError, StreamMessage, Timestamp};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -19,6 +19,16 @@ pub trait Observer<P: Payload> {
     fn on_punctuation(&mut self, t: Timestamp);
     /// Receives end-of-stream; the observer must flush all state.
     fn on_completed(&mut self);
+
+    /// Receives a **terminal** error: the chain is poisoned and no further
+    /// traffic (batches, punctuations, or completion) will follow.
+    /// Operators forward the error downstream *without* flushing buffered
+    /// state — partial flushes after a failure would look like valid
+    /// output. The default ignores the error, which is correct for pure
+    /// counting sinks; stateful operators and recording sinks override it.
+    fn on_error(&mut self, err: StreamError) {
+        let _ = err;
+    }
 
     /// Dispatches a [`StreamMessage`].
     fn on_message(&mut self, msg: StreamMessage<P>) {
@@ -41,6 +51,9 @@ impl<P: Payload> Observer<P> for Box<dyn Observer<P>> {
     fn on_completed(&mut self) {
         (**self).on_completed();
     }
+    fn on_error(&mut self, err: StreamError) {
+        (**self).on_error(err);
+    }
 }
 
 /// Shared buffer an [`Output`] handle reads from.
@@ -52,6 +65,8 @@ pub struct OutputBuf<P> {
     pub completed: bool,
     /// Running count of visible events received.
     pub event_count: u64,
+    /// First terminal error received, if any.
+    pub error: Option<StreamError>,
 }
 
 impl<P> Default for OutputBuf<P> {
@@ -60,6 +75,7 @@ impl<P> Default for OutputBuf<P> {
             messages: Vec::new(),
             completed: false,
             event_count: 0,
+            error: None,
         }
     }
 }
@@ -123,6 +139,11 @@ impl<P: Payload> Output<P> {
             })
     }
 
+    /// The terminal error, if the stream failed instead of completing.
+    pub fn error(&self) -> Option<StreamError> {
+        self.buf.borrow().error.clone()
+    }
+
     /// Drops buffered messages, keeping counters (for long benchmark runs).
     pub fn discard_messages(&self) {
         self.buf.borrow_mut().messages.clear();
@@ -150,6 +171,12 @@ impl<P: Payload> Observer<P> for CollectorSink<P> {
         let mut b = self.buf.borrow_mut();
         b.completed = true;
         b.messages.push(StreamMessage::Completed);
+    }
+    fn on_error(&mut self, err: StreamError) {
+        let mut b = self.buf.borrow_mut();
+        if b.error.is_none() {
+            b.error = Some(err);
+        }
     }
 }
 
@@ -187,6 +214,7 @@ pub struct BlackHoleSink {
     events: u64,
     punctuations: u64,
     completed: bool,
+    errors: u64,
 }
 
 impl BlackHoleSink {
@@ -206,6 +234,10 @@ impl BlackHoleSink {
     pub fn is_completed(&self) -> bool {
         self.completed
     }
+    /// Terminal errors swallowed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
 }
 
 impl<P: Payload> Observer<P> for BlackHoleSink {
@@ -217,6 +249,9 @@ impl<P: Payload> Observer<P> for BlackHoleSink {
     }
     fn on_completed(&mut self) {
         self.completed = true;
+    }
+    fn on_error(&mut self, _err: StreamError) {
+        self.errors += 1;
     }
 }
 
@@ -238,6 +273,9 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SharedSink<S> {
     }
     fn on_completed(&mut self) {
         self.0.borrow_mut().on_completed();
+    }
+    fn on_error(&mut self, err: StreamError) {
+        self.0.borrow_mut().on_error(err);
     }
 }
 
@@ -303,6 +341,24 @@ mod tests {
         sink.on_message(StreamMessage::Completed);
         assert_eq!(out.event_count(), 1);
         assert!(out.is_completed());
+    }
+
+    #[test]
+    fn collector_records_first_error() {
+        let (out, mut sink) = Output::<u32>::new();
+        sink.on_batch(batch(&[1]));
+        assert!(out.error().is_none());
+        sink.on_error(StreamError::PushAfterCompleted);
+        sink.on_error(StreamError::InvalidConfig("second".into()));
+        assert_eq!(out.error(), Some(StreamError::PushAfterCompleted));
+        assert!(!out.is_completed(), "an error is not completion");
+    }
+
+    #[test]
+    fn black_hole_counts_errors() {
+        let mut s = BlackHoleSink::new();
+        Observer::<u32>::on_error(&mut s, StreamError::PushAfterCompleted);
+        assert_eq!(s.errors(), 1);
     }
 
     #[test]

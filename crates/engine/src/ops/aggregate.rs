@@ -12,7 +12,7 @@
 //! side combines partials flowing out of union operators.
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, Timestamp};
+use impatience_core::{Event, EventBatch, Payload, StreamError, Timestamp};
 use std::collections::HashMap;
 
 /// An incremental, mergeable aggregate function.
@@ -276,6 +276,10 @@ impl<P: Payload, A: Aggregate<P>, S: Observer<A::Out>> Observer<P> for WindowAgg
         self.emit_current();
         self.next.on_completed();
     }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
+    }
 }
 
 /// Grouped windowed aggregation (`GroupApply` + aggregate in the paper's
@@ -358,6 +362,10 @@ impl<P: Payload, A: Aggregate<P>, S: Observer<A::Out>> Observer<P> for GroupedAg
     fn on_completed(&mut self) {
         self.emit_window();
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 

@@ -8,7 +8,7 @@
 //! timestamps.
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, Timestamp};
+use impatience_core::{Event, EventBatch, Payload, StreamError, Timestamp};
 
 /// Bitmap-marking selection operator.
 pub struct FilterOp<P, F, S> {
@@ -50,6 +50,10 @@ where
 
     fn on_completed(&mut self) {
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 

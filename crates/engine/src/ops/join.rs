@@ -16,7 +16,7 @@
 //! garbage-collected as the joint watermark passes interval ends.
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, MemoryMeter, Payload, Timestamp};
+use impatience_core::{Event, EventBatch, MemoryMeter, Payload, StreamError, Timestamp};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -104,6 +104,7 @@ struct JoinCore<L: Payload, R: Payload, Out: Payload> {
     meter: MemoryMeter,
     out_wm: Timestamp,
     completed: bool,
+    failed: bool,
 }
 
 impl<L: Payload, R: Payload, Out: Payload> JoinCore<L, R, Out> {
@@ -187,8 +188,16 @@ impl<L: Payload, R: Payload, Out: Payload> JoinCore<L, R, Out> {
         }
     }
 
+    fn fail(&mut self, err: StreamError) {
+        if self.failed || self.completed {
+            return;
+        }
+        self.failed = true;
+        self.sink.on_error(err);
+    }
+
     fn maybe_complete(&mut self) {
-        if self.left_pending.done && self.right_pending.done && !self.completed {
+        if self.left_pending.done && self.right_pending.done && !self.completed && !self.failed {
             self.completed = true;
             self.left_state.gc(Timestamp::MAX, &self.meter);
             self.right_state.gc(Timestamp::MAX, &self.meter);
@@ -202,9 +211,20 @@ pub struct JoinInput<L: Payload, R: Payload, Out: Payload, const LEFT: bool> {
     core: Rc<RefCell<JoinCore<L, R, Out>>>,
 }
 
+impl<L: Payload, R: Payload, Out: Payload, const LEFT: bool> Clone for JoinInput<L, R, Out, LEFT> {
+    fn clone(&self) -> Self {
+        JoinInput {
+            core: self.core.clone(),
+        }
+    }
+}
+
 impl<L: Payload, R: Payload, Out: Payload> Observer<L> for JoinInput<L, R, Out, true> {
     fn on_batch(&mut self, batch: EventBatch<L>) {
         let mut core = self.core.borrow_mut();
+        if core.failed {
+            return;
+        }
         for e in batch.iter_visible() {
             debug_assert!(e.sync_time >= core.left_pending.last_seen);
             core.left_pending.last_seen = e.sync_time;
@@ -214,22 +234,35 @@ impl<L: Payload, R: Payload, Out: Payload> Observer<L> for JoinInput<L, R, Out, 
     }
     fn on_punctuation(&mut self, t: Timestamp) {
         let mut core = self.core.borrow_mut();
+        if core.failed {
+            return;
+        }
         core.left_pending.wm = core.left_pending.wm.max(t);
         core.drain();
         core.advance_punctuation();
     }
     fn on_completed(&mut self) {
         let mut core = self.core.borrow_mut();
+        if core.failed {
+            return;
+        }
         core.left_pending.done = true;
         core.drain();
         core.advance_punctuation();
         core.maybe_complete();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.core.borrow_mut().fail(err);
     }
 }
 
 impl<L: Payload, R: Payload, Out: Payload> Observer<R> for JoinInput<L, R, Out, false> {
     fn on_batch(&mut self, batch: EventBatch<R>) {
         let mut core = self.core.borrow_mut();
+        if core.failed {
+            return;
+        }
         for e in batch.iter_visible() {
             debug_assert!(e.sync_time >= core.right_pending.last_seen);
             core.right_pending.last_seen = e.sync_time;
@@ -239,16 +272,26 @@ impl<L: Payload, R: Payload, Out: Payload> Observer<R> for JoinInput<L, R, Out, 
     }
     fn on_punctuation(&mut self, t: Timestamp) {
         let mut core = self.core.borrow_mut();
+        if core.failed {
+            return;
+        }
         core.right_pending.wm = core.right_pending.wm.max(t);
         core.drain();
         core.advance_punctuation();
     }
     fn on_completed(&mut self) {
         let mut core = self.core.borrow_mut();
+        if core.failed {
+            return;
+        }
         core.right_pending.done = true;
         core.drain();
         core.advance_punctuation();
         core.maybe_complete();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.core.borrow_mut().fail(err);
     }
 }
 
@@ -274,6 +317,7 @@ where
         meter,
         out_wm: Timestamp::MIN,
         completed: false,
+        failed: false,
     }));
     (JoinInput { core: core.clone() }, JoinInput { core })
 }

@@ -8,7 +8,7 @@
 //! timestamp per key, garbage-collected as punctuations pass.
 
 use crate::observer::Observer;
-use impatience_core::{EventBatch, Payload, TickDuration, Timestamp};
+use impatience_core::{EventBatch, Payload, StreamError, TickDuration, Timestamp};
 use std::collections::HashMap;
 
 /// The payload of an emitted match: the second event's payload, timed at
@@ -93,6 +93,10 @@ where
     fn on_completed(&mut self) {
         self.open.clear();
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 

@@ -7,7 +7,7 @@
 //! Order-insensitive.
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, Timestamp};
+use impatience_core::{Event, EventBatch, Payload, StreamError, Timestamp};
 
 /// Payload-mapping projection operator.
 pub struct SelectOp<P, Q, F, S> {
@@ -42,6 +42,10 @@ where
     }
     fn on_completed(&mut self) {
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 
@@ -85,6 +89,10 @@ where
     }
     fn on_completed(&mut self) {
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 

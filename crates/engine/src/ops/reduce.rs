@@ -8,7 +8,7 @@
 //! counts added). Works on any ordered stream.
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, Timestamp};
+use impatience_core::{Event, EventBatch, Payload, StreamError, Timestamp};
 use std::collections::HashMap;
 
 /// Combines same-window same-key events with a binary payload function.
@@ -97,6 +97,10 @@ impl<P: Payload, F: FnMut(&mut P, P), S: Observer<P>> Observer<P> for ReduceByKe
     fn on_completed(&mut self) {
         self.emit_window();
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 

@@ -4,16 +4,85 @@
 //! Input batches may be arbitrarily out of order **between** punctuations;
 //! on each punctuation `T` the operator emits every buffered event with
 //! `sync_time <= T` as one ordered batch followed by the punctuation —
-//! exactly the §III-A contract. Events at or below the previous punctuation
-//! are *late*: they are counted and dropped here (the Impatience framework
-//! routes them to a higher-latency partition before they ever reach a
-//! sorter).
+//! exactly the §III-A contract.
 //!
-//! Buffered bytes are continuously mirrored into a [`MemoryMeter`].
+//! Events at or below the previous punctuation are *late*; a
+//! [`LatePolicy`] decides their fate: counted and dropped (the default and
+//! the paper's single-sorter baseline), or diverted to a typed
+//! [`DeadLetterQueue`]. (The third option — rerouting to a higher-latency
+//! partition, §V — lives in the framework's partitioner, which keeps late
+//! events from ever reaching a sorter.)
+//!
+//! Buffered bytes are continuously mirrored into a [`MemoryMeter`]. When
+//! the meter carries an enforced budget, exceeding it triggers the
+//! [`ShedPolicy`]: either a **forced punctuation** that flushes the buffer
+//! early at a degraded effective reorder latency, or **shed-oldest-runs**
+//! eviction that dead-letters the most severely delayed runs wholesale.
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, MemoryMeter, Payload, Timestamp};
+use impatience_core::metrics::{Counter, MetricsRegistry};
+use impatience_core::{
+    DeadLetterQueue, DeadLetterReason, Event, EventBatch, LatePolicy, MemoryMeter, Payload,
+    ShedPolicy, StreamError, Timestamp,
+};
 use impatience_sort::{OnlineSorter, SorterGauges};
+
+/// Failure-model configuration for one sorting operator.
+#[derive(Debug, Clone)]
+pub struct SortPolicy<P: Payload> {
+    /// What to do with events at or below the watermark.
+    pub late: LatePolicy,
+    /// What to shed once the meter's budget is exceeded.
+    pub shed: ShedPolicy,
+    /// Destination for dead-lettered events (late under
+    /// [`LatePolicy::DeadLetter`], or evicted under
+    /// [`ShedPolicy::ShedOldestRuns`]). Without a queue the events are
+    /// still counted, just not retained.
+    pub dead_letters: Option<DeadLetterQueue<P>>,
+}
+
+impl<P: Payload> Default for SortPolicy<P> {
+    fn default() -> Self {
+        SortPolicy {
+            late: LatePolicy::default(),
+            shed: ShedPolicy::default(),
+            dead_letters: None,
+        }
+    }
+}
+
+/// Shared counters for the sorter boundary's fault handling, registered
+/// under `{prefix}.late_dropped` / `.dead_lettered` / `.shed_events` /
+/// `.forced_punctuations`.
+#[derive(Debug, Clone, Default)]
+pub struct SortFaultCounters {
+    /// Late events discarded under [`LatePolicy::Drop`].
+    pub late_dropped: Counter,
+    /// Events diverted to the dead-letter channel (late or shed).
+    pub dead_lettered: Counter,
+    /// Events evicted by [`ShedPolicy::ShedOldestRuns`].
+    pub shed_events: Counter,
+    /// Early flushes forced by [`ShedPolicy::ForcePunctuation`] (or by the
+    /// shed fallback when no run could be evicted).
+    pub forced_punctuations: Counter,
+}
+
+impl SortFaultCounters {
+    /// Fresh unregistered counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters backed by `registry` under the `{prefix}.*` names above.
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        SortFaultCounters {
+            late_dropped: registry.counter(&format!("{prefix}.late_dropped")),
+            dead_lettered: registry.counter(&format!("{prefix}.dead_lettered")),
+            shed_events: registry.counter(&format!("{prefix}.shed_events")),
+            forced_punctuations: registry.counter(&format!("{prefix}.forced_punctuations")),
+        }
+    }
+}
 
 /// Sorting operator over an online sorter.
 pub struct SortOp<P: Payload, S> {
@@ -21,20 +90,44 @@ pub struct SortOp<P: Payload, S> {
     meter: MemoryMeter,
     charged: usize,
     watermark: Timestamp,
-    dropped_late: u64,
+    /// Highest `sync_time` ever accepted into the sorter — the finite cut a
+    /// forced punctuation flushes at.
+    high: Timestamp,
+    policy: SortPolicy<P>,
+    faults: SortFaultCounters,
+    failed: bool,
     gauges: Option<SorterGauges>,
     next: S,
 }
 
 impl<P: Payload, S> SortOp<P, S> {
-    /// Wraps `sorter`; buffered state is charged to `meter`.
+    /// Wraps `sorter` with the default policy (drop late events, force
+    /// punctuation under memory pressure); buffered state is charged to
+    /// `meter`.
     pub fn new(sorter: Box<dyn OnlineSorter<Event<P>>>, meter: MemoryMeter, next: S) -> Self {
+        Self::with_policy(sorter, meter, SortPolicy::default(), next)
+    }
+
+    /// Wraps `sorter` with an explicit failure-model policy.
+    ///
+    /// [`LatePolicy::RerouteNextPartition`] is not accepted here — reroute
+    /// needs the framework's partitioner; construct via
+    /// [`crate::Streamable::sorted_with_policy`] to get the typed error.
+    pub fn with_policy(
+        sorter: Box<dyn OnlineSorter<Event<P>>>,
+        meter: MemoryMeter,
+        policy: SortPolicy<P>,
+        next: S,
+    ) -> Self {
         SortOp {
             sorter,
             meter,
             charged: 0,
             watermark: Timestamp::MIN,
-            dropped_late: 0,
+            high: Timestamp::MIN,
+            policy,
+            faults: SortFaultCounters::new(),
+            failed: false,
             gauges: None,
             next,
         }
@@ -49,10 +142,32 @@ impl<P: Payload, S> SortOp<P, S> {
         self
     }
 
+    /// Records fault handling into shared `counters` (for registry-backed
+    /// snapshots).
+    pub fn with_fault_counters(mut self, counters: SortFaultCounters) -> Self {
+        self.faults = counters;
+        self
+    }
+
     /// Events dropped for arriving at or below an already-emitted
-    /// punctuation.
+    /// punctuation (under [`LatePolicy::Drop`]).
     pub fn dropped_late(&self) -> u64 {
-        self.dropped_late
+        self.faults.late_dropped.get()
+    }
+
+    /// Events diverted to the dead-letter channel (late + shed).
+    pub fn dead_lettered(&self) -> u64 {
+        self.faults.dead_lettered.get()
+    }
+
+    /// Events evicted under [`ShedPolicy::ShedOldestRuns`].
+    pub fn shed_events(&self) -> u64 {
+        self.faults.shed_events.get()
+    }
+
+    /// Early flushes forced by memory pressure.
+    pub fn forced_punctuations(&self) -> u64 {
+        self.faults.forced_punctuations.get()
     }
 
     fn sync_meter(&mut self) {
@@ -66,22 +181,116 @@ impl<P: Payload, S> SortOp<P, S> {
             self.sorter.sync_gauges(g);
         }
     }
+
+    fn handle_late(&mut self, e: &Event<P>) {
+        match self.policy.late {
+            // RerouteNextPartition is rejected at construction; treat a
+            // stray instance as Drop rather than losing the event silently
+            // AND wrongly — counting keeps the accounting honest.
+            LatePolicy::Drop | LatePolicy::RerouteNextPartition => {
+                self.faults.late_dropped.inc();
+            }
+            LatePolicy::DeadLetter => {
+                self.faults.dead_lettered.inc();
+                if let Some(q) = &self.policy.dead_letters {
+                    q.push(
+                        e.clone(),
+                        DeadLetterReason::Late {
+                            watermark: self.watermark,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl<P: Payload, S: Observer<P>> SortOp<P, S> {
+    /// Brings the sorter back under its memory budget, if one is set and
+    /// exceeded. Returns the events to emit (from a forced flush), if any.
+    fn enforce_budget(&mut self) {
+        if !self.meter.over_budget() {
+            return;
+        }
+        if self.policy.shed == ShedPolicy::ShedOldestRuns {
+            let mut shed: Vec<Event<P>> = Vec::new();
+            while self.meter.over_budget() {
+                shed.clear();
+                if self.sorter.shed_oldest(&mut shed) == 0 {
+                    break; // no run structure / nothing left: fall through
+                }
+                self.faults.shed_events.add(shed.len() as u64);
+                for e in shed.drain(..) {
+                    self.faults.dead_lettered.inc();
+                    if let Some(q) = &self.policy.dead_letters {
+                        q.push(e, DeadLetterReason::Shed);
+                    }
+                }
+                self.sync_meter();
+            }
+            if !self.meter.over_budget() {
+                self.sync_gauges();
+                return;
+            }
+        }
+        // ForcePunctuation, or shedding could not reclaim enough: flush
+        // everything buffered by punctuating at the highest accepted
+        // sync_time (a finite cut — the sorter stays usable) and advance
+        // the watermark to it. The effective reorder latency degrades —
+        // events at or below this cut become late and fall under the late
+        // policy.
+        let cut = self.high.max(self.watermark);
+        let mut out = Vec::new();
+        self.sorter.punctuate(cut, &mut out);
+        self.sync_meter();
+        self.sync_gauges();
+        if !out.is_empty() {
+            self.faults.forced_punctuations.inc();
+            self.watermark = cut;
+            self.next.on_batch(EventBatch::from_events(out));
+            self.next.on_punctuation(cut);
+        }
+    }
 }
 
 impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
+        if self.failed {
+            return;
+        }
         for e in batch.iter_visible() {
             if e.sync_time <= self.watermark {
-                self.dropped_late += 1;
+                self.handle_late(e);
             } else {
+                self.high = self.high.max(e.sync_time);
                 self.sorter.push(e.clone());
             }
         }
         self.sync_meter();
+        self.enforce_budget();
     }
 
     fn on_punctuation(&mut self, t: Timestamp) {
-        debug_assert!(t >= self.watermark, "punctuation regressed into sorter");
+        if self.failed {
+            return;
+        }
+        if t < self.watermark {
+            // After a forced cut the operator's watermark runs ahead of the
+            // upstream's; punctuations behind it are stale progress, not
+            // regressions, and are swallowed to keep downstream order
+            // intact. Absent a forced cut, a backwards punctuation is a
+            // real contract violation: poison the chain with a typed error
+            // instead of corrupting the output order.
+            if self.faults.forced_punctuations.get() > 0 {
+                return;
+            }
+            self.failed = true;
+            self.next.on_error(StreamError::PunctuationRegressed {
+                previous: self.watermark,
+                attempted: t,
+            });
+            return;
+        }
         self.watermark = t;
         self.sync_gauges();
         let mut out = Vec::new();
@@ -95,6 +304,9 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
     }
 
     fn on_completed(&mut self) {
+        if self.failed {
+            return;
+        }
         self.sync_gauges();
         let mut out = Vec::new();
         self.sorter.drain_all(&mut out);
@@ -104,6 +316,14 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
             self.next.on_batch(EventBatch::from_events(out));
         }
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        if self.failed {
+            return;
+        }
+        self.failed = true;
+        self.next.on_error(err);
     }
 }
 
@@ -157,6 +377,40 @@ mod tests {
     }
 
     #[test]
+    fn dead_letter_policy_diverts_late_events() {
+        let (out, sink) = Output::<u32>::new();
+        let dlq = DeadLetterQueue::new();
+        let policy = SortPolicy {
+            late: LatePolicy::DeadLetter,
+            shed: ShedPolicy::default(),
+            dead_letters: Some(dlq.clone()),
+        };
+        let mut op = SortOp::with_policy(
+            Box::new(ImpatienceSorter::new()),
+            MemoryMeter::new(),
+            policy,
+            sink,
+        );
+        op.on_batch(batch(&[10]));
+        op.on_punctuation(Timestamp::new(10));
+        op.on_batch(batch(&[5, 10, 11]));
+        op.on_completed();
+        assert_eq!(op.dropped_late(), 0);
+        assert_eq!(op.dead_lettered(), 2);
+        let letters = dlq.drain();
+        assert_eq!(letters.len(), 2);
+        assert_eq!(letters[0].event.sync_time, Timestamp::new(5));
+        assert_eq!(
+            letters[0].reason,
+            DeadLetterReason::Late {
+                watermark: Timestamp::new(10)
+            }
+        );
+        let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![10, 11], "on-time output unaffected");
+    }
+
+    #[test]
     fn meter_tracks_buffered_state() {
         let meter = MemoryMeter::new();
         let (_out, sink) = Output::<u32>::new();
@@ -190,5 +444,109 @@ mod tests {
         let msgs = out.messages();
         assert_eq!(msgs.len(), 2); // punctuation + completed, no batch
         assert_eq!(out.last_punctuation(), Some(Timestamp::new(5)));
+    }
+
+    #[test]
+    fn regressed_punctuation_fails_typed() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, MemoryMeter::new());
+        op.on_batch(batch(&[10, 12]));
+        op.on_punctuation(Timestamp::new(10));
+        op.on_punctuation(Timestamp::new(4)); // regression
+        op.on_batch(batch(&[13])); // poisoned: swallowed
+        op.on_completed();
+        assert_eq!(
+            out.error(),
+            Some(StreamError::PunctuationRegressed {
+                previous: Timestamp::new(10),
+                attempted: Timestamp::new(4),
+            })
+        );
+        assert!(!out.is_completed(), "no completion after failure");
+        let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
+        assert_eq!(ts, vec![10], "nothing flushed after the failure");
+    }
+
+    #[test]
+    fn forced_punctuation_bounds_state() {
+        let budget = 16 * core::mem::size_of::<Event<u32>>();
+        let meter = MemoryMeter::with_budget(budget);
+        let (out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, meter.clone());
+        // Push far more than the budget admits, no upstream punctuation.
+        for chunk in (0..200i64).collect::<Vec<_>>().chunks(10) {
+            op.on_batch(
+                chunk
+                    .iter()
+                    .map(|&t| Event::point(Timestamp::new(t), 0))
+                    .collect(),
+            );
+            assert!(
+                meter.current() <= budget,
+                "budget enforced after every batch: {} > {budget}",
+                meter.current()
+            );
+        }
+        op.on_completed();
+        assert!(op.forced_punctuations() > 0);
+        assert_eq!(out.events().len(), 200, "forced cuts lose no events");
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn shed_oldest_runs_dead_letters_stragglers() {
+        let budget = 24 * core::mem::size_of::<Event<u32>>();
+        let meter = MemoryMeter::with_budget(budget);
+        let dlq = DeadLetterQueue::new();
+        let (out, sink) = Output::<u32>::new();
+        let policy = SortPolicy {
+            late: LatePolicy::Drop,
+            shed: ShedPolicy::ShedOldestRuns,
+            dead_letters: Some(dlq.clone()),
+        };
+        let mut op = SortOp::with_policy(
+            Box::new(ImpatienceSorter::new()),
+            meter.clone(),
+            policy,
+            sink,
+        );
+        // Mostly ascending traffic with interleaved severe stragglers: the
+        // stragglers form low-tail runs, which shedding evicts first.
+        let mut batch_events: Vec<Event<u32>> = Vec::new();
+        for i in 0..400i64 {
+            batch_events.push(Event::point(Timestamp::new(1_000 + i), 1));
+            if i % 7 == 0 {
+                batch_events.push(Event::point(Timestamp::new(i), 2)); // straggler
+            }
+            if batch_events.len() >= 8 {
+                op.on_batch(batch_events.drain(..).collect());
+                assert!(meter.current() <= budget, "budget holds");
+            }
+        }
+        op.on_batch(batch_events.drain(..).collect());
+        op.on_completed();
+        assert!(op.shed_events() > 0, "pressure forced shedding");
+        assert_eq!(op.shed_events(), dlq.total());
+        assert_eq!(op.dead_lettered(), dlq.total());
+        let letters = dlq.drain();
+        assert!(letters.iter().all(|l| l.reason == DeadLetterReason::Shed));
+        // Survivors still come out ordered; shed events are really gone.
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
+        let emitted = out.events().len() as u64 + op.shed_events();
+        let total = 400 + (0..400).filter(|i| i % 7 == 0).count() as u64;
+        assert_eq!(emitted, total, "every event emitted or shed, none lost");
+    }
+
+    #[test]
+    fn upstream_error_passes_through_once() {
+        let (out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, MemoryMeter::new());
+        op.on_batch(batch(&[7]));
+        op.on_error(StreamError::PushAfterCompleted);
+        op.on_error(StreamError::InvalidConfig("dup".into()));
+        op.on_completed(); // poisoned: no flush
+        assert_eq!(out.error(), Some(StreamError::PushAfterCompleted));
+        assert!(out.events().is_empty(), "no flush after upstream failure");
     }
 }

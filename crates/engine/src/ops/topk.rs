@@ -7,7 +7,7 @@
 //! ascending key, all carrying the window's interval.
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, Timestamp};
+use impatience_core::{Event, EventBatch, Payload, StreamError, Timestamp};
 
 /// Top-k operator over scored events.
 pub struct TopKOp<P, F, S> {
@@ -86,6 +86,10 @@ impl<P: Payload, F: FnMut(&P) -> i64, S: Observer<P>> Observer<P> for TopKOp<P, 
     fn on_completed(&mut self) {
         self.emit_window();
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 

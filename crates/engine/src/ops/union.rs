@@ -12,7 +12,7 @@
 //! Every buffered byte is charged to a [`MemoryMeter`].
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, MemoryMeter, Payload, Timestamp};
+use impatience_core::{Event, EventBatch, MemoryMeter, Payload, StreamError, Timestamp};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -91,6 +91,7 @@ struct UnionCore<P: Payload> {
     /// Highest punctuation already forwarded.
     out_wm: Timestamp,
     completed: bool,
+    failed: bool,
     /// High-water mark of total buffered bytes (diagnostics).
     peak_bytes: usize,
 }
@@ -149,8 +150,16 @@ impl<P: Payload> UnionCore<P> {
         }
     }
 
+    fn fail(&mut self, err: StreamError) {
+        if self.failed || self.completed {
+            return;
+        }
+        self.failed = true;
+        self.sink.on_error(err);
+    }
+
     fn maybe_complete(&mut self) {
-        if self.left.done && self.right.done && !self.completed {
+        if self.left.done && self.right.done && !self.completed && !self.failed {
             self.completed = true;
             debug_assert!(self.left.buf.is_empty() && self.right.buf.is_empty());
             self.sink.on_completed();
@@ -164,10 +173,22 @@ pub struct UnionInput<P: Payload> {
     is_left: bool,
 }
 
+impl<P: Payload> Clone for UnionInput<P> {
+    fn clone(&self) -> Self {
+        UnionInput {
+            core: self.core.clone(),
+            is_left: self.is_left,
+        }
+    }
+}
+
 impl<P: Payload> Observer<P> for UnionInput<P> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
         let mut core = self.core.borrow_mut();
         let core = &mut *core;
+        if core.failed {
+            return;
+        }
         {
             let side = if self.is_left {
                 &mut core.left
@@ -185,6 +206,9 @@ impl<P: Payload> Observer<P> for UnionInput<P> {
     fn on_punctuation(&mut self, t: Timestamp) {
         let mut core = self.core.borrow_mut();
         let core = &mut *core;
+        if core.failed {
+            return;
+        }
         {
             let side = if self.is_left {
                 &mut core.left
@@ -201,6 +225,9 @@ impl<P: Payload> Observer<P> for UnionInput<P> {
     fn on_completed(&mut self) {
         let mut core = self.core.borrow_mut();
         let core = &mut *core;
+        if core.failed {
+            return;
+        }
         {
             let side = if self.is_left {
                 &mut core.left
@@ -212,6 +239,10 @@ impl<P: Payload> Observer<P> for UnionInput<P> {
         core.drain();
         core.advance_punctuation();
         core.maybe_complete();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.core.borrow_mut().fail(err);
     }
 }
 
@@ -255,6 +286,7 @@ pub fn union<P: Payload>(
         meter,
         out_wm: Timestamp::MIN,
         completed: false,
+        failed: false,
         peak_bytes: 0,
     }));
     (

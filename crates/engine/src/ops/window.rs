@@ -24,7 +24,7 @@
 //! crate, which applies them to *disordered* events before sorting.
 
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, TickDuration, Timestamp};
+use impatience_core::{Event, EventBatch, Payload, StreamError, TickDuration, Timestamp};
 
 /// Aligns one event to its tumbling window (the paper's
 /// `eventTime - eventTime % 1000` / `+ 60000` formulas).
@@ -94,6 +94,10 @@ impl<P: Payload, S: Observer<P>> Observer<P> for TumblingWindowOp<P, S> {
 
     fn on_completed(&mut self) {
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 
@@ -172,6 +176,10 @@ impl<P: Payload, S: Observer<P>> Observer<P> for HoppingWindowOp<P, S> {
     fn on_completed(&mut self) {
         self.flush_until(Timestamp::MAX);
         self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 

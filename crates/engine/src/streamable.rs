@@ -13,12 +13,14 @@
 //!   [`InputHandle`] that the caller pushes into afterwards, which is how
 //!   the benchmarks and the Impatience framework pump data.
 
+use crate::hardened::PanicGuard;
 use crate::metered::{EgressProbe, MeteredObserver, OperatorMetrics};
-use crate::observer::{CollectorSink, FnSink, Observer, Output};
+use crate::observer::{CollectorSink, FnSink, Observer, Output, SharedSink};
 use crate::ops;
+use impatience_core::metrics::Counter;
 use impatience_core::{
-    Event, EventBatch, MemoryMeter, MetricsRegistry, Payload, StreamMessage, TickDuration,
-    Timestamp,
+    Event, EventBatch, LatePolicy, MemoryMeter, MetricsRegistry, Payload, StreamError,
+    StreamMessage, TickDuration, Timestamp,
 };
 use impatience_sort::{OnlineSorter, SorterGauges};
 use std::cell::RefCell;
@@ -52,6 +54,11 @@ impl Instrument {
 pub struct Streamable<P: Payload> {
     connect: Connector<P>,
     instr: Option<Instrument>,
+    hardened: bool,
+    /// Operator panics caught across the chain. Registered as
+    /// `{prefix}.operator_panics` by [`Streamable::instrument`]; otherwise
+    /// a private counter.
+    panics: Counter,
 }
 
 impl<P: Payload> Streamable<P> {
@@ -60,6 +67,8 @@ impl<P: Payload> Streamable<P> {
         Streamable {
             connect: Box::new(connect),
             instr: None,
+            hardened: false,
+            panics: Counter::new(),
         }
     }
 
@@ -70,12 +79,32 @@ impl<P: Payload> Streamable<P> {
     /// the per-operator instrument set). Instrumentation never alters the
     /// stream: an instrumented pipeline produces exactly the output of an
     /// uninstrumented one.
+    ///
+    /// A `{prefix}.operator_panics` counter is registered eagerly (at
+    /// zero), so every instrumented snapshot carries it whether or not the
+    /// chain is also [`hardened`](Streamable::hardened).
     pub fn instrument(mut self, registry: &MetricsRegistry, prefix: &str) -> Self {
+        self.panics = registry.counter(&format!("{prefix}.operator_panics"));
         self.instr = Some(Instrument {
             registry: registry.clone(),
             prefix: prefix.to_string(),
             stage: 0,
         });
+        self
+    }
+
+    /// Enables panic isolation: every stage chained after this call is
+    /// wrapped in a [`PanicGuard`]. An operator panic no longer aborts the
+    /// process — the guard catches it, **poisons** the chain (all further
+    /// traffic is swallowed), counts it (see
+    /// [`Streamable::instrument`]'s `operator_panics` counter), and
+    /// delivers a terminal [`StreamError::OperatorPanicked`] to the
+    /// pipeline's sink via [`Observer::on_error`].
+    ///
+    /// Hardening never alters the stream of a panic-free run: a hardened
+    /// pipeline produces exactly the output of a bare one.
+    pub fn hardened(mut self) -> Self {
+        self.hardened = true;
         self
     }
 
@@ -119,30 +148,54 @@ impl<P: Payload> Streamable<P> {
     /// Applies an operator-builder stage under an operator name. When the
     /// chain is instrumented, the stage is sandwiched between a
     /// [`MeteredObserver`] (in-traffic, busy time, watermark lag) and an
-    /// [`EgressProbe`] (out-traffic); otherwise it connects bare.
+    /// [`EgressProbe`] (out-traffic); when hardened, the (possibly
+    /// metered) operator is additionally wrapped in a [`PanicGuard`]
+    /// sharing the stage's downstream; otherwise it connects bare.
     fn apply_named<Q: Payload>(
         mut self,
         name: &str,
         build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + 'static,
     ) -> Streamable<Q> {
         let upstream = self.connect;
-        match self.instr.take() {
-            None => Streamable {
-                connect: Box::new(move |sink| upstream(build(sink))),
-                instr: None,
-            },
-            Some(mut ins) => {
-                let metrics = ins.next_op(name);
-                let connect = move |sink: Box<dyn Observer<Q>>| {
-                    let egress: Box<dyn Observer<Q>> =
-                        Box::new(EgressProbe::new(metrics.clone(), sink));
-                    upstream(Box::new(MeteredObserver::new(metrics, build(egress))));
-                };
-                Streamable {
-                    connect: Box::new(connect),
-                    instr: Some(ins),
-                }
+        let hardened = self.hardened;
+        let panics = self.panics.clone();
+        let (metrics, label) = match self.instr.as_mut() {
+            Some(ins) => {
+                let label = format!("{}.{:02}.{name}", ins.prefix, ins.stage);
+                (Some(ins.next_op(name)), label)
             }
+            None => (None, name.to_string()),
+        };
+        let connect = move |sink: Box<dyn Observer<Q>>| {
+            let downstream: Box<dyn Observer<Q>> = match &metrics {
+                Some(m) => Box::new(EgressProbe::new(m.clone(), sink)),
+                None => sink,
+            };
+            if hardened {
+                // The operator writes into a shared view of its downstream;
+                // the guard writes the terminal error into the same cell if
+                // the operator dies mid-handler.
+                let shared = Rc::new(RefCell::new(downstream));
+                let op = build(Box::new(SharedSink(shared.clone())));
+                let op: Box<dyn Observer<P>> = match metrics {
+                    Some(m) => Box::new(MeteredObserver::new(m, op)),
+                    None => op,
+                };
+                upstream(Box::new(PanicGuard::new(label, op, shared, panics)));
+            } else {
+                let op = build(downstream);
+                let op: Box<dyn Observer<P>> = match metrics {
+                    Some(m) => Box::new(MeteredObserver::new(m, op)),
+                    None => op,
+                };
+                upstream(op);
+            }
+        };
+        Streamable {
+            connect: Box::new(connect),
+            instr: self.instr,
+            hardened: self.hardened,
+            panics: self.panics,
         }
     }
 
@@ -236,28 +289,55 @@ impl<P: Payload> Streamable<P> {
         meter: &MemoryMeter,
     ) -> Streamable<Out> {
         let meter = meter.clone();
+        let hardened = self.hardened;
+        let panics = self.panics.clone();
         let mut instr = self.instr.take();
         // Binary operator: one instrument set shared by both inputs (the
         // in-side counters sum over the two legs) plus an egress probe.
         let metrics = instr.as_mut().map(|ins| ins.next_op("join"));
         let left_connect = self.connect;
         let right_connect = other.connect;
-        let connect = move |sink: Box<dyn Observer<Out>>| match metrics {
-            None => {
-                let (l, r) = ops::temporal_join(combine, sink, meter);
-                left_connect(Box::new(l));
-                right_connect(Box::new(r));
-            }
-            Some(m) => {
-                let egress: Box<dyn Observer<Out>> = Box::new(EgressProbe::new(m.clone(), sink));
-                let (l, r) = ops::temporal_join(combine, egress, meter);
-                left_connect(Box::new(MeteredObserver::new(m.clone(), l)));
-                right_connect(Box::new(MeteredObserver::new(m, r)));
+        let connect = move |sink: Box<dyn Observer<Out>>| {
+            let downstream: Box<dyn Observer<Out>> = match &metrics {
+                Some(m) => Box::new(EgressProbe::new(m.clone(), sink)),
+                None => sink,
+            };
+            let (l, r) = ops::temporal_join(combine, downstream, meter);
+            // A leg's error port is a second handle onto the shared join
+            // core: a caught panic fails the core, which forwards one
+            // typed error to the sink and stops all further output.
+            let (l_port, r_port) = (l.clone(), r.clone());
+            let l: Box<dyn Observer<P>> = match &metrics {
+                Some(m) => Box::new(MeteredObserver::new(m.clone(), l)),
+                None => Box::new(l),
+            };
+            let r: Box<dyn Observer<R>> = match metrics {
+                Some(m) => Box::new(MeteredObserver::new(m, r)),
+                None => Box::new(r),
+            };
+            if hardened {
+                left_connect(Box::new(PanicGuard::new(
+                    "join.left",
+                    l,
+                    Rc::new(RefCell::new(Box::new(l_port) as Box<dyn Observer<P>>)),
+                    panics.clone(),
+                )));
+                right_connect(Box::new(PanicGuard::new(
+                    "join.right",
+                    r,
+                    Rc::new(RefCell::new(Box::new(r_port) as Box<dyn Observer<R>>)),
+                    panics,
+                )));
+            } else {
+                left_connect(l);
+                right_connect(r);
             }
         };
         Streamable {
             connect: Box::new(connect),
             instr,
+            hardened: self.hardened,
+            panics: self.panics,
         }
     }
 
@@ -265,26 +345,50 @@ impl<P: Payload> Streamable<P> {
     /// buffered for synchronization are charged to `meter` (§V-A).
     pub fn union(mut self, other: Streamable<P>, meter: &MemoryMeter) -> Streamable<P> {
         let meter = meter.clone();
+        let hardened = self.hardened;
+        let panics = self.panics.clone();
         let mut instr = self.instr.take();
         let metrics = instr.as_mut().map(|ins| ins.next_op("union"));
         let left_connect = self.connect;
         let right_connect = other.connect;
-        let connect = move |sink: Box<dyn Observer<P>>| match metrics {
-            None => {
-                let (l, r, _probe) = ops::union(sink, meter);
-                left_connect(Box::new(l));
-                right_connect(Box::new(r));
-            }
-            Some(m) => {
-                let egress: Box<dyn Observer<P>> = Box::new(EgressProbe::new(m.clone(), sink));
-                let (l, r, _probe) = ops::union(egress, meter);
-                left_connect(Box::new(MeteredObserver::new(m.clone(), l)));
-                right_connect(Box::new(MeteredObserver::new(m, r)));
+        let connect = move |sink: Box<dyn Observer<P>>| {
+            let downstream: Box<dyn Observer<P>> = match &metrics {
+                Some(m) => Box::new(EgressProbe::new(m.clone(), sink)),
+                None => sink,
+            };
+            let (l, r, _probe) = ops::union(downstream, meter);
+            let (l_port, r_port) = (l.clone(), r.clone());
+            let l: Box<dyn Observer<P>> = match &metrics {
+                Some(m) => Box::new(MeteredObserver::new(m.clone(), l)),
+                None => Box::new(l),
+            };
+            let r: Box<dyn Observer<P>> = match metrics {
+                Some(m) => Box::new(MeteredObserver::new(m, r)),
+                None => Box::new(r),
+            };
+            if hardened {
+                left_connect(Box::new(PanicGuard::new(
+                    "union.left",
+                    l,
+                    Rc::new(RefCell::new(Box::new(l_port) as Box<dyn Observer<P>>)),
+                    panics.clone(),
+                )));
+                right_connect(Box::new(PanicGuard::new(
+                    "union.right",
+                    r,
+                    Rc::new(RefCell::new(Box::new(r_port) as Box<dyn Observer<P>>)),
+                    panics,
+                )));
+            } else {
+                left_connect(l);
+                right_connect(r);
             }
         };
         Streamable {
             connect: Box::new(connect),
             instr,
+            hardened: self.hardened,
+            panics: self.panics,
         }
     }
 
@@ -333,20 +437,66 @@ impl<P: Payload> Streamable<P> {
         sorter: Box<dyn OnlineSorter<Event<P>>>,
         meter: &MemoryMeter,
     ) -> Streamable<P> {
+        self.sorted_with_policy(sorter, meter, ops::SortPolicy::default())
+            .expect("the default sort policy is always accepted")
+    }
+
+    /// [`sorted_with`](Streamable::sorted_with) with an explicit
+    /// failure-model policy: what to do with late events
+    /// ([`LatePolicy`]), and what to shed when `meter` carries an
+    /// enforced budget and the sorter exceeds it
+    /// ([`ShedPolicy`](impatience_core::ShedPolicy)).
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for
+    /// [`LatePolicy::RerouteNextPartition`]: reroute requires the
+    /// partitioned Impatience framework (`impatience-framework`), which
+    /// routes late events *before* they reach a sorter; a standalone
+    /// sorting stage has no next partition to hand them to.
+    ///
+    /// On an instrumented chain the stage additionally registers
+    /// [`SortFaultCounters`](ops::SortFaultCounters) under
+    /// `{prefix}.{stage:02}.sort.*` fault-counter names.
+    pub fn sorted_with_policy(
+        self,
+        sorter: Box<dyn OnlineSorter<Event<P>>>,
+        meter: &MemoryMeter,
+        policy: ops::SortPolicy<P>,
+    ) -> Result<Streamable<P>, StreamError> {
+        if policy.late == LatePolicy::RerouteNextPartition {
+            return Err(StreamError::InvalidConfig(
+                "LatePolicy::RerouteNextPartition requires the partitioned framework; \
+                 a standalone sorting stage has no next partition"
+                    .into(),
+            ));
+        }
         let meter = meter.clone();
-        let gauges = self.instr.as_ref().map(|ins| {
-            SorterGauges::register(
-                &ins.registry,
-                &format!("{}.{:02}.sorter", ins.prefix, ins.stage),
-            )
-        });
-        self.apply_named("sort", move |sink| {
-            let op = ops::SortOp::new(sorter, meter, sink);
-            Box::new(match gauges {
+        let (gauges, faults) = match self.instr.as_ref() {
+            Some(ins) => {
+                let base = format!("{}.{:02}", ins.prefix, ins.stage);
+                (
+                    Some(SorterGauges::register(
+                        &ins.registry,
+                        &format!("{base}.sorter"),
+                    )),
+                    Some(ops::SortFaultCounters::register(
+                        &ins.registry,
+                        &format!("{base}.sort"),
+                    )),
+                )
+            }
+            None => (None, None),
+        };
+        Ok(self.apply_named("sort", move |sink| {
+            let op = ops::SortOp::with_policy(sorter, meter, policy, sink);
+            let op = match gauges {
                 Some(g) => op.with_gauges(g),
                 None => op,
+            };
+            Box::new(match faults {
+                Some(f) => op.with_fault_counters(f),
+                None => op,
             })
-        })
+        }))
     }
 }
 
@@ -354,6 +504,9 @@ struct InputState<P: Payload> {
     sink: Option<Box<dyn Observer<P>>>,
     /// Messages pushed before the chain was subscribed.
     pending: Vec<StreamMessage<P>>,
+    /// A terminal error pushed before the chain was subscribed (replayed
+    /// after the pending messages).
+    pending_error: Option<StreamError>,
     completed: bool,
 }
 
@@ -372,8 +525,14 @@ impl<P: Payload> Clone for InputHandle<P> {
 
 impl<P: Payload> InputHandle<P> {
     fn deliver(&self, msg: StreamMessage<P>) {
+        self.try_deliver(msg).expect("push after completion");
+    }
+
+    fn try_deliver(&self, msg: StreamMessage<P>) -> Result<(), StreamError> {
         let mut st = self.state.borrow_mut();
-        assert!(!st.completed, "push after completion");
+        if st.completed {
+            return Err(StreamError::PushAfterCompleted);
+        }
         if matches!(msg, StreamMessage::Completed) {
             st.completed = true;
         }
@@ -381,6 +540,7 @@ impl<P: Payload> InputHandle<P> {
             Some(sink) => sink.on_message(msg),
             None => st.pending.push(msg),
         }
+        Ok(())
     }
 
     /// Pushes a batch of events.
@@ -403,19 +563,42 @@ impl<P: Payload> InputHandle<P> {
         self.deliver(msg);
     }
 
+    /// Pushes any message, returning
+    /// [`StreamError::PushAfterCompleted`] instead of panicking if the
+    /// stream is already complete.
+    pub fn try_push_message(&self, msg: StreamMessage<P>) -> Result<(), StreamError> {
+        self.try_deliver(msg)
+    }
+
     /// Completes the stream.
     pub fn complete(&self) {
         self.deliver(StreamMessage::Completed);
     }
+
+    /// Delivers a terminal error into the chain. The stream is considered
+    /// complete afterwards; errors pushed after completion (or a second
+    /// error) are ignored.
+    pub fn push_error(&self, err: StreamError) {
+        let mut st = self.state.borrow_mut();
+        if st.completed {
+            return;
+        }
+        st.completed = true;
+        match &mut st.sink {
+            Some(sink) => sink.on_error(err),
+            None => st.pending_error = Some(err),
+        }
+    }
 }
 
-/// Creates a live input: push into the [`InputHandle`], consume via the
+///// Creates a live input: push into the [`InputHandle`], consume via the
 /// [`Streamable`]. Messages pushed before subscription are buffered and
 /// replayed at subscribe time.
 pub fn input_stream<P: Payload>() -> (InputHandle<P>, Streamable<P>) {
     let state = Rc::new(RefCell::new(InputState {
         sink: None,
         pending: Vec::new(),
+        pending_error: None,
         completed: false,
     }));
     let handle = InputHandle {
@@ -426,6 +609,9 @@ pub fn input_stream<P: Payload>() -> (InputHandle<P>, Streamable<P>) {
         assert!(st.sink.is_none(), "input stream already subscribed");
         for m in st.pending.drain(..) {
             sink.on_message(m);
+        }
+        if let Some(err) = st.pending_error.take() {
+            sink.on_error(err);
         }
         st.sink = Some(sink);
     });
@@ -601,6 +787,151 @@ mod tests {
         assert_eq!(merged.len(), 4);
         assert_eq!(registry.counter("u.00.union.events_in").get(), 4);
         assert_eq!(registry.counter("u.00.union.events_out").get(), 4);
+    }
+
+    #[test]
+    fn hardened_pipeline_is_transparent_when_healthy() {
+        let run = |hardened: bool| {
+            let stream = Streamable::from_ordered_events(evs(&[1, 2, 3, 11, 12, 25]));
+            let stream = if hardened { stream.hardened() } else { stream };
+            stream
+                .where_(|e| e.payload != 2)
+                .tumbling_window(TickDuration::ticks(10))
+                .count()
+                .collect_output()
+                .messages()
+        };
+        assert_eq!(run(false), run(true), "hardening is inert without faults");
+    }
+
+    #[test]
+    fn hardened_pipeline_converts_panic_to_typed_error() {
+        let registry = MetricsRegistry::new();
+        let out = Streamable::from_ordered_events(evs(&[1, 2, 3, 4]))
+            .instrument(&registry, "p")
+            .hardened()
+            .select(|p: &u32| {
+                assert!(*p != 3, "poison payload");
+                *p
+            })
+            .collect_output();
+        match out.error() {
+            Some(StreamError::OperatorPanicked { operator, message }) => {
+                assert_eq!(operator, "p.00.select");
+                assert!(message.contains("poison payload"), "{message}");
+            }
+            other => panic!("expected OperatorPanicked, got {other:?}"),
+        }
+        assert!(!out.is_completed(), "no completion after a panic");
+        assert_eq!(registry.counter("p.operator_panics").get(), 1);
+    }
+
+    #[test]
+    fn instrument_registers_panic_counter_even_unhardened() {
+        let registry = MetricsRegistry::new();
+        let _out = Streamable::from_ordered_events(evs(&[1]))
+            .instrument(&registry, "q")
+            .count()
+            .collect_output();
+        let snap = registry.snapshot();
+        assert!(
+            snap.counters.iter().any(|(k, _)| k == "q.operator_panics"),
+            "operator_panics missing from snapshot: {:?}",
+            snap.counters
+        );
+    }
+
+    #[test]
+    fn hardened_union_leg_panic_poisons_merged_stream() {
+        let meter = MemoryMeter::new();
+        let a = Streamable::from_ordered_events(evs(&[1, 4, 9]))
+            .hardened()
+            .select(|p: &u32| {
+                assert!(*p != 4, "leg poison");
+                *p
+            });
+        let b = Streamable::from_ordered_events(evs(&[2, 3, 10]));
+        let out = a.union(b, &meter).collect_output();
+        match out.error() {
+            Some(StreamError::OperatorPanicked { message, .. }) => {
+                assert!(message.contains("leg poison"), "{message}")
+            }
+            other => panic!("expected OperatorPanicked, got {other:?}"),
+        }
+        assert!(!out.is_completed());
+    }
+
+    #[test]
+    fn sorted_with_policy_rejects_reroute() {
+        let meter = MemoryMeter::new();
+        let err = Streamable::from_ordered_events(evs(&[1]))
+            .sorted_with_policy(
+                Box::new(impatience_sort::ImpatienceSorter::new()),
+                &meter,
+                ops::SortPolicy {
+                    late: LatePolicy::RerouteNextPartition,
+                    ..ops::SortPolicy::default()
+                },
+            )
+            .err();
+        match err {
+            Some(StreamError::InvalidConfig(msg)) => {
+                assert!(msg.contains("partitioned framework"), "{msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sorted_with_policy_registers_fault_counters() {
+        let registry = MetricsRegistry::new();
+        let meter = MemoryMeter::new();
+        let (handle, stream) = input_stream::<u32>();
+        let dlq = impatience_core::DeadLetterQueue::new();
+        let out = stream
+            .instrument(&registry, "fp")
+            .sorted_with_policy(
+                Box::new(impatience_sort::ImpatienceSorter::new()),
+                &meter,
+                ops::SortPolicy {
+                    late: LatePolicy::DeadLetter,
+                    dead_letters: Some(dlq.clone()),
+                    ..ops::SortPolicy::default()
+                },
+            )
+            .unwrap()
+            .collect_output();
+        handle.push_events(evs(&[5, 3]));
+        handle.push_punctuation(Timestamp::new(5));
+        handle.push_events(evs(&[4])); // late: at or below punctuation 5
+        handle.complete();
+        assert_eq!(out.event_count(), 2);
+        assert_eq!(registry.counter("fp.00.sort.dead_lettered").get(), 1);
+        assert_eq!(dlq.total(), 1);
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn push_error_reaches_the_sink_live_and_replayed() {
+        // Live: error after subscription.
+        let (handle, stream) = input_stream::<u32>();
+        let out = stream.collect_output();
+        handle.push_events(evs(&[1]));
+        handle.push_error(StreamError::PushAfterCompleted);
+        assert_eq!(out.error(), Some(StreamError::PushAfterCompleted));
+        assert!(!out.is_completed());
+        // Terminal: pushes after the error are rejected.
+        assert!(handle
+            .try_push_message(StreamMessage::punctuation(9))
+            .is_err());
+
+        // Replayed: error before subscription is delivered at subscribe.
+        let (handle, stream) = input_stream::<u32>();
+        handle.push_events(evs(&[2]));
+        handle.push_error(StreamError::PushAfterCompleted);
+        let out = stream.collect_output();
+        assert_eq!(out.event_count(), 1, "pre-error traffic replayed first");
+        assert_eq!(out.error(), Some(StreamError::PushAfterCompleted));
     }
 
     #[test]

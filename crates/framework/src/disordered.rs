@@ -148,6 +148,9 @@ impl<P: Payload, S: Observer<P>> Observer<P> for DisorderedWindowOp<P, S> {
     fn on_completed(&mut self) {
         self.next.on_completed();
     }
+    fn on_error(&mut self, err: impatience_core::StreamError) {
+        self.next.on_error(err);
+    }
 }
 
 // `DisorderedWindowOp` needs the PhantomData to stay generic over `P`

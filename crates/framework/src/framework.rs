@@ -27,11 +27,56 @@
 use crate::disordered::DisorderedStreamable;
 use crate::plumbing::{HandleSink, TeeOp};
 use impatience_core::metrics::{Counter, MetricsRegistry};
-use impatience_core::{Event, MemoryMeter, Payload, StreamError, TickDuration, Timestamp};
-use impatience_engine::ops::union as build_union;
+use impatience_core::{
+    DeadLetterQueue, DeadLetterReason, Event, LatePolicy, MemoryMeter, Payload, ShedPolicy,
+    StreamError, TickDuration, Timestamp,
+};
+use impatience_engine::ops::{union as build_union, SortPolicy};
 use impatience_engine::{input_stream, InputHandle, Observer, Streamable};
 use impatience_sort::{ImpatienceConfig, ImpatienceSorter};
 use std::rc::Rc;
+
+/// Failure-model configuration for a framework instance.
+///
+/// `late` decides the fate of an event whose delay exceeds the *fastest*
+/// latency `l₀`: [`LatePolicy::RerouteNextPartition`] (the paper's §V
+/// behaviour and the default) walks it into the first partition that can
+/// still accommodate it; [`LatePolicy::Drop`] discards it immediately;
+/// [`LatePolicy::DeadLetter`] diverts it to `dead_letters`. Events too
+/// delayed even for the largest latency are dropped (counted) under the
+/// first two policies and dead-lettered under the third.
+///
+/// `shed` and `dead_letters` are handed to every partition's sorting
+/// operator, so a budget on the shared [`MemoryMeter`] degrades gracefully
+/// instead of growing without bound.
+pub struct FrameworkPolicy<P: Payload> {
+    /// Routing of events that missed the fastest partition.
+    pub late: LatePolicy,
+    /// Per-partition sorter shedding under memory pressure.
+    pub shed: ShedPolicy,
+    /// Destination for dead-lettered events (partitioner and sorters).
+    pub dead_letters: Option<DeadLetterQueue<P>>,
+}
+
+impl<P: Payload> Default for FrameworkPolicy<P> {
+    fn default() -> Self {
+        FrameworkPolicy {
+            late: LatePolicy::RerouteNextPartition,
+            shed: ShedPolicy::default(),
+            dead_letters: None,
+        }
+    }
+}
+
+impl<P: Payload> Clone for FrameworkPolicy<P> {
+    fn clone(&self) -> Self {
+        FrameworkPolicy {
+            late: self.late,
+            shed: self.shed,
+            dead_letters: self.dead_letters.clone(),
+        }
+    }
+}
 
 /// Shared routing counters for completeness accounting (Table II), built on
 /// the core metrics primitives so they can surface in a registry snapshot.
@@ -39,6 +84,7 @@ use std::rc::Rc;
 pub struct FrameworkStats {
     routed: Rc<Vec<Counter>>,
     dropped: Counter,
+    dead_lettered: Counter,
 }
 
 impl FrameworkStats {
@@ -46,12 +92,14 @@ impl FrameworkStats {
         FrameworkStats {
             routed: Rc::new((0..k).map(|_| Counter::new()).collect()),
             dropped: Counter::new(),
+            dead_lettered: Counter::new(),
         }
     }
 
     /// Counters backed by `registry` under
-    /// `framework.partition{i:02}.routed` and `framework.dropped`, so the
-    /// Table-II routing split appears in snapshots.
+    /// `framework.partition{i:02}.routed`, `framework.dropped`, and
+    /// `framework.dead_lettered`, so the Table-II routing split appears in
+    /// snapshots.
     fn registered(k: usize, registry: &MetricsRegistry) -> Self {
         FrameworkStats {
             routed: Rc::new(
@@ -60,6 +108,7 @@ impl FrameworkStats {
                     .collect(),
             ),
             dropped: registry.counter("framework.dropped"),
+            dead_lettered: registry.counter("framework.dead_lettered"),
         }
     }
 
@@ -73,9 +122,14 @@ impl FrameworkStats {
         self.dropped.get()
     }
 
-    /// Total events seen (routed + dropped).
+    /// Events diverted to the dead-letter channel at the partitioner.
+    pub fn dead_lettered(&self) -> u64 {
+        self.dead_lettered.get()
+    }
+
+    /// Total events seen (routed + dropped + dead-lettered).
     pub fn total(&self) -> u64 {
-        self.routed.iter().map(Counter::get).sum::<u64>() + self.dropped()
+        self.routed.iter().map(Counter::get).sum::<u64>() + self.dropped() + self.dead_lettered()
     }
 
     /// Fraction of input events present in output stream `i` (which
@@ -94,9 +148,10 @@ impl core::fmt::Debug for FrameworkStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "FrameworkStats(routed={:?}, dropped={})",
+            "FrameworkStats(routed={:?}, dropped={}, dead_lettered={})",
             self.routed.iter().map(Counter::get).collect::<Vec<_>>(),
-            self.dropped()
+            self.dropped(),
+            self.dead_lettered()
         )
     }
 }
@@ -123,9 +178,22 @@ impl<Q: Payload> Streamables<Q> {
     /// Takes ownership of output stream `i` (the paper's
     /// `ss.Streamable(i)`). Panics if already taken.
     pub fn stream(&mut self, i: usize) -> Streamable<Q> {
-        self.streams[i]
-            .take()
+        self.try_stream(i)
             .expect("output stream already subscribed")
+    }
+
+    /// Fallible form of [`Self::stream`]: a typed error instead of a panic
+    /// for an out-of-range index or an already-taken stream.
+    pub fn try_stream(&mut self, i: usize) -> Result<Streamable<Q>, StreamError> {
+        let slot = self.streams.get_mut(i).ok_or_else(|| {
+            StreamError::InvalidConfig(format!(
+                "output stream {i} out of range (framework has {} streams)",
+                self.latencies.len()
+            ))
+        })?;
+        slot.take().ok_or_else(|| {
+            StreamError::InvalidConfig(format!("output stream {i} already subscribed"))
+        })
     }
 
     /// Reorder latency of output stream `i`.
@@ -166,6 +234,8 @@ struct Partitioner<P: Payload> {
     wm: Timestamp,
     last_punct: Vec<Timestamp>,
     stats: FrameworkStats,
+    late: LatePolicy,
+    dead_letters: Option<DeadLetterQueue<P>>,
 }
 
 impl<P: Payload> Partitioner<P> {
@@ -174,6 +244,13 @@ impl<P: Payload> Partitioner<P> {
             if !buf.is_empty() {
                 self.parts[i].push_events(core::mem::take(buf));
             }
+        }
+    }
+
+    fn divert(&mut self, e: &Event<P>) {
+        self.stats.dead_lettered.inc();
+        if let Some(q) = &self.dead_letters {
+            q.push(e.clone(), DeadLetterReason::Late { watermark: self.wm });
         }
     }
 }
@@ -190,11 +267,27 @@ impl<P: Payload> Observer<P> for Partitioner<P> {
             // `wm − lᵢ`: admitted events are strictly above it).
             match self.latencies.iter().position(|&l| delay < l) {
                 Some(i) => {
+                    // An event that missed the fastest partition is *late*;
+                    // walking to partition i is the reroute policy.
+                    if i > 0 && self.late != LatePolicy::RerouteNextPartition {
+                        match self.late {
+                            LatePolicy::Drop => self.stats.dropped.inc(),
+                            LatePolicy::DeadLetter => self.divert(e),
+                            LatePolicy::RerouteNextPartition => unreachable!(),
+                        }
+                        continue;
+                    }
                     self.stats.routed[i].inc();
                     self.scratch[i].push(e.clone());
                 }
                 None => {
-                    self.stats.dropped.inc();
+                    // Too delayed even for the largest latency: no
+                    // partition exists to reroute into.
+                    if self.late == LatePolicy::DeadLetter {
+                        self.divert(e);
+                    } else {
+                        self.stats.dropped.inc();
+                    }
                 }
             }
         }
@@ -217,6 +310,13 @@ impl<P: Payload> Observer<P> for Partitioner<P> {
         self.flush_scratch();
         for h in &self.parts {
             h.complete();
+        }
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.flush_scratch();
+        for h in &self.parts {
+            h.push_error(err.clone());
         }
     }
 }
@@ -260,6 +360,33 @@ pub fn to_streamables_advanced_metered<P, Q>(
     merge: impl Fn(Streamable<Q>) -> Streamable<Q> + 'static,
     meter: &MemoryMeter,
     registry: Option<&MetricsRegistry>,
+) -> Result<Streamables<Q>, StreamError>
+where
+    P: Payload,
+    Q: Payload,
+{
+    to_streamables_advanced_with(
+        ds,
+        latencies,
+        piq,
+        merge,
+        meter,
+        registry,
+        FrameworkPolicy::default(),
+    )
+}
+
+/// [`to_streamables_advanced_metered`] with an explicit failure-model
+/// policy: late-event routing at the partitioner and shed/dead-letter
+/// behaviour for every partition sorter (see [`FrameworkPolicy`]).
+pub fn to_streamables_advanced_with<P, Q>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    piq: impl Fn(Streamable<P>) -> Streamable<Q> + 'static,
+    merge: impl Fn(Streamable<Q>) -> Streamable<Q> + 'static,
+    meter: &MemoryMeter,
+    registry: Option<&MetricsRegistry>,
+    policy: FrameworkPolicy<P>,
 ) -> Result<Streamables<Q>, StreamError>
 where
     P: Payload,
@@ -321,7 +448,15 @@ where
             None => ps,
         };
         let sorter = ImpatienceSorter::with_config(ImpatienceConfig::default());
-        piq(ps.sorted_with(Box::new(sorter), meter)).subscribe_observer(sink);
+        // The partitioner already filtered per-partition late events, so
+        // any residual late event at a sorter is dropped (and counted);
+        // shed/dead-letter behaviour follows the framework policy.
+        let sort_policy = SortPolicy {
+            late: LatePolicy::Drop,
+            shed: policy.shed,
+            dead_letters: policy.dead_letters.clone(),
+        };
+        piq(ps.sorted_with_policy(Box::new(sorter), meter, sort_policy)?).subscribe_observer(sink);
     }
 
     // Wire the partitioner onto the disordered source.
@@ -332,6 +467,8 @@ where
         wm: Timestamp::MIN,
         last_punct: vec![Timestamp::MIN; k],
         stats: stats.clone(),
+        late: policy.late,
+        dead_letters: policy.dead_letters,
     };
     (ds.into_connector())(Box::new(partitioner));
 
@@ -363,6 +500,18 @@ pub fn to_streamables_basic_metered<P: Payload>(
     registry: Option<&MetricsRegistry>,
 ) -> Result<Streamables<P>, StreamError> {
     to_streamables_advanced_metered(ds, latencies, |s| s, |s| s, meter, registry)
+}
+
+/// [`to_streamables_basic_metered`] with an explicit failure-model policy —
+/// see [`FrameworkPolicy`].
+pub fn to_streamables_basic_with<P: Payload>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    meter: &MemoryMeter,
+    registry: Option<&MetricsRegistry>,
+    policy: FrameworkPolicy<P>,
+) -> Result<Streamables<P>, StreamError> {
+    to_streamables_advanced_with(ds, latencies, |s| s, |s| s, meter, registry, policy)
 }
 
 #[cfg(test)]
@@ -624,6 +773,90 @@ mod tests {
         let plain_outs: Vec<_> = (0..3).map(|i| plain.stream(i).collect_output()).collect();
         for (a, b) in _outs.iter().zip(&plain_outs) {
             assert_eq!(a.messages(), b.messages());
+        }
+    }
+
+    #[test]
+    fn drop_policy_discards_events_that_miss_the_fastest_partition() {
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let fp = FrameworkPolicy {
+            late: impatience_core::LatePolicy::Drop,
+            ..FrameworkPolicy::default()
+        };
+        let mut ss = to_streamables_basic_with(ds, &latencies(), &meter, None, fp).unwrap();
+        let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        // Delays 0,0,5,0,25,0,35: only the five delay<10 events survive;
+        // the two reroutable stragglers are dropped instead.
+        let stats = ss.stats();
+        assert_eq!(stats.routed(0), 5);
+        assert_eq!(stats.routed(1), 0);
+        assert_eq!(stats.routed(2), 0);
+        assert_eq!(stats.dropped(), 2);
+        assert_eq!(stats.total(), 7);
+        for o in &outs {
+            assert_eq!(o.event_count(), 5);
+            assert!(o.is_completed());
+        }
+    }
+
+    #[test]
+    fn dead_letter_policy_diverts_and_accounts() {
+        let meter = MemoryMeter::new();
+        let dlq = impatience_core::DeadLetterQueue::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let fp = FrameworkPolicy {
+            late: impatience_core::LatePolicy::DeadLetter,
+            dead_letters: Some(dlq.clone()),
+            ..FrameworkPolicy::default()
+        };
+        // Max latency 30, so the delay-35 event has no partition at all —
+        // it is dead-lettered too, not silently dropped.
+        let ls = vec![TickDuration::ticks(10), TickDuration::ticks(30)];
+        let mut ss = to_streamables_basic_with(ds, &ls, &meter, None, fp).unwrap();
+        let _outs: Vec<_> = (0..2).map(|i| ss.stream(i).collect_output()).collect();
+        let stats = ss.stats();
+        assert_eq!(stats.routed(0), 5);
+        assert_eq!(stats.dropped(), 0);
+        assert_eq!(stats.dead_lettered(), 2, "delay-25 and delay-35 events");
+        assert_eq!(stats.total(), 7);
+        assert_eq!(dlq.total(), 2);
+        let letters = dlq.drain();
+        assert!(letters
+            .iter()
+            .all(|l| matches!(l.reason, impatience_core::DeadLetterReason::Late { .. })));
+    }
+
+    #[test]
+    fn dead_lettered_registry_counter_is_published() {
+        let registry = MetricsRegistry::new();
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let fp = FrameworkPolicy {
+            late: impatience_core::LatePolicy::DeadLetter,
+            ..FrameworkPolicy::default()
+        };
+        let mut ss =
+            to_streamables_basic_with(ds, &latencies(), &meter, Some(&registry), fp).unwrap();
+        let _outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        // Counted even without an attached queue.
+        assert_eq!(registry.counter("framework.dead_lettered").get(), 2);
+        assert_eq!(ss.stats().dead_lettered(), 2);
+    }
+
+    #[test]
+    fn try_stream_returns_typed_errors() {
+        let meter = MemoryMeter::new();
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
+        let mut ss = to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
+        assert!(ss.try_stream(5).is_err(), "out of range");
+        assert!(ss.try_stream(0).is_ok());
+        match ss.try_stream(0) {
+            Err(StreamError::InvalidConfig(msg)) => {
+                assert!(msg.contains("already subscribed"), "{msg}")
+            }
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+            Ok(_) => panic!("expected an error for a taken stream"),
         }
     }
 

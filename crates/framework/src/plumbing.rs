@@ -1,6 +1,6 @@
 //! Small observer adapters used to wire the framework DAG.
 
-use impatience_core::{EventBatch, Payload, Timestamp};
+use impatience_core::{EventBatch, Payload, StreamError, Timestamp};
 use impatience_engine::{InputHandle, Observer};
 
 /// Observer that forwards traffic into an [`InputHandle`] — the bridge
@@ -25,6 +25,9 @@ impl<P: Payload> Observer<P> for HandleSink<P> {
     }
     fn on_completed(&mut self) {
         self.handle.complete();
+    }
+    fn on_error(&mut self, err: StreamError) {
+        self.handle.push_error(err);
     }
 }
 
@@ -60,6 +63,10 @@ impl<P: Payload, A: Observer<P>, B: Observer<P>> Observer<P> for TeeOp<P, A, B> 
     fn on_completed(&mut self) {
         self.a.on_completed();
         self.b.on_completed();
+    }
+    fn on_error(&mut self, err: StreamError) {
+        self.a.on_error(err.clone());
+        self.b.on_error(err);
     }
 }
 

@@ -182,6 +182,13 @@ impl<T: EventTimed + Clone> OnlineSorter<T> for ImpatienceSorter<T> {
         "Impatience"
     }
 
+    fn shed_oldest(&mut self, out: &mut Vec<T>) -> usize {
+        let shed = self.runs.shed_oldest_run();
+        let n = shed.len();
+        out.extend(shed);
+        n
+    }
+
     fn sync_gauges(&self, gauges: &crate::gauges::SorterGauges) {
         gauges.buffered.set(self.buffered_len() as i64);
         gauges.state_bytes.set(self.state_bytes() as i64);
@@ -357,6 +364,28 @@ mod tests {
         assert!(s.speculative_hits() >= 98, "sorted input should speculate");
         assert_eq!(s.name(), "Impatience");
         assert!(s.state_bytes() >= 100 * core::mem::size_of::<i64>());
+    }
+
+    #[test]
+    fn shed_oldest_evicts_most_delayed_run() {
+        let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        for x in [100i64, 101, 102, 50, 51, 5, 6] {
+            s.push(x);
+        }
+        // Runs: [100,101,102], [50,51], [5,6] — tails 102 > 51 > 6.
+        assert_eq!(s.run_count(), 3);
+        let mut shed = Vec::new();
+        let n = s.shed_oldest(&mut shed);
+        assert_eq!(n, 2);
+        assert_eq!(shed, vec![5, 6], "most-delayed run evicted, in order");
+        assert_eq!(s.buffered_len(), 5);
+        // The surviving buffer still honors the sorting contract.
+        let mut out = Vec::new();
+        s.drain_all(&mut out);
+        assert_eq!(out, vec![50, 51, 100, 101, 102]);
+        // Empty sorter sheds nothing (engine falls back to forced cuts).
+        let mut empty: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        assert_eq!(empty.shed_oldest(&mut shed), 0);
     }
 
     #[test]

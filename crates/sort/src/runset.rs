@@ -262,6 +262,24 @@ impl<T: EventTimed + Clone> RunSet<T> {
         heads
     }
 
+    /// Sheds the run with the smallest tail — the last run, holding the
+    /// most severely delayed events — returning its live items in sorted
+    /// order. Popping from the tail end trivially preserves the strictly
+    /// descending tails invariant. Returns an empty vector when no runs
+    /// are live.
+    pub fn shed_oldest_run(&mut self) -> Vec<T> {
+        while let Some(run) = self.runs.pop() {
+            self.tails.pop();
+            if self.last_insert >= self.runs.len() {
+                self.last_insert = 0;
+            }
+            if !run.is_empty() {
+                return run.live().to_vec();
+            }
+        }
+        Vec::new()
+    }
+
     /// Bytes held across all runs plus the tails cache.
     pub fn state_bytes(&self) -> usize {
         self.runs.iter().map(SortedRun::state_bytes).sum::<usize>()
@@ -438,6 +456,28 @@ mod tests {
         assert_eq!(plain.speculative_hits(), 0);
         assert_eq!(plain.speculative_misses(), 0);
         assert_eq!(plain.binary_searches(), data.len() as u64);
+    }
+
+    #[test]
+    fn shed_oldest_run_pops_smallest_tail() {
+        let mut rs: RunSet<i64> = RunSet::new(true);
+        for x in [2i64, 6, 5, 1, 4, 3, 7, 8] {
+            rs.insert(x);
+        }
+        // Runs (Fig 3): [2,6,7,8], [5], [1,4], [3] — tails 8 > 5 > 4 > 3.
+        let shed = rs.shed_oldest_run();
+        assert_eq!(shed, vec![3], "smallest-tail run goes first");
+        assert_eq!(rs.run_count(), 3);
+        let shed = rs.shed_oldest_run();
+        assert_eq!(shed, vec![1, 4], "shed run comes out sorted");
+        assert_eq!(rs.buffered_len(), 5);
+        // Inserts still work after shedding (invariant intact).
+        rs.insert(0);
+        assert_eq!(rs.run_count(), 3);
+        rs.shed_oldest_run();
+        rs.shed_oldest_run();
+        rs.shed_oldest_run();
+        assert!(rs.shed_oldest_run().is_empty(), "empty set sheds nothing");
     }
 
     #[test]

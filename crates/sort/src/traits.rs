@@ -40,6 +40,18 @@ pub trait OnlineSorter<T: EventTimed> {
     /// Human-readable algorithm name (figure legends).
     fn name(&self) -> &'static str;
 
+    /// Sheds the oldest (most severely delayed) buffered run wholesale,
+    /// appending its items to `out` (sorted within the run) and returning
+    /// the item count. Used by the engine's
+    /// [`ShedPolicy::ShedOldestRuns`](impatience_core::ShedPolicy) under
+    /// memory pressure; the shed items are *removed*, not emitted, and
+    /// become dead letters upstream. The default — for sorters without a
+    /// run structure — sheds nothing and returns 0, which signals the
+    /// engine to fall back to a forced punctuation.
+    fn shed_oldest(&mut self, _out: &mut Vec<T>) -> usize {
+        0
+    }
+
     /// Publishes current sorter state into `gauges`. The default covers the
     /// universal quantities (buffered events, state bytes); sorters with a
     /// run structure override it to also publish run counts and speculation

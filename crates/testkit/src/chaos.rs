@@ -1,0 +1,316 @@
+//! Chaos engineering for stream pipelines: a seeded fault-injecting
+//! observer.
+//!
+//! [`ChaosObserver`] sits between a disordered source and the pipeline
+//! under test and injects, with configured per-event probabilities, the
+//! faults the failure model must absorb:
+//!
+//! * **duplicates** — an event delivered twice;
+//! * **stragglers** — an event retimed far behind the watermark (beyond
+//!   any reasonable reorder latency), exercising the late-event policies;
+//! * **punctuation regressions** — a punctuation behind the previous one,
+//!   a hard contract violation that must surface as a typed
+//!   [`StreamError::PunctuationRegressed`](impatience_core::StreamError),
+//!   never as corrupted ordered output;
+//! * **payload corruption** — an arbitrary user-supplied mutation of the
+//!   payload (the pipeline's operators must either tolerate or reject it);
+//! * **injected panics** — a `panic!` from inside an operator position,
+//!   which a `hardened()` pipeline must convert to a typed
+//!   `OperatorPanicked` error instead of aborting the process.
+//!
+//! Everything is driven by one [`StdRng`] seed: the same seed injects the
+//! same faults at the same positions, so failures replay bit-for-bit.
+//! With [`ChaosConfig::enabled`] false the observer forwards every message
+//! verbatim and consumes **no** randomness — a disabled-chaos pipeline is
+//! byte-identical to one without the observer.
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+use impatience_core::metrics::Counter;
+use impatience_core::{EventBatch, Payload, StreamError, Timestamp};
+use impatience_engine::Observer;
+
+/// Per-fault injection probabilities (each evaluated independently).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master switch: when false, no faults and no RNG consumption.
+    pub enabled: bool,
+    /// Probability an event is delivered twice.
+    pub duplicate: f64,
+    /// Probability an event is retimed `straggler_delay` ticks behind the
+    /// current watermark (or its own time, before the first punctuation).
+    pub straggler: f64,
+    /// How far behind the watermark a straggler lands.
+    pub straggler_delay: i64,
+    /// Probability a punctuation regresses by `regress_by` ticks.
+    pub regress_punctuation: f64,
+    /// Size of an injected punctuation regression.
+    pub regress_by: i64,
+    /// Probability the payload corruptor runs on an event.
+    pub corrupt: f64,
+    /// Probability of an injected operator panic on an event.
+    pub panic: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            enabled: true,
+            duplicate: 0.02,
+            straggler: 0.02,
+            straggler_delay: 10_000,
+            regress_punctuation: 0.0,
+            regress_by: 100,
+            corrupt: 0.0,
+            panic: 0.0,
+        }
+    }
+}
+
+/// Shared counters of the faults actually injected (for assertions).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosCounts {
+    /// Events delivered twice.
+    pub duplicates: Counter,
+    /// Events retimed behind the watermark.
+    pub stragglers: Counter,
+    /// Punctuations regressed.
+    pub regressions: Counter,
+    /// Payloads corrupted.
+    pub corruptions: Counter,
+    /// Panics injected.
+    pub panics: Counter,
+}
+
+impl ChaosCounts {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.duplicates.get()
+            + self.stragglers.get()
+            + self.regressions.get()
+            + self.corruptions.get()
+            + self.panics.get()
+    }
+}
+
+/// The fault-injecting observer. Build with [`ChaosObserver::new`], wire
+/// with `Streamable::apply`-style plumbing (it owns its downstream).
+pub struct ChaosObserver<P: Payload> {
+    cfg: ChaosConfig,
+    rng: StdRng,
+    wm: Option<Timestamp>,
+    corrupt_with: Option<Box<dyn FnMut(&mut P)>>,
+    counts: ChaosCounts,
+    next: Box<dyn Observer<P>>,
+}
+
+impl<P: Payload> ChaosObserver<P> {
+    /// A chaos stage seeded with `seed`, injecting per `cfg` into `next`.
+    pub fn new(seed: u64, cfg: ChaosConfig, next: Box<dyn Observer<P>>) -> Self {
+        ChaosObserver {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            wm: None,
+            corrupt_with: None,
+            counts: ChaosCounts::default(),
+            next,
+        }
+    }
+
+    /// Installs the payload corruptor run with probability
+    /// [`ChaosConfig::corrupt`].
+    pub fn with_corruptor(mut self, f: impl FnMut(&mut P) + 'static) -> Self {
+        self.corrupt_with = Some(Box::new(f));
+        self
+    }
+
+    /// Shared handles onto the injection counters.
+    pub fn counts(&self) -> ChaosCounts {
+        self.counts.clone()
+    }
+}
+
+impl<P: Payload> Observer<P> for ChaosObserver<P> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        if !self.cfg.enabled {
+            self.next.on_batch(batch);
+            return;
+        }
+        let mut out = EventBatch::with_capacity(batch.visible_len());
+        for e in batch.iter_visible() {
+            if self.cfg.panic > 0.0 && self.rng.gen_bool(self.cfg.panic) {
+                self.counts.panics.inc();
+                panic!("chaos: injected operator panic");
+            }
+            let mut e = e.clone();
+            if self.cfg.corrupt > 0.0 && self.rng.gen_bool(self.cfg.corrupt) {
+                if let Some(f) = &mut self.corrupt_with {
+                    self.counts.corruptions.inc();
+                    f(&mut e.payload);
+                }
+            }
+            if self.cfg.straggler > 0.0 && self.rng.gen_bool(self.cfg.straggler) {
+                self.counts.stragglers.inc();
+                let anchor = self.wm.unwrap_or(e.sync_time);
+                let late = Timestamp::new(
+                    anchor
+                        .ticks()
+                        .saturating_sub(self.cfg.straggler_delay)
+                        .max(Timestamp::MIN.ticks() + 1),
+                );
+                let width = e.other_time - e.sync_time;
+                e.sync_time = late;
+                e.other_time = late + width;
+            }
+            let duplicate = self.cfg.duplicate > 0.0 && self.rng.gen_bool(self.cfg.duplicate);
+            if duplicate {
+                self.counts.duplicates.inc();
+                out.push(e.clone());
+            }
+            out.push(e);
+        }
+        if !out.is_empty() {
+            self.next.on_batch(out);
+        }
+    }
+
+    fn on_punctuation(&mut self, t: Timestamp) {
+        if !self.cfg.enabled {
+            self.next.on_punctuation(t);
+            return;
+        }
+        let mut t = t;
+        if self.cfg.regress_punctuation > 0.0 && self.rng.gen_bool(self.cfg.regress_punctuation) {
+            self.counts.regressions.inc();
+            t = Timestamp::new(t.ticks().saturating_sub(self.cfg.regress_by));
+        }
+        if self.wm.is_none_or(|w| t > w) {
+            self.wm = Some(t);
+        }
+        self.next.on_punctuation(t);
+    }
+
+    fn on_completed(&mut self) {
+        self.next.on_completed();
+    }
+
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::{Event, StreamMessage};
+    use impatience_engine::Output;
+
+    fn batch(ts: &[i64]) -> EventBatch<u32> {
+        ts.iter()
+            .map(|&t| Event::point(Timestamp::new(t), t as u32))
+            .collect()
+    }
+
+    fn drive(obs: &mut ChaosObserver<u32>) {
+        for start in [0i64, 100, 200, 300] {
+            obs.on_batch(batch(&[start + 10, start + 40, start + 70]));
+            obs.on_punctuation(Timestamp::new(start + 100));
+        }
+        obs.on_completed();
+    }
+
+    #[test]
+    fn disabled_chaos_is_byte_identical_and_burns_no_rng() {
+        let (plain_out, plain_sink) = Output::<u32>::new();
+        let mut plain: Box<dyn Observer<u32>> = Box::new(plain_sink);
+        for start in [0i64, 100, 200, 300] {
+            plain.on_batch(batch(&[start + 10, start + 40, start + 70]));
+            plain.on_punctuation(Timestamp::new(start + 100));
+        }
+        plain.on_completed();
+
+        let (chaos_out, chaos_sink) = Output::<u32>::new();
+        let cfg = ChaosConfig {
+            enabled: false,
+            duplicate: 1.0,
+            straggler: 1.0,
+            panic: 1.0,
+            ..ChaosConfig::default()
+        };
+        let mut chaos = ChaosObserver::new(42, cfg, Box::new(chaos_sink));
+        drive(&mut chaos);
+        assert_eq!(plain_out.messages(), chaos_out.messages());
+        assert_eq!(chaos.counts().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_injects_identical_faults() {
+        let run = |seed: u64| -> Vec<StreamMessage<u32>> {
+            let (out, sink) = Output::<u32>::new();
+            let cfg = ChaosConfig {
+                duplicate: 0.3,
+                straggler: 0.3,
+                straggler_delay: 1_000,
+                ..ChaosConfig::default()
+            };
+            let mut chaos = ChaosObserver::new(seed, cfg, Box::new(sink));
+            drive(&mut chaos);
+            out.messages()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn stragglers_land_behind_the_watermark() {
+        let (out, sink) = Output::<u32>::new();
+        let cfg = ChaosConfig {
+            straggler: 1.0,
+            straggler_delay: 5_000,
+            duplicate: 0.0,
+            ..ChaosConfig::default()
+        };
+        let mut chaos = ChaosObserver::new(1, cfg, Box::new(sink));
+        chaos.on_punctuation(Timestamp::new(10_000));
+        chaos.on_batch(batch(&[10_500]));
+        chaos.on_completed();
+        let counts = chaos.counts();
+        assert_eq!(counts.stragglers.get(), 1);
+        let e = &out.events()[0];
+        assert_eq!(e.sync_time, Timestamp::new(5_000), "wm − delay");
+    }
+
+    #[test]
+    fn corruptor_and_duplicates_fire() {
+        let (out, sink) = Output::<u32>::new();
+        let cfg = ChaosConfig {
+            duplicate: 1.0,
+            straggler: 0.0,
+            corrupt: 1.0,
+            ..ChaosConfig::default()
+        };
+        let mut chaos =
+            ChaosObserver::new(1, cfg, Box::new(sink)).with_corruptor(|p: &mut u32| *p = u32::MAX);
+        chaos.on_batch(batch(&[1, 2]));
+        chaos.on_completed();
+        assert_eq!(out.event_count(), 4, "every event doubled");
+        assert!(out.events().iter().all(|e| e.payload == u32::MAX));
+        let counts = chaos.counts();
+        assert_eq!(counts.duplicates.get(), 2);
+        assert_eq!(counts.corruptions.get(), 2);
+    }
+
+    #[test]
+    fn punctuation_regression_counts() {
+        let (out, sink) = Output::<u32>::new();
+        let cfg = ChaosConfig {
+            regress_punctuation: 1.0,
+            regress_by: 50,
+            ..ChaosConfig::default()
+        };
+        let mut chaos = ChaosObserver::new(1, cfg, Box::new(sink));
+        chaos.on_punctuation(Timestamp::new(100));
+        chaos.on_completed();
+        assert_eq!(out.last_punctuation(), Some(Timestamp::new(50)));
+        assert_eq!(chaos.counts().regressions.get(), 1);
+    }
+}

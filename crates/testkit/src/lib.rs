@@ -15,7 +15,10 @@
 //!   a case runner with greedy input shrinking, and fixed-seed replay via
 //!   `IMPATIENCE_PROP_SEED`;
 //! * [`bench`] — a wall-clock micro-benchmark timer (warmup + N iterations,
-//!   median / p95 / min) replacing the `criterion` dependency.
+//!   median / p95 / min) replacing the `criterion` dependency;
+//! * [`chaos`] — a seeded fault-injecting observer (duplicates, late
+//!   stragglers, punctuation regressions, payload corruption, injected
+//!   panics) for exercising the failure model end to end.
 //!
 //! ## Replaying a property failure
 //!
@@ -36,7 +39,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bench;
+pub mod chaos;
 pub mod prop;
 pub mod rng;
 
+pub use chaos::{ChaosConfig, ChaosCounts, ChaosObserver};
 pub use rng::{Rng, SeedableRng, StdRng};

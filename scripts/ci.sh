@@ -19,14 +19,33 @@ cargo test -q --offline
 echo "== cargo test -q --offline --workspace (all member crates) =="
 cargo test -q --offline --workspace
 
+echo "== chaos suite (pinned seed, >=1000 fault-injected pipelines) =="
+# The failure-model gate: seeded fault injection (duplicates, stragglers,
+# punctuation regressions, corruption, operator panics) must never abort
+# the process — only typed errors or contract-valid output. Case seeds are
+# derived deterministically from each property's name, so runs replay
+# bit-for-bit; a reported failure replays with IMPATIENCE_PROP_SEED=<seed>.
+cargo test -q --offline --test chaos
+
 echo "== bench metrics smoke (fig5 --json, validated by snapshot_check) =="
 # A small fig5 run must emit JSON lines that parse with the in-tree JSON
-# parser and include a metrics snapshot with per-operator counters, sorter
-# gauges, and a watermark-lag histogram.
+# parser and include a metrics snapshot with per-operator counters, the
+# failure-model counters, sorter gauges, and a watermark-lag histogram.
 tmp_json="$(mktemp)"
 trap 'rm -f "$tmp_json"' EXIT
 cargo run --release --offline -q -p impatience-bench --bin fig5 -- \
     --events 60000 --json "$tmp_json" > /dev/null
 cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- "$tmp_json"
+
+echo "== bounded-memory degradation (fig5 --memory-budget, fault activity) =="
+# A budgeted fig5 run must (a) keep the sorter's state-bytes high water
+# under the budget (asserted inside pipeline_metrics_with) and (b) report
+# nonzero dead-letter and shed counters in its snapshot.
+tmp_budget_json="$(mktemp)"
+trap 'rm -f "$tmp_json" "$tmp_budget_json"' EXIT
+cargo run --release --offline -q -p impatience-bench --bin fig5 -- \
+    --events 60000 --json "$tmp_budget_json" --memory-budget 65536 > /dev/null
+cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
+    "$tmp_budget_json" --require-fault-activity
 
 echo "CI OK"

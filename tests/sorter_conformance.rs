@@ -160,6 +160,126 @@ fn all_sorters_conform_on_seeded_streams() {
     }
 }
 
+/// Drives `sorter` through a fault-injected stream: the schedule sheds the
+/// oldest run at seeded positions, and shed events leave the oracle
+/// multiset — whatever remains must still match the stable-sort oracle at
+/// every cut and at the final drain.
+fn run_chaos_conformance(
+    name: &str,
+    sorter: &mut dyn OnlineSorter<i64>,
+    data: &[i64],
+    punct_every: usize,
+    lag: i64,
+    shed_prob: f64,
+    seed: u64,
+) {
+    // Reseeded per sorter so every sorter sees the identical shed schedule.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut pending: Vec<i64> = Vec::new();
+    let mut wm = i64::MIN;
+    let mut high = i64::MIN;
+
+    for (i, &x) in data.iter().enumerate() {
+        if x > wm {
+            sorter.push(x);
+            pending.push(x);
+            high = high.max(x);
+        }
+        if shed_prob > 0.0 && i % 7 == 0 && rng.gen_bool(shed_prob) {
+            let before = sorter.buffered_len();
+            let mut shed = Vec::new();
+            let n = sorter.shed_oldest(&mut shed);
+            assert_eq!(n, shed.len(), "{name}: shed count ≠ items (seed {seed})");
+            assert_eq!(
+                sorter.buffered_len(),
+                before - n,
+                "{name}: buffered_len out of sync after shed (seed {seed})"
+            );
+            assert!(
+                shed.windows(2).all(|w| w[0] <= w[1]),
+                "{name}: shed run not sorted (seed {seed})"
+            );
+            for v in shed {
+                let pos = pending.iter().position(|&p| p == v).unwrap_or_else(|| {
+                    panic!("{name}: shed event {v} was never buffered (seed {seed})")
+                });
+                pending.swap_remove(pos);
+            }
+        }
+        if i % punct_every == punct_every - 1 && high > i64::MIN {
+            let cut = high.saturating_sub(lag);
+            if cut > wm {
+                wm = cut;
+                let mut out = Vec::new();
+                sorter.punctuate(Timestamp::new(cut), &mut out);
+                let mut expect: Vec<i64> = pending.iter().copied().filter(|&v| v <= cut).collect();
+                expect.sort_by(|a, b| a.cmp(b));
+                assert_eq!(
+                    out, expect,
+                    "{name}: chaos cut at T={cut} mismatch (seed {seed})"
+                );
+                pending.retain(|&v| v > cut);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    sorter.drain_all(&mut out);
+    let mut expect = pending.clone();
+    expect.sort_by(|a, b| a.cmp(b));
+    assert_eq!(
+        out, expect,
+        "{name}: chaos final drain mismatch (seed {seed})"
+    );
+    assert_eq!(
+        sorter.buffered_len(),
+        0,
+        "{name}: residue after chaos drain (seed {seed})"
+    );
+}
+
+#[test]
+fn all_sorters_conform_under_injected_faults() {
+    const STREAMS: u64 = 1_000;
+    for seed in 0..STREAMS {
+        // A chaos generator on top of the plain one: mostly-advancing data
+        // with injected duplicates and beyond-latency stragglers (which the
+        // watermark filter rejects, as ingress would), plus — on a third of
+        // the streams — mid-stream shedding of the oldest run.
+        let mut rng = StdRng::seed_from_u64(0xC4A0_5EED ^ seed);
+        let len = rng.gen_range(10usize..200);
+        let mut t = 0i64;
+        let mut data: Vec<i64> = Vec::with_capacity(len + len / 8);
+        for _ in 0..len {
+            t += rng.gen_range(0i64..25);
+            let x = if rng.gen_bool(0.08) {
+                t - rng.gen_range(500i64..5_000) // deep straggler
+            } else {
+                t
+            };
+            data.push(x);
+            if rng.gen_bool(0.06) {
+                data.push(x); // injected duplicate
+            }
+        }
+        let punct_every = rng.gen_range(1usize..24);
+        let lag = rng.gen_range(0i64..100);
+        let shed_prob = if seed % 3 == 0 { 0.3 } else { 0.0 };
+
+        for (name, mut sorter) in all_sorters() {
+            run_chaos_conformance(
+                name,
+                sorter.as_mut(),
+                &data,
+                punct_every,
+                lag,
+                shed_prob,
+                seed,
+            );
+        }
+    }
+}
+
 #[test]
 fn empty_and_singleton_streams() {
     for (name, mut sorter) in all_sorters() {
