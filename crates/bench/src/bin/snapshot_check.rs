@@ -1,7 +1,7 @@
 //! CI helper: validates the JSON-lines output of a bench-binary run.
 //!
 //! ```sh
-//! snapshot_check <path.jsonl> [--require-fault-activity]
+//! snapshot_check <path.jsonl> [--require-fault-activity] [--require-recovery-activity]
 //! ```
 //!
 //! Asserts that every line parses with the in-tree JSON parser and that at
@@ -10,10 +10,14 @@
 //! event/punctuation counters, the failure-model counters (late-dropped /
 //! dead-lettered / shed / operator-panic), sorter run-count and
 //! state-bytes gauges (with high-water marks), and a watermark-lag
-//! histogram. With `--require-fault-activity` it additionally demands that
-//! the degradation path actually fired — nonzero dead-letter **and** shed
-//! counts somewhere in the file (for budgeted runs). Exits non-zero with a
-//! message on the first violation.
+//! histogram — plus the durability payload: a nonzero
+//! `*.checkpoint.written` counter, the `*.recovery.restores` counter, and
+//! a zero `memory.over_releases` counter. With `--require-fault-activity`
+//! it additionally demands that the degradation path actually fired —
+//! nonzero dead-letter **and** shed counts somewhere in the file (for
+//! budgeted runs). With `--require-recovery-activity` it demands a nonzero
+//! `*.recovery.restores` count somewhere in the file (for crash-recovery
+//! runs). Exits non-zero with a message on the first violation.
 
 use impatience_bench::metrics_of_line;
 use impatience_core::Json;
@@ -26,15 +30,21 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let mut path: Option<String> = None;
     let mut require_fault_activity = false;
+    let mut require_recovery_activity = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-fault-activity" => require_fault_activity = true,
+            "--require-recovery-activity" => require_recovery_activity = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other}")),
         }
     }
-    let path = path
-        .unwrap_or_else(|| fail("usage: snapshot_check <path.jsonl> [--require-fault-activity]"));
+    let path = path.unwrap_or_else(|| {
+        fail(
+            "usage: snapshot_check <path.jsonl> \
+             [--require-fault-activity] [--require-recovery-activity]",
+        )
+    });
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
 
@@ -42,6 +52,7 @@ fn main() {
     let mut snapshots = 0usize;
     let mut dead_lettered = 0u64;
     let mut shed = 0u64;
+    let mut restores = 0u64;
     for (no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -54,9 +65,10 @@ fn main() {
         }
         if let Some(metrics) = metrics_of_line(&js) {
             snapshots += 1;
-            let (dl, sh) = check_snapshot(&path, no + 1, metrics);
+            let (dl, sh, rs) = check_snapshot(&path, no + 1, metrics);
             dead_lettered += dl;
             shed += sh;
+            restores += rs;
         }
     }
     if lines == 0 {
@@ -73,17 +85,25 @@ fn main() {
              got dead_lettered={dead_lettered} shed_events={shed}"
         ));
     }
+    if require_recovery_activity && restores == 0 {
+        fail(&format!(
+            "{path}: --require-recovery-activity: expected a nonzero recovery.restores count \
+             in some snapshot, found none"
+        ));
+    }
     println!(
         "snapshot_check: {path}: {lines} lines ok, {snapshots} metrics snapshot(s), \
-         {dead_lettered} dead-lettered, {shed} shed"
+         {dead_lettered} dead-lettered, {shed} shed, {restores} restore(s)"
     );
 }
 
 /// One metrics snapshot must carry per-operator counters, the
-/// failure-model counters, sorter gauges with high-water marks, and a
-/// watermark-lag histogram with buckets. Returns the snapshot's total
-/// (dead-lettered, shed) counts for the fault-activity check.
-fn check_snapshot(path: &str, no: usize, metrics: &Json) -> (u64, u64) {
+/// failure-model counters, the durability counters (nonzero checkpoint
+/// writes, a recovery.restores counter, zero memory over-releases), sorter
+/// gauges with high-water marks, and a watermark-lag histogram with
+/// buckets. Returns the snapshot's total (dead-lettered, shed, restores)
+/// counts for the fault- and recovery-activity checks.
+fn check_snapshot(path: &str, no: usize, metrics: &Json) -> (u64, u64, u64) {
     let ctx = format!("{path}:{no}");
     let counters = metrics
         .get("counters")
@@ -134,6 +154,28 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) -> (u64, u64) {
     if sum_of("operator_panics") > 0 {
         fail(&format!("{ctx}: nonzero operator_panics in a bench run"));
     }
+    // The durability counters: every bench pipeline runs with a checkpoint
+    // gate, so each snapshot must show at least one checkpoint written
+    // (the completion checkpoint at minimum) and publish its restore
+    // counter even when (first incarnation) it is zero.
+    for suffix in ["checkpoint.written", "recovery.restores"] {
+        if !counter_names.iter().any(|n| n.ends_with(suffix)) {
+            fail(&format!("{ctx}: no durability \"*.{suffix}\" counter"));
+        }
+    }
+    if sum_of("checkpoint.written") == 0 {
+        fail(&format!(
+            "{ctx}: checkpoint.written is zero in a durable bench run"
+        ));
+    }
+    // Memory accounting must never go negative anywhere in a bench run.
+    match counters.get("memory.over_releases").and_then(Json::as_i64) {
+        Some(0) => {}
+        Some(n) => fail(&format!(
+            "{ctx}: memory.over_releases = {n}, accounting went negative"
+        )),
+        None => fail(&format!("{ctx}: no \"memory.over_releases\" counter")),
+    }
     // Sorter gauges, each carrying value + high-water.
     for suffix in ["sorter.runs", "sorter.state_bytes"] {
         let name = gauge_names
@@ -169,5 +211,9 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) -> (u64, u64) {
             fail(&format!("{ctx}: histogram {name} lacks \"{field}\""));
         }
     }
-    (sum_of("sort.dead_lettered"), sum_of("sort.shed_events"))
+    (
+        sum_of("sort.dead_lettered"),
+        sum_of("sort.shed_events"),
+        sum_of("recovery.restores"),
+    )
 }

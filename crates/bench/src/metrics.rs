@@ -21,6 +21,13 @@ use crate::cli::BenchArgs;
 /// Cap on events pumped through the instrumented snapshot pipeline.
 pub const METRICS_SAMPLE_EVENTS: usize = 200_000;
 
+/// Checkpoint cadence (punctuations) of the sampled durable pipeline.
+pub const METRICS_CHECKPOINT_EVERY: u32 = 16;
+
+/// Bound on the sampled pipeline's dead-letter queue, so recovery replay
+/// (or a pathological dataset) cannot grow it without bound.
+pub const DEAD_LETTER_CAPACITY: usize = 64 * 1024;
+
 /// Runs the canonical instrumented pipeline —
 /// `ingress → Impatience sort → tumbling window → count` — over a prefix of
 /// `ds` and returns the registry snapshot. The reorder latency is scaled to
@@ -57,6 +64,14 @@ pub fn pipeline_metrics_with(
         Some(b) => MemoryMeter::with_budget(b),
         None => MemoryMeter::new(),
     };
+    // Memory accounting must never go negative; the counter makes any
+    // over-release visible in the snapshot (and snapshot_check rejects it).
+    meter.bind_over_release_counter(registry.counter("memory.over_releases"));
+    let dead_letters = budget.is_some().then(|| {
+        let q = DeadLetterQueue::bounded(DEAD_LETTER_CAPACITY);
+        q.bind_dropped_counter(registry.counter("dead_letter.dropped"));
+        q
+    });
     let policy = SortPolicy {
         late: if budget.is_some() {
             LatePolicy::DeadLetter
@@ -68,9 +83,22 @@ pub fn pipeline_metrics_with(
         } else {
             ShedPolicy::ForcePunctuation
         },
-        dead_letters: budget.is_some().then(DeadLetterQueue::new),
+        dead_letters,
     };
+    // The sampled pipeline runs durable so every exhibit's snapshot also
+    // carries the checkpoint.* / recovery.* counters snapshot_check
+    // demands. Checkpoints land in a scratch directory per process.
+    let ckpt_dir = std::env::temp_dir().join(format!(
+        "impatience-bench-ckpt-{}-{}",
+        std::process::id(),
+        ds.name.replace(|c: char| !c.is_ascii_alphanumeric(), "-"),
+    ));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
     let (handle, stream) = input_stream::<EvalPayload>();
+    let (stream, ckpt) = stream
+        .checkpointed(&ckpt_dir, METRICS_CHECKPOINT_EVERY)
+        .expect("open scratch checkpoint dir");
+    ckpt.bind_metrics(&registry, "pipeline");
     let stream = stream.instrument(&registry, "pipeline");
     let stream = if budget.is_some() {
         stream.hardened()
@@ -109,6 +137,7 @@ pub fn pipeline_metrics_with(
             "budgeted pipeline exceeded its memory budget: state_bytes hwm {hwm} > {b}"
         );
     }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
     registry.snapshot()
 }
 
@@ -173,6 +202,24 @@ mod tests {
         let hists = js.get("histograms").expect("histograms");
         let lag = hists.get("pipeline.00.sort.watermark_lag").expect("hist");
         assert!(lag.get("count").and_then(Json::as_i64).unwrap() > 0);
+        // The sampled pipeline is durable: checkpoint/recovery counters are
+        // in every snapshot, the run took at least the completion
+        // checkpoint, and memory accounting stayed clean.
+        assert!(
+            counters
+                .get("pipeline.checkpoint.written")
+                .and_then(Json::as_i64)
+                .unwrap()
+                > 0
+        );
+        assert!(counters.get("pipeline.recovery.restores").is_some());
+        assert_eq!(
+            counters
+                .get("memory.over_releases")
+                .and_then(Json::as_i64)
+                .unwrap(),
+            0
+        );
         // The snapshot is self-describing JSON: it round-trips the parser.
         let text = js.to_string();
         assert!(Json::parse(&text).is_ok());

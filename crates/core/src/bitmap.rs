@@ -93,7 +93,7 @@ impl FilterBitmap {
 
     /// Appends one row with the given visibility.
     pub fn push(&mut self, visible: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         let i = self.len;

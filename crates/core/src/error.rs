@@ -59,6 +59,15 @@ pub enum StreamError {
         /// The panic payload, stringified when possible.
         message: String,
     },
+    /// Crash recovery could not restore the pipeline's state (every retained
+    /// checkpoint generation failed its integrity checks, or a restored
+    /// snapshot did not match the pipeline's registered operators). Delivered
+    /// as a terminal error instead of aborting; the underlying
+    /// `SnapshotError` is stringified in `detail`.
+    RecoveryFailed {
+        /// Description of the failed recovery step.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -95,6 +104,9 @@ impl fmt::Display for StreamError {
             ),
             StreamError::OperatorPanicked { operator, message } => {
                 write!(f, "operator '{operator}' panicked: {message}")
+            }
+            StreamError::RecoveryFailed { detail } => {
+                write!(f, "crash recovery failed: {detail}")
             }
         }
     }

@@ -7,6 +7,7 @@
 //! explicit matters for reproducing Fig 9(b), where projection speedups are
 //! diluted by exactly these fields.
 
+use crate::snapshot::StateCodec;
 use crate::time::{TickDuration, Timestamp};
 use core::fmt;
 
@@ -15,8 +16,10 @@ use core::fmt;
 /// The bound is deliberately small: payloads are cloned when a stream fans
 /// out (e.g. the basic Impatience framework duplicates events into several
 /// output streams), and they must report their heap footprint for the
-/// deterministic memory accounting used by the Fig 10 benchmarks.
-pub trait Payload: Clone + fmt::Debug + PartialEq + 'static {
+/// deterministic memory accounting used by the Fig 10 benchmarks. The
+/// [`StateCodec`] supertrait makes every payload durable: checkpointing a
+/// sorter run or union buffer is just encoding its buffered events.
+pub trait Payload: Clone + fmt::Debug + PartialEq + StateCodec + 'static {
     /// Bytes owned on the heap by this payload (0 for plain-old-data).
     #[inline]
     fn heap_bytes(&self) -> usize {

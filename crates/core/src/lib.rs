@@ -38,6 +38,7 @@ pub mod memory;
 pub mod message;
 pub mod metrics;
 pub mod policy;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 
@@ -54,5 +55,9 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use policy::{DeadLetter, DeadLetterQueue, DeadLetterReason, LatePolicy, ShedPolicy};
+pub use snapshot::{
+    crc32c, decode_framed, encode_framed, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateCodec, SNAPSHOT_VERSION,
+};
 pub use stats::IngressStats;
 pub use time::{TickDuration, Timestamp};

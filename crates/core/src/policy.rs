@@ -18,8 +18,10 @@
 //! dead-letter channel).
 
 use crate::event::{Event, Payload};
+use crate::metrics::Counter;
 use crate::time::Timestamp;
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// What the sorter boundary does with an event at or behind the watermark.
@@ -74,8 +76,11 @@ pub struct DeadLetter<P: Payload> {
 
 #[derive(Debug)]
 struct DlqInner<P: Payload> {
-    letters: Vec<DeadLetter<P>>,
+    letters: VecDeque<DeadLetter<P>>,
     total: u64,
+    capacity: Option<usize>,
+    dropped: u64,
+    dropped_counter: Option<Counter>,
 }
 
 /// A shared, cheaply cloneable dead-letter channel.
@@ -85,6 +90,14 @@ struct DlqInner<P: Payload> {
 /// operator or framework partitioner, the consumer side wherever the
 /// pipeline was built. `total` survives [`drain`](DeadLetterQueue::drain),
 /// so metrics stay monotonic even when the consumer empties the queue.
+///
+/// An unbounded queue grows with every diverted event — dangerous during
+/// recovery replay, which can re-divert a long late tail nobody is
+/// draining. [`bounded`](DeadLetterQueue::bounded) caps the queue: once
+/// full, the *oldest* letter is dropped to admit the new one (the newest
+/// letters are the ones a consumer can still act on), and every drop is
+/// counted (see [`dropped`](DeadLetterQueue::dropped)) and surfaced to a
+/// bound metrics counter so the loss is never silent.
 #[derive(Debug, Clone)]
 pub struct DeadLetterQueue<P: Payload> {
     inner: Rc<RefCell<DlqInner<P>>>,
@@ -97,21 +110,59 @@ impl<P: Payload> Default for DeadLetterQueue<P> {
 }
 
 impl<P: Payload> DeadLetterQueue<P> {
-    /// A fresh, empty queue.
+    /// A fresh, empty, unbounded queue.
     pub fn new() -> Self {
         DeadLetterQueue {
             inner: Rc::new(RefCell::new(DlqInner {
-                letters: Vec::new(),
+                letters: VecDeque::new(),
                 total: 0,
+                capacity: None,
+                dropped: 0,
+                dropped_counter: None,
             })),
         }
     }
 
-    /// Appends one dead letter.
+    /// A fresh queue holding at most `capacity` undrained letters. When
+    /// full, pushing drops the oldest letter and counts the drop. A zero
+    /// capacity drops every letter (pure counting mode).
+    pub fn bounded(capacity: usize) -> Self {
+        let q = Self::new();
+        q.inner.borrow_mut().capacity = Some(capacity);
+        q
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.borrow().capacity
+    }
+
+    /// Appends one dead letter, evicting the oldest if at capacity.
     pub fn push(&self, event: Event<P>, reason: DeadLetterReason) {
         let mut inner = self.inner.borrow_mut();
         inner.total += 1;
-        inner.letters.push(DeadLetter { event, reason });
+        inner.letters.push_back(DeadLetter { event, reason });
+        if let Some(cap) = inner.capacity {
+            while inner.letters.len() > cap {
+                inner.letters.pop_front();
+                inner.dropped += 1;
+                if let Some(c) = inner.dropped_counter.as_ref() {
+                    c.inc();
+                }
+            }
+        }
+    }
+
+    /// Lifetime count of letters evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Binds a metrics [`Counter`] bumped on every capacity eviction, so
+    /// bounded-queue loss shows up in pipeline snapshots
+    /// (`dead_letter.dropped`).
+    pub fn bind_dropped_counter(&self, counter: Counter) {
+        self.inner.borrow_mut().dropped_counter = Some(counter);
     }
 
     /// Letters currently queued (undrained).
@@ -131,7 +182,7 @@ impl<P: Payload> DeadLetterQueue<P> {
 
     /// Removes and returns all queued letters, oldest first.
     pub fn drain(&self) -> Vec<DeadLetter<P>> {
-        std::mem::take(&mut self.inner.borrow_mut().letters)
+        self.inner.borrow_mut().letters.drain(..).collect()
     }
 
     /// True if this and `other` share the same queue.
@@ -180,5 +231,34 @@ mod tests {
         assert!(q.is_empty(), "drain empties the shared queue");
         assert_eq!(q.total(), 2, "total survives the drain");
         assert!(!q.same_queue(&DeadLetterQueue::new()));
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest_and_counts() {
+        let q: DeadLetterQueue<u32> = DeadLetterQueue::bounded(2);
+        assert_eq!(q.capacity(), Some(2));
+        let c = Counter::new();
+        q.bind_dropped_counter(c.clone());
+        for v in 0..5u32 {
+            q.push(
+                Event::point(Timestamp::new(v as i64), v),
+                DeadLetterReason::Shed,
+            );
+        }
+        assert_eq!(q.len(), 2, "capacity holds");
+        assert_eq!(q.total(), 5, "total counts every push");
+        assert_eq!(q.dropped(), 3);
+        assert_eq!(c.get(), 3, "bound counter tracks drops");
+        let kept: Vec<u32> = q.drain().into_iter().map(|l| l.event.payload).collect();
+        assert_eq!(kept, vec![3, 4], "newest letters survive");
+    }
+
+    #[test]
+    fn zero_capacity_queue_counts_everything_keeps_nothing() {
+        let q: DeadLetterQueue<u32> = DeadLetterQueue::bounded(0);
+        q.push(Event::point(Timestamp::ZERO, 1), DeadLetterReason::Shed);
+        assert!(q.is_empty());
+        assert_eq!(q.total(), 1);
+        assert_eq!(q.dropped(), 1);
     }
 }

@@ -5,13 +5,22 @@
 //! emitted at `high_watermark - reorder_latency`. The reorder latency is
 //! the buffer-and-sort knob — a low value gives low latency but drops more
 //! late events; a high value the reverse (Fig 1, Table II).
+//!
+//! For durable pipelines this module also provides the append-only
+//! **write-ahead ingest log** ([`Wal`] / [`WalIngress`]): every ingested
+//! message is persisted (checksummed, batched fsync) before it is
+//! considered acknowledged, so crash recovery can restore the newest
+//! checkpoint and replay exactly the unprocessed suffix.
 
 use crate::streamable::{input_stream, InputHandle, Streamable};
 use impatience_core::{
-    Event, EventBatch, IngressStats, MemoryMeter, Payload, StreamMessage, TickDuration, Timestamp,
-    DEFAULT_BATCH_SIZE,
+    crc32c, Event, EventBatch, IngressStats, MemoryMeter, Payload, SnapshotError, SnapshotReader,
+    SnapshotWriter, StateCodec, StreamMessage, TickDuration, Timestamp, DEFAULT_BATCH_SIZE,
 };
 use impatience_sort::{ImpatienceSorter, OnlineSorter};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Punctuation-insertion policy.
 #[derive(Debug, Clone, Copy)]
@@ -139,6 +148,364 @@ pub fn disordered_input<P: Payload>(
     (handle, raw.sorted_with(sorter, meter))
 }
 
+/// Tuning knobs for the write-ahead ingest log.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Roll to a new segment file once the current one reaches this size.
+    pub segment_bytes: u64,
+    /// fsync after at most this many unsynced records. `1` syncs every
+    /// append; larger values batch the cost (a crash may lose the unsynced
+    /// tail, which is exactly the *unacknowledged* suffix — the sender
+    /// must resend it).
+    pub sync_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 4 << 20,
+            sync_every: 64,
+        }
+    }
+}
+
+const WAL_SEG_PREFIX: &str = "wal-";
+const WAL_SEG_SUFFIX: &str = ".seg";
+/// `len: u32 LE | crc32c(payload): u32 LE` precede every record payload.
+const WAL_RECORD_HEADER: usize = 8;
+
+fn segment_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("{WAL_SEG_PREFIX}{base:020}{WAL_SEG_SUFFIX}"))
+}
+
+/// Sorted `(base_index, path)` list of the segments present in `dir`.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, SnapshotError> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix(WAL_SEG_PREFIX)
+            .and_then(|s| s.strip_suffix(WAL_SEG_SUFFIX))
+        else {
+            continue;
+        };
+        let Ok(base) = stem.parse::<u64>() else {
+            continue;
+        };
+        segs.push((base, entry.path()));
+    }
+    segs.sort_by_key(|&(base, _)| base);
+    Ok(segs)
+}
+
+/// A parsed segment: `(global_index, payload)` records plus the byte
+/// length of the valid prefix they occupy.
+type ParsedSegment = (Vec<(u64, Vec<u8>)>, u64);
+
+/// Parses one segment's records as `(global_index, payload)` pairs.
+///
+/// A record whose header or payload runs past the end of the *last*
+/// segment is a torn write — the valid prefix is returned along with the
+/// byte length of that prefix so callers can repair the file. Anywhere
+/// else, or on a checksum mismatch with all bytes present, the segment is
+/// corrupt.
+fn parse_segment(bytes: &[u8], base: u64, is_last: bool) -> Result<ParsedSegment, SnapshotError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut index = base;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        let torn = |detail: String| -> Result<(), SnapshotError> {
+            if is_last {
+                Ok(())
+            } else {
+                Err(SnapshotError::corrupt(detail))
+            }
+        };
+        if remaining < WAL_RECORD_HEADER {
+            torn(format!(
+                "wal record {index}: {remaining} header bytes mid-log"
+            ))?;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let body_at = pos + WAL_RECORD_HEADER;
+        if len > bytes.len() - body_at {
+            torn(format!(
+                "wal record {index}: length {len} exceeds segment mid-log"
+            ))?;
+            break;
+        }
+        let payload = &bytes[body_at..body_at + len];
+        if crc32c(payload) != crc {
+            // All bytes present but the checksum disagrees: bit rot, not a
+            // torn append — always an error.
+            return Err(SnapshotError::corrupt(format!(
+                "wal record {index}: checksum mismatch"
+            )));
+        }
+        records.push((index, payload.to_vec()));
+        pos = body_at + len;
+        index += 1;
+    }
+    Ok((records, pos as u64))
+}
+
+/// Append-only segmented write-ahead log of opaque records.
+///
+/// Records get consecutive global indices starting at 0; segment files are
+/// named `wal-{base}.seg` after the index of their first record. Appends
+/// are checksummed and fsynced in batches of [`WalConfig::sync_every`];
+/// [`Wal::truncate_before`] discards segments wholly below a checkpoint's
+/// safe index. Opening an existing log repairs a torn tail (the crash may
+/// have lost only unsynced — unacknowledged — records).
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    next_index: u64,
+    synced_index: u64,
+    current: Option<(fs::File, u64)>,
+    current_bytes: u64,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `dir` with default tuning.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, SnapshotError> {
+        Self::open_with(dir, WalConfig::default())
+    }
+
+    /// Opens (creating if needed) the log in `dir`.
+    pub fn open_with(dir: impl Into<PathBuf>, config: WalConfig) -> Result<Self, SnapshotError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let segs = list_segments(&dir)?;
+        let mut next_index = 0u64;
+        let mut current = None;
+        let mut current_bytes = 0u64;
+        if let Some((base, path)) = segs.last() {
+            let bytes = fs::read(path)?;
+            let (records, valid_len) = parse_segment(&bytes, *base, true)?;
+            if valid_len < bytes.len() as u64 {
+                // Torn tail: cut the file back to its valid prefix so new
+                // appends don't interleave with garbage.
+                let f = fs::OpenOptions::new().write(true).open(path)?;
+                f.set_len(valid_len)?;
+                f.sync_all()?;
+            }
+            next_index = base + records.len() as u64;
+            // Resume appending into the tail segment. Rolling instead
+            // would collide on the segment name whenever the repaired
+            // tail holds zero records (`wal-{next_index}` already
+            // exists), and would litter the log with short segments.
+            let file = fs::OpenOptions::new().append(true).open(path)?;
+            current = Some((file, *base));
+            current_bytes = valid_len;
+        }
+        Ok(Wal {
+            dir,
+            config,
+            next_index,
+            synced_index: next_index,
+            current,
+            current_bytes,
+        })
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Index the next appended record will receive.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Records at indices below this are guaranteed on stable storage —
+    /// the acknowledgeable prefix.
+    pub fn synced_index(&self) -> u64 {
+        self.synced_index
+    }
+
+    /// Appends one record, returning its global index. Rolls segments and
+    /// batches fsyncs per the [`WalConfig`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, SnapshotError> {
+        let roll = match &self.current {
+            None => true,
+            Some(_) => self.current_bytes >= self.config.segment_bytes,
+        };
+        if roll {
+            self.sync()?;
+            let path = segment_path(&self.dir, self.next_index);
+            let file = fs::OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&path)?;
+            self.current = Some((file, self.next_index));
+            self.current_bytes = 0;
+        }
+        let (file, _) = self.current.as_mut().expect("segment just opened");
+        let mut frame = Vec::with_capacity(WAL_RECORD_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32c(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        file.write_all(&frame)?;
+        self.current_bytes += frame.len() as u64;
+        let index = self.next_index;
+        self.next_index += 1;
+        if self.next_index - self.synced_index >= self.config.sync_every {
+            self.sync()?;
+        }
+        Ok(index)
+    }
+
+    /// Forces every appended record to stable storage.
+    pub fn sync(&mut self) -> Result<(), SnapshotError> {
+        if let Some((file, _)) = &self.current {
+            file.sync_all()?;
+        }
+        self.synced_index = self.next_index;
+        Ok(())
+    }
+
+    /// Deletes segments whose records all lie below `index` (typically a
+    /// checkpoint's safe-truncation floor). The active segment is never
+    /// deleted. Returns the number of segments removed.
+    pub fn truncate_before(&mut self, index: u64) -> Result<usize, SnapshotError> {
+        let segs = list_segments(&self.dir)?;
+        let active_base = self.current.as_ref().map(|&(_, base)| base);
+        let mut removed = 0usize;
+        for pair in segs.windows(2) {
+            let (base, ref path) = pair[0];
+            let (next_base, _) = pair[1];
+            if next_base <= index && Some(base) != active_base {
+                fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Reads every record with global index `>= start` from the log in `dir`.
+///
+/// A torn tail on the final segment is tolerated (those records were never
+/// acknowledged); a checksum mismatch or a hole anywhere else is a typed
+/// [`SnapshotError::Corrupt`]. An empty or missing directory replays
+/// nothing.
+pub fn replay_wal(dir: &Path, start: u64) -> Result<Vec<(u64, Vec<u8>)>, SnapshotError> {
+    let segs = match list_segments(dir) {
+        Ok(s) => s,
+        Err(SnapshotError::Io { .. }) if !dir.exists() => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for (i, (base, path)) in segs.iter().enumerate() {
+        let is_last = i + 1 == segs.len();
+        // Skip segments wholly below `start` without reading them.
+        if let Some(&(next_base, _)) = segs.get(i + 1) {
+            if next_base <= start {
+                continue;
+            }
+            // Segments must abut: record count is implied by the next base.
+            let bytes = fs::read(path)?;
+            let (records, _) = parse_segment(&bytes, *base, false)?;
+            let found = *base + records.len() as u64;
+            if found != next_base {
+                return Err(SnapshotError::corrupt(format!(
+                    "wal segment {base} ends at record {found} but the next segment starts at \
+                     {next_base}"
+                )));
+            }
+            out.extend(records.into_iter().filter(|&(idx, _)| idx >= start));
+        } else {
+            let bytes = fs::read(path)?;
+            let (records, _) = parse_segment(&bytes, *base, is_last)?;
+            out.extend(records.into_iter().filter(|&(idx, _)| idx >= start));
+        }
+    }
+    Ok(out)
+}
+
+/// A typed write-ahead log of [`StreamMessage`]s — the durable front door
+/// of a checkpointed pipeline.
+///
+/// Record indices line up 1:1 with the message counts a
+/// [`CheckpointGate`](crate::checkpoint::CheckpointGate) stores, so
+/// recovery is: restore the checkpoint at message offset `M`, then feed
+/// [`WalIngress::replay_from`]`(dir, M)` back into the input.
+pub struct WalIngress<P: Payload> {
+    wal: Wal,
+    _p: core::marker::PhantomData<P>,
+}
+
+impl<P: Payload> WalIngress<P> {
+    /// Opens (creating if needed) the log in `dir` with default tuning.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, SnapshotError> {
+        Self::open_with(dir, WalConfig::default())
+    }
+
+    /// Opens (creating if needed) the log in `dir`.
+    pub fn open_with(dir: impl Into<PathBuf>, config: WalConfig) -> Result<Self, SnapshotError> {
+        Ok(WalIngress {
+            wal: Wal::open_with(dir, config)?,
+            _p: core::marker::PhantomData,
+        })
+    }
+
+    /// The underlying record log.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Index the next appended message will receive.
+    pub fn next_index(&self) -> u64 {
+        self.wal.next_index()
+    }
+
+    /// Logs one message, returning its global index. The message is only
+    /// *acknowledgeable* once [`Self::sync`] (or a batched auto-sync)
+    /// covers it.
+    pub fn append(&mut self, msg: &StreamMessage<P>) -> Result<u64, SnapshotError> {
+        let mut w = SnapshotWriter::new();
+        msg.encode(&mut w);
+        self.wal.append(&w.into_body())
+    }
+
+    /// Forces every appended message to stable storage.
+    pub fn sync(&mut self) -> Result<(), SnapshotError> {
+        self.wal.sync()
+    }
+
+    /// Drops segments wholly below `index`; see [`Wal::truncate_before`].
+    pub fn truncate_before(&mut self, index: u64) -> Result<usize, SnapshotError> {
+        self.wal.truncate_before(index)
+    }
+
+    /// Decodes every logged message with index `>= start`.
+    pub fn replay_from(
+        dir: &Path,
+        start: u64,
+    ) -> Result<Vec<(u64, StreamMessage<P>)>, SnapshotError> {
+        let mut out = Vec::new();
+        for (index, payload) in replay_wal(dir, start)? {
+            let mut r = SnapshotReader::new(&payload);
+            let msg = StreamMessage::<P>::decode(&mut r)?;
+            if !r.is_exhausted() {
+                return Err(SnapshotError::corrupt(format!(
+                    "wal record {index}: {} trailing bytes after message",
+                    r.remaining()
+                )));
+            }
+            out.push((index, msg));
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +616,131 @@ mod tests {
         let out = ingress_sorted(arrivals, &policy, &meter, &stats).collect_output();
         let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
         assert_eq!(ts, vec![10, 20, 30], "late event 5 dropped");
+    }
+
+    fn wal_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("impatience-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_config() -> WalConfig {
+        WalConfig {
+            segment_bytes: 64,
+            sync_every: 2,
+        }
+    }
+
+    #[test]
+    fn wal_append_and_replay_round_trip() {
+        let dir = wal_dir("roundtrip");
+        let mut wal: WalIngress<u32> = WalIngress::open_with(&dir, tiny_config()).unwrap();
+        let msgs: Vec<StreamMessage<u32>> = vec![
+            StreamMessage::Batch(EventBatch::from_events(vec![ev(3), ev(1)])),
+            StreamMessage::Punctuation(Timestamp::new(2)),
+            StreamMessage::Batch(EventBatch::from_events(vec![ev(5)])),
+            StreamMessage::Completed,
+        ];
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(wal.append(m).unwrap(), i as u64);
+        }
+        wal.sync().unwrap();
+
+        let all = WalIngress::<u32>::replay_from(&dir, 0).unwrap();
+        assert_eq!(all.len(), 4);
+        for (i, (idx, m)) in all.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(m, &msgs[i]);
+        }
+        // Suffix replay starts mid-log.
+        let tail = WalIngress::<u32>::replay_from(&dir, 2).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].0, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_rolls_segments_and_truncates() {
+        let dir = wal_dir("truncate");
+        let mut wal = Wal::open_with(&dir, tiny_config()).unwrap();
+        for i in 0..20u8 {
+            wal.append(&[i; 24]).unwrap();
+        }
+        wal.sync().unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert!(
+            segs.len() >= 3,
+            "tiny segments must roll, got {}",
+            segs.len()
+        );
+
+        // Records below 10 are checkpoint-covered; their segments go away.
+        let removed = wal.truncate_before(10).unwrap();
+        assert!(removed >= 1);
+        let replayed = replay_wal(&dir, 10).unwrap();
+        assert_eq!(replayed.len(), 10, "suffix intact after truncation");
+        assert_eq!(replayed[0].0, 10);
+        assert_eq!(replayed[0].1, vec![10u8; 24]);
+
+        // Reopen continues numbering after the retained suffix.
+        let wal2 = Wal::open_with(&dir, tiny_config()).unwrap();
+        assert_eq!(wal2.next_index(), 20);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_torn_tail_is_repaired_on_open() {
+        let dir = wal_dir("torn");
+        let mut wal = Wal::open_with(
+            &dir,
+            WalConfig {
+                segment_bytes: 1 << 20,
+                sync_every: 1,
+            },
+        )
+        .unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        drop(wal);
+        // Tear the last record mid-payload, as a crash mid-write would.
+        let (base, path) = list_segments(&dir).unwrap().pop().unwrap();
+        assert_eq!(base, 0);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let wal2 = Wal::open_with(&dir, tiny_config()).unwrap();
+        assert_eq!(wal2.next_index(), 4, "torn record dropped");
+        let replayed = replay_wal(&dir, 0).unwrap();
+        assert_eq!(replayed.len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_flipped_byte_is_typed_corruption() {
+        let dir = wal_dir("corrupt");
+        let mut wal = Wal::open_with(&dir, tiny_config()).unwrap();
+        for i in 0..3u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            replay_wal(&dir, 0),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_missing_dir_replays_nothing() {
+        let dir = wal_dir("missing");
+        assert!(replay_wal(&dir, 0).unwrap().is_empty());
     }
 
     #[test]

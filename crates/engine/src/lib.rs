@@ -19,7 +19,11 @@
 //!   and disordered-to-ordered entry points;
 //! * [`metered`] — opt-in per-operator instrumentation
 //!   ([`Streamable::instrument`]): traffic counters, busy time,
-//!   watermark-lag histograms, sorter gauges.
+//!   watermark-lag histograms, sorter gauges;
+//! * [`checkpoint`] — durable pipelines: operator-state checkpoint/restore
+//!   ([`Streamable::checkpointed`]) backed by two-slot atomic snapshots,
+//!   paired with the write-ahead ingest log ([`ingress::Wal`]) for
+//!   exactly-once crash recovery.
 //!
 //! ```
 //! use impatience_core::{Event, TickDuration, Timestamp};
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod hardened;
 pub mod ingress;
 pub mod metered;
@@ -46,9 +51,14 @@ pub mod observer;
 pub mod ops;
 pub mod streamable;
 
+pub use checkpoint::{
+    CheckpointCtx, CheckpointGate, CheckpointMetrics, CheckpointNote, Checkpointable, Checkpointer,
+    RecoveryInfo, CHECKPOINT_MAGIC,
+};
 pub use hardened::PanicGuard;
 pub use ingress::{
-    disordered_input, ingress_sorted, ingress_sorted_with, punctuate_arrivals, IngressPolicy,
+    disordered_input, ingress_sorted, ingress_sorted_with, punctuate_arrivals, replay_wal,
+    IngressPolicy, Wal, WalIngress,
 };
 pub use metered::{EgressProbe, MeteredObserver, OperatorMetrics};
 pub use observer::{BlackHoleSink, CollectorSink, FnSink, Observer, Output, SharedSink};

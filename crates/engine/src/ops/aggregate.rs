@@ -11,14 +11,19 @@
 //! PIQ/merge split (§V-B): PIQ folds raw events into partials, the merge
 //! side combines partials flowing out of union operators.
 
+use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, StreamError, Timestamp};
+use impatience_core::{
+    Event, EventBatch, Payload, SnapshotError, SnapshotReader, SnapshotWriter, StateCodec,
+    StreamError, Timestamp,
+};
 use std::collections::HashMap;
 
 /// An incremental, mergeable aggregate function.
 pub trait Aggregate<P: Payload>: Clone + 'static {
-    /// Accumulator state.
-    type Acc: Clone + 'static;
+    /// Accumulator state. `StateCodec` so an in-flight window survives a
+    /// pipeline checkpoint/restore.
+    type Acc: Clone + StateCodec + 'static;
     /// Final (and partial — see [`Aggregate::combine`]) output payload.
     type Out: Payload;
 
@@ -238,6 +243,22 @@ impl<P: Payload, A: Aggregate<P>, S> WindowAggregateOp<P, A, S> {
     }
 }
 
+impl<P: Payload, A: Aggregate<P>, S> Checkpointable for WindowAggregateOp<P, A, S> {
+    fn state_id(&self) -> &'static str {
+        "engine.window_aggregate"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.current.encode(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.current = Option::<(Timestamp, Timestamp, A::Acc)>::decode(r)?;
+        Ok(())
+    }
+}
+
 impl<P: Payload, A: Aggregate<P>, S: Observer<A::Out>> Observer<P> for WindowAggregateOp<P, A, S> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
         for i in 0..batch.len() {
@@ -325,6 +346,39 @@ impl<P: Payload, A: Aggregate<P>, S> GroupedAggregateOp<P, A, S> {
         }
         self.groups.clear();
         self.next.on_batch(batch);
+    }
+}
+
+impl<P: Payload, A: Aggregate<P>, S> Checkpointable for GroupedAggregateOp<P, A, S> {
+    fn state_id(&self) -> &'static str {
+        "engine.grouped_aggregate"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.window.encode(w);
+        // Sorted keys keep the encoding byte-deterministic across runs.
+        let mut keys: Vec<u32> = self.groups.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_u64(keys.len() as u64);
+        for k in keys {
+            k.encode(w);
+            self.groups[&k].encode(w);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let window = Option::<(Timestamp, Timestamp)>::decode(r)?;
+        let n = r.get_count()?;
+        let mut groups = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = u32::decode(r)?;
+            let acc = A::Acc::decode(r)?;
+            groups.insert(k, acc);
+        }
+        self.window = window;
+        self.groups = groups;
+        Ok(())
     }
 }
 

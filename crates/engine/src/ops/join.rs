@@ -15,8 +15,12 @@
 //! keeps the output ordered), then joins its own side's state. State is
 //! garbage-collected as the joint watermark passes interval ends.
 
+use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, MemoryMeter, Payload, StreamError, Timestamp};
+use impatience_core::{
+    Event, EventBatch, MemoryMeter, Payload, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateCodec, StreamError, Timestamp,
+};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -94,12 +98,15 @@ impl<P: Payload> PendingSide<P> {
     }
 }
 
+/// The user's combining closure (code, not state — never checkpointed).
+type Combine<L, R, Out> = Box<dyn FnMut(&L, &R) -> Out>;
+
 struct JoinCore<L: Payload, R: Payload, Out: Payload> {
     left_pending: PendingSide<L>,
     right_pending: PendingSide<R>,
     left_state: SideState<L>,
     right_state: SideState<R>,
-    combine: Box<dyn FnMut(&L, &R) -> Out>,
+    combine: Combine<L, R, Out>,
     sink: Box<dyn Observer<Out>>,
     meter: MemoryMeter,
     out_wm: Timestamp,
@@ -203,6 +210,97 @@ impl<L: Payload, R: Payload, Out: Payload> JoinCore<L, R, Out> {
             self.right_state.gc(Timestamp::MAX, &self.meter);
             self.sink.on_completed();
         }
+    }
+}
+
+fn encode_pending<P: Payload>(side: &PendingSide<P>, w: &mut SnapshotWriter) {
+    w.put_u64(side.buf.len() as u64);
+    for e in &side.buf {
+        e.encode(w);
+    }
+    side.wm.encode(w);
+    side.last_seen.encode(w);
+    side.done.encode(w);
+}
+
+fn decode_pending<P: Payload>(r: &mut SnapshotReader<'_>) -> Result<PendingSide<P>, SnapshotError> {
+    let n = r.get_count()?;
+    let mut buf = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        buf.push_back(Event::<P>::decode(r)?);
+    }
+    Ok(PendingSide {
+        buf,
+        wm: Timestamp::decode(r)?,
+        last_seen: Timestamp::decode(r)?,
+        done: bool::decode(r)?,
+    })
+}
+
+fn encode_relation<P: Payload>(state: &SideState<P>, w: &mut SnapshotWriter) {
+    let mut keys: Vec<u32> = state.by_key.keys().copied().collect();
+    keys.sort_unstable();
+    w.put_u64(keys.len() as u64);
+    for k in keys {
+        k.encode(w);
+        state.by_key[&k].encode(w);
+    }
+}
+
+fn decode_relation<P: Payload>(r: &mut SnapshotReader<'_>) -> Result<SideState<P>, SnapshotError> {
+    let n = r.get_count()?;
+    let mut by_key = HashMap::with_capacity(n);
+    let mut bytes = 0usize;
+    for _ in 0..n {
+        let k = u32::decode(r)?;
+        let v = Vec::<Event<P>>::decode(r)?;
+        bytes += v.iter().map(Event::state_bytes).sum::<usize>();
+        if by_key.insert(k, v).is_some() {
+            return Err(SnapshotError::corrupt(format!(
+                "join snapshot repeats key {k}"
+            )));
+        }
+    }
+    Ok(SideState { by_key, bytes })
+}
+
+/// The left input handle snapshots the whole shared join core: both
+/// pending buffers, both relation states, and the output watermark. The
+/// `combine` closure is code, not state, so it is not part of the frame.
+impl<L: Payload, R: Payload, Out: Payload> Checkpointable for JoinInput<L, R, Out, true> {
+    fn state_id(&self) -> &'static str {
+        "engine.join"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        let core = self.core.borrow();
+        encode_pending(&core.left_pending, w);
+        encode_pending(&core.right_pending, w);
+        encode_relation(&core.left_state, w);
+        encode_relation(&core.right_state, w);
+        core.out_wm.encode(w);
+        core.completed.encode(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let left_pending = decode_pending::<L>(r)?;
+        let right_pending = decode_pending::<R>(r)?;
+        let left_state = decode_relation::<L>(r)?;
+        let right_state = decode_relation::<R>(r)?;
+        let out_wm = Timestamp::decode(r)?;
+        let completed = bool::decode(r)?;
+        let mut core = self.core.borrow_mut();
+        let old = core.left_state.bytes + core.right_state.bytes;
+        core.meter
+            .recharge(old, left_state.bytes + right_state.bytes);
+        core.left_pending = left_pending;
+        core.right_pending = right_pending;
+        core.left_state = left_state;
+        core.right_state = right_state;
+        core.out_wm = out_wm;
+        core.completed = completed;
+        Ok(())
     }
 }
 

@@ -7,8 +7,12 @@
 //! matching `is_second` within `window` ticks emits a match. State is one
 //! timestamp per key, garbage-collected as punctuations pass.
 
+use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
-use impatience_core::{EventBatch, Payload, StreamError, TickDuration, Timestamp};
+use impatience_core::{
+    EventBatch, Payload, SnapshotError, SnapshotReader, SnapshotWriter, StateCodec, StreamError,
+    TickDuration, Timestamp,
+};
 use std::collections::HashMap;
 
 /// The payload of an emitted match: the second event's payload, timed at
@@ -42,6 +46,37 @@ impl<P, F1, F2, S> FollowedByOp<P, F1, F2, S> {
     /// Matches emitted so far.
     pub fn matches_emitted(&self) -> u64 {
         self.matches_emitted
+    }
+}
+
+impl<P, F1, F2, S> Checkpointable for FollowedByOp<P, F1, F2, S> {
+    fn state_id(&self) -> &'static str {
+        "engine.followed_by"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.matches_emitted.encode(w);
+        let mut keys: Vec<u32> = self.open.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_u64(keys.len() as u64);
+        for k in keys {
+            k.encode(w);
+            self.open[&k].encode(w);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let matches_emitted = u64::decode(r)?;
+        let n = r.get_count()?;
+        let mut open = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = u32::decode(r)?;
+            open.insert(k, Timestamp::decode(r)?);
+        }
+        self.matches_emitted = matches_emitted;
+        self.open = open;
+        Ok(())
     }
 }
 

@@ -7,8 +7,12 @@
 //! results of the same logical group and must be combined (e.g. partial
 //! counts added). Works on any ordered stream.
 
+use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, StreamError, Timestamp};
+use impatience_core::{
+    Event, EventBatch, Payload, SnapshotError, SnapshotReader, SnapshotWriter, StateCodec,
+    StreamError, Timestamp,
+};
 use std::collections::HashMap;
 
 /// Combines same-window same-key events with a binary payload function.
@@ -54,6 +58,40 @@ impl<P: Payload, F: FnMut(&mut P, P), S: Observer<P>> ReduceByKeyOp<P, F, S> {
         }
         debug_assert!(self.groups.is_empty());
         self.next.on_batch(batch);
+    }
+}
+
+impl<P: Payload, F, S> Checkpointable for ReduceByKeyOp<P, F, S> {
+    fn state_id(&self) -> &'static str {
+        "engine.reduce_by_key"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.window.encode(w);
+        // `order` is deterministic (arrival order), so encoding groups in
+        // that sequence is byte-stable and restores both maps exactly.
+        self.order.encode(w);
+        for k in &self.order {
+            self.groups[k].encode(w);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let window = Option::<(Timestamp, Timestamp)>::decode(r)?;
+        let order = Vec::<u32>::decode(r)?;
+        let mut groups = HashMap::with_capacity(order.len());
+        for &k in &order {
+            if groups.insert(k, P::decode(r)?).is_some() {
+                return Err(SnapshotError::corrupt(format!(
+                    "reduce_by_key snapshot repeats key {k}"
+                )));
+            }
+        }
+        self.window = window;
+        self.order = order;
+        self.groups = groups;
+        Ok(())
     }
 }
 

@@ -19,11 +19,12 @@
 //! early at a degraded effective reorder latency, or **shed-oldest-runs**
 //! eviction that dead-letters the most severely delayed runs wholesale.
 
+use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
 use impatience_core::metrics::{Counter, MetricsRegistry};
 use impatience_core::{
     DeadLetterQueue, DeadLetterReason, Event, EventBatch, LatePolicy, MemoryMeter, Payload,
-    ShedPolicy, StreamError, Timestamp,
+    ShedPolicy, SnapshotError, SnapshotReader, SnapshotWriter, StateCodec, StreamError, Timestamp,
 };
 use impatience_sort::{OnlineSorter, SorterGauges};
 
@@ -250,6 +251,31 @@ impl<P: Payload, S: Observer<P>> SortOp<P, S> {
             self.next.on_batch(EventBatch::from_events(out));
             self.next.on_punctuation(cut);
         }
+    }
+}
+
+impl<P: Payload, S> Checkpointable for SortOp<P, S> {
+    fn state_id(&self) -> &'static str {
+        "engine.sort"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.watermark.encode(w);
+        self.high.encode(w);
+        // The sorter decides whether its buffer is snapshottable; baseline
+        // sorters without support surface `Unsupported`, which downgrades
+        // the whole checkpoint to a counted skip.
+        self.sorter.encode_state(w)
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let watermark = Timestamp::decode(r)?;
+        let high = Timestamp::decode(r)?;
+        self.sorter.restore_state(r)?;
+        self.watermark = watermark;
+        self.high = high;
+        self.sync_meter();
+        Ok(())
     }
 }
 

@@ -6,8 +6,12 @@
 //! the highest score. Output is ordered by descending score, ties broken by
 //! ascending key, all carrying the window's interval.
 
+use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, StreamError, Timestamp};
+use impatience_core::{
+    Event, EventBatch, Payload, SnapshotError, SnapshotReader, SnapshotWriter, StateCodec,
+    StreamError, Timestamp,
+};
 
 /// Top-k operator over scored events.
 pub struct TopKOp<P, F, S> {
@@ -43,6 +47,26 @@ impl<P: Payload, F: FnMut(&P) -> i64, S: Observer<P>> TopKOp<P, F, S> {
         self.items.truncate(self.k);
         let batch: EventBatch<P> = self.items.drain(..).collect();
         self.next.on_batch(batch);
+    }
+}
+
+impl<P: Payload, F, S> Checkpointable for TopKOp<P, F, S> {
+    fn state_id(&self) -> &'static str {
+        "engine.top_k"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.window.encode(w);
+        self.items.encode(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let window = Option::<(Timestamp, Timestamp)>::decode(r)?;
+        let items = Vec::<Event<P>>::decode(r)?;
+        self.window = window;
+        self.items = items;
+        Ok(())
     }
 }
 

@@ -11,8 +11,12 @@
 //!
 //! Every buffered byte is charged to a [`MemoryMeter`].
 
+use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, MemoryMeter, Payload, StreamError, Timestamp};
+use impatience_core::{
+    Event, EventBatch, MemoryMeter, Payload, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateCodec, StreamError, Timestamp,
+};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -250,6 +254,70 @@ impl<P: Payload> Observer<P> for UnionInput<P> {
 #[derive(Clone)]
 pub struct UnionProbe<P: Payload> {
     core: Rc<RefCell<UnionCore<P>>>,
+}
+
+fn encode_side<P: Payload>(side: &Side<P>, w: &mut SnapshotWriter) {
+    w.put_u64(side.buf.len() as u64);
+    for e in &side.buf {
+        e.encode(w);
+    }
+    side.wm.encode(w);
+    side.last_seen.encode(w);
+    side.done.encode(w);
+}
+
+fn decode_side<P: Payload>(r: &mut SnapshotReader<'_>) -> Result<Side<P>, SnapshotError> {
+    let n = r.get_count()?;
+    let mut buf = VecDeque::with_capacity(n);
+    let mut bytes = 0usize;
+    for _ in 0..n {
+        let e = Event::<P>::decode(r)?;
+        bytes += e.state_bytes();
+        buf.push_back(e);
+    }
+    Ok(Side {
+        buf,
+        wm: Timestamp::decode(r)?,
+        last_seen: Timestamp::decode(r)?,
+        done: bool::decode(r)?,
+        bytes,
+    })
+}
+
+/// The probe snapshots the whole shared union core — both synchronization
+/// buffers, both sides' progress, and the forwarded watermark. One
+/// registration covers the two input endpoints.
+impl<P: Payload> Checkpointable for UnionProbe<P> {
+    fn state_id(&self) -> &'static str {
+        "engine.union"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        let c = self.core.borrow();
+        encode_side(&c.left, w);
+        encode_side(&c.right, w);
+        c.out_wm.encode(w);
+        c.completed.encode(w);
+        w.put_u64(c.peak_bytes as u64);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let left = decode_side::<P>(r)?;
+        let right = decode_side::<P>(r)?;
+        let out_wm = Timestamp::decode(r)?;
+        let completed = bool::decode(r)?;
+        let peak_bytes = r.get_u64()? as usize;
+        let mut c = self.core.borrow_mut();
+        let old = c.left.bytes + c.right.bytes;
+        c.meter.recharge(old, left.bytes + right.bytes);
+        c.left = left;
+        c.right = right;
+        c.out_wm = out_wm;
+        c.completed = completed;
+        c.peak_bytes = peak_bytes;
+        Ok(())
+    }
 }
 
 impl<P: Payload> UnionProbe<P> {

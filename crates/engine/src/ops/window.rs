@@ -23,8 +23,12 @@
 //! The pure alignment functions are exposed for reuse by the framework
 //! crate, which applies them to *disordered* events before sorting.
 
+use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
-use impatience_core::{Event, EventBatch, Payload, StreamError, TickDuration, Timestamp};
+use impatience_core::{
+    Event, EventBatch, Payload, SnapshotError, SnapshotReader, SnapshotWriter, StateCodec,
+    StreamError, TickDuration, Timestamp,
+};
 
 /// Aligns one event to its tumbling window (the paper's
 /// `eventTime - eventTime % 1000` / `+ 60000` formulas).
@@ -150,6 +154,22 @@ impl<P: Payload, S> HoppingWindowOp<P, S> {
         let rest = self.pending.split_off(cnt);
         let ready = core::mem::replace(&mut self.pending, rest);
         self.next.on_batch(EventBatch::from_events(ready));
+    }
+}
+
+impl<P: Payload, S> Checkpointable for HoppingWindowOp<P, S> {
+    fn state_id(&self) -> &'static str {
+        "engine.hopping_window"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.pending.encode(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.pending = Vec::<Event<P>>::decode(r)?;
+        Ok(())
     }
 }
 

@@ -13,17 +13,19 @@
 //!   [`InputHandle`] that the caller pushes into afterwards, which is how
 //!   the benchmarks and the Impatience framework pump data.
 
+use crate::checkpoint::{CheckpointCtx, CheckpointGate, Checkpointable, Checkpointer};
 use crate::hardened::PanicGuard;
 use crate::metered::{EgressProbe, MeteredObserver, OperatorMetrics};
 use crate::observer::{CollectorSink, FnSink, Observer, Output, SharedSink};
 use crate::ops;
 use impatience_core::metrics::Counter;
 use impatience_core::{
-    Event, EventBatch, LatePolicy, MemoryMeter, MetricsRegistry, Payload, StreamError,
-    StreamMessage, TickDuration, Timestamp,
+    Event, EventBatch, LatePolicy, MemoryMeter, MetricsRegistry, Payload, SnapshotError,
+    StreamError, StreamMessage, TickDuration, Timestamp,
 };
 use impatience_sort::{OnlineSorter, SorterGauges};
 use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
 
 type Connector<P> = Box<dyn FnOnce(Box<dyn Observer<P>>)>;
@@ -59,6 +61,10 @@ pub struct Streamable<P: Payload> {
     /// `{prefix}.operator_panics` by [`Streamable::instrument`]; otherwise
     /// a private counter.
     panics: Counter,
+    /// Checkpoint context: when present, stateful stages chained after
+    /// [`Streamable::checkpointed`] (or [`Streamable::with_checkpoint`])
+    /// register themselves for state capture at connect time.
+    ckpt: Option<CheckpointCtx>,
 }
 
 impl<P: Payload> Streamable<P> {
@@ -69,6 +75,7 @@ impl<P: Payload> Streamable<P> {
             instr: None,
             hardened: false,
             panics: Counter::new(),
+            ckpt: None,
         }
     }
 
@@ -196,6 +203,93 @@ impl<P: Payload> Streamable<P> {
             instr: self.instr,
             hardened: self.hardened,
             panics: self.panics,
+            ckpt: self.ckpt,
+        }
+    }
+
+    /// [`apply_named`](Self::apply_named) for operators whose state can be
+    /// checkpointed: when the chain carries a [`CheckpointCtx`], the built
+    /// operator is registered as a checkpoint participant (shared behind an
+    /// `Rc<RefCell<_>>` so the gate can encode/restore it). Without a
+    /// context this is exactly `apply_named` — zero overhead.
+    fn apply_stateful<Q: Payload, O>(
+        self,
+        name: &str,
+        build: impl FnOnce(Box<dyn Observer<Q>>) -> O + 'static,
+    ) -> Streamable<Q>
+    where
+        O: Observer<P> + Checkpointable + 'static,
+    {
+        let ckpt = self.ckpt.clone();
+        self.apply_named(name, move |sink| {
+            let op = build(sink);
+            match ckpt {
+                Some(ctx) => {
+                    let shared = Rc::new(RefCell::new(op));
+                    ctx.register(shared.clone());
+                    Box::new(SharedSink(shared))
+                }
+                None => Box::new(op),
+            }
+        })
+    }
+
+    /// Makes the pipeline durable: attaches a fresh [`CheckpointCtx`] (so
+    /// every stateful stage chained afterwards registers for state
+    /// capture) and inserts a [`CheckpointGate`] at this point — call it
+    /// directly on the source, before any operators.
+    ///
+    /// The gate counts every ingested message, writes a checkpoint into
+    /// `dir` after every `every_n_punctuations` punctuations (and at
+    /// completion), and at subscribe time restores the newest valid
+    /// checkpoint found in `dir`, falling back one generation on
+    /// corruption. Query the returned context for
+    /// [`recovery`](CheckpointCtx::recovery) after subscribing to learn
+    /// the WAL replay offset and committed output prefix.
+    pub fn checkpointed(
+        mut self,
+        dir: impl Into<PathBuf>,
+        every_n_punctuations: u32,
+    ) -> Result<(Streamable<P>, CheckpointCtx), SnapshotError> {
+        let checkpointer = Checkpointer::open(dir)?;
+        let ctx = CheckpointCtx::new();
+        self.ckpt = Some(ctx.clone());
+        let gate_ctx = ctx.clone();
+        let stream = self.apply_named("checkpoint", move |sink| {
+            Box::new(CheckpointGate::new(
+                gate_ctx,
+                checkpointer,
+                every_n_punctuations,
+                sink,
+            ))
+        });
+        Ok((stream, ctx))
+    }
+
+    /// Attaches an existing checkpoint context without inserting a gate —
+    /// the framework crate uses this to enrol partition pipelines with the
+    /// ladder's shared context.
+    pub fn with_checkpoint(mut self, ctx: &CheckpointCtx) -> Self {
+        self.ckpt = Some(ctx.clone());
+        self
+    }
+
+    /// Marks this point as the pipeline's visible output: every event
+    /// passing through bumps the checkpoint context's egress counter,
+    /// which checkpoints persist as the committed output prefix for
+    /// exactly-once consumers. A no-op on chains without a context.
+    pub fn checkpoint_egress(self) -> Streamable<P> {
+        match &self.ckpt {
+            Some(ctx) => {
+                let counter = ctx.egress_counter();
+                self.apply_named("egress", move |sink| {
+                    Box::new(EgressCounter {
+                        counter,
+                        next: sink,
+                    })
+                })
+            }
+            None => self,
         }
     }
 
@@ -225,44 +319,42 @@ impl<P: Payload> Streamable<P> {
 
     /// Hopping window of `size` advancing every `hop`.
     pub fn hopping_window(self, size: TickDuration, hop: TickDuration) -> Streamable<P> {
-        self.apply_named("hopping_window", move |sink| {
-            Box::new(ops::HoppingWindowOp::new(size, hop, sink))
+        self.apply_stateful("hopping_window", move |sink| {
+            ops::HoppingWindowOp::new(size, hop, sink)
         })
     }
 
     /// Windowed aggregate over the whole stream (one result per window).
     pub fn aggregate<A: ops::Aggregate<P>>(self, agg: A) -> Streamable<A::Out> {
-        self.apply_named("aggregate", move |sink| {
-            Box::new(ops::WindowAggregateOp::new(agg, sink))
+        self.apply_stateful("aggregate", move |sink| {
+            ops::WindowAggregateOp::new(agg, sink)
         })
     }
 
     /// Windowed aggregate per grouping key.
     pub fn group_aggregate<A: ops::Aggregate<P>>(self, agg: A) -> Streamable<A::Out> {
-        self.apply_named("group_aggregate", move |sink| {
-            Box::new(ops::GroupedAggregateOp::new(agg, sink))
+        self.apply_stateful("group_aggregate", move |sink| {
+            ops::GroupedAggregateOp::new(agg, sink)
         })
     }
 
     /// `COUNT(*)` per window — the paper's `.Count()`.
     pub fn count(self) -> Streamable<u64> {
-        self.apply_named("count", move |sink| {
-            Box::new(ops::WindowAggregateOp::new(ops::CountAgg, sink))
+        self.apply_stateful("count", move |sink| {
+            ops::WindowAggregateOp::new(ops::CountAgg, sink)
         })
     }
 
     /// Combines same-(window, key) events with `combine`.
     pub fn reduce_by_key(self, combine: impl FnMut(&mut P, P) + 'static) -> Streamable<P> {
-        self.apply_named("reduce_by_key", move |sink| {
-            Box::new(ops::ReduceByKeyOp::new(combine, sink))
+        self.apply_stateful("reduce_by_key", move |sink| {
+            ops::ReduceByKeyOp::new(combine, sink)
         })
     }
 
     /// Keeps the `k` highest-scored events per window.
     pub fn top_k(self, k: usize, score: impl FnMut(&P) -> i64 + 'static) -> Streamable<P> {
-        self.apply_named("top_k", move |sink| {
-            Box::new(ops::TopKOp::new(k, score, sink))
-        })
+        self.apply_stateful("top_k", move |sink| ops::TopKOp::new(k, score, sink))
     }
 
     /// Emits `second`-matching events preceded by a `first`-matching event
@@ -273,8 +365,8 @@ impl<P: Payload> Streamable<P> {
         second: impl FnMut(&P) -> bool + 'static,
         window: TickDuration,
     ) -> Streamable<P> {
-        self.apply_named("followed_by", move |sink| {
-            Box::new(ops::FollowedByOp::new(first, second, window, sink))
+        self.apply_stateful("followed_by", move |sink| {
+            ops::FollowedByOp::new(first, second, window, sink)
         })
     }
 
@@ -291,6 +383,7 @@ impl<P: Payload> Streamable<P> {
         let meter = meter.clone();
         let hardened = self.hardened;
         let panics = self.panics.clone();
+        let ckpt = self.ckpt.clone();
         let mut instr = self.instr.take();
         // Binary operator: one instrument set shared by both inputs (the
         // in-side counters sum over the two legs) plus an egress probe.
@@ -303,6 +396,10 @@ impl<P: Payload> Streamable<P> {
                 None => sink,
             };
             let (l, r) = ops::temporal_join(combine, downstream, meter);
+            if let Some(ctx) = &ckpt {
+                // One input handle snapshots the whole shared join core.
+                ctx.register(Rc::new(RefCell::new(l.clone())));
+            }
             // A leg's error port is a second handle onto the shared join
             // core: a caught panic fails the core, which forwards one
             // typed error to the sink and stops all further output.
@@ -338,6 +435,7 @@ impl<P: Payload> Streamable<P> {
             instr,
             hardened: self.hardened,
             panics: self.panics,
+            ckpt: self.ckpt,
         }
     }
 
@@ -347,6 +445,7 @@ impl<P: Payload> Streamable<P> {
         let meter = meter.clone();
         let hardened = self.hardened;
         let panics = self.panics.clone();
+        let ckpt = self.ckpt.clone();
         let mut instr = self.instr.take();
         let metrics = instr.as_mut().map(|ins| ins.next_op("union"));
         let left_connect = self.connect;
@@ -356,7 +455,12 @@ impl<P: Payload> Streamable<P> {
                 Some(m) => Box::new(EgressProbe::new(m.clone(), sink)),
                 None => sink,
             };
-            let (l, r, _probe) = ops::union(downstream, meter);
+            let (l, r, probe) = ops::union(downstream, meter);
+            if let Some(ctx) = &ckpt {
+                // The probe views the shared union core: both sides'
+                // synchronization buffers snapshot through it.
+                ctx.register(Rc::new(RefCell::new(probe)));
+            }
             let (l_port, r_port) = (l.clone(), r.clone());
             let l: Box<dyn Observer<P>> = match &metrics {
                 Some(m) => Box::new(MeteredObserver::new(m.clone(), l)),
@@ -389,6 +493,7 @@ impl<P: Payload> Streamable<P> {
             instr,
             hardened: self.hardened,
             panics: self.panics,
+            ckpt: self.ckpt,
         }
     }
 
@@ -486,17 +591,40 @@ impl<P: Payload> Streamable<P> {
             }
             None => (None, None),
         };
-        Ok(self.apply_named("sort", move |sink| {
+        Ok(self.apply_stateful("sort", move |sink| {
             let op = ops::SortOp::with_policy(sorter, meter, policy, sink);
             let op = match gauges {
                 Some(g) => op.with_gauges(g),
                 None => op,
             };
-            Box::new(match faults {
+            match faults {
                 Some(f) => op.with_fault_counters(f),
                 None => op,
-            })
+            }
         }))
+    }
+}
+
+/// Counts visible output events into the checkpoint context's egress
+/// counter (see [`Streamable::checkpoint_egress`]).
+struct EgressCounter<P: Payload> {
+    counter: Counter,
+    next: Box<dyn Observer<P>>,
+}
+
+impl<P: Payload> Observer<P> for EgressCounter<P> {
+    fn on_batch(&mut self, batch: EventBatch<P>) {
+        self.counter.add(batch.visible_len() as u64);
+        self.next.on_batch(batch);
+    }
+    fn on_punctuation(&mut self, t: Timestamp) {
+        self.next.on_punctuation(t);
+    }
+    fn on_completed(&mut self) {
+        self.next.on_completed();
+    }
+    fn on_error(&mut self, err: StreamError) {
+        self.next.on_error(err);
     }
 }
 
@@ -946,5 +1074,160 @@ mod tests {
             .into_events();
         let got: Vec<(u32, u64)> = result.iter().map(|e| (e.key, e.payload)).collect();
         assert_eq!(got, vec![(0, 4), (1, 3), (2, 3)]);
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "impatience-stream-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Builds the canonical checkpointed test pipeline over `dir`.
+    fn ckpt_pipeline(dir: &std::path::Path) -> (InputHandle<u32>, CheckpointCtx, Output<u64>) {
+        let (handle, stream) = input_stream::<u32>();
+        let (stream, ctx) = stream.checkpointed(dir, 1).unwrap();
+        let out = stream
+            .tumbling_window(TickDuration::ticks(10))
+            .count()
+            .checkpoint_egress()
+            .collect_output();
+        (handle, ctx, out)
+    }
+
+    #[test]
+    fn checkpointed_pipeline_restores_operator_state_across_crash() {
+        let dir = ckpt_dir("restore");
+
+        // First incarnation: two events land in window [0,10), a punctuation
+        // below the window end checkpoints the open window, then we "crash"
+        // by dropping everything without completing.
+        {
+            let (handle, ctx, out) = ckpt_pipeline(&dir);
+            assert!(ctx.recovery().is_none(), "fresh directory");
+            handle.push_events(evs(&[1, 5]));
+            handle.push_punctuation(Timestamp::new(7));
+            assert_eq!(out.event_count(), 0, "window still open");
+        }
+
+        // Second incarnation: the gate restores the partial count of 2, so
+        // one more event and a closing punctuation yield a count of 3.
+        let (handle, ctx, out) = ckpt_pipeline(&dir);
+        let rec = ctx.recovery().expect("checkpoint recovered");
+        assert_eq!(rec.messages_seen, 2, "batch + punctuation were durable");
+        assert_eq!(rec.egress_events, 0, "nothing was emitted pre-crash");
+        assert!(rec.fallback.is_none());
+        handle.push_events(evs(&[8]));
+        handle.push_punctuation(Timestamp::new(30));
+        handle.complete();
+        let counts: Vec<u64> = out.events().iter().map(|e| e.payload).collect();
+        assert_eq!(counts, vec![3], "restored partial count carried over");
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn checkpointed_pipeline_reports_committed_output_prefix() {
+        let dir = ckpt_dir("egress");
+        {
+            let (handle, _ctx, out) = ckpt_pipeline(&dir);
+            handle.push_events(evs(&[1, 5]));
+            handle.push_punctuation(Timestamp::new(10)); // closes window 0
+            assert_eq!(out.event_count(), 1);
+        }
+        let (_handle, ctx, _out) = ckpt_pipeline(&dir);
+        let rec = ctx.recovery().expect("checkpoint recovered");
+        assert_eq!(
+            rec.egress_events, 1,
+            "the emitted window count is committed output"
+        );
+        assert_eq!(rec.messages_seen, 2);
+    }
+
+    #[test]
+    fn checkpointed_join_round_trips_relation_state() {
+        let dir = ckpt_dir("join");
+        let meter = MemoryMeter::new();
+        let run = |crash: bool, meter: &MemoryMeter| {
+            let (lh, left) = input_stream::<u32>();
+            let (rh, right) = input_stream::<u32>();
+            let (left, ctx) = left.checkpointed(&dir, 1).unwrap();
+            let out = left
+                .join(right, |a: &u32, b: &u32| (*a, *b), meter)
+                .checkpoint_egress()
+                .collect_output();
+            let iv = |s: i64, e: i64, k: u32, p: u32| {
+                vec![Event::interval(Timestamp::new(s), Timestamp::new(e), k, p)]
+            };
+            // Right-side progress first so the left interval joins the
+            // relation state (and is metered) instead of sitting pending.
+            rh.push_punctuation(Timestamp::new(0));
+            lh.push_events(iv(0, 100, 7, 1));
+            lh.push_punctuation(Timestamp::new(0)); // checkpoint: left interval live
+            if crash {
+                return (out, ctx);
+            }
+            rh.push_events(iv(50, 60, 7, 2));
+            lh.complete();
+            rh.complete();
+            (out, ctx)
+        };
+        let (out, ctx) = run(true, &meter);
+        assert!(ctx.recovery().is_none());
+        drop(out);
+        let before = meter.current();
+        assert!(before > 0, "left interval is charged");
+
+        // Recover into a fresh meter: the restored relation state must be
+        // recharged there, and the join must still match.
+        let meter2 = MemoryMeter::new();
+        let (lh, left) = input_stream::<u32>();
+        let (rh, right) = input_stream::<u32>();
+        let (left, ctx) = left.checkpointed(&dir, 1).unwrap();
+        let out = left
+            .join(right, |a: &u32, b: &u32| (*a, *b), &meter2)
+            .checkpoint_egress()
+            .collect_output();
+        let rec = ctx.recovery().expect("join checkpoint recovered");
+        assert_eq!(rec.messages_seen, 2);
+        assert!(meter2.current() > 0, "restored interval recharged");
+        rh.push_events(vec![Event::interval(
+            Timestamp::new(50),
+            Timestamp::new(60),
+            7,
+            2,
+        )]);
+        lh.complete();
+        rh.complete();
+        let evs = out.events();
+        assert_eq!(evs.len(), 1, "restored left interval matched");
+        assert_eq!(evs[0].payload, (1, 2));
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn checkpoint_metrics_are_bound_and_counted() {
+        let dir = ckpt_dir("metrics");
+        let registry = MetricsRegistry::new();
+        {
+            let (handle, ctx, _out) = ckpt_pipeline(&dir);
+            ctx.bind_metrics(&registry, "pipeline");
+            handle.push_events(evs(&[1]));
+            handle.push_punctuation(Timestamp::new(10));
+            handle.complete();
+        }
+        // Punctuation checkpoint + completion checkpoint.
+        assert_eq!(registry.counter("pipeline.checkpoint.written").get(), 2);
+        assert!(registry.counter("pipeline.checkpoint.bytes").get() > 0);
+        assert_eq!(registry.counter("pipeline.recovery.restores").get(), 0);
+
+        let registry2 = MetricsRegistry::new();
+        let (_handle, ctx, _out) = ckpt_pipeline(&dir);
+        ctx.bind_metrics(&registry2, "pipeline");
+        // bind_metrics happens after subscribe here, so the restore was
+        // counted into the ctx's own metrics before binding; the recovery
+        // info is the observable signal.
+        assert!(ctx.recovery().is_some());
     }
 }

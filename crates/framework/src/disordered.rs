@@ -113,7 +113,7 @@ impl<P: Payload> DisorderedStreamable<P> {
         meter: &MemoryMeter,
     ) -> Streamable<P> {
         let connect = self.connect;
-        Streamable::from_connector(move |sink| connect(sink)).sorted_with(sorter, meter)
+        Streamable::from_connector(connect).sorted_with(sorter, meter)
     }
 
     /// Consumes the handle, returning the raw connector (used by the

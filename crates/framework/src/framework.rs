@@ -29,11 +29,17 @@ use crate::plumbing::{HandleSink, TeeOp};
 use impatience_core::metrics::{Counter, MetricsRegistry};
 use impatience_core::{
     DeadLetterQueue, DeadLetterReason, Event, LatePolicy, MemoryMeter, Payload, ShedPolicy,
-    StreamError, TickDuration, Timestamp,
+    SnapshotError, SnapshotReader, SnapshotWriter, StateCodec, StreamError, TickDuration,
+    Timestamp,
 };
 use impatience_engine::ops::{union as build_union, SortPolicy};
-use impatience_engine::{input_stream, InputHandle, Observer, Streamable};
+use impatience_engine::{
+    input_stream, CheckpointCtx, CheckpointGate, Checkpointable, Checkpointer, InputHandle,
+    Observer, SharedSink, Streamable,
+};
 use impatience_sort::{ImpatienceConfig, ImpatienceSorter};
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
 
 /// Failure-model configuration for a framework instance.
@@ -255,6 +261,38 @@ impl<P: Payload> Partitioner<P> {
     }
 }
 
+/// The partitioner's durable state is its watermark clock: the high
+/// watermark that delays are measured against and the last punctuation
+/// emitted into each partition. `scratch` is always empty at a
+/// punctuation boundary (every batch flushes it), and the routing stats
+/// are advisory metrics rather than replay-critical state.
+impl<P: Payload> Checkpointable for Partitioner<P> {
+    fn state_id(&self) -> &'static str {
+        "framework.partitioner"
+    }
+
+    fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.wm.encode(w);
+        self.last_punct.encode(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let wm = Timestamp::decode(r)?;
+        let last_punct = Vec::<Timestamp>::decode(r)?;
+        if last_punct.len() != self.latencies.len() {
+            return Err(SnapshotError::corrupt(format!(
+                "partitioner snapshot has {} partitions but the framework built {}",
+                last_punct.len(),
+                self.latencies.len()
+            )));
+        }
+        self.wm = wm;
+        self.last_punct = last_punct;
+        Ok(())
+    }
+}
+
 impl<P: Payload> Observer<P> for Partitioner<P> {
     fn on_batch(&mut self, batch: impatience_core::EventBatch<P>) {
         for e in batch.iter_visible() {
@@ -392,7 +430,76 @@ where
     P: Payload,
     Q: Payload,
 {
+    let (ss, _ctx) = build_advanced(ds, latencies, piq, merge, meter, registry, policy, None)?;
+    Ok(ss)
+}
+
+/// [`to_streamables_advanced_with`] made durable: the whole ladder —
+/// partitioner watermark clock, every partition sorter, every PIQ and
+/// merge operator, and the union synchronization buffers — checkpoints
+/// into `dir` after every `every_n_punctuations` input punctuations, and
+/// restores from the newest valid checkpoint when the framework is built
+/// over a non-empty `dir`.
+///
+/// Returns the output streams plus the [`CheckpointCtx`]; query
+/// [`CheckpointCtx::recovery`] after subscribing the outputs to learn the
+/// ingest replay offset. Output streams carry the context, so a
+/// [`Streamable::checkpoint_egress`] stage on them feeds the committed
+/// output prefix. Subscribe all outputs before feeding input: traffic
+/// buffered in an unsubscribed output relay is not part of any operator's
+/// checkpointed state.
+#[allow(clippy::too_many_arguments)]
+pub fn to_streamables_advanced_durable<P, Q>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    piq: impl Fn(Streamable<P>) -> Streamable<Q> + 'static,
+    merge: impl Fn(Streamable<Q>) -> Streamable<Q> + 'static,
+    meter: &MemoryMeter,
+    registry: Option<&MetricsRegistry>,
+    policy: FrameworkPolicy<P>,
+    dir: impl Into<PathBuf>,
+    every_n_punctuations: u32,
+) -> Result<(Streamables<Q>, CheckpointCtx), StreamError>
+where
+    P: Payload,
+    Q: Payload,
+{
+    let checkpointer = Checkpointer::open(dir).map_err(|e| StreamError::RecoveryFailed {
+        detail: e.to_string(),
+    })?;
+    let (ss, ctx) = build_advanced(
+        ds,
+        latencies,
+        piq,
+        merge,
+        meter,
+        registry,
+        policy,
+        Some((checkpointer, every_n_punctuations)),
+    )?;
+    Ok((ss, ctx.expect("durable build returns a context")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_advanced<P, Q>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    piq: impl Fn(Streamable<P>) -> Streamable<Q> + 'static,
+    merge: impl Fn(Streamable<Q>) -> Streamable<Q> + 'static,
+    meter: &MemoryMeter,
+    registry: Option<&MetricsRegistry>,
+    policy: FrameworkPolicy<P>,
+    durable: Option<(Checkpointer, u32)>,
+) -> Result<(Streamables<Q>, Option<CheckpointCtx>), StreamError>
+where
+    P: Payload,
+    Q: Payload,
+{
     validate_latencies(latencies)?;
+    let ctx = durable.as_ref().map(|_| CheckpointCtx::new());
+    if let (Some(c), Some(r)) = (&ctx, registry) {
+        c.bind_metrics(r, "framework");
+    }
     let k = latencies.len();
     let stats = match registry {
         Some(r) => FrameworkStats::registered(k, r),
@@ -405,26 +512,41 @@ where
         }
     }
 
-    // Output relays (buffer until subscribed).
+    // Output relays (buffer until subscribed). With a checkpoint context
+    // they carry it, so `checkpoint_egress` works on the outputs.
     let mut out_handles: Vec<InputHandle<Q>> = Vec::with_capacity(k);
     let mut out_streams: Vec<Option<Streamable<Q>>> = Vec::with_capacity(k);
     for _ in 0..k {
         let (h, s) = input_stream::<Q>();
         out_handles.push(h);
+        let s = match &ctx {
+            Some(c) => s.with_checkpoint(c),
+            None => s,
+        };
         out_streams.push(Some(s));
     }
 
     // Build the union/merge chain from the deepest stage (k-1) downward.
-    // `stage_sink[i]` consumes the i-th output stream's traffic.
+    // `stage_sink[i]` consumes the i-th output stream's traffic. This
+    // build order is deterministic, which makes the checkpoint
+    // registration order stable across the runs that write and restore.
     let mut right_inputs: Vec<Option<Box<dyn Observer<Q>>>> = (0..k).map(|_| None).collect();
     let mut stage_sink: Box<dyn Observer<Q>> =
         Box::new(HandleSink::new(out_handles[k - 1].clone()));
     for i in (1..k).rev() {
         // union_i → merge_i → stage i's sink.
         let (merge_handle, merge_stream) = input_stream::<Q>();
+        let merge_stream = match &ctx {
+            Some(c) => merge_stream.with_checkpoint(c),
+            None => merge_stream,
+        };
         merge(merge_stream).subscribe_observer(stage_sink);
-        let (left, right, _probe) =
+        let (left, right, probe) =
             build_union(Box::new(HandleSink::new(merge_handle)), meter.clone());
+        if let Some(c) = &ctx {
+            // The ladder union's synchronization buffers are durable state.
+            c.register(Rc::new(RefCell::new(probe)));
+        }
         right_inputs[i] = Some(Box::new(right));
         // Stage i−1 fans out: to output i−1 and into union_i's left input.
         stage_sink = Box::new(TeeOp::new(
@@ -447,6 +569,10 @@ where
             Some(r) => ps.instrument(r, &format!("partition{i:02}")),
             None => ps,
         };
+        let ps = match &ctx {
+            Some(c) => ps.with_checkpoint(c),
+            None => ps,
+        };
         let sorter = ImpatienceSorter::with_config(ImpatienceConfig::default());
         // The partitioner already filtered per-partition late events, so
         // any residual late event at a sorter is dropped (and counted);
@@ -459,7 +585,10 @@ where
         piq(ps.sorted_with_policy(Box::new(sorter), meter, sort_policy)?).subscribe_observer(sink);
     }
 
-    // Wire the partitioner onto the disordered source.
+    // Wire the partitioner onto the disordered source — behind the
+    // checkpoint gate when durable, so the gate counts exactly the
+    // messages the partitioner consumes. The gate is constructed last:
+    // its recovery pass runs after every participant has registered.
     let partitioner = Partitioner {
         latencies: latencies.to_vec(),
         scratch: (0..k).map(|_| Vec::new()).collect(),
@@ -470,13 +599,29 @@ where
         late: policy.late,
         dead_letters: policy.dead_letters,
     };
-    (ds.into_connector())(Box::new(partitioner));
+    let source_sink: Box<dyn Observer<P>> = match (&ctx, durable) {
+        (Some(c), Some((checkpointer, every_n))) => {
+            let shared = Rc::new(RefCell::new(partitioner));
+            c.register(shared.clone());
+            Box::new(CheckpointGate::new(
+                c.clone(),
+                checkpointer,
+                every_n,
+                Box::new(SharedSink(shared)),
+            ))
+        }
+        _ => Box::new(partitioner),
+    };
+    (ds.into_connector())(source_sink);
 
-    Ok(Streamables {
-        streams: out_streams,
-        latencies: latencies.to_vec(),
-        stats,
-    })
+    Ok((
+        Streamables {
+            streams: out_streams,
+            latencies: latencies.to_vec(),
+            stats,
+        },
+        ctx,
+    ))
 }
 
 /// Builds the basic Impatience framework (Fig 6(a)): identity PIQ and
@@ -512,6 +657,30 @@ pub fn to_streamables_basic_with<P: Payload>(
     policy: FrameworkPolicy<P>,
 ) -> Result<Streamables<P>, StreamError> {
     to_streamables_advanced_with(ds, latencies, |s| s, |s| s, meter, registry, policy)
+}
+
+/// [`to_streamables_basic_with`] made durable — see
+/// [`to_streamables_advanced_durable`].
+pub fn to_streamables_basic_durable<P: Payload>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    meter: &MemoryMeter,
+    registry: Option<&MetricsRegistry>,
+    policy: FrameworkPolicy<P>,
+    dir: impl Into<PathBuf>,
+    every_n_punctuations: u32,
+) -> Result<(Streamables<P>, CheckpointCtx), StreamError> {
+    to_streamables_advanced_durable(
+        ds,
+        latencies,
+        |s| s,
+        |s| s,
+        meter,
+        registry,
+        policy,
+        dir,
+        every_n_punctuations,
+    )
 }
 
 #[cfg(test)]
@@ -868,5 +1037,82 @@ mod tests {
         let mut ss = to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
         let _a = ss.stream(0);
         let _b = ss.stream(0);
+    }
+
+    /// The message tape used by the durable-framework tests: batches and
+    /// punctuations interleaved so checkpoints land at known indices.
+    fn durable_tape() -> Vec<StreamMessage<u32>> {
+        vec![
+            StreamMessage::batch(vec![ev(10), ev(20), ev(15)]),
+            StreamMessage::punctuation(20),
+            StreamMessage::batch(vec![ev(30), ev(5)]),
+            StreamMessage::punctuation(30),
+            StreamMessage::batch(vec![ev(40), ev(25)]),
+            StreamMessage::punctuation(40),
+            StreamMessage::Completed,
+        ]
+    }
+
+    /// Builds a durable basic framework over `dir`, subscribes both
+    /// outputs, feeds tape messages `range`, and returns the context plus
+    /// the per-stream collected outputs.
+    fn durable_run(
+        dir: &std::path::Path,
+        range: core::ops::Range<usize>,
+    ) -> (
+        impatience_engine::CheckpointCtx,
+        Vec<impatience_engine::Output<u32>>,
+    ) {
+        let meter = MemoryMeter::new();
+        let ls = vec![TickDuration::ticks(10), TickDuration::ticks(30)];
+        let (h, ds) = DisorderedStreamable::live();
+        let (mut ss, ctx) =
+            to_streamables_basic_durable(ds, &ls, &meter, None, FrameworkPolicy::default(), dir, 1)
+                .unwrap();
+        let outs: Vec<_> = (0..2)
+            .map(|i| ss.stream(i).checkpoint_egress().collect_output())
+            .collect();
+        let tape = durable_tape();
+        for m in &tape[range] {
+            h.push_message(m.clone());
+        }
+        (ctx, outs)
+    }
+
+    #[test]
+    fn durable_framework_restores_ladder_state_across_crash() {
+        let base = std::env::temp_dir().join(format!("impatience-fw-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let reference_dir = base.join("reference");
+        let crashed_dir = base.join("crashed");
+
+        // Uncrashed reference: the whole tape in one incarnation.
+        let (_ctx, reference) = durable_run(&reference_dir, 0..7);
+
+        // Crash right after the punctuation at tape index 3 (the gate has
+        // checkpointed: 4 messages seen), then recover and feed the rest.
+        let (ctx, first) = durable_run(&crashed_dir, 0..4);
+        assert!(ctx.recovery().is_none(), "first incarnation is fresh");
+        let events_before: Vec<Vec<Event<u32>>> =
+            first.iter().map(|o| o.events().to_vec()).collect();
+        drop(first);
+
+        let (ctx, second) = durable_run(&crashed_dir, 4..7);
+        let rec = ctx.recovery().expect("framework checkpoint recovered");
+        assert_eq!(rec.messages_seen, 4, "replay the ingest tape from index 4");
+        assert!(rec.fallback.is_none());
+
+        // Exactly-once conformance per output stream: the uncrashed tape
+        // equals the pre-crash prefix plus the post-recovery suffix.
+        for (i, reference) in reference.iter().enumerate() {
+            let mut combined = events_before[i].clone();
+            combined.extend(second[i].events().to_vec());
+            assert_eq!(
+                reference.events(),
+                combined,
+                "stream {i} diverged across the crash"
+            );
+            assert!(second[i].is_completed(), "stream {i} completed");
+        }
     }
 }

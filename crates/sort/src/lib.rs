@@ -56,7 +56,9 @@ pub use traits::{sort_with, OnlineSorter, SortAlgorithm};
 ///
 /// Returns `None` for unknown names. Valid names: `"Impatience"`,
 /// `"Patience"`, `"Quicksort"`, `"Timsort"`, `"Heapsort"`.
-pub fn online_sorter_by_name<T: impatience_core::EventTimed + Clone + 'static>(
+pub fn online_sorter_by_name<
+    T: impatience_core::EventTimed + Clone + impatience_core::StateCodec + 'static,
+>(
     name: &str,
 ) -> Option<Box<dyn OnlineSorter<T>>> {
     match name {

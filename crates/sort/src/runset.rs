@@ -6,7 +6,9 @@
 //! This is the property that lets Impatience sort answer a punctuation
 //! without touching the bulk of its buffered data.
 
-use impatience_core::{EventTimed, Timestamp};
+use impatience_core::{
+    EventTimed, SnapshotError, SnapshotReader, SnapshotWriter, StateCodec, Timestamp,
+};
 
 /// One sorted run with an advancing head offset.
 #[derive(Debug, Clone)]
@@ -288,6 +290,82 @@ impl<T: EventTimed + Clone> RunSet<T> {
 
     fn tails_strictly_descending(&self) -> bool {
         self.tails.windows(2).all(|w| w[0] > w[1])
+    }
+}
+
+impl<T: EventTimed + Clone + StateCodec> RunSet<T> {
+    /// Appends a snapshot of the run set to `w`: configuration, lifetime
+    /// counters, and the *live* items of each non-empty run. Consumed head
+    /// prefixes are dead state and are not persisted, so a restored run
+    /// always starts at `head == 0`.
+    pub fn encode_state(&self, w: &mut SnapshotWriter) {
+        w.put_u8(self.speculative as u8);
+        w.put_u64(self.speculative_hits);
+        w.put_u64(self.speculative_misses);
+        w.put_u64(self.binary_searches);
+        let live_runs: Vec<&SortedRun<T>> = self.runs.iter().filter(|r| !r.is_empty()).collect();
+        w.put_u64(live_runs.len() as u64);
+        for run in live_runs {
+            let live = run.live();
+            w.put_u64(live.len() as u64);
+            for item in live {
+                item.encode(w);
+            }
+        }
+    }
+
+    /// Decodes a run set previously written by
+    /// [`encode_state`](RunSet::encode_state). Tails are recomputed from
+    /// each run's last element; the Patience invariant (tails strictly
+    /// descending) and per-run ordering are re-validated, so corrupt data
+    /// that survives the frame checksum still cannot poison the sorter.
+    pub fn decode_state(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let speculative = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            t => {
+                return Err(SnapshotError::corrupt(format!(
+                    "invalid speculative flag {t}"
+                )))
+            }
+        };
+        let mut rs = RunSet::new(speculative);
+        rs.speculative_hits = r.get_u64()?;
+        rs.speculative_misses = r.get_u64()?;
+        rs.binary_searches = r.get_u64()?;
+        let run_count = r.get_count()?;
+        for _ in 0..run_count {
+            let len = r.get_count()?;
+            if len == 0 {
+                return Err(SnapshotError::corrupt("empty run in snapshot"));
+            }
+            let mut prev = Timestamp::MIN;
+            let mut run: Option<SortedRun<T>> = None;
+            for _ in 0..len {
+                let item = T::decode(r)?;
+                let ts = item.event_time();
+                if ts < prev {
+                    return Err(SnapshotError::corrupt("run items out of order in snapshot"));
+                }
+                prev = ts;
+                match &mut run {
+                    None => run = Some(SortedRun::new(item)),
+                    Some(run) => run.push(item),
+                }
+            }
+            let run = run.expect("len > 0 guarantees a run");
+            let tail = run.tail_time();
+            if let Some(&last) = rs.tails.last() {
+                if last <= tail {
+                    return Err(SnapshotError::corrupt(
+                        "run tails not strictly descending in snapshot",
+                    ));
+                }
+            }
+            rs.runs.push(run);
+            rs.tails.push(tail);
+        }
+        Ok(rs)
     }
 }
 

@@ -10,7 +10,7 @@
 //! * **Offline algorithms** ([`SortAlgorithm`]) sort a slice in one shot.
 
 use crate::gauges::SorterGauges;
-use impatience_core::{EventTimed, Timestamp};
+use impatience_core::{EventTimed, SnapshotError, SnapshotReader, SnapshotWriter, Timestamp};
 
 /// An incremental sorter for out-of-order streams (§III-A's sorting
 /// operator contract).
@@ -59,6 +59,23 @@ pub trait OnlineSorter<T: EventTimed> {
     fn sync_gauges(&self, gauges: &SorterGauges) {
         gauges.buffered.set(self.buffered_len() as i64);
         gauges.state_bytes.set(self.state_bytes() as i64);
+    }
+
+    /// Appends a snapshot of all buffered state to `w`, for checkpointing.
+    /// The default declines ([`SnapshotError::Unsupported`]): only sorters
+    /// whose item type is a
+    /// [`StateCodec`](impatience_core::StateCodec) and whose buffer
+    /// structure is serializable (the Impatience sorter's run set) opt in.
+    fn encode_state(&self, _w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported { what: self.name() })
+    }
+
+    /// Replaces this sorter's buffered state with a snapshot previously
+    /// written by [`encode_state`](OnlineSorter::encode_state). On error
+    /// the sorter is left unchanged. The default declines, matching
+    /// `encode_state`.
+    fn restore_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported { what: self.name() })
     }
 }
 

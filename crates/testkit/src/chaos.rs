@@ -92,13 +92,16 @@ impl ChaosCounts {
     }
 }
 
+/// An in-place payload corruptor (see [`ChaosObserver::with_corruptor`]).
+type Corruptor<P> = Box<dyn FnMut(&mut P)>;
+
 /// The fault-injecting observer. Build with [`ChaosObserver::new`], wire
 /// with `Streamable::apply`-style plumbing (it owns its downstream).
 pub struct ChaosObserver<P: Payload> {
     cfg: ChaosConfig,
     rng: StdRng,
     wm: Option<Timestamp>,
-    corrupt_with: Option<Box<dyn FnMut(&mut P)>>,
+    corrupt_with: Option<Corruptor<P>>,
     counts: ChaosCounts,
     next: Box<dyn Observer<P>>,
 }

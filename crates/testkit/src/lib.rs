@@ -18,7 +18,9 @@
 //!   median / p95 / min) replacing the `criterion` dependency;
 //! * [`chaos`] — a seeded fault-injecting observer (duplicates, late
 //!   stragglers, punctuation regressions, payload corruption, injected
-//!   panics) for exercising the failure model end to end.
+//!   panics) for exercising the failure model end to end;
+//! * [`crash`] — seeded crash-point selection plus on-disk damage
+//!   (bit flips, torn tails) for the checkpoint/WAL recovery suite.
 //!
 //! ## Replaying a property failure
 //!
@@ -40,8 +42,13 @@
 
 pub mod bench;
 pub mod chaos;
+pub mod crash;
 pub mod prop;
 pub mod rng;
 
 pub use chaos::{ChaosConfig, ChaosCounts, ChaosObserver};
+pub use crash::{
+    corrupt_byte, corrupt_random_byte, crash_point, files_with_suffix, newest_with_suffix,
+    tear_tail, truncate_file, CrashPoint,
+};
 pub use rng::{Rng, SeedableRng, StdRng};

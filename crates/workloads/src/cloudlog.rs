@@ -82,7 +82,7 @@ impl Default for CloudLogConfig {
             burst_len: 5_000,
             burst_delay: 60_000,
             burst_rejitter: 2_000.0,
-            seed: 0xC10D_106,
+            seed: 0x0C10_D106,
         }
     }
 }

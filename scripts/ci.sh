@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets --offline -- -D warnings
+
 echo "== cargo build --release --offline =="
 cargo build --release --offline
 
@@ -47,5 +50,18 @@ cargo run --release --offline -q -p impatience-bench --bin fig5 -- \
     --events 60000 --json "$tmp_budget_json" --memory-budget 65536 > /dev/null
 cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
     "$tmp_budget_json" --require-fault-activity
+
+echo "== crash-recovery gate (recovery --check -> BENCH_recovery.json) =="
+# The durability gate: checkpointing every 16 punctuations must cost <= 10%
+# wall-clock over the plain fig5 pipeline, and a run crashed at a seeded
+# point must — after restoring the newest checkpoint and replaying the WAL
+# suffix — produce output byte-identical to an uncrashed run. The JSON
+# artifact keeps both measurements plus the recovered incarnation's metrics
+# snapshot, whose nonzero recovery.restores counter snapshot_check demands.
+rm -f BENCH_recovery.json
+cargo run --release --offline -q -p impatience-bench --bin recovery -- \
+    --check --json BENCH_recovery.json
+cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
+    BENCH_recovery.json --require-recovery-activity
 
 echo "CI OK"

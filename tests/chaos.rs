@@ -140,6 +140,11 @@ fn assert_contract(run: &ChaosRun) {
     if let Some(b) = run.budget {
         assert!(run.meter.current() <= b, "budget exceeded at rest");
     }
+    assert_eq!(
+        run.meter.over_releases(),
+        0,
+        "memory accounting went negative under chaos"
+    );
 }
 
 props! {

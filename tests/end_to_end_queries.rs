@@ -20,7 +20,7 @@ fn surviving_events(ds: &Dataset, max_latency: TickDuration) -> Vec<Event<EvalPa
     let mut wm = Timestamp::MIN;
     let mut out = Vec::new();
     for e in &ds.events {
-        let mut e = e.clone();
+        let mut e = *e;
         impatience_engine::ops::align_tumbling(&mut e, WINDOW);
         wm = wm.max(e.sync_time);
         if wm - e.sync_time < max_latency {

@@ -54,11 +54,14 @@ fn oracle(arrivals: &[Event<u32>], max_latency: TickDuration) -> BTreeMap<(i64, 
     m
 }
 
+/// Per-rung keyed window counts plus the measured work ratio.
+type LadderOutputs = (Vec<BTreeMap<(i64, u32), u64>>, f64);
+
 fn run_advanced(
     arrivals: Vec<Event<u32>>,
     latencies: &[TickDuration],
     freq: usize,
-) -> (Vec<BTreeMap<(i64, u32), u64>>, f64) {
+) -> LadderOutputs {
     let meter = MemoryMeter::new();
     let ds = DisorderedStreamable::from_arrivals(arrivals, &policy(freq)).tumbling_window(window());
     let mut ss = to_streamables_advanced(

@@ -1,0 +1,375 @@
+//! Crash-recovery conformance suite: checkpoint/restore + WAL replay.
+//!
+//! Every run drives a seeded disordered tape through a durable pipeline
+//! (`checkpointed` gate → Impatience sort → tumbling window → grouped
+//! count → top-k), logging each ingest message to a [`WalIngress`] before
+//! pushing it and truncating the log at every checkpoint. The run is
+//! killed at a seeded crash point, the on-disk state is damaged the way
+//! real crashes damage it (clean stop, torn WAL tail, flipped checkpoint
+//! byte), and a second incarnation recovers. The contract, checked for
+//! **every** seed × damage variant:
+//!
+//! 1. conformance — `reference = crashed[..P] ++ recovered`, where `P` is
+//!    the committed egress prefix recorded in the recovered checkpoint:
+//!    the combined output is byte-identical to an uncrashed run;
+//! 2. corruption never aborts — an unrecoverable checkpoint surfaces as a
+//!    typed [`StreamError::RecoveryFailed`] with no completion;
+//! 3. a corrupted *newest* slot falls back to the previous generation and
+//!    still conforms.
+//!
+//! The suite runs `SEEDS × 3 ≥ 500` full crash/recover cycles. Each is
+//! deterministic in its seed, so a failure replays bit-for-bit.
+
+use impatience::prelude::*;
+use impatience_core::{StreamError, StreamMessage};
+use impatience_engine::ingress::WalConfig;
+use impatience_engine::{input_stream, punctuate_arrivals, CheckpointCtx, WalIngress};
+use impatience_engine::{InputHandle, Output};
+use impatience_sort::ImpatienceSorter;
+use impatience_testkit::crash::{
+    corrupt_random_byte, crash_point, files_with_suffix, newest_with_suffix, tear_tail,
+};
+use impatience_testkit::{Rng, SeedableRng, StdRng};
+use std::cell::RefCell;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Seeds per damage variant; three variants per seed gives ≥500 runs.
+const SEEDS: u64 = 170;
+
+fn base_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("impatience-recovery-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wal_config() -> WalConfig {
+    // Tiny segments force rolls and truncation; sync on every append so
+    // the WAL never trails what the pipeline has consumed (ack-after-sync).
+    WalConfig {
+        segment_bytes: 1024,
+        sync_every: 1,
+    }
+}
+
+/// Seeded disordered keyed tape, punctuated per a seeded ingress policy.
+fn tape(seed: u64) -> Vec<StreamMessage<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed);
+    let n = rng.gen_range(40..140usize);
+    let mut t = 100i64;
+    let mut arrivals = Vec::with_capacity(n);
+    for _ in 0..n {
+        t += rng.gen_range(0..6i64);
+        let sync = if rng.gen_ratio(1, 5) {
+            (t - rng.gen_range(0..24i64)).max(0)
+        } else {
+            t
+        };
+        arrivals.push(Event::keyed(
+            Timestamp::new(sync),
+            rng.gen_range(0u32..6),
+            rng.gen_range(0u32..1000),
+        ));
+    }
+    let policy = IngressPolicy {
+        punctuation_frequency: rng.gen_range(4..12usize),
+        reorder_latency: TickDuration::ticks(32),
+        batch_size: rng.gen_range(2..6usize),
+    };
+    punctuate_arrivals(arrivals, &policy)
+}
+
+struct Incarnation {
+    handle: InputHandle<u32>,
+    ctx: CheckpointCtx,
+    out: Output<u64>,
+    _meter: MemoryMeter,
+}
+
+/// The durable pipeline under test: every stateful stage participates in
+/// the checkpoint (sorter, window, grouped aggregate, top-k).
+fn build(base: &Path, every_n: u32) -> Incarnation {
+    let meter = MemoryMeter::new();
+    let (handle, s) = input_stream::<u32>();
+    let (s, ctx) = s
+        .checkpointed(base.join("ckpt"), every_n)
+        .expect("open checkpoint dir");
+    let out = s
+        .sorted_with(Box::new(ImpatienceSorter::new()), &meter)
+        .tumbling_window(TickDuration::ticks(32))
+        .group_aggregate(CountAgg)
+        .top_k(3, |c: &u64| *c as i64)
+        .checkpoint_egress()
+        .collect_output();
+    Incarnation {
+        handle,
+        ctx,
+        out,
+        _meter: meter,
+    }
+}
+
+/// Opens the run's WAL and wires checkpoint-driven truncation into `ctx`.
+fn attach_wal(ctx: &CheckpointCtx, base: &Path) -> Rc<RefCell<WalIngress<u32>>> {
+    let wal = Rc::new(RefCell::new(
+        WalIngress::open_with(base.join("wal"), wal_config()).expect("open wal"),
+    ));
+    let w = Rc::clone(&wal);
+    ctx.on_checkpoint(move |note| {
+        let _ = w.borrow_mut().truncate_before(note.safe_truncate_index);
+    });
+    wal
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Damage {
+    /// Process death only: all synced files intact.
+    Clean,
+    /// Power loss mid-write: the newest WAL segment loses a seeded tail.
+    TornWal,
+    /// Media corruption: one seeded byte of a checkpoint slot flips.
+    CorruptCkpt,
+}
+
+#[derive(Default)]
+struct SuiteCounts {
+    runs: u64,
+    restores: u64,
+    fallbacks: u64,
+    typed_failures: u64,
+    fresh_starts: u64,
+}
+
+/// One full crash/recover cycle; returns what recovery did.
+fn run_one(seed: u64, damage: Damage, counts: &mut SuiteCounts) {
+    let t = tape(seed);
+    let every_n = 1 + (seed % 4) as u32;
+    let cp = crash_point(seed ^ 0xc4a5_4e11, t.len());
+    counts.runs += 1;
+
+    // Uncrashed reference, itself durable so checkpoint writes are also
+    // shown not to perturb output.
+    let ref_base = base_dir(&format!("ref-{seed}-{damage:?}"));
+    let reference = {
+        let inc = build(&ref_base, every_n);
+        let wal = attach_wal(&inc.ctx, &ref_base);
+        for msg in &t {
+            wal.borrow_mut().append(msg).unwrap();
+            inc.handle.push_message(msg.clone());
+        }
+        assert!(inc.out.is_completed(), "seed {seed}: reference completed");
+        assert!(inc.out.error().is_none());
+        inc.out
+    };
+
+    // Incarnation 1: log-then-push up to the crash point, then die.
+    let base = base_dir(&format!("run-{seed}-{damage:?}"));
+    let events_before = {
+        let inc = build(&base, every_n);
+        let wal = attach_wal(&inc.ctx, &base);
+        assert!(inc.ctx.recovery().is_none(), "fresh dir has no recovery");
+        for msg in &t[..cp.after_messages] {
+            wal.borrow_mut().append(msg).unwrap();
+            inc.handle.push_message(msg.clone());
+        }
+        inc.out.events()
+    };
+
+    // Crash-time damage.
+    match damage {
+        Damage::Clean => {}
+        Damage::TornWal => {
+            if let Some(seg) = newest_with_suffix(base.join("wal"), ".seg").unwrap() {
+                tear_tail(seg, seed ^ 0x7ea4).unwrap();
+            }
+        }
+        Damage::CorruptCkpt => {
+            let slots = files_with_suffix(base.join("ckpt"), ".bin").unwrap();
+            if !slots.is_empty() {
+                let pick = (seed as usize) % slots.len();
+                corrupt_random_byte(&slots[pick], seed ^ 0xf11b).unwrap();
+            }
+        }
+    }
+
+    // Incarnation 2: recover, replay the WAL suffix, resume the tape.
+    let inc = build(&base, every_n);
+    if let Some(err) = inc.out.error() {
+        // Only checkpoint corruption may make recovery impossible, and it
+        // must surface as the typed error with no completion — never abort.
+        assert!(
+            matches!(err, StreamError::RecoveryFailed { .. }),
+            "seed {seed} {damage:?}: unexpected error {err:?}"
+        );
+        assert_eq!(
+            damage,
+            Damage::CorruptCkpt,
+            "seed {seed}: recovery failed without checkpoint damage"
+        );
+        assert!(!inc.out.is_completed());
+        assert!(inc.ctx.recovery().is_none());
+        counts.typed_failures += 1;
+        let _ = fs::remove_dir_all(&ref_base);
+        let _ = fs::remove_dir_all(&base);
+        return;
+    }
+
+    let rec = inc.ctx.recovery();
+    match &rec {
+        Some(r) => {
+            counts.restores += 1;
+            if r.fallback.is_some() {
+                counts.fallbacks += 1;
+            }
+        }
+        None => counts.fresh_starts += 1,
+    }
+    let m = rec.as_ref().map_or(0, |r| r.messages_seen);
+    let p = rec.as_ref().map_or(0, |r| r.egress_events) as usize;
+    assert!(
+        p <= events_before.len(),
+        "seed {seed} {damage:?}: committed prefix {p} beyond {} crashed events",
+        events_before.len()
+    );
+
+    let wal = attach_wal(&inc.ctx, &base);
+    // Replay the surviving log suffix the checkpoint has not covered.
+    for (idx, msg) in WalIngress::<u32>::replay_from(&base.join("wal"), m).unwrap() {
+        assert!(idx >= m);
+        inc.handle.push_message(msg);
+    }
+    // Resume the tape where the log ends. Records torn off the WAL are
+    // re-sent by the source (they were never acknowledged); any that the
+    // restored checkpoint already covers are logged but not re-consumed.
+    let resume = wal.borrow().next_index();
+    for (i, msg) in t.iter().enumerate().skip(resume as usize) {
+        wal.borrow_mut().append(msg).unwrap();
+        if i as u64 >= m {
+            inc.handle.push_message(msg.clone());
+        }
+    }
+
+    if cp.after_messages < t.len() {
+        assert!(
+            inc.out.is_completed(),
+            "seed {seed} {damage:?}: recovered run did not complete"
+        );
+    }
+    assert!(inc.out.error().is_none(), "seed {seed} {damage:?}");
+
+    // Conformance: committed crashed prefix + recovered output is
+    // byte-identical to the uncrashed run.
+    let combined: Vec<Event<u64>> = events_before
+        .iter()
+        .take(p)
+        .cloned()
+        .chain(inc.out.events())
+        .collect();
+    assert_eq!(
+        reference.events(),
+        combined,
+        "seed {seed} {damage:?} every_n {every_n} crash@{}/{}: recovered output diverges",
+        cp.after_messages,
+        t.len()
+    );
+
+    let _ = fs::remove_dir_all(&ref_base);
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// ≥500 seeded crash/recover cycles across all damage variants.
+#[test]
+fn crash_anywhere_recovery_is_byte_identical() {
+    let mut counts = SuiteCounts::default();
+    for seed in 0..SEEDS {
+        run_one(seed, Damage::Clean, &mut counts);
+        run_one(seed, Damage::TornWal, &mut counts);
+        run_one(seed, Damage::CorruptCkpt, &mut counts);
+    }
+    assert!(counts.runs >= 500, "only {} runs", counts.runs);
+    // The suite must actually exercise the interesting paths: plenty of
+    // real restores, at least one generation fallback, and fresh starts
+    // for crashes before the first checkpoint.
+    assert!(counts.restores > 100, "only {} restores", counts.restores);
+    assert!(counts.fallbacks > 0, "no fallback to older generation seen");
+    assert!(counts.fresh_starts > 0, "no pre-checkpoint crash seen");
+    // Corruption must have had at least one visible consequence.
+    assert!(counts.fallbacks + counts.typed_failures > 0);
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            fs::copy(entry.path(), dst).unwrap();
+        }
+    }
+}
+
+/// Directed check of the fallback ladder: with both slots populated,
+/// corrupting either one still recovers from the surviving generation and
+/// reports the corruption as [`RecoveryInfo::fallback`], and corrupting
+/// both yields the typed error — never an abort.
+///
+/// [`RecoveryInfo::fallback`]: impatience_engine::RecoveryInfo
+#[test]
+fn corrupted_checkpoint_slots_fall_back_then_fail_typed() {
+    let t = tape(9_001);
+    let seeded = base_dir("slots-seed");
+    {
+        let inc = build(&seeded, 1);
+        let wal = attach_wal(&inc.ctx, &seeded);
+        for msg in &t {
+            wal.borrow_mut().append(msg).unwrap();
+            inc.handle.push_message(msg.clone());
+        }
+        assert!(inc.out.is_completed());
+    }
+    let slots = files_with_suffix(seeded.join("ckpt"), ".bin").unwrap();
+    assert_eq!(slots.len(), 2, "every-punctuation run fills both slots");
+    let slot_names: Vec<_> = slots
+        .iter()
+        .map(|p| p.file_name().unwrap().to_owned())
+        .collect();
+
+    let mut fallbacks = 0;
+    for (i, name) in slot_names.iter().enumerate() {
+        let case = base_dir(&format!("slots-one-{i}"));
+        copy_tree(&seeded, &case);
+        corrupt_random_byte(case.join("ckpt").join(name), 42 + i as u64)
+            .unwrap()
+            .expect("slot file is not empty");
+        let inc = build(&case, 1);
+        assert!(inc.out.error().is_none(), "one intact slot must recover");
+        let rec = inc.ctx.recovery().expect("recovered from surviving slot");
+        if rec.fallback.is_some() {
+            fallbacks += 1;
+        }
+        let _ = fs::remove_dir_all(&case);
+    }
+    assert_eq!(fallbacks, 2, "either slot's corruption is reported");
+
+    let case = base_dir("slots-both");
+    copy_tree(&seeded, &case);
+    for (i, name) in slot_names.iter().enumerate() {
+        corrupt_random_byte(case.join("ckpt").join(name), 77 + i as u64).unwrap();
+    }
+    let inc = build(&case, 1);
+    match inc.out.error() {
+        Some(StreamError::RecoveryFailed { detail }) => {
+            assert!(!detail.is_empty());
+        }
+        other => panic!("both slots corrupt must fail typed, got {other:?}"),
+    }
+    assert!(!inc.out.is_completed());
+    assert!(inc.ctx.recovery().is_none());
+    let _ = fs::remove_dir_all(&seeded);
+    let _ = fs::remove_dir_all(&case);
+}

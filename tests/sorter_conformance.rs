@@ -97,7 +97,7 @@ fn run_conformance(name: &str, sorter: &mut dyn OnlineSorter<i64>, case: &Stream
                 // Oracle: the stable sort of everything accepted so far
                 // that falls at or below the cut.
                 let mut expect: Vec<i64> = pending.iter().copied().filter(|&v| v <= t).collect();
-                expect.sort_by(|a, b| a.cmp(b));
+                expect.sort();
                 assert_eq!(
                     out, expect,
                     "{name}: punctuation cut at T={t} mismatch (seed {seed})"
@@ -115,7 +115,7 @@ fn run_conformance(name: &str, sorter: &mut dyn OnlineSorter<i64>, case: &Stream
     let mut out = Vec::new();
     sorter.drain_all(&mut out);
     let mut expect = pending.clone();
-    expect.sort_by(|a, b| a.cmp(b));
+    expect.sort();
     assert_eq!(out, expect, "{name}: final drain mismatch (seed {seed})");
     emitted_total += out.len();
 
@@ -213,7 +213,7 @@ fn run_chaos_conformance(
                 let mut out = Vec::new();
                 sorter.punctuate(Timestamp::new(cut), &mut out);
                 let mut expect: Vec<i64> = pending.iter().copied().filter(|&v| v <= cut).collect();
-                expect.sort_by(|a, b| a.cmp(b));
+                expect.sort();
                 assert_eq!(
                     out, expect,
                     "{name}: chaos cut at T={cut} mismatch (seed {seed})"
@@ -226,7 +226,7 @@ fn run_chaos_conformance(
     let mut out = Vec::new();
     sorter.drain_all(&mut out);
     let mut expect = pending.clone();
-    expect.sort_by(|a, b| a.cmp(b));
+    expect.sort();
     assert_eq!(
         out, expect,
         "{name}: chaos final drain mismatch (seed {seed})"
