@@ -31,9 +31,8 @@ use impatience_engine::{
 use impatience_sort::ImpatienceSorter;
 use impatience_testkit::crash_point;
 use impatience_workloads::{generate_cloudlog, CloudLogConfig};
-use std::cell::RefCell;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 const EVERY_N_PUNCTUATIONS: u32 = 16;
@@ -102,13 +101,13 @@ fn wal_config() -> WalConfig {
     WalConfig::default()
 }
 
-fn attach_wal(ctx: &CheckpointCtx, base: &Path) -> Rc<RefCell<WalIngress<EvalPayload>>> {
-    let wal = Rc::new(RefCell::new(
+fn attach_wal(ctx: &CheckpointCtx, base: &Path) -> Arc<Mutex<WalIngress<EvalPayload>>> {
+    let wal = Arc::new(Mutex::new(
         WalIngress::open_with(base.join("wal"), wal_config()).expect("open wal"),
     ));
-    let w = Rc::clone(&wal);
+    let w = Arc::clone(&wal);
     ctx.on_checkpoint(move |note| {
-        let _ = w.borrow_mut().truncate_before(note.safe_truncate_index);
+        let _ = w.lock().unwrap().truncate_before(note.safe_truncate_index);
     });
     wal
 }
@@ -179,7 +178,7 @@ fn main() {
         let p = build(window, Some(&base), None);
         let wal = attach_wal(p.ctx.as_ref().expect("durable"), &base);
         for msg in &tape {
-            wal.borrow_mut().append(msg).expect("wal append");
+            wal.lock().unwrap().append(msg).expect("wal append");
             p.handle.push_message(msg.clone());
         }
         assert!(p.out.is_completed());
@@ -228,7 +227,7 @@ fn main() {
         let p = build(window, Some(&base), None);
         let wal = attach_wal(p.ctx.as_ref().expect("durable"), &base);
         for msg in &tape[..cp.after_messages] {
-            wal.borrow_mut().append(msg).expect("wal append");
+            wal.lock().unwrap().append(msg).expect("wal append");
             p.handle.push_message(msg.clone());
         }
         p.out.events()
@@ -257,9 +256,9 @@ fn main() {
     for (_, msg) in replayed {
         p.handle.push_message(msg);
     }
-    let resume = wal.borrow().next_index();
+    let resume = wal.lock().unwrap().next_index();
     for (i, msg) in tape.iter().enumerate().skip(resume as usize) {
-        wal.borrow_mut().append(msg).expect("wal append");
+        wal.lock().unwrap().append(msg).expect("wal append");
         if i as u64 >= m {
             p.handle.push_message(msg.clone());
         }

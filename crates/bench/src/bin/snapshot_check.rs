@@ -1,7 +1,8 @@
 //! CI helper: validates the JSON-lines output of a bench-binary run.
 //!
 //! ```sh
-//! snapshot_check <path.jsonl> [--require-fault-activity] [--require-recovery-activity]
+//! snapshot_check <path.jsonl> [--require-fault-activity] \
+//!     [--require-recovery-activity] [--require-shard-activity]
 //! ```
 //!
 //! Asserts that every line parses with the in-tree JSON parser and that at
@@ -17,7 +18,10 @@
 //! nonzero dead-letter **and** shed counts somewhere in the file (for
 //! budgeted runs). With `--require-recovery-activity` it demands a nonzero
 //! `*.recovery.restores` count somewhere in the file (for crash-recovery
-//! runs). Exits non-zero with a message on the first violation.
+//! runs). With `--require-shard-activity` it demands that a sharded
+//! pipeline actually ran — nonzero `shard.ingress.events` **and**
+//! `shard.merge.events` counts somewhere in the file (for multi-core
+//! scale runs). Exits non-zero with a message on the first violation.
 
 use impatience_bench::metrics_of_line;
 use impatience_core::Json;
@@ -31,18 +35,20 @@ fn main() {
     let mut path: Option<String> = None;
     let mut require_fault_activity = false;
     let mut require_recovery_activity = false;
+    let mut require_shard_activity = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-fault-activity" => require_fault_activity = true,
             "--require-recovery-activity" => require_recovery_activity = true,
+            "--require-shard-activity" => require_shard_activity = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other}")),
         }
     }
     let path = path.unwrap_or_else(|| {
         fail(
-            "usage: snapshot_check <path.jsonl> \
-             [--require-fault-activity] [--require-recovery-activity]",
+            "usage: snapshot_check <path.jsonl> [--require-fault-activity] \
+             [--require-recovery-activity] [--require-shard-activity]",
         )
     });
     let text = std::fs::read_to_string(&path)
@@ -53,6 +59,8 @@ fn main() {
     let mut dead_lettered = 0u64;
     let mut shed = 0u64;
     let mut restores = 0u64;
+    let mut shard_ingress = 0u64;
+    let mut shard_merged = 0u64;
     for (no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -65,10 +73,12 @@ fn main() {
         }
         if let Some(metrics) = metrics_of_line(&js) {
             snapshots += 1;
-            let (dl, sh, rs) = check_snapshot(&path, no + 1, metrics);
-            dead_lettered += dl;
-            shed += sh;
-            restores += rs;
+            let counts = check_snapshot(&path, no + 1, metrics);
+            dead_lettered += counts.dead_lettered;
+            shed += counts.shed;
+            restores += counts.restores;
+            shard_ingress += counts.shard_ingress;
+            shard_merged += counts.shard_merged;
         }
     }
     if lines == 0 {
@@ -91,19 +101,36 @@ fn main() {
              in some snapshot, found none"
         ));
     }
+    if require_shard_activity && (shard_ingress == 0 || shard_merged == 0) {
+        fail(&format!(
+            "{path}: --require-shard-activity: expected nonzero shard traffic, got \
+             shard.ingress.events={shard_ingress} shard.merge.events={shard_merged}"
+        ));
+    }
     println!(
         "snapshot_check: {path}: {lines} lines ok, {snapshots} metrics snapshot(s), \
-         {dead_lettered} dead-lettered, {shed} shed, {restores} restore(s)"
+         {dead_lettered} dead-lettered, {shed} shed, {restores} restore(s), \
+         {shard_ingress}/{shard_merged} sharded in/out"
     );
+}
+
+/// Per-snapshot activity totals returned by [`check_snapshot`] and summed
+/// across the file for the `--require-*-activity` gates.
+struct ActivityCounts {
+    dead_lettered: u64,
+    shed: u64,
+    restores: u64,
+    shard_ingress: u64,
+    shard_merged: u64,
 }
 
 /// One metrics snapshot must carry per-operator counters, the
 /// failure-model counters, the durability counters (nonzero checkpoint
 /// writes, a recovery.restores counter, zero memory over-releases), sorter
 /// gauges with high-water marks, and a watermark-lag histogram with
-/// buckets. Returns the snapshot's total (dead-lettered, shed, restores)
-/// counts for the fault- and recovery-activity checks.
-fn check_snapshot(path: &str, no: usize, metrics: &Json) -> (u64, u64, u64) {
+/// buckets. Returns the snapshot's activity totals for the
+/// fault-, recovery-, and shard-activity checks.
+fn check_snapshot(path: &str, no: usize, metrics: &Json) -> ActivityCounts {
     let ctx = format!("{path}:{no}");
     let counters = metrics
         .get("counters")
@@ -211,9 +238,13 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) -> (u64, u64, u64) {
             fail(&format!("{ctx}: histogram {name} lacks \"{field}\""));
         }
     }
-    (
-        sum_of("sort.dead_lettered"),
-        sum_of("sort.shed_events"),
-        sum_of("recovery.restores"),
-    )
+    ActivityCounts {
+        dead_lettered: sum_of("sort.dead_lettered"),
+        shed: sum_of("sort.shed_events"),
+        restores: sum_of("recovery.restores"),
+        // Full names, not suffixes: "shard.merge.events" must not also
+        // match a hypothetical "*.ingress.events".
+        shard_ingress: sum_of("shard.ingress.events"),
+        shard_merged: sum_of("shard.merge.events"),
+    }
 }

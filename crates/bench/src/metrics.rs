@@ -47,6 +47,20 @@ pub fn pipeline_metrics_with(
     punctuation_frequency: usize,
     budget: Option<usize>,
 ) -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    pipeline_metrics_in(&registry, ds, punctuation_frequency, budget);
+    registry.snapshot()
+}
+
+/// [`pipeline_metrics_with`] against a caller-owned `registry`, so a binary
+/// can combine the canonical pipeline's instruments with additional runs
+/// (e.g. a sharded pipeline's `shard.*` counters) in one snapshot.
+pub fn pipeline_metrics_in(
+    registry: &MetricsRegistry,
+    ds: &Dataset,
+    punctuation_frequency: usize,
+    budget: Option<usize>,
+) {
     let n = ds.len().min(METRICS_SAMPLE_EVENTS);
     let events: Vec<Event<EvalPayload>> = ds.events[..n].to_vec();
     let span = events
@@ -58,8 +72,7 @@ pub fn pipeline_metrics_with(
     let latency = TickDuration::ticks((span / 5).max(1));
     let window = TickDuration::ticks((span / 50).max(1));
 
-    let registry = MetricsRegistry::new();
-    let stats = IngressStats::registered(&registry);
+    let stats = IngressStats::registered(registry);
     let meter = match budget {
         Some(b) => MemoryMeter::with_budget(b),
         None => MemoryMeter::new(),
@@ -98,8 +111,8 @@ pub fn pipeline_metrics_with(
     let (stream, ckpt) = stream
         .checkpointed(&ckpt_dir, METRICS_CHECKPOINT_EVERY)
         .expect("open scratch checkpoint dir");
-    ckpt.bind_metrics(&registry, "pipeline");
-    let stream = stream.instrument(&registry, "pipeline");
+    ckpt.bind_metrics(registry, "pipeline");
+    let stream = stream.instrument(registry, "pipeline");
     let stream = if budget.is_some() {
         stream.hardened()
     } else {
@@ -138,7 +151,6 @@ pub fn pipeline_metrics_with(
         );
     }
     let _ = std::fs::remove_dir_all(&ckpt_dir);
-    registry.snapshot()
 }
 
 /// Runs [`pipeline_metrics`] over `ds`, prints the compact top view, and

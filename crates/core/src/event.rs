@@ -19,7 +19,7 @@ use core::fmt;
 /// deterministic memory accounting used by the Fig 10 benchmarks. The
 /// [`StateCodec`] supertrait makes every payload durable: checkpointing a
 /// sorter run or union buffer is just encoding its buffered events.
-pub trait Payload: Clone + fmt::Debug + PartialEq + StateCodec + 'static {
+pub trait Payload: Clone + fmt::Debug + PartialEq + StateCodec + Send + 'static {
     /// Bytes owned on the heap by this payload (0 for plain-old-data).
     #[inline]
     fn heap_bytes(&self) -> usize {

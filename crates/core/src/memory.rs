@@ -9,26 +9,42 @@
 
 use crate::error::StreamError;
 use crate::metrics::Counter;
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-#[derive(Default)]
+/// Budget sentinel: `usize::MAX` means "no budget". A real budget of
+/// `usize::MAX` bytes is indistinguishable from none, which is fine — no
+/// account can exceed it anyway.
+const NO_BUDGET: usize = usize::MAX;
+
 struct Inner {
-    current: Cell<usize>,
-    peak: Cell<usize>,
-    budget: Cell<Option<usize>>,
-    over_releases: Cell<u64>,
-    over_release_counter: RefCell<Option<Counter>>,
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    budget: AtomicUsize,
+    over_releases: AtomicU64,
+    over_release_counter: Mutex<Option<Counter>>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            budget: AtomicUsize::new(NO_BUDGET),
+            over_releases: AtomicU64::new(0),
+            over_release_counter: Mutex::new(None),
+        }
+    }
 }
 
 /// A cheaply cloneable handle to a shared memory account.
 ///
 /// Cloning shares the account; all operators in one query plan charge the
-/// same meter. The engine is single-threaded (matching the paper's
-/// evaluation setup), so `Rc<Cell>` suffices.
+/// same meter. Handles are `Send + Sync` (lock-free atomics), so the shards
+/// of a multi-core pipeline can account against one budget.
 #[derive(Clone, Default)]
 pub struct MemoryMeter {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
 
 impl MemoryMeter {
@@ -50,48 +66,50 @@ impl MemoryMeter {
     /// [`over_budget`]: MemoryMeter::over_budget
     pub fn with_budget(bytes: usize) -> Self {
         let m = Self::default();
-        m.inner.budget.set(Some(bytes));
+        m.set_budget(Some(bytes));
         m
     }
 
     /// Sets or clears the enforced budget on the shared account.
     pub fn set_budget(&self, bytes: Option<usize>) {
-        self.inner.budget.set(bytes);
+        self.inner
+            .budget
+            .store(bytes.unwrap_or(NO_BUDGET), Ordering::Relaxed);
     }
 
     /// The enforced budget, if any.
     #[inline]
     pub fn budget(&self) -> Option<usize> {
-        self.inner.budget.get()
+        match self.inner.budget.load(Ordering::Relaxed) {
+            NO_BUDGET => None,
+            b => Some(b),
+        }
     }
 
     /// True when the current charge exceeds the enforced budget.
     #[inline]
     pub fn over_budget(&self) -> bool {
-        match self.inner.budget.get() {
-            Some(b) => self.inner.current.get() > b,
-            None => false,
-        }
+        self.inner.current.load(Ordering::Relaxed) > self.inner.budget.load(Ordering::Relaxed)
     }
 
     /// Charges `bytes` to the account.
     #[inline]
     pub fn charge(&self, bytes: usize) {
-        let cur = self.inner.current.get() + bytes;
-        self.inner.current.set(cur);
-        if cur > self.inner.peak.get() {
-            self.inner.peak.set(cur);
-        }
+        let cur = self.inner.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak.fetch_max(cur, Ordering::Relaxed);
     }
 
     /// Charges `bytes` only if the result stays within the budget; returns
     /// [`StreamError::MemoryExceeded`] (and charges nothing) otherwise.
+    ///
+    /// The check-then-charge is not atomic across threads; concurrent
+    /// charges may overshoot the budget by at most the batch in flight,
+    /// which the enforcement points tolerate (they re-check and shed).
     pub fn try_charge(&self, bytes: usize) -> Result<(), StreamError> {
-        let attempted = self.inner.current.get() + bytes;
-        if let Some(budget) = self.inner.budget.get() {
-            if attempted > budget {
-                return Err(StreamError::MemoryExceeded { budget, attempted });
-            }
+        let attempted = self.inner.current.load(Ordering::Relaxed) + bytes;
+        let budget = self.inner.budget.load(Ordering::Relaxed);
+        if attempted > budget {
+            return Err(StreamError::MemoryExceeded { budget, attempted });
         }
         self.charge(bytes);
         Ok(())
@@ -107,29 +125,48 @@ impl MemoryMeter {
     /// [`bind_over_release_counter`]: MemoryMeter::bind_over_release_counter
     #[inline]
     pub fn release(&self, bytes: usize) {
-        let cur = self.inner.current.get();
+        let mut cur = self.inner.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.inner.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
         if bytes > cur {
-            self.inner
-                .over_releases
-                .set(self.inner.over_releases.get() + 1);
-            if let Some(c) = self.inner.over_release_counter.borrow().as_ref() {
+            self.inner.over_releases.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = self
+                .inner
+                .over_release_counter
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+            {
                 c.inc();
             }
         }
-        self.inner.current.set(cur.saturating_sub(bytes));
     }
 
     /// Number of releases that exceeded the charged balance.
     #[inline]
     pub fn over_releases(&self) -> u64 {
-        self.inner.over_releases.get()
+        self.inner.over_releases.load(Ordering::Relaxed)
     }
 
     /// Binds a metrics [`Counter`] that is bumped on every over-release, so
     /// accounting bugs show up in pipeline snapshots instead of only in
     /// debug builds.
     pub fn bind_over_release_counter(&self, counter: Counter) {
-        *self.inner.over_release_counter.borrow_mut() = Some(counter);
+        *self
+            .inner
+            .over_release_counter
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(counter);
     }
 
     /// Replaces a previous charge with a new one in a single adjustment.
@@ -145,7 +182,7 @@ impl MemoryMeter {
     /// Bytes currently charged.
     #[inline]
     pub fn current(&self) -> usize {
-        self.inner.current.get()
+        self.inner.current.load(Ordering::Relaxed)
     }
 
     /// High-water mark since creation (or the last [`reset_peak`]).
@@ -153,17 +190,20 @@ impl MemoryMeter {
     /// [`reset_peak`]: MemoryMeter::reset_peak
     #[inline]
     pub fn peak(&self) -> usize {
-        self.inner.peak.get()
+        self.inner.peak.load(Ordering::Relaxed)
     }
 
     /// Resets the peak to the current level (to measure a phase).
     pub fn reset_peak(&self) {
-        self.inner.peak.set(self.inner.current.get());
+        self.inner.peak.store(
+            self.inner.current.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     /// True if this and `other` share the same account.
     pub fn same_account(&self, other: &MemoryMeter) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 

@@ -1,23 +1,26 @@
 //! Zero-dependency metrics primitives: counters, gauges, log2 histograms,
-//! and a named [`MetricsRegistry`] with `Rc`-shared handles.
+//! and a named [`MetricsRegistry`] with `Arc`-shared handles.
 //!
-//! The engine is single-threaded and push-based, so metrics follow the same
-//! idiom as [`crate::IngressStats`] and [`crate::MemoryMeter`]: cheap
-//! `Rc<Cell>` handles that clone-share their storage. Operators hold handles;
-//! the registry owns the names and renders [`MetricsSnapshot`]s — sorted,
+//! Handles are cheap clones sharing their storage, in the same idiom as
+//! [`crate::IngressStats`] and [`crate::MemoryMeter`] — but thread-safe, so
+//! one registry can serve the shards of a multi-core pipeline
+//! (`engine::sharded`): counters and gauges are lock-free atomics,
+//! histograms take a short mutex per sample. Operators hold handles; the
+//! registry owns the names and renders [`MetricsSnapshot`]s — sorted,
 //! deterministic, and exportable as [`Json`] for machine-readable bench
 //! output or as a compact `Display` "top" view for humans.
 
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::json::Json;
 
-/// A monotonically increasing `u64` counter. Clones share storage.
+/// A monotonically increasing `u64` counter. Clones share storage; handles
+/// are `Send + Sync` and updates are lock-free.
 #[derive(Clone, Default)]
 pub struct Counter {
-    value: Rc<Cell<u64>>,
+    value: Arc<AtomicU64>,
 }
 
 impl Counter {
@@ -29,7 +32,7 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.value.set(self.value.get() + n);
+        self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds one.
@@ -41,7 +44,7 @@ impl Counter {
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.value.get()
+        self.value.load(Ordering::Relaxed)
     }
 }
 
@@ -52,11 +55,18 @@ impl core::fmt::Debug for Counter {
 }
 
 /// A settable `i64` gauge that also tracks its high-water mark — the same
-/// current/peak pairing as [`crate::MemoryMeter`]. Clones share storage.
+/// current/peak pairing as [`crate::MemoryMeter`]. Clones share storage;
+/// handles are `Send + Sync` and updates are lock-free.
+#[derive(Default)]
+struct GaugeInner {
+    value: AtomicI64,
+    high_water: AtomicI64,
+}
+
+/// See module docs; clone-shared, thread-safe.
 #[derive(Clone, Default)]
 pub struct Gauge {
-    value: Rc<Cell<i64>>,
-    high_water: Rc<Cell<i64>>,
+    inner: Arc<GaugeInner>,
 }
 
 impl Gauge {
@@ -68,28 +78,27 @@ impl Gauge {
     /// Sets the current value, raising the high-water mark if exceeded.
     #[inline]
     pub fn set(&self, v: i64) {
-        self.value.set(v);
-        if v > self.high_water.get() {
-            self.high_water.set(v);
-        }
+        self.inner.value.store(v, Ordering::Relaxed);
+        self.inner.high_water.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative) to the current value.
     #[inline]
     pub fn add(&self, delta: i64) {
-        self.set(self.value.get() + delta);
+        let now = self.inner.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.inner.high_water.fetch_max(now, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
-        self.value.get()
+        self.inner.value.load(Ordering::Relaxed)
     }
 
     /// Highest value ever set (zero if never raised above zero).
     #[inline]
     pub fn high_water(&self) -> i64 {
-        self.high_water.get()
+        self.inner.high_water.load(Ordering::Relaxed)
     }
 }
 
@@ -125,7 +134,8 @@ impl Default for HistogramInner {
     }
 }
 
-/// A fixed-bucket log2 histogram of `u64` samples. Clones share storage.
+/// A fixed-bucket log2 histogram of `u64` samples. Clones share storage;
+/// handles are `Send + Sync` (a short mutex guards each sample).
 ///
 /// Recording is O(1) with no allocation: the bucket index is the bit length
 /// of the sample (see [`HISTOGRAM_BUCKETS`]). Exact `count`/`sum`/`min`/`max`
@@ -133,7 +143,7 @@ impl Default for HistogramInner {
 /// distribution is quantized.
 #[derive(Clone, Default)]
 pub struct Histogram {
-    inner: Rc<RefCell<HistogramInner>>,
+    inner: Arc<Mutex<HistogramInner>>,
 }
 
 impl Histogram {
@@ -165,7 +175,7 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.buckets[Self::bucket_index(v)] += 1;
         if inner.count == 0 || v < inner.min {
             inner.min = v;
@@ -179,27 +189,27 @@ impl Histogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.inner.borrow().count
+        lock(&self.inner).count
     }
 
     /// Sum of recorded samples (saturating at `u64::MAX`).
     pub fn sum(&self) -> u64 {
-        self.inner.borrow().sum
+        lock(&self.inner).sum
     }
 
     /// Smallest recorded sample (zero if empty).
     pub fn min(&self) -> u64 {
-        self.inner.borrow().min
+        lock(&self.inner).min
     }
 
     /// Largest recorded sample (zero if empty).
     pub fn max(&self) -> u64 {
-        self.inner.borrow().max
+        lock(&self.inner).max
     }
 
     /// Exact mean of recorded samples (zero if empty).
     pub fn mean(&self) -> f64 {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         if inner.count == 0 {
             0.0
         } else {
@@ -209,8 +219,15 @@ impl Histogram {
 
     /// Copy of the bucket counts.
     pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
-        self.inner.borrow().buckets
+        lock(&self.inner).buckets
     }
+}
+
+/// Metrics never hold a lock across user code, so a poisoned mutex (an
+/// operator panicked mid-sample under `catch_unwind`) only risks one torn
+/// histogram entry — recover the data instead of propagating the poison.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl core::fmt::Debug for Histogram {
@@ -241,7 +258,7 @@ struct RegistryInner {
 /// snapshot JSON diffable across runs.
 #[derive(Clone, Default)]
 pub struct MetricsRegistry {
-    inner: Rc<RefCell<RegistryInner>>,
+    inner: Arc<Mutex<RegistryInner>>,
 }
 
 impl MetricsRegistry {
@@ -252,8 +269,7 @@ impl MetricsRegistry {
 
     /// Shared handle to the counter named `name`, creating it if absent.
     pub fn counter(&self, name: &str) -> Counter {
-        self.inner
-            .borrow_mut()
+        lock(&self.inner)
             .counters
             .entry(name.to_string())
             .or_default()
@@ -262,8 +278,7 @@ impl MetricsRegistry {
 
     /// Shared handle to the gauge named `name`, creating it if absent.
     pub fn gauge(&self, name: &str) -> Gauge {
-        self.inner
-            .borrow_mut()
+        lock(&self.inner)
             .gauges
             .entry(name.to_string())
             .or_default()
@@ -272,8 +287,7 @@ impl MetricsRegistry {
 
     /// Shared handle to the histogram named `name`, creating it if absent.
     pub fn histogram(&self, name: &str) -> Histogram {
-        self.inner
-            .borrow_mut()
+        lock(&self.inner)
             .histograms
             .entry(name.to_string())
             .or_default()
@@ -282,7 +296,7 @@ impl MetricsRegistry {
 
     /// Point-in-time copy of every registered metric, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -324,7 +338,7 @@ impl MetricsRegistry {
 
 impl core::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         write!(
             f,
             "MetricsRegistry({} counters, {} gauges, {} histograms)",

@@ -20,9 +20,8 @@
 use crate::event::{Event, Payload};
 use crate::metrics::Counter;
 use crate::time::Timestamp;
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// What the sorter boundary does with an event at or behind the watermark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,7 +99,7 @@ struct DlqInner<P: Payload> {
 /// bound metrics counter so the loss is never silent.
 #[derive(Debug, Clone)]
 pub struct DeadLetterQueue<P: Payload> {
-    inner: Rc<RefCell<DlqInner<P>>>,
+    inner: Arc<Mutex<DlqInner<P>>>,
 }
 
 impl<P: Payload> Default for DeadLetterQueue<P> {
@@ -113,7 +112,7 @@ impl<P: Payload> DeadLetterQueue<P> {
     /// A fresh, empty, unbounded queue.
     pub fn new() -> Self {
         DeadLetterQueue {
-            inner: Rc::new(RefCell::new(DlqInner {
+            inner: Arc::new(Mutex::new(DlqInner {
                 letters: VecDeque::new(),
                 total: 0,
                 capacity: None,
@@ -123,23 +122,29 @@ impl<P: Payload> DeadLetterQueue<P> {
         }
     }
 
+    /// The queue never holds its lock across user code, so a poisoning
+    /// panic can at worst tear its own push — recover the letters.
+    fn lock(&self) -> MutexGuard<'_, DlqInner<P>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// A fresh queue holding at most `capacity` undrained letters. When
     /// full, pushing drops the oldest letter and counts the drop. A zero
     /// capacity drops every letter (pure counting mode).
     pub fn bounded(capacity: usize) -> Self {
         let q = Self::new();
-        q.inner.borrow_mut().capacity = Some(capacity);
+        q.lock().capacity = Some(capacity);
         q
     }
 
     /// The capacity bound, if any.
     pub fn capacity(&self) -> Option<usize> {
-        self.inner.borrow().capacity
+        self.lock().capacity
     }
 
     /// Appends one dead letter, evicting the oldest if at capacity.
     pub fn push(&self, event: Event<P>, reason: DeadLetterReason) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.total += 1;
         inner.letters.push_back(DeadLetter { event, reason });
         if let Some(cap) = inner.capacity {
@@ -155,19 +160,19 @@ impl<P: Payload> DeadLetterQueue<P> {
 
     /// Lifetime count of letters evicted by the capacity bound.
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        self.lock().dropped
     }
 
     /// Binds a metrics [`Counter`] bumped on every capacity eviction, so
     /// bounded-queue loss shows up in pipeline snapshots
     /// (`dead_letter.dropped`).
     pub fn bind_dropped_counter(&self, counter: Counter) {
-        self.inner.borrow_mut().dropped_counter = Some(counter);
+        self.lock().dropped_counter = Some(counter);
     }
 
     /// Letters currently queued (undrained).
     pub fn len(&self) -> usize {
-        self.inner.borrow().letters.len()
+        self.lock().letters.len()
     }
 
     /// True when no letters are queued.
@@ -177,17 +182,17 @@ impl<P: Payload> DeadLetterQueue<P> {
 
     /// Lifetime count of letters ever pushed (monotonic across drains).
     pub fn total(&self) -> u64 {
-        self.inner.borrow().total
+        self.lock().total
     }
 
     /// Removes and returns all queued letters, oldest first.
     pub fn drain(&self) -> Vec<DeadLetter<P>> {
-        self.inner.borrow_mut().letters.drain(..).collect()
+        self.lock().letters.drain(..).collect()
     }
 
     /// True if this and `other` share the same queue.
     pub fn same_queue(&self, other: &DeadLetterQueue<P>) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 

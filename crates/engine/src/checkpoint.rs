@@ -38,11 +38,16 @@ use impatience_core::{
     EventBatch, Payload, SnapshotError, SnapshotReader, SnapshotWriter, StreamError, Timestamp,
     SNAPSHOT_VERSION,
 };
-use std::cell::RefCell;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Checkpoint machinery never holds a lock across user code, so a poison
+/// can at worst tear one registration — recover rather than cascade.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Magic prefix of a checkpoint frame.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"IMPCKPT\0";
@@ -55,8 +60,9 @@ const SLOT_FILES: [&str; 2] = ["ckpt-a.bin", "ckpt-b.bin"];
 /// codec contract mirrors [`impatience_core::StateCodec`]: `restore_state`
 /// must consume exactly the bytes `encode_state` produced, and a failed
 /// restore must leave the operator unchanged (or at least unusable only
-/// via the typed error path — never panic).
-pub trait Checkpointable {
+/// via the typed error path — never panic). `Send` is a supertrait so
+/// checkpointed pipelines can run on sharded worker threads.
+pub trait Checkpointable: Send {
     /// Stable identifier for this operator's state format, stored in the
     /// checkpoint and verified on restore so a topology change between
     /// runs fails with a typed error instead of misdecoding.
@@ -149,10 +155,10 @@ pub struct CheckpointNote {
     pub safe_truncate_index: u64,
 }
 
-type OnCheckpoint = Box<dyn FnMut(&CheckpointNote)>;
+type OnCheckpoint = Box<dyn FnMut(&CheckpointNote) + Send>;
 
 struct CtxInner {
-    participants: Vec<Rc<RefCell<dyn Checkpointable>>>,
+    participants: Vec<Arc<Mutex<dyn Checkpointable>>>,
     egress_events: Counter,
     recovery: Option<RecoveryInfo>,
     metrics: CheckpointMetrics,
@@ -167,7 +173,7 @@ struct CtxInner {
 /// and restores every registered participant.
 #[derive(Clone)]
 pub struct CheckpointCtx {
-    inner: Rc<RefCell<CtxInner>>,
+    inner: Arc<Mutex<CtxInner>>,
 }
 
 impl Default for CheckpointCtx {
@@ -180,7 +186,7 @@ impl CheckpointCtx {
     /// A fresh context with no participants.
     pub fn new() -> Self {
         CheckpointCtx {
-            inner: Rc::new(RefCell::new(CtxInner {
+            inner: Arc::new(Mutex::new(CtxInner {
                 participants: Vec::new(),
                 egress_events: Counter::new(),
                 recovery: None,
@@ -193,30 +199,30 @@ impl CheckpointCtx {
     /// Registers a stateful operator. Called by the streamable combinators;
     /// registration order must be identical across the runs that write and
     /// restore a checkpoint (it is, for an unchanged topology).
-    pub fn register(&self, participant: Rc<RefCell<dyn Checkpointable>>) {
-        self.inner.borrow_mut().participants.push(participant);
+    pub fn register(&self, participant: Arc<Mutex<dyn Checkpointable>>) {
+        lock(&self.inner).participants.push(participant);
     }
 
     /// Number of registered stateful operators.
     pub fn participant_count(&self) -> usize {
-        self.inner.borrow().participants.len()
+        lock(&self.inner).participants.len()
     }
 
     /// The shared egress counter; bump it once per visible output event
     /// (the `checkpoint_egress` stage does this).
     pub fn egress_counter(&self) -> Counter {
-        self.inner.borrow().egress_events.clone()
+        lock(&self.inner).egress_events.clone()
     }
 
     /// Visible events emitted so far.
     pub fn egress_events(&self) -> u64 {
-        self.inner.borrow().egress_events.get()
+        lock(&self.inner).egress_events.get()
     }
 
     /// Backs the checkpoint/recovery counters with `registry` under
     /// `{prefix}.checkpoint.*` / `{prefix}.recovery.*` names.
     pub fn bind_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let new = CheckpointMetrics::register(registry, prefix);
         // Carry over anything counted before binding — in particular a
         // restore performed at subscribe time, before the caller had a
@@ -233,33 +239,33 @@ impl CheckpointCtx {
 
     /// Registers a callback invoked after every successful checkpoint —
     /// the hook for WAL truncation.
-    pub fn on_checkpoint(&self, f: impl FnMut(&CheckpointNote) + 'static) {
-        self.inner.borrow_mut().on_checkpoint = Some(Box::new(f));
+    pub fn on_checkpoint(&self, f: impl FnMut(&CheckpointNote) + Send + 'static) {
+        lock(&self.inner).on_checkpoint = Some(Box::new(f));
     }
 
     /// What recovery restored, if the pipeline was recovered at connect
     /// time. `None` means a fresh start (no checkpoint on disk).
     pub fn recovery(&self) -> Option<RecoveryInfo> {
-        self.inner.borrow().recovery.clone()
+        lock(&self.inner).recovery.clone()
     }
 
     fn metrics(&self) -> CheckpointMetrics {
-        self.inner.borrow().metrics.clone()
+        lock(&self.inner).metrics.clone()
     }
 
     fn set_recovery(&self, info: RecoveryInfo) {
-        self.inner.borrow_mut().recovery = Some(info);
+        lock(&self.inner).recovery = Some(info);
     }
 
-    fn participants(&self) -> Vec<Rc<RefCell<dyn Checkpointable>>> {
-        self.inner.borrow().participants.clone()
+    fn participants(&self) -> Vec<Arc<Mutex<dyn Checkpointable>>> {
+        lock(&self.inner).participants.clone()
     }
 
     fn notify_checkpoint(&self, note: &CheckpointNote) {
-        let cb = self.inner.borrow_mut().on_checkpoint.take();
+        let cb = lock(&self.inner).on_checkpoint.take();
         if let Some(mut cb) = cb {
             cb(note);
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = lock(&self.inner);
             if inner.on_checkpoint.is_none() {
                 inner.on_checkpoint = Some(cb);
             }
@@ -359,7 +365,7 @@ impl Checkpointer {
         &mut self,
         messages_seen: u64,
         egress_events: u64,
-        participants: &[Rc<RefCell<dyn Checkpointable>>],
+        participants: &[Arc<Mutex<dyn Checkpointable>>],
     ) -> Result<u64, SnapshotError> {
         let generation = self.next_generation;
         let mut w = SnapshotWriter::new();
@@ -368,7 +374,7 @@ impl Checkpointer {
         w.put_u64(egress_events);
         w.put_u64(participants.len() as u64);
         for p in participants {
-            let p = p.borrow();
+            let p = lock(p);
             let mut sub = SnapshotWriter::new();
             p.encode_state(&mut sub)?;
             w.put_str(p.state_id());
@@ -499,7 +505,7 @@ impl<P: Payload> CheckpointGate<P> {
             )));
         }
         for (p, (id, body)) in participants.iter().zip(&slot.frames) {
-            let mut p = p.borrow_mut();
+            let mut p = lock(p);
             if p.state_id() != id {
                 return self.fail_recovery(SnapshotError::corrupt(format!(
                     "checkpoint state '{id}' does not match operator '{}'",
@@ -640,8 +646,8 @@ mod tests {
         dir
     }
 
-    fn participant(sum: u64) -> Rc<RefCell<SumState>> {
-        Rc::new(RefCell::new(SumState { sum }))
+    fn participant(sum: u64) -> Arc<Mutex<SumState>> {
+        Arc::new(Mutex::new(SumState { sum }))
     }
 
     #[test]
@@ -649,9 +655,11 @@ mod tests {
         let dir = tempdir("roundtrip");
         let p = participant(41);
         let mut ck = Checkpointer::open(&dir).unwrap();
-        ck.write(10, 3, &[p.clone()]).unwrap();
-        p.borrow_mut().sum = 99;
-        ck.write(20, 7, &[p.clone()]).unwrap();
+        ck.write(10, 3, &[p.clone() as Arc<Mutex<dyn Checkpointable>>])
+            .unwrap();
+        p.lock().unwrap().sum = 99;
+        ck.write(20, 7, &[p.clone() as Arc<Mutex<dyn Checkpointable>>])
+            .unwrap();
 
         let ck2 = Checkpointer::open(&dir).unwrap();
         let (slot, fallback) = ck2.read_newest().unwrap().unwrap();
@@ -680,9 +688,11 @@ mod tests {
         let dir = tempdir("fallback");
         let p = participant(1);
         let mut ck = Checkpointer::open(&dir).unwrap();
-        ck.write(10, 1, &[p.clone()]).unwrap(); // gen 1 → slot a
-        p.borrow_mut().sum = 2;
-        ck.write(20, 2, &[p.clone()]).unwrap(); // gen 2 → slot b
+        ck.write(10, 1, &[p.clone() as Arc<Mutex<dyn Checkpointable>>])
+            .unwrap(); // gen 1 → slot a
+        p.lock().unwrap().sum = 2;
+        ck.write(20, 2, &[p.clone() as Arc<Mutex<dyn Checkpointable>>])
+            .unwrap(); // gen 2 → slot b
 
         // Flip one byte of the newest slot (gen 2 lives in slot b).
         let newest = dir.join(SLOT_FILES[1]);
@@ -704,8 +714,10 @@ mod tests {
         let dir = tempdir("allcorrupt");
         let p = participant(1);
         let mut ck = Checkpointer::open(&dir).unwrap();
-        ck.write(10, 0, &[p.clone()]).unwrap();
-        ck.write(20, 0, &[p]).unwrap();
+        ck.write(10, 0, &[p.clone() as Arc<Mutex<dyn Checkpointable>>])
+            .unwrap();
+        ck.write(20, 0, &[p as Arc<Mutex<dyn Checkpointable>>])
+            .unwrap();
         for name in SLOT_FILES {
             let path = dir.join(name);
             let mut bytes = fs::read(&path).unwrap();
@@ -726,7 +738,8 @@ mod tests {
         let dir = tempdir("torn");
         let p = participant(5);
         let mut ck = Checkpointer::open(&dir).unwrap();
-        ck.write(10, 0, &[p]).unwrap();
+        ck.write(10, 0, &[p as Arc<Mutex<dyn Checkpointable>>])
+            .unwrap();
         let path = dir.join(SLOT_FILES[0]);
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
@@ -755,7 +768,7 @@ mod tests {
                 Box::new(sink),
             );
             assert!(ctx.recovery().is_none(), "fresh start");
-            p.borrow_mut().sum = 11;
+            p.lock().unwrap().sum = 11;
             ctx.egress_counter().add(4);
             gate.on_batch(EventBatch::from_events(vec![]));
             gate.on_punctuation(Timestamp::new(1));
@@ -778,7 +791,7 @@ mod tests {
         assert_eq!(info.messages_seen, 3);
         assert_eq!(info.egress_events, 4);
         assert!(info.fallback.is_none());
-        assert_eq!(p2.borrow().sum, 11, "participant state restored");
+        assert_eq!(p2.lock().unwrap().sum, 11, "participant state restored");
         assert_eq!(gate.messages_seen, 3);
         assert_eq!(ctx.egress_events(), 4, "egress counter resumes");
         let _ = fs::remove_dir_all(&dir);

@@ -10,17 +10,16 @@
 //!
 //! The guard needs a handle to the operator's downstream that survives the
 //! operator being consumed by the panic, so hardened stages are built with
-//! a shared (`Rc<RefCell<...>>`) downstream: the operator writes into it in
+//! a shared (`Arc<Mutex<...>>`) downstream: the operator writes into it in
 //! normal operation, and the guard writes the terminal error into the same
 //! cell when the operator dies.
 
 use crate::observer::Observer;
 use impatience_core::metrics::Counter;
 use impatience_core::{EventBatch, Payload, StreamError, Timestamp};
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::rc::Rc;
-use std::sync::Once;
+use std::sync::{Arc, Mutex, Once};
 
 thread_local! {
     static GUARDING: Cell<bool> = const { Cell::new(false) };
@@ -53,7 +52,7 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Runs `f` with panics captured; returns the panic message on failure.
-fn guarded<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+pub(crate) fn guarded<R>(f: impl FnOnce() -> R) -> Result<R, String> {
     install_quiet_hook();
     let was = GUARDING.with(Cell::get);
     GUARDING.with(|g| g.set(true));
@@ -68,7 +67,7 @@ fn guarded<R>(f: impl FnOnce() -> R) -> Result<R, String> {
 pub struct PanicGuard<P: Payload, Q: Payload> {
     name: String,
     inner: Box<dyn Observer<P>>,
-    downstream: Rc<RefCell<Box<dyn Observer<Q>>>>,
+    downstream: Arc<Mutex<Box<dyn Observer<Q>>>>,
     poisoned: bool,
     panics: Counter,
 }
@@ -80,7 +79,7 @@ impl<P: Payload, Q: Payload> PanicGuard<P, Q> {
     pub fn new(
         name: impl Into<String>,
         inner: Box<dyn Observer<P>>,
-        downstream: Rc<RefCell<Box<dyn Observer<Q>>>>,
+        downstream: Arc<Mutex<Box<dyn Observer<Q>>>>,
         panics: Counter,
     ) -> Self {
         PanicGuard {
@@ -108,7 +107,7 @@ impl<P: Payload, Q: Payload> PanicGuard<P, Q> {
         // handling the error must not escape either. A secondary panic is
         // counted and swallowed — the chain is already poisoned.
         let down = self.downstream.clone();
-        if guarded(move || down.borrow_mut().on_error(err)).is_err() {
+        if guarded(move || down.lock().unwrap_or_else(|e| e.into_inner()).on_error(err)).is_err() {
             self.panics.inc();
         }
     }
@@ -143,7 +142,7 @@ impl<P: Payload, Q: Payload> Observer<P> for PanicGuard<P, Q> {
         }
         self.poisoned = true;
         let down = self.downstream.clone();
-        if guarded(move || down.borrow_mut().on_error(err)).is_err() {
+        if guarded(move || down.lock().unwrap_or_else(|e| e.into_inner()).on_error(err)).is_err() {
             self.panics.inc();
         }
     }
@@ -180,8 +179,8 @@ mod tests {
 
     fn guard_over(at: i64) -> (Output<u32>, PanicGuard<u32, u32>, Counter) {
         let (out, sink) = Output::<u32>::new();
-        let shared: Rc<RefCell<Box<dyn Observer<u32>>>> =
-            Rc::new(RefCell::new(Box::new(sink) as Box<dyn Observer<u32>>));
+        let shared: Arc<Mutex<Box<dyn Observer<u32>>>> =
+            Arc::new(Mutex::new(Box::new(sink) as Box<dyn Observer<u32>>));
         let op = PanicOn {
             at,
             next: SharedSink(shared.clone()),

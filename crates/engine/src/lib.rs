@@ -23,7 +23,10 @@
 //! * [`checkpoint`] — durable pipelines: operator-state checkpoint/restore
 //!   ([`Streamable::checkpointed`]) backed by two-slot atomic snapshots,
 //!   paired with the write-ahead ingest log ([`ingress::Wal`]) for
-//!   exactly-once crash recovery.
+//!   exactly-once crash recovery;
+//! * [`sharded`] — multi-core execution: [`Streamable::sharded`] runs N
+//!   hash-partitioned copies of a pipeline on worker threads behind bounded
+//!   queues and re-joins them with a deterministic low-watermark merge.
 //!
 //! ```
 //! use impatience_core::{Event, TickDuration, Timestamp};
@@ -49,6 +52,7 @@ pub mod ingress;
 pub mod metered;
 pub mod observer;
 pub mod ops;
+pub mod sharded;
 pub mod streamable;
 
 pub use checkpoint::{
@@ -62,4 +66,5 @@ pub use ingress::{
 };
 pub use metered::{EgressProbe, MeteredObserver, OperatorMetrics};
 pub use observer::{BlackHoleSink, CollectorSink, FnSink, Observer, Output, SharedSink};
+pub use sharded::{Pop, ShardCtx, ShardOptions, ShardQueue, TryPush};
 pub use streamable::{input_stream, InputHandle, Streamable};

@@ -8,11 +8,14 @@
 //! architecture is that only the sorting operator ever sees disorder.
 
 use impatience_core::{Event, EventBatch, Payload, StreamError, StreamMessage, Timestamp};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A consumer of stream traffic.
-pub trait Observer<P: Payload> {
+///
+/// `Send` is a supertrait so whole operator chains can move onto worker
+/// threads (`crate::sharded`); it propagates to `Box<dyn Observer<P>>`
+/// trait objects, which is what pipelines are built from.
+pub trait Observer<P: Payload>: Send {
     /// Receives a batch of events.
     fn on_batch(&mut self, batch: EventBatch<P>);
     /// Receives a progress punctuation.
@@ -87,25 +90,31 @@ impl<P> Default for OutputBuf<P> {
 /// subscription).
 #[derive(Clone)]
 pub struct Output<P> {
-    buf: Rc<RefCell<OutputBuf<P>>>,
+    buf: Arc<Mutex<OutputBuf<P>>>,
+}
+
+/// Collector buffers are never locked across user code, so a poisoning
+/// panic (e.g. inside a hardened chaos pipeline) can at worst tear one
+/// push — recover the data rather than cascading the panic into readers.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl<P: Payload> Output<P> {
     /// A fresh output with an attached collector observer.
     pub fn new() -> (Output<P>, CollectorSink<P>) {
-        let buf = Rc::new(RefCell::new(OutputBuf::default()));
+        let buf = Arc::new(Mutex::new(OutputBuf::default()));
         (Output { buf: buf.clone() }, CollectorSink { buf })
     }
 
     /// All messages received so far (cloned).
     pub fn messages(&self) -> Vec<StreamMessage<P>> {
-        self.buf.borrow().messages.clone()
+        lock(&self.buf).messages.clone()
     }
 
     /// All visible events received so far, flattened in order.
     pub fn events(&self) -> Vec<Event<P>> {
-        self.buf
-            .borrow()
+        lock(&self.buf)
             .messages
             .iter()
             .filter_map(|m| match m {
@@ -118,62 +127,54 @@ impl<P: Payload> Output<P> {
 
     /// Number of visible events received so far (no clone).
     pub fn event_count(&self) -> u64 {
-        self.buf.borrow().event_count
+        lock(&self.buf).event_count
     }
 
     /// Has the stream completed?
     pub fn is_completed(&self) -> bool {
-        self.buf.borrow().completed
+        lock(&self.buf).completed
     }
 
     /// Timestamp of the highest punctuation received, if any.
     pub fn last_punctuation(&self) -> Option<Timestamp> {
-        self.buf
-            .borrow()
-            .messages
-            .iter()
-            .rev()
-            .find_map(|m| match m {
-                StreamMessage::Punctuation(t) => Some(*t),
-                _ => None,
-            })
+        lock(&self.buf).messages.iter().rev().find_map(|m| match m {
+            StreamMessage::Punctuation(t) => Some(*t),
+            _ => None,
+        })
     }
 
     /// The terminal error, if the stream failed instead of completing.
     pub fn error(&self) -> Option<StreamError> {
-        self.buf.borrow().error.clone()
+        lock(&self.buf).error.clone()
     }
 
     /// Drops buffered messages, keeping counters (for long benchmark runs).
     pub fn discard_messages(&self) {
-        self.buf.borrow_mut().messages.clear();
+        lock(&self.buf).messages.clear();
     }
 }
 
 /// Terminal observer that records everything into an [`Output`].
 pub struct CollectorSink<P> {
-    buf: Rc<RefCell<OutputBuf<P>>>,
+    buf: Arc<Mutex<OutputBuf<P>>>,
 }
 
 impl<P: Payload> Observer<P> for CollectorSink<P> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
-        let mut b = self.buf.borrow_mut();
+        let mut b = lock(&self.buf);
         b.event_count += batch.visible_len() as u64;
         b.messages.push(StreamMessage::Batch(batch));
     }
     fn on_punctuation(&mut self, t: Timestamp) {
-        self.buf
-            .borrow_mut()
-            .messages
-            .push(StreamMessage::Punctuation(t));
+        lock(&self.buf).messages.push(StreamMessage::Punctuation(t));
     }
     fn on_completed(&mut self) {
-        let mut b = self.buf.borrow_mut();
+        let mut b = lock(&self.buf);
         b.completed = true;
         b.messages.push(StreamMessage::Completed);
     }
     fn on_error(&mut self, err: StreamError) {
-        let mut b = self.buf.borrow_mut();
+        let mut b = lock(&self.buf);
         if b.error.is_none() {
             b.error = Some(err);
         }
@@ -197,7 +198,7 @@ impl<P, F> FnSink<P, F> {
     }
 }
 
-impl<P: Payload, F: FnMut(&Event<P>)> Observer<P> for FnSink<P, F> {
+impl<P: Payload, F: FnMut(&Event<P>) + Send> Observer<P> for FnSink<P, F> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
         for e in batch.iter_visible() {
             (self.f)(e);
@@ -256,26 +257,26 @@ impl<P: Payload> Observer<P> for BlackHoleSink {
 }
 
 /// A shared (reference-counted) sink wrapper, for counting across a fan-out.
-pub struct SharedSink<S>(pub Rc<RefCell<S>>);
+pub struct SharedSink<S: ?Sized>(pub Arc<Mutex<S>>);
 
-impl<S> Clone for SharedSink<S> {
+impl<S: ?Sized> Clone for SharedSink<S> {
     fn clone(&self) -> Self {
         SharedSink(self.0.clone())
     }
 }
 
-impl<P: Payload, S: Observer<P>> Observer<P> for SharedSink<S> {
+impl<P: Payload, S: Observer<P> + ?Sized> Observer<P> for SharedSink<S> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
-        self.0.borrow_mut().on_batch(batch);
+        lock(&self.0).on_batch(batch);
     }
     fn on_punctuation(&mut self, t: Timestamp) {
-        self.0.borrow_mut().on_punctuation(t);
+        lock(&self.0).on_punctuation(t);
     }
     fn on_completed(&mut self) {
-        self.0.borrow_mut().on_completed();
+        lock(&self.0).on_completed();
     }
     fn on_error(&mut self, err: StreamError) {
-        self.0.borrow_mut().on_error(err);
+        lock(&self.0).on_error(err);
     }
 }
 
@@ -308,15 +309,15 @@ mod tests {
 
     #[test]
     fn fn_sink_sees_only_visible_events() {
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         let seen2 = seen.clone();
-        let mut sink = FnSink::new(move |e: &Event<u32>| seen2.borrow_mut().push(e.payload));
+        let mut sink = FnSink::new(move |e: &Event<u32>| seen2.lock().unwrap().push(e.payload));
         let mut b = batch(&[1, 2, 3]);
         b.filter_mut().filter_out(1);
         sink.on_batch(b);
         sink.on_punctuation(Timestamp::new(5));
         sink.on_completed();
-        assert_eq!(*seen.borrow(), vec![1, 3]);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 3]);
     }
 
     #[test]
@@ -363,11 +364,11 @@ mod tests {
 
     #[test]
     fn shared_sink_fans_in() {
-        let hole = Rc::new(RefCell::new(BlackHoleSink::new()));
+        let hole = Arc::new(Mutex::new(BlackHoleSink::new()));
         let mut a = SharedSink(hole.clone());
         let mut b = a.clone();
         Observer::<u32>::on_batch(&mut a, batch(&[1]));
         Observer::<u32>::on_batch(&mut b, batch(&[2, 3]));
-        assert_eq!(hole.borrow().events(), 3);
+        assert_eq!(hole.lock().unwrap().events(), 3);
     }
 }

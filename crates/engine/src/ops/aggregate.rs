@@ -20,10 +20,11 @@ use impatience_core::{
 use std::collections::HashMap;
 
 /// An incremental, mergeable aggregate function.
-pub trait Aggregate<P: Payload>: Clone + 'static {
+pub trait Aggregate<P: Payload>: Clone + Send + 'static {
     /// Accumulator state. `StateCodec` so an in-flight window survives a
-    /// pipeline checkpoint/restore.
-    type Acc: Clone + StateCodec + 'static;
+    /// pipeline checkpoint/restore. `Send` (like the aggregate itself) so
+    /// aggregating operators can run on sharded worker threads.
+    type Acc: Clone + StateCodec + Send + 'static;
     /// Final (and partial — see [`Aggregate::combine`]) output payload.
     type Out: Payload;
 
@@ -76,7 +77,7 @@ impl<P, F: Clone> SumAgg<P, F> {
     }
 }
 
-impl<P: Payload, F: Fn(&P) -> i64 + Clone + 'static> Aggregate<P> for SumAgg<P, F> {
+impl<P: Payload, F: Fn(&P) -> i64 + Clone + Send + 'static> Aggregate<P> for SumAgg<P, F> {
     type Acc = i64;
     type Out = i64;
     fn init(&self) -> i64 {
@@ -110,7 +111,7 @@ impl<P, F: Clone> MinAgg<P, F> {
     }
 }
 
-impl<P: Payload, F: Fn(&P) -> i64 + Clone + 'static> Aggregate<P> for MinAgg<P, F> {
+impl<P: Payload, F: Fn(&P) -> i64 + Clone + Send + 'static> Aggregate<P> for MinAgg<P, F> {
     type Acc = Option<i64>;
     type Out = i64;
     fn init(&self) -> Option<i64> {
@@ -145,7 +146,7 @@ impl<P, F: Clone> MaxAgg<P, F> {
     }
 }
 
-impl<P: Payload, F: Fn(&P) -> i64 + Clone + 'static> Aggregate<P> for MaxAgg<P, F> {
+impl<P: Payload, F: Fn(&P) -> i64 + Clone + Send + 'static> Aggregate<P> for MaxAgg<P, F> {
     type Acc = Option<i64>;
     type Out = i64;
     fn init(&self) -> Option<i64> {
@@ -181,7 +182,7 @@ impl<P, F: Clone> MeanAgg<P, F> {
     }
 }
 
-impl<P: Payload, F: Fn(&P) -> i64 + Clone + 'static> Aggregate<P> for MeanAgg<P, F> {
+impl<P: Payload, F: Fn(&P) -> i64 + Clone + Send + 'static> Aggregate<P> for MeanAgg<P, F> {
     type Acc = (i64, u64);
     type Out = (i64, u64);
     fn init(&self) -> (i64, u64) {
@@ -243,7 +244,7 @@ impl<P: Payload, A: Aggregate<P>, S> WindowAggregateOp<P, A, S> {
     }
 }
 
-impl<P: Payload, A: Aggregate<P>, S> Checkpointable for WindowAggregateOp<P, A, S> {
+impl<P: Payload, A: Aggregate<P>, S: Send> Checkpointable for WindowAggregateOp<P, A, S> {
     fn state_id(&self) -> &'static str {
         "engine.window_aggregate"
     }
@@ -349,7 +350,7 @@ impl<P: Payload, A: Aggregate<P>, S> GroupedAggregateOp<P, A, S> {
     }
 }
 
-impl<P: Payload, A: Aggregate<P>, S> Checkpointable for GroupedAggregateOp<P, A, S> {
+impl<P: Payload, A: Aggregate<P>, S: Send> Checkpointable for GroupedAggregateOp<P, A, S> {
     fn state_id(&self) -> &'static str {
         "engine.grouped_aggregate"
     }

@@ -31,7 +31,7 @@ impl<P, F, S> FilterOp<P, F, S> {
 impl<P, F, S> Observer<P> for FilterOp<P, F, S>
 where
     P: Payload,
-    F: FnMut(&Event<P>) -> bool,
+    F: FnMut(&Event<P>) -> bool + Send,
     S: Observer<P>,
 {
     fn on_batch(&mut self, mut batch: EventBatch<P>) {

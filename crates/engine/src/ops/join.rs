@@ -21,9 +21,13 @@ use impatience_core::{
     Event, EventBatch, MemoryMeter, Payload, SnapshotError, SnapshotReader, SnapshotWriter,
     StateCodec, StreamError, Timestamp,
 };
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Poison-tolerant lock on the shared join core (see `ops::union`).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One side's relation state: per key, the live intervals.
 struct SideState<P> {
@@ -99,7 +103,8 @@ impl<P: Payload> PendingSide<P> {
 }
 
 /// The user's combining closure (code, not state — never checkpointed).
-type Combine<L, R, Out> = Box<dyn FnMut(&L, &R) -> Out>;
+/// `Send` so the whole join core can live on a sharded worker thread.
+type Combine<L, R, Out> = Box<dyn FnMut(&L, &R) -> Out + Send>;
 
 struct JoinCore<L: Payload, R: Payload, Out: Payload> {
     left_pending: PendingSide<L>,
@@ -273,7 +278,7 @@ impl<L: Payload, R: Payload, Out: Payload> Checkpointable for JoinInput<L, R, Ou
     }
 
     fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
-        let core = self.core.borrow();
+        let core = lock(&self.core);
         encode_pending(&core.left_pending, w);
         encode_pending(&core.right_pending, w);
         encode_relation(&core.left_state, w);
@@ -290,7 +295,7 @@ impl<L: Payload, R: Payload, Out: Payload> Checkpointable for JoinInput<L, R, Ou
         let right_state = decode_relation::<R>(r)?;
         let out_wm = Timestamp::decode(r)?;
         let completed = bool::decode(r)?;
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         let old = core.left_state.bytes + core.right_state.bytes;
         core.meter
             .recharge(old, left_state.bytes + right_state.bytes);
@@ -306,7 +311,7 @@ impl<L: Payload, R: Payload, Out: Payload> Checkpointable for JoinInput<L, R, Ou
 
 /// One input endpoint of a temporal join.
 pub struct JoinInput<L: Payload, R: Payload, Out: Payload, const LEFT: bool> {
-    core: Rc<RefCell<JoinCore<L, R, Out>>>,
+    core: Arc<Mutex<JoinCore<L, R, Out>>>,
 }
 
 impl<L: Payload, R: Payload, Out: Payload, const LEFT: bool> Clone for JoinInput<L, R, Out, LEFT> {
@@ -319,7 +324,7 @@ impl<L: Payload, R: Payload, Out: Payload, const LEFT: bool> Clone for JoinInput
 
 impl<L: Payload, R: Payload, Out: Payload> Observer<L> for JoinInput<L, R, Out, true> {
     fn on_batch(&mut self, batch: EventBatch<L>) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         if core.failed {
             return;
         }
@@ -331,7 +336,7 @@ impl<L: Payload, R: Payload, Out: Payload> Observer<L> for JoinInput<L, R, Out, 
         core.drain();
     }
     fn on_punctuation(&mut self, t: Timestamp) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         if core.failed {
             return;
         }
@@ -340,7 +345,7 @@ impl<L: Payload, R: Payload, Out: Payload> Observer<L> for JoinInput<L, R, Out, 
         core.advance_punctuation();
     }
     fn on_completed(&mut self) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         if core.failed {
             return;
         }
@@ -351,13 +356,13 @@ impl<L: Payload, R: Payload, Out: Payload> Observer<L> for JoinInput<L, R, Out, 
     }
 
     fn on_error(&mut self, err: StreamError) {
-        self.core.borrow_mut().fail(err);
+        lock(&self.core).fail(err);
     }
 }
 
 impl<L: Payload, R: Payload, Out: Payload> Observer<R> for JoinInput<L, R, Out, false> {
     fn on_batch(&mut self, batch: EventBatch<R>) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         if core.failed {
             return;
         }
@@ -369,7 +374,7 @@ impl<L: Payload, R: Payload, Out: Payload> Observer<R> for JoinInput<L, R, Out, 
         core.drain();
     }
     fn on_punctuation(&mut self, t: Timestamp) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         if core.failed {
             return;
         }
@@ -378,7 +383,7 @@ impl<L: Payload, R: Payload, Out: Payload> Observer<R> for JoinInput<L, R, Out, 
         core.advance_punctuation();
     }
     fn on_completed(&mut self) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         if core.failed {
             return;
         }
@@ -389,14 +394,14 @@ impl<L: Payload, R: Payload, Out: Payload> Observer<R> for JoinInput<L, R, Out, 
     }
 
     fn on_error(&mut self, err: StreamError) {
-        self.core.borrow_mut().fail(err);
+        lock(&self.core).fail(err);
     }
 }
 
 /// Builds a temporal equi-join: returns the left and right input
 /// observers. Matches go to `sink`; relation state is charged to `meter`.
 pub fn temporal_join<L, R, Out>(
-    combine: impl FnMut(&L, &R) -> Out + 'static,
+    combine: impl FnMut(&L, &R) -> Out + Send + 'static,
     sink: Box<dyn Observer<Out>>,
     meter: MemoryMeter,
 ) -> (JoinInput<L, R, Out, true>, JoinInput<L, R, Out, false>)
@@ -405,7 +410,7 @@ where
     R: Payload,
     Out: Payload,
 {
-    let core = Rc::new(RefCell::new(JoinCore {
+    let core = Arc::new(Mutex::new(JoinCore {
         left_pending: PendingSide::new(),
         right_pending: PendingSide::new(),
         left_state: SideState::new(),

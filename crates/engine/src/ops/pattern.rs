@@ -49,7 +49,7 @@ impl<P, F1, F2, S> FollowedByOp<P, F1, F2, S> {
     }
 }
 
-impl<P, F1, F2, S> Checkpointable for FollowedByOp<P, F1, F2, S> {
+impl<P: Send, F1: Send, F2: Send, S: Send> Checkpointable for FollowedByOp<P, F1, F2, S> {
     fn state_id(&self) -> &'static str {
         "engine.followed_by"
     }
@@ -83,8 +83,8 @@ impl<P, F1, F2, S> Checkpointable for FollowedByOp<P, F1, F2, S> {
 impl<P, F1, F2, S> Observer<P> for FollowedByOp<P, F1, F2, S>
 where
     P: Payload,
-    F1: FnMut(&P) -> bool,
-    F2: FnMut(&P) -> bool,
+    F1: FnMut(&P) -> bool + Send,
+    F2: FnMut(&P) -> bool + Send,
     S: Observer<P>,
 {
     fn on_batch(&mut self, batch: EventBatch<P>) {

@@ -31,7 +31,7 @@ impl<P, Q, F, S> Observer<P> for SelectOp<P, Q, F, S>
 where
     P: Payload,
     Q: Payload,
-    F: FnMut(&P) -> Q,
+    F: FnMut(&P) -> Q + Send,
     S: Observer<Q>,
 {
     fn on_batch(&mut self, batch: EventBatch<P>) {
@@ -70,7 +70,7 @@ impl<P, F, S> ReKeyOp<P, F, S> {
 impl<P, F, S> Observer<P> for ReKeyOp<P, F, S>
 where
     P: Payload,
-    F: FnMut(&Event<P>) -> u32,
+    F: FnMut(&Event<P>) -> u32 + Send,
     S: Observer<P>,
 {
     fn on_batch(&mut self, mut batch: EventBatch<P>) {

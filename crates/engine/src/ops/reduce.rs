@@ -61,7 +61,7 @@ impl<P: Payload, F: FnMut(&mut P, P), S: Observer<P>> ReduceByKeyOp<P, F, S> {
     }
 }
 
-impl<P: Payload, F, S> Checkpointable for ReduceByKeyOp<P, F, S> {
+impl<P: Payload, F: Send, S: Send> Checkpointable for ReduceByKeyOp<P, F, S> {
     fn state_id(&self) -> &'static str {
         "engine.reduce_by_key"
     }
@@ -95,7 +95,9 @@ impl<P: Payload, F, S> Checkpointable for ReduceByKeyOp<P, F, S> {
     }
 }
 
-impl<P: Payload, F: FnMut(&mut P, P), S: Observer<P>> Observer<P> for ReduceByKeyOp<P, F, S> {
+impl<P: Payload, F: FnMut(&mut P, P) + Send, S: Observer<P>> Observer<P>
+    for ReduceByKeyOp<P, F, S>
+{
     fn on_batch(&mut self, batch: EventBatch<P>) {
         for i in 0..batch.len() {
             if !batch.is_visible(i) {

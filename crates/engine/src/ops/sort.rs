@@ -254,7 +254,7 @@ impl<P: Payload, S: Observer<P>> SortOp<P, S> {
     }
 }
 
-impl<P: Payload, S> Checkpointable for SortOp<P, S> {
+impl<P: Payload, S: Send> Checkpointable for SortOp<P, S> {
     fn state_id(&self) -> &'static str {
         "engine.sort"
     }

@@ -50,7 +50,7 @@ impl<P: Payload, F: FnMut(&P) -> i64, S: Observer<P>> TopKOp<P, F, S> {
     }
 }
 
-impl<P: Payload, F, S> Checkpointable for TopKOp<P, F, S> {
+impl<P: Payload, F: Send, S: Send> Checkpointable for TopKOp<P, F, S> {
     fn state_id(&self) -> &'static str {
         "engine.top_k"
     }
@@ -70,7 +70,7 @@ impl<P: Payload, F, S> Checkpointable for TopKOp<P, F, S> {
     }
 }
 
-impl<P: Payload, F: FnMut(&P) -> i64, S: Observer<P>> Observer<P> for TopKOp<P, F, S> {
+impl<P: Payload, F: FnMut(&P) -> i64 + Send, S: Observer<P>> Observer<P> for TopKOp<P, F, S> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
         for i in 0..batch.len() {
             if !batch.is_visible(i) {

@@ -17,9 +17,16 @@ use impatience_core::{
     Event, EventBatch, MemoryMeter, Payload, SnapshotError, SnapshotReader, SnapshotWriter,
     StateCodec, StreamError, Timestamp,
 };
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The core is never locked across user code (the sink is called while the
+/// lock is held, but a sink panic is caught by the hardened layer before it
+/// unwinds through here in guarded pipelines) — recover from poison rather
+/// than cascading.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct Side<P> {
     buf: VecDeque<Event<P>>,
@@ -173,7 +180,7 @@ impl<P: Payload> UnionCore<P> {
 
 /// One input endpoint of a union.
 pub struct UnionInput<P: Payload> {
-    core: Rc<RefCell<UnionCore<P>>>,
+    core: Arc<Mutex<UnionCore<P>>>,
     is_left: bool,
 }
 
@@ -188,7 +195,7 @@ impl<P: Payload> Clone for UnionInput<P> {
 
 impl<P: Payload> Observer<P> for UnionInput<P> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         let core = &mut *core;
         if core.failed {
             return;
@@ -208,7 +215,7 @@ impl<P: Payload> Observer<P> for UnionInput<P> {
     }
 
     fn on_punctuation(&mut self, t: Timestamp) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         let core = &mut *core;
         if core.failed {
             return;
@@ -227,7 +234,7 @@ impl<P: Payload> Observer<P> for UnionInput<P> {
     }
 
     fn on_completed(&mut self) {
-        let mut core = self.core.borrow_mut();
+        let mut core = lock(&self.core);
         let core = &mut *core;
         if core.failed {
             return;
@@ -246,14 +253,14 @@ impl<P: Payload> Observer<P> for UnionInput<P> {
     }
 
     fn on_error(&mut self, err: StreamError) {
-        self.core.borrow_mut().fail(err);
+        lock(&self.core).fail(err);
     }
 }
 
 /// Diagnostic handle onto a union's buffering behaviour.
 #[derive(Clone)]
 pub struct UnionProbe<P: Payload> {
-    core: Rc<RefCell<UnionCore<P>>>,
+    core: Arc<Mutex<UnionCore<P>>>,
 }
 
 fn encode_side<P: Payload>(side: &Side<P>, w: &mut SnapshotWriter) {
@@ -293,7 +300,7 @@ impl<P: Payload> Checkpointable for UnionProbe<P> {
     }
 
     fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
-        let c = self.core.borrow();
+        let c = lock(&self.core);
         encode_side(&c.left, w);
         encode_side(&c.right, w);
         c.out_wm.encode(w);
@@ -308,7 +315,7 @@ impl<P: Payload> Checkpointable for UnionProbe<P> {
         let out_wm = Timestamp::decode(r)?;
         let completed = bool::decode(r)?;
         let peak_bytes = r.get_u64()? as usize;
-        let mut c = self.core.borrow_mut();
+        let mut c = lock(&self.core);
         let old = c.left.bytes + c.right.bytes;
         c.meter.recharge(old, left.bytes + right.bytes);
         c.left = left;
@@ -323,18 +330,18 @@ impl<P: Payload> Checkpointable for UnionProbe<P> {
 impl<P: Payload> UnionProbe<P> {
     /// Bytes currently buffered across both sides.
     pub fn buffered_bytes(&self) -> usize {
-        let c = self.core.borrow();
+        let c = lock(&self.core);
         c.left.bytes + c.right.bytes
     }
 
     /// Peak bytes ever buffered by this union.
     pub fn peak_bytes(&self) -> usize {
-        self.core.borrow().peak_bytes
+        lock(&self.core).peak_bytes
     }
 
     /// Events currently buffered across both sides.
     pub fn buffered_events(&self) -> usize {
-        let c = self.core.borrow();
+        let c = lock(&self.core);
         c.left.buf.len() + c.right.buf.len()
     }
 }
@@ -347,7 +354,7 @@ pub fn union<P: Payload>(
     sink: Box<dyn Observer<P>>,
     meter: MemoryMeter,
 ) -> (UnionInput<P>, UnionInput<P>, UnionProbe<P>) {
-    let core = Rc::new(RefCell::new(UnionCore {
+    let core = Arc::new(Mutex::new(UnionCore {
         left: Side::new(),
         right: Side::new(),
         sink,

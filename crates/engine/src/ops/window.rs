@@ -157,7 +157,7 @@ impl<P: Payload, S> HoppingWindowOp<P, S> {
     }
 }
 
-impl<P: Payload, S> Checkpointable for HoppingWindowOp<P, S> {
+impl<P: Payload, S: Send> Checkpointable for HoppingWindowOp<P, S> {
     fn state_id(&self) -> &'static str {
         "engine.hopping_window"
     }

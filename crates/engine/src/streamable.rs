@@ -24,11 +24,18 @@ use impatience_core::{
     StreamError, StreamMessage, TickDuration, Timestamp,
 };
 use impatience_sort::{OnlineSorter, SorterGauges};
-use std::cell::RefCell;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
-type Connector<P> = Box<dyn FnOnce(Box<dyn Observer<P>>)>;
+/// Connectors are `Send` so a whole pipeline description can move onto a
+/// sharded worker thread and be built there (`crate::sharded`).
+type Connector<P> = Box<dyn FnOnce(Box<dyn Observer<P>>) + Send>;
+
+/// Input/shared-cell locks are never held across a poisoning panic that we
+/// don't already convert to a typed error — recover rather than cascade.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Instrumentation context carried along a streamable chain: every stage
 /// appended after [`Streamable::instrument`] registers its operator metrics
@@ -69,7 +76,7 @@ pub struct Streamable<P: Payload> {
 
 impl<P: Payload> Streamable<P> {
     /// Builds a streamable from a raw connector.
-    pub fn from_connector(connect: impl FnOnce(Box<dyn Observer<P>>) + 'static) -> Self {
+    pub fn from_connector(connect: impl FnOnce(Box<dyn Observer<P>>) + Send + 'static) -> Self {
         Streamable {
             connect: Box::new(connect),
             instr: None,
@@ -147,7 +154,7 @@ impl<P: Payload> Streamable<P> {
     /// Applies an operator-builder stage.
     pub fn apply<Q: Payload>(
         self,
-        build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + 'static,
+        build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + Send + 'static,
     ) -> Streamable<Q> {
         self.apply_named("op", build)
     }
@@ -161,7 +168,7 @@ impl<P: Payload> Streamable<P> {
     fn apply_named<Q: Payload>(
         mut self,
         name: &str,
-        build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + 'static,
+        build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + Send + 'static,
     ) -> Streamable<Q> {
         let upstream = self.connect;
         let hardened = self.hardened;
@@ -182,7 +189,7 @@ impl<P: Payload> Streamable<P> {
                 // The operator writes into a shared view of its downstream;
                 // the guard writes the terminal error into the same cell if
                 // the operator dies mid-handler.
-                let shared = Rc::new(RefCell::new(downstream));
+                let shared = Arc::new(Mutex::new(downstream));
                 let op = build(Box::new(SharedSink(shared.clone())));
                 let op: Box<dyn Observer<P>> = match metrics {
                     Some(m) => Box::new(MeteredObserver::new(m, op)),
@@ -210,12 +217,12 @@ impl<P: Payload> Streamable<P> {
     /// [`apply_named`](Self::apply_named) for operators whose state can be
     /// checkpointed: when the chain carries a [`CheckpointCtx`], the built
     /// operator is registered as a checkpoint participant (shared behind an
-    /// `Rc<RefCell<_>>` so the gate can encode/restore it). Without a
+    /// `Arc<Mutex<_>>` so the gate can encode/restore it). Without a
     /// context this is exactly `apply_named` — zero overhead.
     fn apply_stateful<Q: Payload, O>(
         self,
         name: &str,
-        build: impl FnOnce(Box<dyn Observer<Q>>) -> O + 'static,
+        build: impl FnOnce(Box<dyn Observer<Q>>) -> O + Send + 'static,
     ) -> Streamable<Q>
     where
         O: Observer<P> + Checkpointable + 'static,
@@ -225,7 +232,7 @@ impl<P: Payload> Streamable<P> {
             let op = build(sink);
             match ckpt {
                 Some(ctx) => {
-                    let shared = Rc::new(RefCell::new(op));
+                    let shared = Arc::new(Mutex::new(op));
                     ctx.register(shared.clone());
                     Box::new(SharedSink(shared))
                 }
@@ -294,19 +301,19 @@ impl<P: Payload> Streamable<P> {
     }
 
     /// Selection: keeps events matching `pred` (bitmap-marking, §VI-C).
-    pub fn where_(self, pred: impl FnMut(&Event<P>) -> bool + 'static) -> Streamable<P> {
+    pub fn where_(self, pred: impl FnMut(&Event<P>) -> bool + Send + 'static) -> Streamable<P> {
         self.apply_named("where", move |sink| {
             Box::new(ops::FilterOp::new(pred, sink))
         })
     }
 
     /// Projection: maps payloads, preserving event metadata.
-    pub fn select<Q: Payload>(self, f: impl FnMut(&P) -> Q + 'static) -> Streamable<Q> {
+    pub fn select<Q: Payload>(self, f: impl FnMut(&P) -> Q + Send + 'static) -> Streamable<Q> {
         self.apply_named("select", move |sink| Box::new(ops::SelectOp::new(f, sink)))
     }
 
     /// Re-keys events (grouping key + hash).
-    pub fn re_key(self, f: impl FnMut(&Event<P>) -> u32 + 'static) -> Streamable<P> {
+    pub fn re_key(self, f: impl FnMut(&Event<P>) -> u32 + Send + 'static) -> Streamable<P> {
         self.apply_named("re_key", move |sink| Box::new(ops::ReKeyOp::new(f, sink)))
     }
 
@@ -346,14 +353,14 @@ impl<P: Payload> Streamable<P> {
     }
 
     /// Combines same-(window, key) events with `combine`.
-    pub fn reduce_by_key(self, combine: impl FnMut(&mut P, P) + 'static) -> Streamable<P> {
+    pub fn reduce_by_key(self, combine: impl FnMut(&mut P, P) + Send + 'static) -> Streamable<P> {
         self.apply_stateful("reduce_by_key", move |sink| {
             ops::ReduceByKeyOp::new(combine, sink)
         })
     }
 
     /// Keeps the `k` highest-scored events per window.
-    pub fn top_k(self, k: usize, score: impl FnMut(&P) -> i64 + 'static) -> Streamable<P> {
+    pub fn top_k(self, k: usize, score: impl FnMut(&P) -> i64 + Send + 'static) -> Streamable<P> {
         self.apply_stateful("top_k", move |sink| ops::TopKOp::new(k, score, sink))
     }
 
@@ -361,8 +368,8 @@ impl<P: Payload> Streamable<P> {
     /// on the same key within `window`.
     pub fn followed_by(
         self,
-        first: impl FnMut(&P) -> bool + 'static,
-        second: impl FnMut(&P) -> bool + 'static,
+        first: impl FnMut(&P) -> bool + Send + 'static,
+        second: impl FnMut(&P) -> bool + Send + 'static,
         window: TickDuration,
     ) -> Streamable<P> {
         self.apply_stateful("followed_by", move |sink| {
@@ -377,7 +384,7 @@ impl<P: Payload> Streamable<P> {
     pub fn join<R: Payload, Out: Payload>(
         mut self,
         other: Streamable<R>,
-        combine: impl FnMut(&P, &R) -> Out + 'static,
+        combine: impl FnMut(&P, &R) -> Out + Send + 'static,
         meter: &MemoryMeter,
     ) -> Streamable<Out> {
         let meter = meter.clone();
@@ -398,7 +405,7 @@ impl<P: Payload> Streamable<P> {
             let (l, r) = ops::temporal_join(combine, downstream, meter);
             if let Some(ctx) = &ckpt {
                 // One input handle snapshots the whole shared join core.
-                ctx.register(Rc::new(RefCell::new(l.clone())));
+                ctx.register(Arc::new(Mutex::new(l.clone())));
             }
             // A leg's error port is a second handle onto the shared join
             // core: a caught panic fails the core, which forwards one
@@ -416,13 +423,13 @@ impl<P: Payload> Streamable<P> {
                 left_connect(Box::new(PanicGuard::new(
                     "join.left",
                     l,
-                    Rc::new(RefCell::new(Box::new(l_port) as Box<dyn Observer<P>>)),
+                    Arc::new(Mutex::new(Box::new(l_port) as Box<dyn Observer<P>>)),
                     panics.clone(),
                 )));
                 right_connect(Box::new(PanicGuard::new(
                     "join.right",
                     r,
-                    Rc::new(RefCell::new(Box::new(r_port) as Box<dyn Observer<R>>)),
+                    Arc::new(Mutex::new(Box::new(r_port) as Box<dyn Observer<R>>)),
                     panics,
                 )));
             } else {
@@ -459,7 +466,7 @@ impl<P: Payload> Streamable<P> {
             if let Some(ctx) = &ckpt {
                 // The probe views the shared union core: both sides'
                 // synchronization buffers snapshot through it.
-                ctx.register(Rc::new(RefCell::new(probe)));
+                ctx.register(Arc::new(Mutex::new(probe)));
             }
             let (l_port, r_port) = (l.clone(), r.clone());
             let l: Box<dyn Observer<P>> = match &metrics {
@@ -474,13 +481,13 @@ impl<P: Payload> Streamable<P> {
                 left_connect(Box::new(PanicGuard::new(
                     "union.left",
                     l,
-                    Rc::new(RefCell::new(Box::new(l_port) as Box<dyn Observer<P>>)),
+                    Arc::new(Mutex::new(Box::new(l_port) as Box<dyn Observer<P>>)),
                     panics.clone(),
                 )));
                 right_connect(Box::new(PanicGuard::new(
                     "union.right",
                     r,
-                    Rc::new(RefCell::new(Box::new(r_port) as Box<dyn Observer<P>>)),
+                    Arc::new(Mutex::new(Box::new(r_port) as Box<dyn Observer<P>>)),
                     panics,
                 )));
             } else {
@@ -504,7 +511,7 @@ impl<P: Payload> Streamable<P> {
 
     /// Terminal: invokes `f` per visible event (the paper's
     /// `Subscribe(e => ...)`).
-    pub fn subscribe(self, f: impl FnMut(&Event<P>) + 'static) {
+    pub fn subscribe(self, f: impl FnMut(&Event<P>) + Send + 'static) {
         self.subscribe_observer(Box::new(FnSink::new(f)));
     }
 
@@ -640,7 +647,7 @@ struct InputState<P: Payload> {
 
 /// The push endpoint of a live input stream.
 pub struct InputHandle<P: Payload> {
-    state: Rc<RefCell<InputState<P>>>,
+    state: Arc<Mutex<InputState<P>>>,
 }
 
 impl<P: Payload> Clone for InputHandle<P> {
@@ -657,7 +664,7 @@ impl<P: Payload> InputHandle<P> {
     }
 
     fn try_deliver(&self, msg: StreamMessage<P>) -> Result<(), StreamError> {
-        let mut st = self.state.borrow_mut();
+        let mut st = lock(&self.state);
         if st.completed {
             return Err(StreamError::PushAfterCompleted);
         }
@@ -707,7 +714,7 @@ impl<P: Payload> InputHandle<P> {
     /// complete afterwards; errors pushed after completion (or a second
     /// error) are ignored.
     pub fn push_error(&self, err: StreamError) {
-        let mut st = self.state.borrow_mut();
+        let mut st = lock(&self.state);
         if st.completed {
             return;
         }
@@ -723,7 +730,7 @@ impl<P: Payload> InputHandle<P> {
 /// [`Streamable`]. Messages pushed before subscription are buffered and
 /// replayed at subscribe time.
 pub fn input_stream<P: Payload>() -> (InputHandle<P>, Streamable<P>) {
-    let state = Rc::new(RefCell::new(InputState {
+    let state = Arc::new(Mutex::new(InputState {
         sink: None,
         pending: Vec::new(),
         pending_error: None,
@@ -733,7 +740,7 @@ pub fn input_stream<P: Payload>() -> (InputHandle<P>, Streamable<P>) {
         state: state.clone(),
     };
     let streamable = Streamable::from_connector(move |mut sink| {
-        let mut st = state.borrow_mut();
+        let mut st = lock(&state);
         assert!(st.sink.is_none(), "input stream already subscribed");
         for m in st.pending.drain(..) {
             sink.on_message(m);
@@ -834,11 +841,11 @@ mod tests {
 
     #[test]
     fn subscribe_callback() {
-        let seen = Rc::new(RefCell::new(0u32));
+        let seen = Arc::new(Mutex::new(0u32));
         let seen2 = seen.clone();
         Streamable::from_ordered_events(evs(&[1, 2, 3]))
-            .subscribe(move |e| *seen2.borrow_mut() += e.payload);
-        assert_eq!(*seen.borrow(), 1 + 2 + 3);
+            .subscribe(move |e| *seen2.lock().unwrap() += e.payload);
+        assert_eq!(*seen.lock().unwrap(), 1 + 2 + 3);
     }
 
     #[test]

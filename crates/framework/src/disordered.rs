@@ -20,7 +20,7 @@ use impatience_engine::ops::{align_tumbling, window_punctuation, FilterOp, ReKey
 use impatience_engine::{IngressPolicy, InputHandle, Observer, Streamable};
 use impatience_sort::{ImpatienceSorter, OnlineSorter};
 
-type Connector<P> = Box<dyn FnOnce(Box<dyn Observer<P>>)>;
+type Connector<P> = Box<dyn FnOnce(Box<dyn Observer<P>>) + Send>;
 
 /// A disordered stream admitting only order-insensitive operators.
 pub struct DisorderedStreamable<P: Payload> {
@@ -29,7 +29,7 @@ pub struct DisorderedStreamable<P: Payload> {
 
 impl<P: Payload> DisorderedStreamable<P> {
     /// Wraps a raw connector producing (possibly) disordered traffic.
-    pub fn from_connector(connect: impl FnOnce(Box<dyn Observer<P>>) + 'static) -> Self {
+    pub fn from_connector(connect: impl FnOnce(Box<dyn Observer<P>>) + Send + 'static) -> Self {
         DisorderedStreamable {
             connect: Box::new(connect),
         }
@@ -72,24 +72,27 @@ impl<P: Payload> DisorderedStreamable<P> {
     /// Applies an operator-builder stage (crate-internal plumbing).
     pub(crate) fn apply<Q: Payload>(
         self,
-        build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + 'static,
+        build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + Send + 'static,
     ) -> DisorderedStreamable<Q> {
         let upstream = self.connect;
         DisorderedStreamable::from_connector(move |sink| upstream(build(sink)))
     }
 
     /// Selection (order-insensitive).
-    pub fn where_(self, pred: impl FnMut(&Event<P>) -> bool + 'static) -> Self {
+    pub fn where_(self, pred: impl FnMut(&Event<P>) -> bool + Send + 'static) -> Self {
         self.apply(move |sink| Box::new(FilterOp::new(pred, sink)))
     }
 
     /// Projection (order-insensitive).
-    pub fn select<Q: Payload>(self, f: impl FnMut(&P) -> Q + 'static) -> DisorderedStreamable<Q> {
+    pub fn select<Q: Payload>(
+        self,
+        f: impl FnMut(&P) -> Q + Send + 'static,
+    ) -> DisorderedStreamable<Q> {
         self.apply(move |sink| Box::new(SelectOp::new(f, sink)))
     }
 
     /// Re-keying (order-insensitive).
-    pub fn re_key(self, f: impl FnMut(&Event<P>) -> u32 + 'static) -> Self {
+    pub fn re_key(self, f: impl FnMut(&Event<P>) -> u32 + Send + 'static) -> Self {
         self.apply(move |sink| Box::new(ReKeyOp::new(f, sink)))
     }
 

@@ -38,9 +38,9 @@ use impatience_engine::{
     Observer, SharedSink, Streamable,
 };
 use impatience_sort::{ImpatienceConfig, ImpatienceSorter};
-use std::cell::RefCell;
+
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Failure-model configuration for a framework instance.
 ///
@@ -88,7 +88,7 @@ impl<P: Payload> Clone for FrameworkPolicy<P> {
 /// the core metrics primitives so they can surface in a registry snapshot.
 #[derive(Clone)]
 pub struct FrameworkStats {
-    routed: Rc<Vec<Counter>>,
+    routed: Arc<Vec<Counter>>,
     dropped: Counter,
     dead_lettered: Counter,
 }
@@ -96,7 +96,7 @@ pub struct FrameworkStats {
 impl FrameworkStats {
     fn new(k: usize) -> Self {
         FrameworkStats {
-            routed: Rc::new((0..k).map(|_| Counter::new()).collect()),
+            routed: Arc::new((0..k).map(|_| Counter::new()).collect()),
             dropped: Counter::new(),
             dead_lettered: Counter::new(),
         }
@@ -108,7 +108,7 @@ impl FrameworkStats {
     /// snapshots.
     fn registered(k: usize, registry: &MetricsRegistry) -> Self {
         FrameworkStats {
-            routed: Rc::new(
+            routed: Arc::new(
                 (0..k)
                     .map(|i| registry.counter(&format!("framework.partition{i:02}.routed")))
                     .collect(),
@@ -545,7 +545,7 @@ where
             build_union(Box::new(HandleSink::new(merge_handle)), meter.clone());
         if let Some(c) = &ctx {
             // The ladder union's synchronization buffers are durable state.
-            c.register(Rc::new(RefCell::new(probe)));
+            c.register(Arc::new(Mutex::new(probe)));
         }
         right_inputs[i] = Some(Box::new(right));
         // Stage i−1 fans out: to output i−1 and into union_i's left input.
@@ -601,7 +601,7 @@ where
     };
     let source_sink: Box<dyn Observer<P>> = match (&ctx, durable) {
         (Some(c), Some((checkpointer, every_n))) => {
-            let shared = Rc::new(RefCell::new(partitioner));
+            let shared = Arc::new(Mutex::new(partitioner));
             c.register(shared.clone());
             Box::new(CheckpointGate::new(
                 c.clone(),

@@ -37,7 +37,7 @@ impl<T: EventTimed> Default for BSortSorter<T> {
     }
 }
 
-impl<T: EventTimed + Clone> OnlineSorter<T> for BSortSorter<T> {
+impl<T: EventTimed + Clone + Send> OnlineSorter<T> for BSortSorter<T> {
     fn push(&mut self, item: T) {
         debug_assert!(item.event_time() > self.last_punctuation);
         let ts = item.event_time();

@@ -115,7 +115,7 @@ impl<T: EventTimed> Default for HeapSorter<T> {
     }
 }
 
-impl<T: EventTimed + Clone> OnlineSorter<T> for HeapSorter<T> {
+impl<T: EventTimed + Clone + Send> OnlineSorter<T> for HeapSorter<T> {
     fn push(&mut self, item: T) {
         debug_assert!(item.event_time() > self.last_punctuation);
         let ts = item.event_time();

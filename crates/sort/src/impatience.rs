@@ -140,7 +140,7 @@ impl<T: EventTimed + Clone> Default for ImpatienceSorter<T> {
     }
 }
 
-impl<T: EventTimed + Clone + StateCodec> OnlineSorter<T> for ImpatienceSorter<T> {
+impl<T: EventTimed + Clone + StateCodec + Send> OnlineSorter<T> for ImpatienceSorter<T> {
     fn push(&mut self, item: T) {
         debug_assert!(
             item.event_time() > self.last_punctuation,

@@ -51,7 +51,7 @@ impl<T: EventTimed + Clone, A: SortAlgorithm> Default for CutBuffer<T, A> {
     }
 }
 
-impl<T: EventTimed + Clone, A: SortAlgorithm> OnlineSorter<T> for CutBuffer<T, A> {
+impl<T: EventTimed + Clone + Send, A: SortAlgorithm + Send> OnlineSorter<T> for CutBuffer<T, A> {
     fn push(&mut self, item: T) {
         debug_assert!(item.event_time() > self.last_punctuation);
         self.unsorted.push(item);
@@ -109,7 +109,7 @@ mod tests {
     use crate::timsort::TimsortAlgorithm;
     use crate::traits::assert_sorted_until;
 
-    fn exercise<A: SortAlgorithm>() {
+    fn exercise<A: SortAlgorithm + Send>() {
         let data: Vec<i64> = (0..2500)
             .map(|i| (i * 7919) % 1300 + (i / 100) as i64)
             .collect();

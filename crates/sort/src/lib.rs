@@ -57,7 +57,7 @@ pub use traits::{sort_with, OnlineSorter, SortAlgorithm};
 /// Returns `None` for unknown names. Valid names: `"Impatience"`,
 /// `"Patience"`, `"Quicksort"`, `"Timsort"`, `"Heapsort"`.
 pub fn online_sorter_by_name<
-    T: impatience_core::EventTimed + Clone + impatience_core::StateCodec + 'static,
+    T: impatience_core::EventTimed + Clone + impatience_core::StateCodec + Send + 'static,
 >(
     name: &str,
 ) -> Option<Box<dyn OnlineSorter<T>>> {

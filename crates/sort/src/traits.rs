@@ -14,7 +14,11 @@ use impatience_core::{EventTimed, SnapshotError, SnapshotReader, SnapshotWriter,
 
 /// An incremental sorter for out-of-order streams (§III-A's sorting
 /// operator contract).
-pub trait OnlineSorter<T: EventTimed> {
+///
+/// `Send` is a supertrait so a boxed sorter can live inside a sharded
+/// pipeline's worker thread (`engine::sharded`); every sorter here is a
+/// plain owned data structure, so the bound costs nothing.
+pub trait OnlineSorter<T: EventTimed>: Send {
     /// Buffers one out-of-order item.
     fn push(&mut self, item: T);
 

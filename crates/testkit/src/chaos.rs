@@ -93,7 +93,7 @@ impl ChaosCounts {
 }
 
 /// An in-place payload corruptor (see [`ChaosObserver::with_corruptor`]).
-type Corruptor<P> = Box<dyn FnMut(&mut P)>;
+type Corruptor<P> = Box<dyn FnMut(&mut P) + Send>;
 
 /// The fault-injecting observer. Build with [`ChaosObserver::new`], wire
 /// with `Streamable::apply`-style plumbing (it owns its downstream).
@@ -121,7 +121,7 @@ impl<P: Payload> ChaosObserver<P> {
 
     /// Installs the payload corruptor run with probability
     /// [`ChaosConfig::corrupt`].
-    pub fn with_corruptor(mut self, f: impl FnMut(&mut P) + 'static) -> Self {
+    pub fn with_corruptor(mut self, f: impl FnMut(&mut P) + Send + 'static) -> Self {
         self.corrupt_with = Some(Box::new(f));
         self
     }

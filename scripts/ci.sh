@@ -51,6 +51,23 @@ cargo run --release --offline -q -p impatience-bench --bin fig5 -- \
 cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
     "$tmp_budget_json" --require-fault-activity
 
+echo "== shard conformance (byte-identical output across shard counts) =="
+# The determinism gate for multi-core execution: ~500 seeded streams, each
+# run at shard counts {1, 2, 4, 8}, must produce byte-identical message
+# sequences, and their canonical traces must match the unsharded pipeline.
+cargo test -q --offline --test shard_conformance
+
+echo "== sharded scale smoke (scale --check -> BENCH_scale.json) =="
+# A small sharded run must (a) produce byte-identical output across shard
+# counts (asserted inside the binary), (b) pass the 4-vs-1-shard speedup
+# shape check when the machine has >= 4 cores, and (c) emit a snapshot
+# whose shard.* counters show real ingress/merge traffic.
+rm -f BENCH_scale.json
+cargo run --release --offline -q -p impatience-bench --bin scale -- \
+    --check --events 60000 --json BENCH_scale.json > /dev/null
+cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
+    BENCH_scale.json --require-shard-activity
+
 echo "== crash-recovery gate (recovery --check -> BENCH_recovery.json) =="
 # The durability gate: checkpointing every 16 punctuations must cost <= 10%
 # wall-clock over the plain fig5 pipeline, and a run crashed at a seeded

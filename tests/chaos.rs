@@ -18,7 +18,7 @@
 //! failure with `IMPATIENCE_PROP_SEED=0x<seed> cargo test <name>`.
 
 use impatience::prelude::*;
-use impatience_core::{DeadLetterQueue, LatePolicy, ShedPolicy, StreamError, StreamMessage};
+use impatience_core::{DeadLetterQueue, LatePolicy, ShedPolicy, StreamError};
 use impatience_engine::ops::SortPolicy;
 use impatience_engine::{punctuate_arrivals, Output, Streamable};
 use impatience_sort::ImpatienceSorter;
@@ -232,14 +232,13 @@ props! {
         seed in 0u64..1_000_000,
     ) {
         let msgs = punctuate_arrivals(arrivals, &ingress_policy(freq));
-        let drive = |stream: Streamable<u32>, meter: &MemoryMeter| -> Vec<StreamMessage<u64>> {
-            let out = stream
+        let drive = |stream: Streamable<u32>, meter: &MemoryMeter| -> Output<u64> {
+            stream
                 .sorted_with(Box::new(ImpatienceSorter::new()), meter)
                 .where_(|e| e.payload % 3 != 1)
                 .tumbling_window(window())
                 .count()
-                .collect_output();
-            out.messages()
+                .collect_output()
         };
         let cfg = ChaosConfig { enabled: false, ..ChaosConfig::default() };
         let meter_a = MemoryMeter::new();
@@ -247,22 +246,126 @@ props! {
         let chaotic = sa
             .hardened()
             .apply(move |sink| Box::new(ChaosObserver::new(seed, cfg, sink)));
-        let got_a = {
-            let pending = drive(chaotic, &meter_a);
-            for m in msgs.clone() {
-                ha.push_message(m);
-            }
-            pending
-        };
+        let out_a = drive(chaotic, &meter_a);
+        for m in msgs.clone() {
+            ha.push_message(m);
+        }
         let meter_b = MemoryMeter::new();
         let (hb, sb) = impatience_engine::input_stream::<u32>();
-        let got_b = {
-            let pending = drive(sb, &meter_b);
-            for m in msgs {
-                hb.push_message(m);
-            }
-            pending
-        };
+        let out_b = drive(sb, &meter_b);
+        for m in msgs {
+            hb.push_message(m);
+        }
+        // Read the collectors only after the sources have run dry: the
+        // comparison is over the full delivered streams, not their (empty)
+        // pre-subscription prefixes.
+        let got_a = out_a.messages();
+        let got_b = out_b.messages();
+        assert!(!got_a.is_empty(), "pipeline delivered nothing");
+        assert!(out_a.is_completed() && out_b.is_completed());
         assert_eq!(got_a, got_b);
+    }
+}
+
+props! {
+    cases = 120;
+
+    /// Fault isolation under sharding: chaos (panics, regressions,
+    /// corruption, stragglers) confined to ONE of four shards. The merged
+    /// pipeline must honour the same contract — valid ordered output XOR
+    /// exactly one typed error — with the healthy shards draining and the
+    /// whole fleet joining inside a bounded stall timeout (no deadlock,
+    /// no abort).
+    fn sharded_chaos_isolates_the_faulty_shard(
+        arrivals in arrivals_strategy(),
+        freq in 1usize..40,
+        seed in 0u64..1_000_000,
+        knobs in 0u32..8,
+    ) {
+        use impatience_engine::ops::SumAgg;
+        use impatience_engine::ShardOptions;
+        use std::time::Duration;
+
+        let (panicky, regressy) = (knobs & 1 != 0, knobs & 2 != 0);
+        // Spread the single-key arrival stream over the key space so every
+        // shard sees traffic.
+        let arrivals: Vec<Event<u32>> = arrivals
+            .into_iter()
+            .map(|e| Event::keyed(e.sync_time, e.payload % 8, e.payload))
+            .collect();
+        let msgs = punctuate_arrivals(arrivals, &ingress_policy(freq));
+        let meter = MemoryMeter::new(); // one shared account for all shards
+        let dlq = DeadLetterQueue::new();
+        let bad = (seed % 4) as usize;
+        let cfg = ChaosConfig {
+            enabled: true,
+            duplicate: 0.05,
+            straggler: 0.05,
+            straggler_delay: 5_000,
+            regress_punctuation: if regressy { 0.02 } else { 0.0 },
+            regress_by: 500,
+            corrupt: 0.05,
+            panic: if panicky { 0.01 } else { 0.0 },
+        };
+        let (handle, stream) = impatience_engine::input_stream::<u32>();
+        let shard_meter = meter.clone();
+        let out = stream
+            .sharded_with(
+                ShardOptions::new(4).stall_timeout(Duration::from_secs(30)),
+                move |s, ctx| {
+                    let meter = shard_meter.clone();
+                    let policy = SortPolicy {
+                        late: LatePolicy::Drop,
+                        shed: ShedPolicy::ForcePunctuation,
+                        dead_letters: Some(dlq.clone()),
+                    };
+                    let cfg = cfg.clone();
+                    let s = s.hardened();
+                    let s = if ctx.index == bad {
+                        s.apply(move |sink| {
+                            Box::new(
+                                ChaosObserver::new(seed, cfg, sink)
+                                    .with_corruptor(|p: &mut u32| *p = p.wrapping_mul(31) ^ 0xDEAD),
+                            )
+                        })
+                    } else {
+                        s
+                    };
+                    s.sorted_with_policy(Box::new(ImpatienceSorter::new()), &meter, policy)
+                        .expect("Drop policy is accepted")
+                        .where_(|e| e.payload % 3 != 1)
+                        .tumbling_window(window())
+                        .group_aggregate(SumAgg::new(|p: &u32| *p as i64))
+                },
+            )
+            .collect_output();
+        for m in msgs {
+            handle.push_message(m);
+        }
+        match out.error() {
+            None => {
+                assert!(out.is_completed(), "no error yet never completed");
+                assert!(
+                    impatience_core::validate_ordered_stream(&out.messages()).is_ok(),
+                    "completed sharded run with contract-violating output"
+                );
+            }
+            Some(err) => {
+                assert!(!out.is_completed(), "error AND completion delivered");
+                assert!(
+                    matches!(
+                        err,
+                        StreamError::OperatorPanicked { .. }
+                            | StreamError::PunctuationRegressed { .. }
+                    ),
+                    "unexpected terminal error under sharded chaos: {err:?}"
+                );
+            }
+        }
+        assert_eq!(
+            meter.over_releases(),
+            0,
+            "shared memory accounting went negative under sharded chaos"
+        );
     }
 }

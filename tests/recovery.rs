@@ -30,10 +30,9 @@ use impatience_testkit::crash::{
     corrupt_random_byte, crash_point, files_with_suffix, newest_with_suffix, tear_tail,
 };
 use impatience_testkit::{Rng, SeedableRng, StdRng};
-use std::cell::RefCell;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Seeds per damage variant; three variants per seed gives ≥500 runs.
 const SEEDS: u64 = 170;
@@ -113,13 +112,13 @@ fn build(base: &Path, every_n: u32) -> Incarnation {
 }
 
 /// Opens the run's WAL and wires checkpoint-driven truncation into `ctx`.
-fn attach_wal(ctx: &CheckpointCtx, base: &Path) -> Rc<RefCell<WalIngress<u32>>> {
-    let wal = Rc::new(RefCell::new(
+fn attach_wal(ctx: &CheckpointCtx, base: &Path) -> Arc<Mutex<WalIngress<u32>>> {
+    let wal = Arc::new(Mutex::new(
         WalIngress::open_with(base.join("wal"), wal_config()).expect("open wal"),
     ));
-    let w = Rc::clone(&wal);
+    let w = Arc::clone(&wal);
     ctx.on_checkpoint(move |note| {
-        let _ = w.borrow_mut().truncate_before(note.safe_truncate_index);
+        let _ = w.lock().unwrap().truncate_before(note.safe_truncate_index);
     });
     wal
 }
@@ -157,7 +156,7 @@ fn run_one(seed: u64, damage: Damage, counts: &mut SuiteCounts) {
         let inc = build(&ref_base, every_n);
         let wal = attach_wal(&inc.ctx, &ref_base);
         for msg in &t {
-            wal.borrow_mut().append(msg).unwrap();
+            wal.lock().unwrap().append(msg).unwrap();
             inc.handle.push_message(msg.clone());
         }
         assert!(inc.out.is_completed(), "seed {seed}: reference completed");
@@ -172,7 +171,7 @@ fn run_one(seed: u64, damage: Damage, counts: &mut SuiteCounts) {
         let wal = attach_wal(&inc.ctx, &base);
         assert!(inc.ctx.recovery().is_none(), "fresh dir has no recovery");
         for msg in &t[..cp.after_messages] {
-            wal.borrow_mut().append(msg).unwrap();
+            wal.lock().unwrap().append(msg).unwrap();
             inc.handle.push_message(msg.clone());
         }
         inc.out.events()
@@ -244,9 +243,9 @@ fn run_one(seed: u64, damage: Damage, counts: &mut SuiteCounts) {
     // Resume the tape where the log ends. Records torn off the WAL are
     // re-sent by the source (they were never acknowledged); any that the
     // restored checkpoint already covers are logged but not re-consumed.
-    let resume = wal.borrow().next_index();
+    let resume = wal.lock().unwrap().next_index();
     for (i, msg) in t.iter().enumerate().skip(resume as usize) {
-        wal.borrow_mut().append(msg).unwrap();
+        wal.lock().unwrap().append(msg).unwrap();
         if i as u64 >= m {
             inc.handle.push_message(msg.clone());
         }
@@ -327,7 +326,7 @@ fn corrupted_checkpoint_slots_fall_back_then_fail_typed() {
         let inc = build(&seeded, 1);
         let wal = attach_wal(&inc.ctx, &seeded);
         for msg in &t {
-            wal.borrow_mut().append(msg).unwrap();
+            wal.lock().unwrap().append(msg).unwrap();
             inc.handle.push_message(msg.clone());
         }
         assert!(inc.out.is_completed());

@@ -1,0 +1,219 @@
+//! Differential conformance for sharded execution: ~500 seeded punctuated
+//! streams, each run through the same pipeline at shard counts {1, 2, 4, 8}
+//! and unsharded.
+//!
+//! Checked per stream and per pipeline shape:
+//!
+//! * the raw output message sequence — batch boundaries, punctuations,
+//!   completion — is **byte-identical across all shard counts** (the
+//!   lockstep low-watermark merge makes emission a function of message
+//!   content, not thread timing);
+//! * the *canonical trace* (events per punctuation segment in
+//!   `(sync_time, key)` order, non-advancing punctuations deduplicated)
+//!   matches the unsharded run of the identical pipeline — sharding changes
+//!   batching, never data;
+//! * output is a valid ordered stream and completes.
+//!
+//! Streams cover empty/singleton/tiny inputs, heavy duplicate timestamps,
+//! single-key and many-key populations, and varied punctuation cadences.
+
+use impatience_core::{validate_ordered_stream, Event, StreamMessage, TickDuration, Timestamp};
+use impatience_engine::{input_stream, ops::SumAgg, Streamable};
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
+
+/// One generated stream: ordered batches with strictly advancing
+/// punctuations, ending in completion.
+fn generate_case(seed: u64) -> Vec<StreamMessage<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = match seed % 8 {
+        0 => 0,                          // empty stream
+        1 => 1,                          // singleton
+        2 => rng.gen_range(2usize..6),   // tiny
+        _ => rng.gen_range(6usize..200), // general
+    };
+    let keys: u32 = match seed % 5 {
+        0 => 1, // everything on one shard
+        1 => 2,
+        2 => 3, // non-power-of-two vs shard counts
+        _ => 16,
+    };
+    let step: i64 = if seed.is_multiple_of(7) { 0 } else { 4 }; // heavy duplicates
+    let mut msgs = Vec::new();
+    let mut t = 0i64;
+    let mut wm = i64::MIN;
+    let mut produced = 0usize;
+    while produced < len {
+        let burst = rng.gen_range(1usize..6).min(len - produced);
+        let events: Vec<Event<u32>> = (0..burst)
+            .map(|_| {
+                t += rng.gen_range(0..step + 1);
+                Event::keyed(
+                    Timestamp::new(t),
+                    rng.gen_range(0..keys),
+                    rng.gen_range(0u32..1_000),
+                )
+            })
+            .collect();
+        produced += burst;
+        msgs.push(StreamMessage::batch(events));
+        if rng.gen_bool(0.3) && t > wm {
+            wm = t;
+            msgs.push(StreamMessage::Punctuation(Timestamp::new(wm)));
+            // The contract seals everything at or below the punctuation:
+            // later events must land strictly above it.
+            t += 1;
+        }
+    }
+    msgs.push(StreamMessage::Completed);
+    msgs
+}
+
+/// The key-local pipeline under test, cycled by seed. Every shape ends in
+/// `i64` payloads so a single driver covers them all.
+fn build_pipeline(shape: u64, s: Streamable<u32>) -> Streamable<i64> {
+    match shape {
+        0 => s.select(|p| *p as i64),
+        1 => s.where_(|e| e.payload % 3 != 1).select(|p| *p as i64 * 2),
+        2 => s
+            .tumbling_window(TickDuration::ticks(16))
+            .group_aggregate(SumAgg::new(|p: &u32| *p as i64)),
+        _ => s
+            .where_(|e| e.key % 2 == 0 || e.payload < 700)
+            .tumbling_window(TickDuration::ticks(32))
+            .group_aggregate(SumAgg::new(|p: &u32| *p as i64)),
+    }
+}
+
+fn run_sharded(input: &[StreamMessage<u32>], shape: u64, shards: usize) -> Vec<StreamMessage<i64>> {
+    let (handle, stream) = input_stream::<u32>();
+    let out = stream
+        .sharded(shards, move |s, _| build_pipeline(shape, s))
+        .collect_output();
+    for msg in input {
+        handle.push_message(msg.clone());
+    }
+    out.messages()
+}
+
+fn run_unsharded(input: &[StreamMessage<u32>], shape: u64) -> Vec<StreamMessage<i64>> {
+    let (handle, stream) = input_stream::<u32>();
+    let out = build_pipeline(shape, stream).collect_output();
+    for msg in input {
+        handle.push_message(msg.clone());
+    }
+    out.messages()
+}
+
+/// Canonical trace: `(events-of-segment sorted by (sync_time, key, ...),
+/// punctuation)` per *advancing* punctuation, then the residue, then the
+/// terminal. Collapses batching and punctuation-repeat differences, which
+/// are the only representational freedoms sharding is allowed to use.
+#[derive(Debug, PartialEq)]
+struct Canonical {
+    segments: Vec<(Vec<Event<i64>>, i64)>,
+    residue: Vec<Event<i64>>,
+    completed: bool,
+}
+
+fn canonicalize(msgs: &[StreamMessage<i64>]) -> Canonical {
+    let sort = |events: &mut Vec<Event<i64>>| {
+        events.sort_by_key(|e| (e.sync_time, e.key, e.payload, e.other_time));
+    };
+    let mut segments = Vec::new();
+    let mut current: Vec<Event<i64>> = Vec::new();
+    let mut wm = i64::MIN;
+    let mut completed = false;
+    for msg in msgs {
+        match msg {
+            StreamMessage::Batch(b) => current.extend(b.iter_visible().cloned()),
+            StreamMessage::Punctuation(t) => {
+                if t.ticks() > wm {
+                    wm = t.ticks();
+                    sort(&mut current);
+                    segments.push((std::mem::take(&mut current), wm));
+                }
+            }
+            StreamMessage::Completed => completed = true,
+        }
+    }
+    sort(&mut current);
+    Canonical {
+        segments,
+        residue: current,
+        completed,
+    }
+}
+
+#[test]
+fn sharded_output_is_identical_across_shard_counts() {
+    const STREAMS: u64 = 500;
+    for seed in 0..STREAMS {
+        let input = generate_case(seed);
+        let shape = seed % 4;
+        let reference = run_sharded(&input, shape, 1);
+        assert!(
+            matches!(reference.last(), Some(StreamMessage::Completed)),
+            "seed {seed}: single-shard run did not complete"
+        );
+        assert!(
+            validate_ordered_stream(&reference).is_ok(),
+            "seed {seed}: single-shard output unordered"
+        );
+        for shards in [2usize, 4, 8] {
+            let got = run_sharded(&input, shape, shards);
+            assert_eq!(
+                got, reference,
+                "seed {seed}, shape {shape}: {shards}-shard output diverged \
+                 byte-for-byte from the single-shard run"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_canonical_trace_matches_unsharded_pipeline() {
+    const STREAMS: u64 = 500;
+    for seed in 0..STREAMS {
+        let input = generate_case(seed);
+        let shape = seed % 4;
+        let baseline = canonicalize(&run_unsharded(&input, shape));
+        assert!(
+            baseline.completed,
+            "seed {seed}: unsharded did not complete"
+        );
+        for shards in [1usize, 4] {
+            let got = canonicalize(&run_sharded(&input, shape, shards));
+            assert_eq!(
+                got, baseline,
+                "seed {seed}, shape {shape}: {shards}-shard canonical trace \
+                 diverged from the unsharded pipeline"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_counts_are_conserved_across_shardings() {
+    // Identity pipeline: every visible input event must come out exactly
+    // once regardless of shard count.
+    for seed in 0..50u64 {
+        let input = generate_case(seed);
+        let expected: usize = input
+            .iter()
+            .map(|m| match m {
+                StreamMessage::Batch(b) => b.visible_len(),
+                _ => 0,
+            })
+            .sum();
+        for shards in [1usize, 2, 8] {
+            let got: usize = run_sharded(&input, 0, shards)
+                .iter()
+                .map(|m| match m {
+                    StreamMessage::Batch(b) => b.visible_len(),
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(got, expected, "seed {seed}, {shards} shards: events lost");
+        }
+    }
+}
