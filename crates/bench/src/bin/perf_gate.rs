@@ -1,0 +1,234 @@
+//! CI helper: perf-regression gate over bench JSON-lines history.
+//!
+//! ```sh
+//! perf_gate <baseline.jsonl> <new.jsonl> [--max-drop-pct 15]
+//! ```
+//!
+//! Both files hold bench result lines as appended by the repro binaries
+//! (`--json`). A *measurement* is any line carrying a numeric
+//! `"throughput"` or `"throughput_meps"` field; its identity is the
+//! exhibit plus the discriminating fields present on the line (`mode`,
+//! `shards`, `dataset`, `sorter`, `query`, `method`, `events`), so a
+//! 2-shard scale run is only ever compared against 2-shard scale runs of
+//! the same size. Per identity, the gate compares the median of the new
+//! file's measurements against the median of the **last three** baseline
+//! measurements (so the baseline tracks the recent past, and one historic
+//! outlier cannot wedge CI), and fails if throughput dropped by more than
+//! `--max-drop-pct` percent (default 15). Identities present in only one
+//! file are reported and skipped; with no overlap at all the gate passes
+//! vacuously — the first recorded run *seeds* the baseline.
+//!
+//! Exit status: 0 clean, 1 on any regression, 2 on usage/parse errors.
+
+use impatience_core::Json;
+use std::collections::BTreeMap;
+
+/// Discriminating fields: together with `exhibit` they identify one
+/// comparable measurement series.
+const DISCRIMINATORS: [&str; 7] = [
+    "mode", "shards", "dataset", "sorter", "query", "method", "events",
+];
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("perf_gate: {msg}");
+    eprintln!("usage: perf_gate <baseline.jsonl> <new.jsonl> [--max-drop-pct N]");
+    std::process::exit(2);
+}
+
+/// Identity key of a measurement line, or `None` for non-measurement lines
+/// (metrics snapshots, trace summaries, fig5 run counts, ...).
+fn identity_of(line: &Json) -> Option<String> {
+    throughput_of(line)?;
+    let exhibit = line.get("exhibit").and_then(Json::as_str)?;
+    let mut key = format!("exhibit={exhibit}");
+    for field in DISCRIMINATORS {
+        if let Some(v) = line.get(field) {
+            key.push_str(&format!(" {field}={v}"));
+        }
+    }
+    Some(key)
+}
+
+/// The measured value: events/sec however the exhibit spells it.
+fn throughput_of(line: &Json) -> Option<f64> {
+    // Trace/metrics summary lines never carry these fields at top level.
+    line.get("throughput")
+        .or_else(|| line.get("throughput_meps"))
+        .and_then(Json::as_f64)
+}
+
+/// Median of a non-empty slice (mean of the middle pair for even lengths).
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Parses a JSON-lines file into per-identity measurement series, in file
+/// (= chronological append) order.
+fn series_of(path: &str, text: &str) -> BTreeMap<String, Vec<f64>> {
+    let mut out: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let js = Json::parse(line)
+            .unwrap_or_else(|e| fail_usage(&format!("{path}:{}: invalid JSON: {e:?}", no + 1)));
+        if let (Some(key), Some(thr)) = (identity_of(&js), throughput_of(&js)) {
+            out.entry(key).or_default().push(thr);
+        }
+    }
+    out
+}
+
+/// One identity's verdict against the gate.
+enum Verdict {
+    Ok { change_pct: f64 },
+    Regressed { drop_pct: f64 },
+}
+
+/// Compares the median of `new` against the median of the last three
+/// `baseline` entries under the allowed drop.
+fn gate(baseline: &[f64], new: &[f64], max_drop_pct: f64) -> Verdict {
+    let tail = &baseline[baseline.len().saturating_sub(3)..];
+    let base = median(tail);
+    let now = median(new);
+    let change_pct = if base > 0.0 {
+        (now - base) / base * 100.0
+    } else {
+        0.0
+    };
+    if change_pct < -max_drop_pct {
+        Verdict::Regressed {
+            drop_pct: -change_pct,
+        }
+    } else {
+        Verdict::Ok { change_pct }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_drop_pct = 15.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--max-drop-pct" => {
+                i += 1;
+                max_drop_pct = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail_usage("--max-drop-pct needs a number"));
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, new_path] = paths.as_slice() else {
+        fail_usage("expected exactly two file arguments");
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| fail_usage(&format!("cannot read {p}: {e}")))
+    };
+    let baseline = series_of(baseline_path, &read(baseline_path));
+    let new = series_of(new_path, &read(new_path));
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (key, new_vals) in &new {
+        let Some(base_vals) = baseline.get(key) else {
+            println!(
+                "perf_gate: [new]      {key} ({:.0} ev/s) — seeding",
+                median(new_vals)
+            );
+            continue;
+        };
+        compared += 1;
+        match gate(base_vals, new_vals, max_drop_pct) {
+            Verdict::Ok { change_pct } => {
+                println!("perf_gate: [ok]       {key} ({change_pct:+.1}%)");
+            }
+            Verdict::Regressed { drop_pct } => {
+                regressions += 1;
+                eprintln!(
+                    "perf_gate: [REGRESSED] {key}: throughput dropped {drop_pct:.1}% \
+                     (allowed {max_drop_pct:.0}%)"
+                );
+            }
+        }
+    }
+    for key in baseline.keys() {
+        if !new.contains_key(key) {
+            println!("perf_gate: [stale]    {key} — not in this run, skipped");
+        }
+    }
+    if compared == 0 {
+        println!(
+            "perf_gate: no overlapping measurements between {baseline_path} and {new_path}; \
+             passing vacuously (this run seeds the baseline)"
+        );
+    }
+    if regressions > 0 {
+        eprintln!("perf_gate: {regressions} regression(s) out of {compared} compared");
+        std::process::exit(1);
+    }
+    println!("perf_gate: {compared} series compared, no regression beyond {max_drop_pct:.0}%");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identity_separates_series_and_skips_non_measurements() {
+        let a = line(r#"{"exhibit":"scale","shards":2,"events":1000,"throughput":5.0}"#);
+        let b = line(r#"{"exhibit":"scale","shards":4,"events":1000,"throughput":9.0}"#);
+        let meps = line(r#"{"exhibit":"fig7a","sorter":"impatience","throughput_meps":30.5}"#);
+        let metrics = line(r#"{"exhibit":"scale","kind":"metrics","metrics":{}}"#);
+        let fig5 = line(r#"{"exhibit":"fig5","events":1000,"impatience_runs":3}"#);
+        assert_ne!(identity_of(&a), identity_of(&b));
+        assert!(identity_of(&meps).is_some());
+        assert_eq!(identity_of(&metrics), None);
+        assert_eq!(identity_of(&fig5), None);
+    }
+
+    #[test]
+    fn median_of_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn gate_uses_last_three_baseline_entries() {
+        // Old slow history must not mask a regression vs the recent past.
+        let baseline = [1.0, 1.0, 100.0, 100.0, 100.0];
+        assert!(matches!(
+            gate(&baseline, &[80.0], 15.0),
+            Verdict::Regressed { .. }
+        ));
+        assert!(matches!(gate(&baseline, &[90.0], 15.0), Verdict::Ok { .. }));
+    }
+
+    #[test]
+    fn gate_tolerates_improvement_and_small_drops() {
+        assert!(matches!(
+            gate(&[100.0], &[140.0], 15.0),
+            Verdict::Ok { change_pct } if change_pct > 0.0
+        ));
+        assert!(matches!(gate(&[100.0], &[86.0], 15.0), Verdict::Ok { .. }));
+        assert!(matches!(
+            gate(&[100.0], &[84.0], 15.0),
+            Verdict::Regressed { .. }
+        ));
+    }
+}

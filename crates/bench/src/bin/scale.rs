@@ -11,17 +11,20 @@
 //! * **scaling** (asserted under `--check` only when the machine has ≥ 4
 //!   cores): 4 shards deliver ≥ 2.5× the 1-shard throughput.
 //!
-//! The snapshot appended to `--json` combines the canonical durable
-//! instrumented pipeline (the standard `pipeline.*` / `checkpoint.*` /
-//! `memory.*` instruments every exhibit carries) with a shard-instrumented
-//! run, so `snapshot_check --require-shard-activity` can gate on the
-//! `shard.*` counters.
+//! The snapshot appended to `--json` merges two independently-registered
+//! runs via `MetricsSnapshot::merge`: the canonical durable traced
+//! pipeline (the standard `pipeline.*` / `checkpoint.*` / `memory.*`
+//! instruments every exhibit carries) and a shard-instrumented run — so
+//! `snapshot_check --require-shard-activity` can gate on the `shard.*`
+//! counters and `--require-trace-activity` on the trace summary, while
+//! neither run's instruments can alias the other's.
 
 use impatience_bench::{
-    assert_speedup, emit_metrics_json, fmt_throughput, pipeline_metrics_in, BenchArgs, Row, Table,
+    assert_speedup, emit_metrics_json, emit_trace_json, fmt_throughput, pipeline_metrics_traced,
+    BenchArgs, Row, Table,
 };
 use impatience_core::{
-    json, EvalPayload, MemoryMeter, MetricsRegistry, StreamMessage, TickDuration,
+    json, EvalPayload, MemoryMeter, MetricsRegistry, StreamMessage, TickDuration, TraceSink,
 };
 use impatience_engine::ops::SumAgg;
 use impatience_engine::{
@@ -158,12 +161,18 @@ fn main() {
         );
     }
 
-    // --- Metrics: canonical durable pipeline + shard-instrumented run,
-    // one combined snapshot.
-    let registry = MetricsRegistry::new();
-    pipeline_metrics_in(&registry, &ds, 10_000, args.memory_budget);
+    // --- Metrics: canonical durable traced pipeline and a sharded run,
+    // each against its own registry, merged into one deterministic
+    // (name-sorted) snapshot. Tracing covers both: pipeline spans from the
+    // canonical run, shard-queue/merge spans from the sharded one.
+    let sink = TraceSink::new();
+    let canonical = MetricsRegistry::new();
+    pipeline_metrics_traced(&canonical, &ds, 10_000, args.memory_budget, &sink);
+    let sharded = MetricsRegistry::new();
     {
-        let opts = ShardOptions::new(2).with_registry(&registry);
+        let opts = ShardOptions::new(2)
+            .with_registry(&sharded)
+            .with_trace(&sink);
         let (handle, stream) = input_stream::<EvalPayload>();
         stream
             .sharded_with(opts, move |s, _| {
@@ -180,11 +189,12 @@ fn main() {
         }
         handle.complete();
     }
-    let snapshot = registry.snapshot();
+    let snapshot = canonical.snapshot().merge(&sharded.snapshot());
     println!(
         "\nmetrics snapshot ({}, sampled + sharded pipeline):",
         ds.name
     );
     print!("{snapshot}");
     emit_metrics_json(&args, "scale", &ds.name, &snapshot);
+    emit_trace_json(&args, "scale", &ds.name, &sink.summary());
 }

@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! snapshot_check <path.jsonl> [--require-fault-activity] \
-//!     [--require-recovery-activity] [--require-shard-activity]
+//!     [--require-recovery-activity] [--require-shard-activity] \
+//!     [--require-trace-activity]
 //! ```
 //!
 //! Asserts that every line parses with the in-tree JSON parser and that at
@@ -21,9 +22,13 @@
 //! runs). With `--require-shard-activity` it demands that a sharded
 //! pipeline actually ran — nonzero `shard.ingress.events` **and**
 //! `shard.merge.events` counts somewhere in the file (for multi-core
-//! scale runs). Exits non-zero with a message on the first violation.
+//! scale runs). With `--require-trace-activity` it demands that the
+//! tracing layer actually recorded — a nonzero span total across the
+//! file's `"kind": "trace"` summary lines with **zero** ring-buffer drops
+//! (spans lost to a full ring would silently hollow out the trace).
+//! Exits non-zero with a message on the first violation.
 
-use impatience_bench::metrics_of_line;
+use impatience_bench::{metrics_of_line, trace_of_line};
 use impatience_core::Json;
 
 fn fail(msg: &str) -> ! {
@@ -36,11 +41,13 @@ fn main() {
     let mut require_fault_activity = false;
     let mut require_recovery_activity = false;
     let mut require_shard_activity = false;
+    let mut require_trace_activity = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-fault-activity" => require_fault_activity = true,
             "--require-recovery-activity" => require_recovery_activity = true,
             "--require-shard-activity" => require_shard_activity = true,
+            "--require-trace-activity" => require_trace_activity = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other}")),
         }
@@ -48,7 +55,8 @@ fn main() {
     let path = path.unwrap_or_else(|| {
         fail(
             "usage: snapshot_check <path.jsonl> [--require-fault-activity] \
-             [--require-recovery-activity] [--require-shard-activity]",
+             [--require-recovery-activity] [--require-shard-activity] \
+             [--require-trace-activity]",
         )
     });
     let text = std::fs::read_to_string(&path)
@@ -61,6 +69,9 @@ fn main() {
     let mut restores = 0u64;
     let mut shard_ingress = 0u64;
     let mut shard_merged = 0u64;
+    let mut trace_spans = 0u64;
+    let mut trace_dropped = 0u64;
+    let mut trace_lines = 0usize;
     for (no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -79,6 +90,19 @@ fn main() {
             restores += counts.restores;
             shard_ingress += counts.shard_ingress;
             shard_merged += counts.shard_merged;
+        }
+        if let Some(trace) = trace_of_line(&js) {
+            trace_lines += 1;
+            let ctx = format!("{path}:{}", no + 1);
+            let field = |name: &str| -> u64 {
+                trace
+                    .get(name)
+                    .and_then(Json::as_i64)
+                    .unwrap_or_else(|| fail(&format!("{ctx}: trace summary lacks \"{name}\"")))
+                    .max(0) as u64
+            };
+            trace_spans += field("spans");
+            trace_dropped += field("dropped");
         }
     }
     if lines == 0 {
@@ -107,10 +131,25 @@ fn main() {
              shard.ingress.events={shard_ingress} shard.merge.events={shard_merged}"
         ));
     }
+    if require_trace_activity {
+        if trace_lines == 0 || trace_spans == 0 {
+            fail(&format!(
+                "{path}: --require-trace-activity: expected a \"kind\": \"trace\" summary with \
+                 nonzero spans, got {trace_lines} trace line(s) totalling {trace_spans} span(s)"
+            ));
+        }
+        if trace_dropped > 0 {
+            fail(&format!(
+                "{path}: --require-trace-activity: {trace_dropped} span(s) dropped by full \
+                 ring buffers — raise the ring capacity or lower the span rate"
+            ));
+        }
+    }
     println!(
         "snapshot_check: {path}: {lines} lines ok, {snapshots} metrics snapshot(s), \
          {dead_lettered} dead-lettered, {shed} shed, {restores} restore(s), \
-         {shard_ingress}/{shard_merged} sharded in/out"
+         {shard_ingress}/{shard_merged} sharded in/out, \
+         {trace_spans} span(s)/{trace_dropped} dropped in {trace_lines} trace line(s)"
     );
 }
 

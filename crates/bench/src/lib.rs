@@ -33,8 +33,8 @@ pub mod report;
 pub use cli::BenchArgs;
 pub use drive::{drive_online_sorter, offline_sorter_names, run_offline_sorter, DriveOutcome};
 pub use metrics::{
-    emit_metrics_json, emit_pipeline_metrics, metrics_of_line, pipeline_metrics,
-    pipeline_metrics_in, pipeline_metrics_with,
+    emit_metrics_json, emit_pipeline_metrics, emit_trace_json, metrics_of_line, pipeline_metrics,
+    pipeline_metrics_in, pipeline_metrics_traced, pipeline_metrics_with, trace_of_line,
 };
 pub use queries::{run_query, run_query_metered, Method, Query, QueryRunOutcome};
 pub use report::{fmt_throughput, Row, Table};

@@ -8,11 +8,12 @@
 //! snapshot run is capped at [`METRICS_SAMPLE_EVENTS`] events.
 
 use impatience_core::{
-    json, DeadLetterQueue, EvalPayload, Event, IngressStats, Json, LatePolicy, MemoryMeter,
-    MetricsRegistry, MetricsSnapshot, ShedPolicy, StreamMessage, TickDuration,
+    json, DeadLetterQueue, EvalPayload, Event, IngressStats, Json, LatePolicy, LatencyStage,
+    MemoryMeter, MetricsRegistry, MetricsSnapshot, ShedPolicy, StreamMessage, TickDuration,
+    TraceSink,
 };
 use impatience_engine::ops::SortPolicy;
-use impatience_engine::{input_stream, punctuate_arrivals, BlackHoleSink, IngressPolicy};
+use impatience_engine::{input_stream, punctuate_arrivals, BlackHoleSink, IngressPolicy, TraceCtx};
 use impatience_sort::ImpatienceSorter;
 use impatience_workloads::Dataset;
 
@@ -61,6 +62,31 @@ pub fn pipeline_metrics_in(
     punctuation_frequency: usize,
     budget: Option<usize>,
 ) {
+    run_canonical(registry, ds, punctuation_frequency, budget, None);
+}
+
+/// [`pipeline_metrics_in`] with structured tracing: every stage of the
+/// canonical pipeline records spans into `sink` (ingress, checkpoint gate,
+/// sort, window, count), and sampled events carry latency provenance from
+/// ingress to the sort egress. Drain the sink afterwards with
+/// [`TraceSink::summary`] / [`TraceSink::to_chrome_trace`].
+pub fn pipeline_metrics_traced(
+    registry: &MetricsRegistry,
+    ds: &Dataset,
+    punctuation_frequency: usize,
+    budget: Option<usize>,
+    sink: &TraceSink,
+) {
+    run_canonical(registry, ds, punctuation_frequency, budget, Some(sink));
+}
+
+fn run_canonical(
+    registry: &MetricsRegistry,
+    ds: &Dataset,
+    punctuation_frequency: usize,
+    budget: Option<usize>,
+    trace: Option<&TraceSink>,
+) {
     let n = ds.len().min(METRICS_SAMPLE_EVENTS);
     let events: Vec<Event<EvalPayload>> = ds.events[..n].to_vec();
     let span = events
@@ -108,6 +134,15 @@ pub fn pipeline_metrics_in(
     ));
     let _ = std::fs::remove_dir_all(&ckpt_dir);
     let (handle, stream) = input_stream::<EvalPayload>();
+    // Trace context (if any) attaches before the first combinator so every
+    // stage — ingress probe, checkpoint gate, sort, window, count — records
+    // a span; provenance probes sample events at ingress and retire them
+    // just past the sort, before windowing rewrites their identity.
+    let ctx = trace.map(TraceCtx::new);
+    let stream = match &ctx {
+        Some(c) => stream.traced(c.clone()).trace_ingress(c),
+        None => stream,
+    };
     let (stream, ckpt) = stream
         .checkpointed(&ckpt_dir, METRICS_CHECKPOINT_EVERY)
         .expect("open scratch checkpoint dir");
@@ -118,9 +153,16 @@ pub fn pipeline_metrics_in(
     } else {
         stream
     };
-    stream
+    let stream = stream
         .sorted_with_policy(Box::new(ImpatienceSorter::new()), &meter, policy)
-        .expect("Drop/DeadLetter sort policies are accepted")
+        .expect("Drop/DeadLetter sort policies are accepted");
+    let stream = match &ctx {
+        Some(c) => stream
+            .trace_mark_sorted(c, LatencyStage::Sort)
+            .trace_egress_sorted(c, LatencyStage::Operator),
+        None => stream,
+    };
+    stream
         .tumbling_window(window)
         .count()
         .subscribe_observer(Box::new(BlackHoleSink::new()));
@@ -153,10 +195,16 @@ pub fn pipeline_metrics_in(
     let _ = std::fs::remove_dir_all(&ckpt_dir);
 }
 
-/// Runs [`pipeline_metrics`] over `ds`, prints the compact top view, and
-/// appends a `{"exhibit": ..., "kind": "metrics", ...}` JSON line.
+/// Runs the traced canonical pipeline over `ds`, prints the compact top
+/// view, and appends both a `{"kind": "metrics", ...}` snapshot line and a
+/// `{"kind": "trace", ...}` span/provenance summary line. The sampled
+/// observability run is the traced one — the measured exhibit runs stay
+/// untraced, so neither probes nor spans skew reported throughput.
 pub fn emit_pipeline_metrics(args: &BenchArgs, exhibit: &str, ds: &Dataset) {
-    let snapshot = pipeline_metrics_with(ds, 10_000, args.memory_budget);
+    let registry = MetricsRegistry::new();
+    let sink = TraceSink::new();
+    pipeline_metrics_traced(&registry, ds, 10_000, args.memory_budget, &sink);
+    let snapshot = registry.snapshot();
     match args.memory_budget {
         Some(b) => println!(
             "\nmetrics snapshot ({}, sampled pipeline, {b}-byte budget):",
@@ -166,6 +214,7 @@ pub fn emit_pipeline_metrics(args: &BenchArgs, exhibit: &str, ds: &Dataset) {
     }
     print!("{snapshot}");
     emit_metrics_json(args, exhibit, &ds.name, &snapshot);
+    emit_trace_json(args, exhibit, &ds.name, &sink.summary());
 }
 
 /// Appends a snapshot (however it was produced) as a metrics JSON line.
@@ -176,6 +225,27 @@ pub fn emit_metrics_json(args: &BenchArgs, exhibit: &str, dataset: &str, snap: &
         "dataset": dataset,
         "metrics": snap.to_json(),
     }));
+}
+
+/// Appends a trace summary (from [`TraceSink::summary`]) as a
+/// `{"kind": "trace"}` JSON line.
+pub fn emit_trace_json(args: &BenchArgs, exhibit: &str, dataset: &str, summary: &Json) {
+    args.emit_json(&json!({
+        "exhibit": exhibit,
+        "kind": "trace",
+        "dataset": dataset,
+        "trace": summary.clone(),
+    }));
+}
+
+/// Extracts the `trace` object from a parsed bench JSON line, if the line
+/// is a trace-summary line.
+pub fn trace_of_line(line: &Json) -> Option<&Json> {
+    if line.get("kind").and_then(Json::as_str) == Some("trace") {
+        line.get("trace")
+    } else {
+        None
+    }
 }
 
 /// Extracts the `metrics` object from a parsed bench JSON line, if the line
@@ -235,5 +305,29 @@ mod tests {
         // The snapshot is self-describing JSON: it round-trips the parser.
         let text = js.to_string();
         assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn traced_pipeline_records_spans_and_provenance() {
+        let ds = generate_cloudlog(&CloudLogConfig::sized(4_000));
+        let registry = MetricsRegistry::new();
+        let sink = TraceSink::new();
+        pipeline_metrics_traced(&registry, &ds, 500, None, &sink);
+        // Same instruments as the untraced run: sort is still stage 00.
+        assert!(
+            registry.counter("pipeline.00.sort.events_in").get() > 0,
+            "tracing must not shift metric stage names"
+        );
+        let summary = sink.summary();
+        assert!(summary.get("spans").and_then(Json::as_i64).unwrap() > 0);
+        assert_eq!(summary.get("dropped").and_then(Json::as_i64).unwrap(), 0);
+        let prov = summary.get("provenance").expect("provenance block");
+        assert!(prov.get("sampled").and_then(Json::as_i64).unwrap() > 0);
+        assert!(prov.get("completed").and_then(Json::as_i64).unwrap() > 0);
+        // Both exports round-trip / render from the same sink.
+        let chrome = sink.to_chrome_trace().to_string();
+        let parsed = Json::parse(&chrome).expect("chrome export parses");
+        assert!(parsed.get("traceEvents").is_some());
+        assert!(!sink.to_folded().is_empty());
     }
 }

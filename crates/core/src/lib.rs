@@ -41,6 +41,7 @@ pub mod policy;
 pub mod snapshot;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use batch::{EventBatch, DEFAULT_BATCH_SIZE};
 pub use bitmap::FilterBitmap;
@@ -61,3 +62,7 @@ pub use snapshot::{
 };
 pub use stats::IngressStats;
 pub use time::{TickDuration, Timestamp};
+pub use trace::{
+    LatencyStage, ProvenanceTracker, SpanKind, SpanRecord, SpanRing, TraceClock, TraceConfig,
+    TraceSink,
+};

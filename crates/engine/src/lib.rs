@@ -26,7 +26,11 @@
 //!   exactly-once crash recovery;
 //! * [`sharded`] — multi-core execution: [`Streamable::sharded`] runs N
 //!   hash-partitioned copies of a pipeline on worker threads behind bounded
-//!   queues and re-joins them with a deterministic low-watermark merge.
+//!   queues and re-joins them with a deterministic low-watermark merge;
+//! * [`traced`] — opt-in structured tracing ([`Streamable::traced`]):
+//!   per-stage span recording into lock-free rings, shard-queue wait
+//!   timing, and sampled ingress→egress latency provenance decomposed by
+//!   stage, exportable as Chrome trace-event JSON.
 //!
 //! ```
 //! use impatience_core::{Event, TickDuration, Timestamp};
@@ -54,6 +58,7 @@ pub mod observer;
 pub mod ops;
 pub mod sharded;
 pub mod streamable;
+pub mod traced;
 
 pub use checkpoint::{
     CheckpointCtx, CheckpointGate, CheckpointMetrics, CheckpointNote, Checkpointable, Checkpointer,
@@ -68,3 +73,4 @@ pub use metered::{EgressProbe, MeteredObserver, OperatorMetrics};
 pub use observer::{BlackHoleSink, CollectorSink, FnSink, Observer, Output, SharedSink};
 pub use sharded::{Pop, ShardCtx, ShardOptions, ShardQueue, TryPush};
 pub use streamable::{input_stream, InputHandle, Streamable};
+pub use traced::TraceCtx;

@@ -349,7 +349,24 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
             return;
         }
         self.failed = true;
+        // The buffered events will never flush now; tombstone the live
+        // gauges so snapshots don't report a dead sorter's state as live.
+        if let Some(g) = &self.gauges {
+            g.clear();
+        }
         self.next.on_error(err);
+    }
+}
+
+impl<P: Payload, S> Drop for SortOp<P, S> {
+    fn drop(&mut self) {
+        // Covers every death the observer protocol doesn't: panic-unwind
+        // inside a shard worker, a dropped half-built chain, teardown after
+        // completion (where the gauges already read zero — clearing is
+        // idempotent). High-water marks are untouched.
+        if let Some(g) = &self.gauges {
+            g.clear();
+        }
     }
 }
 
@@ -562,6 +579,34 @@ mod tests {
         let emitted = out.events().len() as u64 + op.shed_events();
         let total = 400 + (0..400).filter(|i| i % 7 == 0).count() as u64;
         assert_eq!(emitted, total, "every event emitted or shed, none lost");
+    }
+
+    #[test]
+    fn dead_sorter_gauges_are_tombstoned() {
+        use impatience_sort::SorterGauges;
+        let registry = MetricsRegistry::new();
+        let gauges = SorterGauges::register(&registry, "pipeline.00.sorter");
+        {
+            let (_out, sink) = Output::<u32>::new();
+            let mut op = sort_op(sink, MemoryMeter::new()).with_gauges(gauges.clone());
+            op.on_batch(batch(&[30, 10, 20]));
+            op.on_punctuation(Timestamp::new(5)); // syncs gauges, flushes nothing
+            assert!(gauges.buffered.get() > 0, "live state visible");
+            op.on_error(StreamError::PushAfterCompleted);
+            assert_eq!(gauges.buffered.get(), 0, "error tombstones the gauges");
+            assert_eq!(gauges.runs.get(), 0);
+            assert_eq!(gauges.state_bytes.get(), 0);
+            assert!(gauges.buffered.high_water() > 0, "history survives");
+        }
+        // Drop path (panic-unwind equivalent): state dies with the operator.
+        let (_out, sink) = Output::<u32>::new();
+        let mut op = sort_op(sink, MemoryMeter::new()).with_gauges(gauges.clone());
+        op.on_batch(batch(&[30, 10, 20]));
+        op.on_punctuation(Timestamp::new(5));
+        assert!(gauges.buffered.get() > 0);
+        drop(op);
+        assert_eq!(gauges.buffered.get(), 0, "drop tombstones the gauges");
+        assert_eq!(gauges.state_bytes.get(), 0);
     }
 
     #[test]

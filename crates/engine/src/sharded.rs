@@ -44,6 +44,7 @@
 
 use crate::observer::Observer;
 use crate::streamable::{input_stream, Streamable};
+use impatience_core::trace::{SpanKind, SpanRecord, SpanRing, TraceClock, TraceSink};
 use impatience_core::{
     Counter, Event, EventBatch, Gauge, MetricsRegistry, Payload, StreamError, StreamMessage,
     Timestamp,
@@ -270,16 +271,21 @@ pub struct ShardOptions {
     /// Registry for the `shard.*` counters (ingress/merge traffic, errors,
     /// worker gauge); `None` keeps the instruments private and unexported.
     pub registry: Option<MetricsRegistry>,
+    /// Trace sink for shard-queue wait spans and merge spans (see
+    /// [`crate::traced`]); `None` disables span recording entirely.
+    pub trace: Option<TraceSink>,
 }
 
 impl ShardOptions {
-    /// Defaults: 1024-message queues, 10 s stall timeout, no registry.
+    /// Defaults: 1024-message queues, 10 s stall timeout, no registry, no
+    /// tracing.
     pub fn new(shards: usize) -> Self {
         ShardOptions {
             shards,
             queue_capacity: 1024,
             stall_timeout: Duration::from_secs(10),
             registry: None,
+            trace: None,
         }
     }
 
@@ -298,6 +304,16 @@ impl ShardOptions {
     /// Publishes the `shard.*` instruments into `registry`.
     pub fn with_registry(mut self, registry: &MetricsRegistry) -> Self {
         self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Enables span recording into `sink`: the ingress stamps each queued
+    /// message, workers turn the stamps into `shardNN.queue` wait spans,
+    /// and the egress merge records release spans plus watermark instants
+    /// (all on the sink's clock, so a logical-clock sink keeps sharded
+    /// traces deterministic in structure).
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = Some(sink.clone());
         self
     }
 }
@@ -340,9 +356,11 @@ impl ShardMetrics {
 // ---------------------------------------------------------------------------
 
 /// What travels through the shard queues: the stream protocol plus the
-/// error leg (which [`StreamMessage`] does not carry).
+/// error leg (which [`StreamMessage`] does not carry). The `u64` is the
+/// enqueue timestamp (trace-clock ns) used for queue-wait spans; `0` means
+/// "untraced" and is skipped by the consumer.
 enum ShardMsg<P> {
-    Msg(StreamMessage<P>),
+    Msg(StreamMessage<P>, u64),
     Error(StreamError),
 }
 
@@ -358,16 +376,18 @@ struct QueueSink<Q: Payload> {
 
 impl<Q: Payload> Observer<Q> for QueueSink<Q> {
     fn on_batch(&mut self, batch: EventBatch<Q>) {
-        self.queue.push(ShardMsg::Msg(StreamMessage::Batch(batch)));
+        // Output-queue wait is merge scheduling, not shard work: no stamp.
+        self.queue
+            .push(ShardMsg::Msg(StreamMessage::Batch(batch), 0));
     }
 
     fn on_punctuation(&mut self, t: Timestamp) {
         self.queue
-            .push(ShardMsg::Msg(StreamMessage::Punctuation(t)));
+            .push(ShardMsg::Msg(StreamMessage::Punctuation(t), 0));
     }
 
     fn on_completed(&mut self) {
-        self.queue.push(ShardMsg::Msg(StreamMessage::Completed));
+        self.queue.push(ShardMsg::Msg(StreamMessage::Completed, 0));
     }
 
     fn on_error(&mut self, err: StreamError) {
@@ -385,15 +405,41 @@ fn shard_worker<P: Payload, Q: Payload>(
     input: Arc<ShardQueue<ShardMsg<P>>>,
     output: Arc<ShardQueue<ShardMsg<Q>>>,
     build: Arc<ShardBuild<P, Q>>,
+    trace: Option<TraceSink>,
 ) {
     let panic_lane = output.clone();
     let result = crate::hardened::guarded(move || {
         let (handle, stream) = input_stream::<P>();
         build(stream, ShardCtx { index, shards })
             .subscribe_observer(Box::new(QueueSink { queue: output }));
+        // Per-shard recorder: queue-wait spans land in a thread-local ring
+        // (no cross-thread contention) and are surrendered to the sink once
+        // at drain time. A panicking worker loses its ring — acceptable, the
+        // typed error it emits is the signal that matters then.
+        let mut recorder = trace.as_ref().map(|sink| (sink.clone(), sink.ring()));
+        let queue_label = format!("shard{index:02}.queue");
         loop {
             match input.pop() {
-                Some(ShardMsg::Msg(msg)) => {
+                Some(ShardMsg::Msg(msg, enqueued_ns)) => {
+                    if enqueued_ns > 0 {
+                        if let Some((sink, ring)) = recorder.as_mut() {
+                            let now = sink.clock().now_ns();
+                            let (events, watermark) = match &msg {
+                                StreamMessage::Batch(b) => (b.visible_len() as u64, None),
+                                StreamMessage::Punctuation(t) => (0, Some(t.ticks())),
+                                StreamMessage::Completed => (0, None),
+                            };
+                            ring.push(SpanRecord {
+                                op: queue_label.clone(),
+                                shard: index as u32,
+                                kind: SpanKind::Queue,
+                                start_ns: enqueued_ns,
+                                dur_ns: now.saturating_sub(enqueued_ns),
+                                events,
+                                watermark,
+                            });
+                        }
+                    }
                     let terminal = matches!(msg, StreamMessage::Completed);
                     if handle.try_push_message(msg).is_err() || terminal {
                         break;
@@ -410,6 +456,9 @@ fn shard_worker<P: Payload, Q: Payload>(
                     break;
                 }
             }
+        }
+        if let Some((sink, ring)) = recorder {
+            sink.absorb(ring);
         }
     });
     if let Err(message) = result {
@@ -434,7 +483,7 @@ fn release_up_to<Q: Payload>(
     w: Timestamp,
     downstream: &mut Box<dyn Observer<Q>>,
     metrics: &ShardMetrics,
-) {
+) -> usize {
     let mut out: Vec<Event<Q>> = Vec::new();
     for buf in buffers.iter_mut() {
         // Shard output is an ordered stream, so the releasable events form
@@ -443,11 +492,13 @@ fn release_up_to<Q: Payload>(
         out.extend(buf.drain(..cut));
     }
     if out.is_empty() {
-        return;
+        return 0;
     }
     out.sort_by_key(|e| (e.sync_time, e.key));
     metrics.merge_events.add(out.len() as u64);
+    let released = out.len();
     downstream.on_batch(EventBatch::from_events(out));
+    released
 }
 
 /// Merge thread body — the deterministic lockstep low-watermark merge (see
@@ -460,8 +511,37 @@ fn shard_merge<Q: Payload>(
     mut downstream: Box<dyn Observer<Q>>,
     metrics: ShardMetrics,
     stall_timeout: Duration,
+    trace: Option<TraceSink>,
 ) {
     let n = outputs.len();
+    // Merge spans ride lane `n` (one past the shards) so they render on
+    // their own track in chrome://tracing.
+    let mut recorder = trace.as_ref().map(|sink| (sink.clone(), sink.ring()));
+    let record_release = |recorder: &mut Option<(TraceSink, SpanRing)>,
+                          start_ns: u64,
+                          released: usize,
+                          w: Option<i64>| {
+        if released == 0 {
+            return;
+        }
+        if let Some((sink, ring)) = recorder.as_mut() {
+            let end = sink.clock().now_ns();
+            ring.push(SpanRecord {
+                op: "merge".into(),
+                shard: n as u32,
+                kind: SpanKind::Merge,
+                start_ns,
+                dur_ns: end.saturating_sub(start_ns),
+                events: released as u64,
+                watermark: w,
+            });
+        }
+    };
+    let release_start = |recorder: &Option<(TraceSink, SpanRing)>| -> u64 {
+        recorder
+            .as_ref()
+            .map_or(0, |(sink, _)| sink.clock().now_ns())
+    };
     let poll = (stall_timeout / 20).clamp(Duration::from_millis(1), Duration::from_millis(25));
     let mut pending: Vec<VecDeque<ShardMsg<Q>>> = (0..n).map(|_| VecDeque::new()).collect();
     let mut buffers: Vec<Vec<Event<Q>>> = (0..n).map(|_| Vec::new()).collect();
@@ -476,7 +556,9 @@ fn shard_merge<Q: Payload>(
     'merge: loop {
         if done.iter().all(|&d| d) {
             // Final flush: everything left is above the last watermark.
-            release_up_to(&mut buffers, Timestamp::MAX, &mut downstream, &metrics);
+            let start = release_start(&recorder);
+            let released = release_up_to(&mut buffers, Timestamp::MAX, &mut downstream, &metrics);
+            record_release(&mut recorder, start, released, None);
             downstream.on_completed();
             break 'merge;
         }
@@ -494,14 +576,14 @@ fn shard_merge<Q: Payload>(
         if let Some(msg) = pending[i].pop_front() {
             waited_since = Instant::now();
             match msg {
-                ShardMsg::Msg(StreamMessage::Batch(batch)) => {
+                ShardMsg::Msg(StreamMessage::Batch(batch), _enq) => {
                     for j in 0..batch.len() {
                         if batch.is_visible(j) {
                             buffers[i].push(batch.events()[j].clone());
                         }
                     }
                 }
-                ShardMsg::Msg(StreamMessage::Punctuation(t)) => {
+                ShardMsg::Msg(StreamMessage::Punctuation(t), _enq) => {
                     if t < wm[i] {
                         metrics.errors.inc();
                         downstream.on_error(StreamError::PunctuationRegressed {
@@ -512,7 +594,7 @@ fn shard_merge<Q: Payload>(
                     }
                     wm[i] = t;
                 }
-                ShardMsg::Msg(StreamMessage::Completed) => {
+                ShardMsg::Msg(StreamMessage::Completed, _enq) => {
                     done[i] = true;
                 }
                 ShardMsg::Error(err) => {
@@ -528,9 +610,22 @@ fn shard_merge<Q: Payload>(
             if let Some(w) = (0..n).filter(|&k| !done[k]).map(|k| wm[k]).min() {
                 if w > last_w {
                     last_w = w;
-                    release_up_to(&mut buffers, w, &mut downstream, &metrics);
+                    let start = release_start(&recorder);
+                    let released = release_up_to(&mut buffers, w, &mut downstream, &metrics);
+                    record_release(&mut recorder, start, released, Some(w.ticks()));
                     metrics.merge_punctuations.inc();
                     downstream.on_punctuation(w);
+                    if let Some((sink, ring)) = recorder.as_mut() {
+                        ring.push(SpanRecord {
+                            op: "merge".into(),
+                            shard: n as u32,
+                            kind: SpanKind::Watermark,
+                            start_ns: sink.clock().now_ns(),
+                            dur_ns: 0,
+                            events: 0,
+                            watermark: Some(w.ticks()),
+                        });
+                    }
                 }
             }
             continue;
@@ -573,6 +668,9 @@ fn shard_merge<Q: Payload>(
     for queue in &outputs {
         queue.close();
     }
+    if let Some((sink, ring)) = recorder {
+        sink.absorb(ring);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -588,13 +686,21 @@ struct ShardIngress<P: Payload> {
     workers: Vec<JoinHandle<()>>,
     merge: Option<JoinHandle<()>>,
     metrics: ShardMetrics,
+    /// Trace clock for enqueue stamps; `None` pushes stamp `0` (untraced).
+    clock: Option<TraceClock>,
 }
 
 impl<P: Payload> ShardIngress<P> {
+    /// One clock read covers every queue push in the same observer call.
+    fn stamp(&self) -> u64 {
+        self.clock.as_ref().map_or(0, |c| c.now_ns())
+    }
+
     fn broadcast(&self, msg: &StreamMessage<P>) {
+        let stamp = self.stamp();
         for queue in &self.queues {
             // clone() per shard: punctuations and terminals are tiny.
-            queue.push(ShardMsg::Msg(msg.clone()));
+            queue.push(ShardMsg::Msg(msg.clone(), stamp));
         }
     }
 
@@ -611,9 +717,10 @@ impl<P: Payload> ShardIngress<P> {
 impl<P: Payload> Observer<P> for ShardIngress<P> {
     fn on_batch(&mut self, batch: EventBatch<P>) {
         let n = self.queues.len();
+        let stamp = self.stamp();
         if n == 1 {
             self.metrics.ingress_events.add(batch.visible_len() as u64);
-            self.queues[0].push(ShardMsg::Msg(StreamMessage::Batch(batch)));
+            self.queues[0].push(ShardMsg::Msg(StreamMessage::Batch(batch), stamp));
             return;
         }
         let mut parts: Vec<Vec<Event<P>>> = vec![Vec::new(); n];
@@ -629,7 +736,7 @@ impl<P: Payload> Observer<P> for ShardIngress<P> {
                 continue;
             }
             self.metrics.ingress_events.add(events.len() as u64);
-            self.queues[k].push(ShardMsg::Msg(StreamMessage::batch(events)));
+            self.queues[k].push(ShardMsg::Msg(StreamMessage::batch(events), stamp));
         }
     }
 
@@ -704,9 +811,10 @@ impl<P: Payload> Streamable<P> {
                     let input = inputs[i].clone();
                     let output = outputs[i].clone();
                     let build = build.clone();
+                    let trace = opts.trace.clone();
                     std::thread::Builder::new()
                         .name(format!("shard{i:02}"))
-                        .spawn(move || shard_worker(i, n, input, output, build))
+                        .spawn(move || shard_worker(i, n, input, output, build, trace))
                         .expect("spawn shard worker")
                 })
                 .collect();
@@ -721,9 +829,12 @@ impl<P: Payload> Streamable<P> {
                 let outputs = outputs.clone();
                 let metrics = metrics.clone();
                 let stall = opts.stall_timeout;
+                let trace = opts.trace.clone();
                 std::thread::Builder::new()
                     .name("shard-merge".into())
-                    .spawn(move || shard_merge(outputs, close_inputs, downstream, metrics, stall))
+                    .spawn(move || {
+                        shard_merge(outputs, close_inputs, downstream, metrics, stall, trace)
+                    })
                     .expect("spawn shard merge")
             };
             self.subscribe_observer(Box::new(ShardIngress {
@@ -731,6 +842,7 @@ impl<P: Payload> Streamable<P> {
                 workers,
                 merge: Some(merge),
                 metrics,
+                clock: opts.trace.as_ref().map(|t| t.clock().clone()),
             }));
         })
     }
@@ -831,6 +943,42 @@ mod tests {
         let mut got = lock(&seen).clone();
         got.sort_unstable();
         assert_eq!(got, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn traced_sharded_records_queue_merge_and_watermark_spans() {
+        use impatience_core::trace::{TraceClock, TraceConfig};
+        let sink = TraceSink::with(TraceClock::logical(), TraceConfig::default());
+        let events: Vec<Event<u32>> = (0..40).map(|i| ev(i, (i % 8) as u32, i as u32)).collect();
+        let opts = ShardOptions::new(4).with_trace(&sink);
+        let traced = source(events.clone(), &[10, 25, 39])
+            .sharded_with(opts, |s, _| s)
+            .collect_output();
+        assert!(traced.is_completed());
+        // Tracing must not change the output.
+        let plain = source(events, &[10, 25, 39])
+            .sharded(4, |s, _| s)
+            .collect_output();
+        assert_eq!(traced.messages(), plain.messages());
+
+        let spans = sink.spans();
+        let queued: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Queue).collect();
+        assert!(!queued.is_empty(), "no queue-wait spans recorded");
+        assert!(queued.iter().all(|s| s.op.ends_with(".queue")));
+        // Every shard lane saw traffic (punctuations broadcast to all 4).
+        let lanes: std::collections::BTreeSet<u32> = queued.iter().map(|s| s.shard).collect();
+        assert_eq!(lanes.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let merges = spans.iter().filter(|s| s.kind == SpanKind::Merge).count();
+        assert!(merges > 0, "no merge release spans recorded");
+        let wms: Vec<i64> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Watermark)
+            .filter_map(|s| s.watermark)
+            .collect();
+        assert_eq!(wms, vec![10, 25, 39], "merge watermark instants");
+        assert_eq!(sink.dropped(), 0);
+        // 4 worker rings + 1 merge ring surrendered.
+        assert_eq!(sink.recorder_count(), 5);
     }
 
     #[test]

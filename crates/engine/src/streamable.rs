@@ -18,6 +18,7 @@ use crate::hardened::PanicGuard;
 use crate::metered::{EgressProbe, MeteredObserver, OperatorMetrics};
 use crate::observer::{CollectorSink, FnSink, Observer, Output, SharedSink};
 use crate::ops;
+use crate::traced::{TraceCtx, TraceState};
 use impatience_core::metrics::Counter;
 use impatience_core::{
     Event, EventBatch, LatePolicy, MemoryMeter, MetricsRegistry, Payload, SnapshotError,
@@ -72,6 +73,10 @@ pub struct Streamable<P: Payload> {
     /// [`Streamable::checkpointed`] (or [`Streamable::with_checkpoint`])
     /// register themselves for state capture at connect time.
     ckpt: Option<CheckpointCtx>,
+    /// Tracing context: when present, stages chained after
+    /// [`Streamable::traced`] record spans into the context's sink (see
+    /// [`crate::traced`]).
+    trace: Option<TraceState>,
 }
 
 impl<P: Payload> Streamable<P> {
@@ -83,6 +88,7 @@ impl<P: Payload> Streamable<P> {
             hardened: false,
             panics: Counter::new(),
             ckpt: None,
+            trace: None,
         }
     }
 
@@ -104,6 +110,16 @@ impl<P: Payload> Streamable<P> {
             prefix: prefix.to_string(),
             stage: 0,
         });
+        self
+    }
+
+    /// Enables structured tracing: every stage chained after this call
+    /// records spans — labelled `{prefix}.{stage:02}.{name}` — into the
+    /// context's [`TraceSink`](impatience_core::TraceSink) (see
+    /// [`crate::traced`] for the span and provenance model). Like
+    /// instrumentation, tracing never alters the stream.
+    pub fn traced(mut self, ctx: TraceCtx) -> Self {
+        self.trace = Some(TraceState::new(ctx));
         self
     }
 
@@ -162,10 +178,11 @@ impl<P: Payload> Streamable<P> {
     /// Applies an operator-builder stage under an operator name. When the
     /// chain is instrumented, the stage is sandwiched between a
     /// [`MeteredObserver`] (in-traffic, busy time, watermark lag) and an
-    /// [`EgressProbe`] (out-traffic); when hardened, the (possibly
-    /// metered) operator is additionally wrapped in a [`PanicGuard`]
-    /// sharing the stage's downstream; otherwise it connects bare.
-    fn apply_named<Q: Payload>(
+    /// [`EgressProbe`] (out-traffic); when traced, the (possibly metered)
+    /// operator is wrapped in a span recorder; when hardened, the result
+    /// is additionally wrapped in a [`PanicGuard`] sharing the stage's
+    /// downstream; otherwise it connects bare.
+    pub(crate) fn apply_named<Q: Payload>(
         mut self,
         name: &str,
         build: impl FnOnce(Box<dyn Observer<Q>>) -> Box<dyn Observer<P>> + Send + 'static,
@@ -180,6 +197,7 @@ impl<P: Payload> Streamable<P> {
             }
             None => (None, name.to_string()),
         };
+        let stage_trace = self.trace.as_mut().map(|t| t.next_stage(name));
         let connect = move |sink: Box<dyn Observer<Q>>| {
             let downstream: Box<dyn Observer<Q>> = match &metrics {
                 Some(m) => Box::new(EgressProbe::new(m.clone(), sink)),
@@ -195,11 +213,19 @@ impl<P: Payload> Streamable<P> {
                     Some(m) => Box::new(MeteredObserver::new(m, op)),
                     None => op,
                 };
+                let op = match stage_trace {
+                    Some(t) => t.observer(op),
+                    None => op,
+                };
                 upstream(Box::new(PanicGuard::new(label, op, shared, panics)));
             } else {
                 let op = build(downstream);
                 let op: Box<dyn Observer<P>> = match metrics {
                     Some(m) => Box::new(MeteredObserver::new(m, op)),
+                    None => op,
+                };
+                let op = match stage_trace {
+                    Some(t) => t.observer(op),
                     None => op,
                 };
                 upstream(op);
@@ -211,6 +237,7 @@ impl<P: Payload> Streamable<P> {
             hardened: self.hardened,
             panics: self.panics,
             ckpt: self.ckpt,
+            trace: self.trace,
         }
     }
 
@@ -395,6 +422,8 @@ impl<P: Payload> Streamable<P> {
         // Binary operator: one instrument set shared by both inputs (the
         // in-side counters sum over the two legs) plus an egress probe.
         let metrics = instr.as_mut().map(|ins| ins.next_op("join"));
+        let mut trace = self.trace.take();
+        let stage_trace = trace.as_mut().map(|t| t.next_stage("join"));
         let left_connect = self.connect;
         let right_connect = other.connect;
         let connect = move |sink: Box<dyn Observer<Out>>| {
@@ -418,6 +447,11 @@ impl<P: Payload> Streamable<P> {
             let r: Box<dyn Observer<R>> = match metrics {
                 Some(m) => Box::new(MeteredObserver::new(m, r)),
                 None => Box::new(r),
+            };
+            // Each leg records under the same stage label into its own ring.
+            let (l, r) = match stage_trace {
+                Some(t) => (t.clone().observer(l), t.observer(r)),
+                None => (l, r),
             };
             if hardened {
                 left_connect(Box::new(PanicGuard::new(
@@ -443,6 +477,7 @@ impl<P: Payload> Streamable<P> {
             hardened: self.hardened,
             panics: self.panics,
             ckpt: self.ckpt,
+            trace,
         }
     }
 
@@ -455,6 +490,8 @@ impl<P: Payload> Streamable<P> {
         let ckpt = self.ckpt.clone();
         let mut instr = self.instr.take();
         let metrics = instr.as_mut().map(|ins| ins.next_op("union"));
+        let mut trace = self.trace.take();
+        let stage_trace = trace.as_mut().map(|t| t.next_stage("union"));
         let left_connect = self.connect;
         let right_connect = other.connect;
         let connect = move |sink: Box<dyn Observer<P>>| {
@@ -476,6 +513,11 @@ impl<P: Payload> Streamable<P> {
             let r: Box<dyn Observer<P>> = match metrics {
                 Some(m) => Box::new(MeteredObserver::new(m, r)),
                 None => Box::new(r),
+            };
+            // Each leg records under the same stage label into its own ring.
+            let (l, r) = match stage_trace {
+                Some(t) => (t.clone().observer(l), t.observer(r)),
+                None => (l, r),
             };
             if hardened {
                 left_connect(Box::new(PanicGuard::new(
@@ -501,6 +543,7 @@ impl<P: Payload> Streamable<P> {
             hardened: self.hardened,
             panics: self.panics,
             ckpt: self.ckpt,
+            trace,
         }
     }
 

@@ -30,12 +30,12 @@ use impatience_core::metrics::{Counter, MetricsRegistry};
 use impatience_core::{
     DeadLetterQueue, DeadLetterReason, Event, LatePolicy, MemoryMeter, Payload, ShedPolicy,
     SnapshotError, SnapshotReader, SnapshotWriter, StateCodec, StreamError, TickDuration,
-    Timestamp,
+    Timestamp, TraceSink,
 };
 use impatience_engine::ops::{union as build_union, SortPolicy};
 use impatience_engine::{
     input_stream, CheckpointCtx, CheckpointGate, Checkpointable, Checkpointer, InputHandle,
-    Observer, SharedSink, Streamable,
+    Observer, SharedSink, Streamable, TraceCtx,
 };
 use impatience_sort::{ImpatienceConfig, ImpatienceSorter};
 
@@ -430,7 +430,45 @@ where
     P: Payload,
     Q: Payload,
 {
-    let (ss, _ctx) = build_advanced(ds, latencies, piq, merge, meter, registry, policy, None)?;
+    let (ss, _ctx) = build_advanced(
+        ds, latencies, piq, merge, meter, registry, policy, None, None,
+    )?;
+    Ok(ss)
+}
+
+/// [`to_streamables_advanced_with`] plus structured tracing: every
+/// partition pipeline records spans into `trace` under a
+/// `partition{i:02}` label prefix on trace lane `i`, so an exported trace
+/// shows one track per latency partition — the Table-II
+/// latency/completeness ladder, rendered. Sampled provenance probes can be
+/// layered on through `piq` (the closure receives the partition's sorted
+/// stream, which already carries the trace context).
+#[allow(clippy::too_many_arguments)]
+pub fn to_streamables_advanced_traced<P, Q>(
+    ds: DisorderedStreamable<P>,
+    latencies: &[TickDuration],
+    piq: impl Fn(Streamable<P>) -> Streamable<Q> + 'static,
+    merge: impl Fn(Streamable<Q>) -> Streamable<Q> + 'static,
+    meter: &MemoryMeter,
+    registry: Option<&MetricsRegistry>,
+    policy: FrameworkPolicy<P>,
+    trace: &TraceSink,
+) -> Result<Streamables<Q>, StreamError>
+where
+    P: Payload,
+    Q: Payload,
+{
+    let (ss, _ctx) = build_advanced(
+        ds,
+        latencies,
+        piq,
+        merge,
+        meter,
+        registry,
+        policy,
+        None,
+        Some(trace),
+    )?;
     Ok(ss)
 }
 
@@ -476,6 +514,7 @@ where
         registry,
         policy,
         Some((checkpointer, every_n_punctuations)),
+        None,
     )?;
     Ok((ss, ctx.expect("durable build returns a context")))
 }
@@ -490,6 +529,7 @@ fn build_advanced<P, Q>(
     registry: Option<&MetricsRegistry>,
     policy: FrameworkPolicy<P>,
     durable: Option<(Checkpointer, u32)>,
+    trace: Option<&TraceSink>,
 ) -> Result<(Streamables<Q>, Option<CheckpointCtx>), StreamError>
 where
     P: Payload,
@@ -565,6 +605,16 @@ where
     for (i, sink) in sinks.into_iter().enumerate() {
         let (ph, ps) = input_stream::<P>();
         part_handles.push(ph);
+        let ps = match trace {
+            // Lane i mirrors the Table-II partition index; the prefix tags
+            // every span this partition's sort/PIQ stages record.
+            Some(sink) => ps.traced(
+                TraceCtx::new(sink)
+                    .with_prefix(format!("partition{i:02}"))
+                    .for_shard(i),
+            ),
+            None => ps,
+        };
         let ps = match registry {
             Some(r) => ps.instrument(r, &format!("partition{i:02}")),
             None => ps,
@@ -823,6 +873,56 @@ mod tests {
                 .find(|&&(w2, _)| w2 == w)
                 .is_some_and(|&(_, c2)| c <= c2)
         }));
+    }
+
+    #[test]
+    fn traced_framework_tags_spans_per_partition() {
+        use impatience_core::trace::{TraceClock, TraceConfig};
+        let sink = TraceSink::with(TraceClock::logical(), TraceConfig::default());
+        let meter = MemoryMeter::new();
+        let window = TickDuration::ticks(20);
+        let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy()).tumbling_window(window);
+        let mut ss = to_streamables_advanced_traced(
+            ds,
+            &latencies(),
+            |s: Streamable<u32>| s.count(),
+            |s: Streamable<u64>| s.reduce_by_key(|a, b| *a += b),
+            &meter,
+            None,
+            FrameworkPolicy::default(),
+            &sink,
+        )
+        .unwrap();
+        let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        for o in &outs {
+            assert!(o.is_completed());
+        }
+        // Tracing must not change the query results.
+        let counts: Vec<(i64, u64)> = outs[2]
+            .events()
+            .iter()
+            .map(|e| (e.sync_time.ticks(), e.payload))
+            .collect();
+        assert_eq!(counts, vec![(0, 4), (20, 2), (40, 1)]);
+        // Every partition's sort + PIQ stages recorded under its own tag
+        // and lane, mirroring the Table-II latency ladder.
+        let spans = sink.spans();
+        for i in 0..3u32 {
+            let tag = format!("partition{i:02}.");
+            let mine: Vec<_> = spans.iter().filter(|s| s.op.starts_with(&tag)).collect();
+            assert!(!mine.is_empty(), "no spans for partition {i}");
+            assert!(mine.iter().all(|s| s.shard == i), "lane mismatch");
+            assert!(
+                mine.iter()
+                    .any(|s| s.kind == impatience_core::SpanKind::Sort),
+                "partition {i} missing sort span"
+            );
+            assert!(
+                mine.iter().any(|s| s.op.ends_with(".count")),
+                "partition {i} missing PIQ span"
+            );
+        }
+        assert_eq!(sink.dropped(), 0);
     }
 
     #[test]

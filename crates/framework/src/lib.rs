@@ -52,8 +52,8 @@ pub mod plumbing;
 pub use disordered::DisorderedStreamable;
 pub use framework::{
     to_streamables_advanced, to_streamables_advanced_durable, to_streamables_advanced_metered,
-    to_streamables_advanced_with, to_streamables_basic, to_streamables_basic_durable,
-    to_streamables_basic_metered, to_streamables_basic_with, FrameworkPolicy, FrameworkStats,
-    Streamables,
+    to_streamables_advanced_traced, to_streamables_advanced_with, to_streamables_basic,
+    to_streamables_basic_durable, to_streamables_basic_metered, to_streamables_basic_with,
+    FrameworkPolicy, FrameworkStats, Streamables,
 };
 pub use plumbing::{HandleSink, TeeOp};

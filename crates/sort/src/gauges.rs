@@ -49,6 +49,17 @@ impl SorterGauges {
             speculative_misses: registry.gauge(&format!("{prefix}.speculative_misses")),
         }
     }
+
+    /// Tombstones the *live* state gauges (runs, buffered events, state
+    /// bytes) back to zero. Called when the owning sorter dies — error,
+    /// panic-unwind, teardown — so a registry snapshot never reports a dead
+    /// sorter's buffers as live. High-water marks and the lifetime
+    /// speculation counters survive: those are history, not liveness.
+    pub fn clear(&self) {
+        self.runs.set(0);
+        self.buffered.set(0);
+        self.state_bytes.set(0);
+    }
 }
 
 #[cfg(test)]

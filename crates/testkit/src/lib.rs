@@ -20,7 +20,9 @@
 //!   stragglers, punctuation regressions, payload corruption, injected
 //!   panics) for exercising the failure model end to end;
 //! * [`crash`] — seeded crash-point selection plus on-disk damage
-//!   (bit flips, torn tails) for the checkpoint/WAL recovery suite.
+//!   (bit flips, torn tails) for the checkpoint/WAL recovery suite;
+//! * [`trace`] — structural assertions over recorded trace spans
+//!   (the laminar-nesting invariant) for the trace conformance suite.
 //!
 //! ## Replaying a property failure
 //!
@@ -45,6 +47,7 @@ pub mod chaos;
 pub mod crash;
 pub mod prop;
 pub mod rng;
+pub mod trace;
 
 pub use chaos::{ChaosConfig, ChaosCounts, ChaosObserver};
 pub use crash::{
@@ -52,3 +55,4 @@ pub use crash::{
     tear_tail, truncate_file, CrashPoint,
 };
 pub use rng::{Rng, SeedableRng, StdRng};
+pub use trace::assert_laminar;

@@ -81,4 +81,39 @@ cargo run --release --offline -q -p impatience-bench --bin recovery -- \
 cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
     BENCH_recovery.json --require-recovery-activity
 
+echo "== trace conformance (traced pipelines byte-identical, spans laminar) =="
+# The observability determinism gate: traced runs must produce output
+# byte-identical to untraced ones across shard counts, spans must nest,
+# and sampled provenance must survive a crash -> restore -> replay cycle.
+cargo test -q --offline --test trace_conformance
+
+echo "== tracing gate (trace --check -> BENCH_trace.json) =="
+# The observability budget gate: the fully traced canonical CloudLog
+# pipeline (spans + default 1/1024 provenance sampling) must keep >= 95%
+# of untraced throughput on the cleanest interleaved run pair, tracing
+# must not change one output byte, and one combined export must cover
+# every span kind and round-trip the in-tree JSON parser. The snapshot
+# must then show real trace activity: nonzero spans, zero ring drops.
+rm -f BENCH_trace.json BENCH_trace.chrome.json BENCH_trace.folded
+cargo run --release --offline -q -p impatience-bench --bin trace -- \
+    --check --json BENCH_trace.json > /dev/null
+cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
+    BENCH_trace.json --require-trace-activity
+
+echo "== perf-regression gate (this run vs bench_results.jsonl history) =="
+# Every throughput measurement of this CI run is compared against the
+# recorded history: per measurement identity (exhibit + mode / shards /
+# dataset / events), the median of this run must stay within 15% of the
+# median of the last three recorded runs. On a clean pass the run is
+# appended to the history, so the baseline tracks the recent past; new
+# identities seed it. The budgeted fig5 run is deliberately excluded —
+# degradation under a memory budget is not a performance reference.
+tmp_run_jsonl="$(mktemp)"
+trap 'rm -f "$tmp_json" "$tmp_budget_json" "$tmp_run_jsonl"' EXIT
+cat "$tmp_json" BENCH_scale.json BENCH_recovery.json BENCH_trace.json \
+    > "$tmp_run_jsonl"
+cargo run --release --offline -q -p impatience-bench --bin perf_gate -- \
+    bench_results.jsonl "$tmp_run_jsonl" --max-drop-pct 15
+cat "$tmp_run_jsonl" >> bench_results.jsonl
+
 echo "CI OK"
