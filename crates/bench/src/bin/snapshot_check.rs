@@ -3,7 +3,7 @@
 //! ```sh
 //! snapshot_check <path.jsonl> [--require-fault-activity] \
 //!     [--require-recovery-activity] [--require-shard-activity] \
-//!     [--require-trace-activity]
+//!     [--require-trace-activity] [--require-spill-activity]
 //! ```
 //!
 //! Asserts that every line parses with the in-tree JSON parser and that at
@@ -26,7 +26,13 @@
 //! tracing layer actually recorded — a nonzero span total across the
 //! file's `"kind": "trace"` summary lines with **zero** ring-buffer drops
 //! (spans lost to a full ring would silently hollow out the trace).
-//! Exits non-zero with a message on the first violation.
+//! With `--require-spill-activity` it demands that the lossless spill
+//! ladder actually fired **and stayed lossless**: a nonzero
+//! `*.sorter.spill.runs_spilled` count and a nonzero
+//! `*.sorter.spill.bytes_on_disk` high-water somewhere in the file, with
+//! **zero** dead-lettered and **zero** shed events across the whole file
+//! (spilling that still sheds is not lossless). Exits non-zero with a
+//! message on the first violation.
 
 use impatience_bench::{metrics_of_line, trace_of_line};
 use impatience_core::Json;
@@ -42,12 +48,14 @@ fn main() {
     let mut require_recovery_activity = false;
     let mut require_shard_activity = false;
     let mut require_trace_activity = false;
+    let mut require_spill_activity = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-fault-activity" => require_fault_activity = true,
             "--require-recovery-activity" => require_recovery_activity = true,
             "--require-shard-activity" => require_shard_activity = true,
             "--require-trace-activity" => require_trace_activity = true,
+            "--require-spill-activity" => require_spill_activity = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other}")),
         }
@@ -56,7 +64,7 @@ fn main() {
         fail(
             "usage: snapshot_check <path.jsonl> [--require-fault-activity] \
              [--require-recovery-activity] [--require-shard-activity] \
-             [--require-trace-activity]",
+             [--require-trace-activity] [--require-spill-activity]",
         )
     });
     let text = std::fs::read_to_string(&path)
@@ -69,6 +77,8 @@ fn main() {
     let mut restores = 0u64;
     let mut shard_ingress = 0u64;
     let mut shard_merged = 0u64;
+    let mut spill_runs = 0u64;
+    let mut spill_disk_hwm = 0u64;
     let mut trace_spans = 0u64;
     let mut trace_dropped = 0u64;
     let mut trace_lines = 0usize;
@@ -90,6 +100,8 @@ fn main() {
             restores += counts.restores;
             shard_ingress += counts.shard_ingress;
             shard_merged += counts.shard_merged;
+            spill_runs += counts.spill_runs;
+            spill_disk_hwm = spill_disk_hwm.max(counts.spill_disk_hwm);
         }
         if let Some(trace) = trace_of_line(&js) {
             trace_lines += 1;
@@ -131,6 +143,20 @@ fn main() {
              shard.ingress.events={shard_ingress} shard.merge.events={shard_merged}"
         ));
     }
+    if require_spill_activity {
+        if spill_runs == 0 || spill_disk_hwm == 0 {
+            fail(&format!(
+                "{path}: --require-spill-activity: expected nonzero spill traffic, got \
+                 spill.runs_spilled={spill_runs} spill.bytes_on_disk hwm={spill_disk_hwm}"
+            ));
+        }
+        if dead_lettered > 0 || shed > 0 {
+            fail(&format!(
+                "{path}: --require-spill-activity: a lossless spill run must not dead-letter \
+                 or shed, got dead_lettered={dead_lettered} shed_events={shed}"
+            ));
+        }
+    }
     if require_trace_activity {
         if trace_lines == 0 || trace_spans == 0 {
             fail(&format!(
@@ -149,6 +175,7 @@ fn main() {
         "snapshot_check: {path}: {lines} lines ok, {snapshots} metrics snapshot(s), \
          {dead_lettered} dead-lettered, {shed} shed, {restores} restore(s), \
          {shard_ingress}/{shard_merged} sharded in/out, \
+         {spill_runs} run(s) spilled ({spill_disk_hwm} B on-disk hwm), \
          {trace_spans} span(s)/{trace_dropped} dropped in {trace_lines} trace line(s)"
     );
 }
@@ -161,6 +188,8 @@ struct ActivityCounts {
     restores: u64,
     shard_ingress: u64,
     shard_merged: u64,
+    spill_runs: u64,
+    spill_disk_hwm: u64,
 }
 
 /// One metrics snapshot must carry per-operator counters, the
@@ -277,6 +306,18 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) -> ActivityCounts {
             fail(&format!("{ctx}: histogram {name} lacks \"{field}\""));
         }
     }
+    // Spill activity lives in gauges: `spill.runs_spilled` is a lifetime
+    // count (it survives the sorter's death-tombstone), `spill.
+    // bytes_on_disk` is live with the peak in its high-water mark.
+    let gauge_field = |suffix: &str, field: &str| -> u64 {
+        gauge_names
+            .iter()
+            .filter(|n| n.ends_with(suffix))
+            .filter_map(|n| gauges.get(n))
+            .filter_map(|g| g.get(field).and_then(Json::as_i64))
+            .map(|v| v.max(0) as u64)
+            .sum()
+    };
     ActivityCounts {
         dead_lettered: sum_of("sort.dead_lettered"),
         shed: sum_of("sort.shed_events"),
@@ -285,5 +326,7 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) -> ActivityCounts {
         // match a hypothetical "*.ingress.events".
         shard_ingress: sum_of("shard.ingress.events"),
         shard_merged: sum_of("shard.merge.events"),
+        spill_runs: gauge_field("spill.runs_spilled", "value"),
+        spill_disk_hwm: gauge_field("spill.bytes_on_disk", "high_water"),
     }
 }

@@ -14,6 +14,11 @@ pub struct BenchArgs {
     /// pipeline: runs it degraded (dead-letter + shed-oldest-runs) and
     /// asserts the state-bytes high water never exceeds the budget.
     pub memory_budget: Option<usize>,
+    /// Optional spill directory. With both a budget and a spill dir, the
+    /// sampled pipeline runs the lossless ladder instead: cold runs are
+    /// sealed into run files under this directory (`ShedPolicy::
+    /// SpillColdRuns`) before any forced punctuation or shedding.
+    pub spill_dir: Option<String>,
 }
 
 impl BenchArgs {
@@ -26,6 +31,7 @@ impl BenchArgs {
             check: false,
             json: None,
             memory_budget: None,
+            spill_dir: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -55,6 +61,14 @@ impl BenchArgs {
                             .unwrap_or_else(|| usage("--memory-budget needs a byte count")),
                     );
                 }
+                "--spill-dir" => {
+                    i += 1;
+                    args.spill_dir = Some(
+                        argv.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--spill-dir needs a path")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -81,6 +95,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--events N] [--check] [--json PATH] [--memory-budget BYTES]");
+    eprintln!(
+        "usage: <bin> [--events N] [--check] [--json PATH] [--memory-budget BYTES] \
+         [--spill-dir PATH]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

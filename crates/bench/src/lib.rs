@@ -34,7 +34,8 @@ pub use cli::BenchArgs;
 pub use drive::{drive_online_sorter, offline_sorter_names, run_offline_sorter, DriveOutcome};
 pub use metrics::{
     emit_metrics_json, emit_pipeline_metrics, emit_trace_json, metrics_of_line, pipeline_metrics,
-    pipeline_metrics_in, pipeline_metrics_traced, pipeline_metrics_with, trace_of_line,
+    pipeline_metrics_in, pipeline_metrics_spilled, pipeline_metrics_traced, pipeline_metrics_with,
+    trace_of_line,
 };
 pub use queries::{run_query, run_query_metered, Method, Query, QueryRunOutcome};
 pub use report::{fmt_throughput, Row, Table};

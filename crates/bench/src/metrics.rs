@@ -14,8 +14,9 @@ use impatience_core::{
 };
 use impatience_engine::ops::SortPolicy;
 use impatience_engine::{input_stream, punctuate_arrivals, BlackHoleSink, IngressPolicy, TraceCtx};
-use impatience_sort::ImpatienceSorter;
+use impatience_sort::{ExternalImpatienceSorter, ImpatienceSorter, OnlineSorter};
 use impatience_workloads::Dataset;
+use std::path::Path;
 
 use crate::cli::BenchArgs;
 
@@ -62,7 +63,7 @@ pub fn pipeline_metrics_in(
     punctuation_frequency: usize,
     budget: Option<usize>,
 ) {
-    run_canonical(registry, ds, punctuation_frequency, budget, None);
+    run_canonical(registry, ds, punctuation_frequency, budget, None, None);
 }
 
 /// [`pipeline_metrics_in`] with structured tracing: every stage of the
@@ -77,7 +78,38 @@ pub fn pipeline_metrics_traced(
     budget: Option<usize>,
     sink: &TraceSink,
 ) {
-    run_canonical(registry, ds, punctuation_frequency, budget, Some(sink));
+    run_canonical(
+        registry,
+        ds,
+        punctuation_frequency,
+        budget,
+        None,
+        Some(sink),
+    );
+}
+
+/// [`pipeline_metrics_traced`] on the lossless ladder: the sorter is an
+/// [`ExternalImpatienceSorter`] spilling under `spill_dir`, the shed policy
+/// is [`ShedPolicy::SpillColdRuns`], and late events drop (so a clean run
+/// proves **zero** dead-letters and sheds under memory pressure). The
+/// budget high-water assertion still applies. The spill directory is left
+/// on disk for the caller to inspect or remove.
+pub fn pipeline_metrics_spilled(
+    registry: &MetricsRegistry,
+    ds: &Dataset,
+    punctuation_frequency: usize,
+    budget: usize,
+    spill_dir: &Path,
+    sink: &TraceSink,
+) {
+    run_canonical(
+        registry,
+        ds,
+        punctuation_frequency,
+        Some(budget),
+        Some(spill_dir),
+        Some(sink),
+    );
 }
 
 fn run_canonical(
@@ -85,6 +117,7 @@ fn run_canonical(
     ds: &Dataset,
     punctuation_frequency: usize,
     budget: Option<usize>,
+    spill: Option<&Path>,
     trace: Option<&TraceSink>,
 ) {
     let n = ds.len().min(METRICS_SAMPLE_EVENTS);
@@ -111,16 +144,19 @@ fn run_canonical(
         q.bind_dropped_counter(registry.counter("dead_letter.dropped"));
         q
     });
+    // Spilling pipelines drop (rather than dead-letter) late events so a
+    // clean run demonstrates zero dead-letter traffic; non-spilling
+    // budgeted runs keep the harsher dead-letter accounting.
     let policy = SortPolicy {
-        late: if budget.is_some() {
+        late: if budget.is_some() && spill.is_none() {
             LatePolicy::DeadLetter
         } else {
             LatePolicy::Drop
         },
-        shed: if budget.is_some() {
-            ShedPolicy::ShedOldestRuns
-        } else {
-            ShedPolicy::ForcePunctuation
+        shed: match (spill, budget) {
+            (Some(_), _) => ShedPolicy::SpillColdRuns,
+            (None, Some(_)) => ShedPolicy::ShedOldestRuns,
+            (None, None) => ShedPolicy::ForcePunctuation,
         },
         dead_letters,
     };
@@ -153,8 +189,12 @@ fn run_canonical(
     } else {
         stream
     };
+    let sorter: Box<dyn OnlineSorter<Event<EvalPayload>>> = match spill {
+        Some(dir) => Box::new(ExternalImpatienceSorter::new(dir)),
+        None => Box::new(ImpatienceSorter::new()),
+    };
     let stream = stream
-        .sorted_with_policy(Box::new(ImpatienceSorter::new()), &meter, policy)
+        .sorted_with_policy(sorter, &meter, policy)
         .expect("Drop/DeadLetter sort policies are accepted");
     let stream = match &ctx {
         Some(c) => stream
@@ -203,14 +243,23 @@ fn run_canonical(
 pub fn emit_pipeline_metrics(args: &BenchArgs, exhibit: &str, ds: &Dataset) {
     let registry = MetricsRegistry::new();
     let sink = TraceSink::new();
-    pipeline_metrics_traced(&registry, ds, 10_000, args.memory_budget, &sink);
+    match (args.memory_budget, &args.spill_dir) {
+        (Some(b), Some(dir)) => {
+            pipeline_metrics_spilled(&registry, ds, 10_000, b, Path::new(dir), &sink)
+        }
+        _ => pipeline_metrics_traced(&registry, ds, 10_000, args.memory_budget, &sink),
+    }
     let snapshot = registry.snapshot();
-    match args.memory_budget {
-        Some(b) => println!(
+    match (args.memory_budget, &args.spill_dir) {
+        (Some(b), Some(dir)) => println!(
+            "\nmetrics snapshot ({}, sampled pipeline, {b}-byte budget, spilling to {dir}):",
+            ds.name
+        ),
+        (Some(b), None) => println!(
             "\nmetrics snapshot ({}, sampled pipeline, {b}-byte budget):",
             ds.name
         ),
-        None => println!("\nmetrics snapshot ({}, sampled pipeline):", ds.name),
+        _ => println!("\nmetrics snapshot ({}, sampled pipeline):", ds.name),
     }
     print!("{snapshot}");
     emit_metrics_json(args, exhibit, &ds.name, &snapshot);

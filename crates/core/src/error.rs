@@ -77,6 +77,15 @@ pub enum StreamError {
         /// Description of the failed recovery step.
         detail: String,
     },
+    /// A spill-to-disk operation (sealing a cold run to a run file, or
+    /// streaming a spilled run back through the merge) failed: an I/O
+    /// error, a torn or truncated run file, or a checksum mismatch.
+    /// Delivered as a terminal typed error instead of aborting; the
+    /// underlying cause is stringified in `detail`.
+    SpillFailed {
+        /// Description of the failed spill step.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -119,6 +128,9 @@ impl fmt::Display for StreamError {
             }
             StreamError::RecoveryFailed { detail } => {
                 write!(f, "crash recovery failed: {detail}")
+            }
+            StreamError::SpillFailed { detail } => {
+                write!(f, "spill to disk failed: {detail}")
             }
         }
     }
@@ -192,6 +204,12 @@ mod tests {
         };
         assert!(e.to_string().contains("pipeline.03.window"));
         assert!(e.to_string().contains("index out of bounds"));
+
+        let e = StreamError::SpillFailed {
+            detail: "run-000000000003.run: checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("spill to disk failed"));
+        assert!(e.to_string().contains("run-000000000003.run"));
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub enum ShedPolicy {
     /// budget. Latency semantics are preserved for surviving events; shed
     /// events are counted and dead-lettered when a queue is attached.
     ShedOldestRuns,
+    /// Seal cold runs into checksummed on-disk run files until back under
+    /// budget — the lossless rung of the degradation ladder. No events are
+    /// lost and latency semantics are preserved; spilled runs are merged
+    /// back at punctuation boundaries by a streaming k-way merge, so output
+    /// stays byte-identical to the all-in-memory sorter. Only sorters with
+    /// spill support (`sort::external`) reclaim state under this policy;
+    /// if spilling cannot get back under budget the engine falls back to a
+    /// forced punctuation and, as a last resort, a capped shed.
+    SpillColdRuns,
 }
 
 /// Why an event landed in the dead-letter queue.

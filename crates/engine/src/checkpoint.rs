@@ -73,6 +73,14 @@ pub trait Checkpointable: Send {
 
     /// Replaces this operator's state with a previously encoded snapshot.
     fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError>;
+
+    /// Called after a checkpoint containing this operator's state has been
+    /// durably committed. Operators holding deferred-deletion resources
+    /// (e.g. an external sorter's drained spill files) advance their
+    /// reclamation here: with two retained checkpoint slots, a resource
+    /// unreferenced since two commits is provably unreachable from every
+    /// retained generation and safe to delete. The default is a no-op.
+    fn on_checkpoint_committed(&mut self) {}
 }
 
 /// Counters published by the checkpoint/recovery machinery, registered
@@ -505,22 +513,33 @@ impl<P: Payload> CheckpointGate<P> {
             )));
         }
         for (p, (id, body)) in participants.iter().zip(&slot.frames) {
-            let mut p = lock(p);
-            if p.state_id() != id {
-                return self.fail_recovery(SnapshotError::corrupt(format!(
-                    "checkpoint state '{id}' does not match operator '{}'",
-                    p.state_id()
-                )));
-            }
-            let mut r = SnapshotReader::new(body);
-            if let Err(e) = p.restore_state(&mut r) {
+            // The participant guard MUST be released before fail_recovery:
+            // the typed error is delivered down the live chain, which locks
+            // the very operator that failed to restore (it sits behind the
+            // same shared cell). Failing while holding the guard deadlocks.
+            let restored = {
+                let mut p = lock(p);
+                if p.state_id() != id {
+                    Err(SnapshotError::corrupt(format!(
+                        "checkpoint state '{id}' does not match operator '{}'",
+                        p.state_id()
+                    )))
+                } else {
+                    let mut r = SnapshotReader::new(body);
+                    p.restore_state(&mut r).and_then(|()| {
+                        if r.is_exhausted() {
+                            Ok(())
+                        } else {
+                            Err(SnapshotError::corrupt(format!(
+                                "operator '{id}' left {} bytes of its state frame unread",
+                                r.remaining()
+                            )))
+                        }
+                    })
+                }
+            };
+            if let Err(e) = restored {
                 return self.fail_recovery(e);
-            }
-            if !r.is_exhausted() {
-                return self.fail_recovery(SnapshotError::corrupt(format!(
-                    "operator '{id}' left {} bytes of its state frame unread",
-                    r.remaining()
-                )));
             }
         }
         self.messages_seen = slot.messages_seen;
@@ -549,6 +568,12 @@ impl<P: Payload> CheckpointGate<P> {
             Ok(bytes) => {
                 metrics.written.inc();
                 metrics.bytes.add(bytes);
+                // The generation is durable: let every operator advance
+                // deferred cleanup (e.g. spill-file GC) that must lag the
+                // retained checkpoint slots.
+                for p in &participants {
+                    lock(p).on_checkpoint_committed();
+                }
                 let note = CheckpointNote {
                     generation: self.checkpointer.next_generation - 1,
                     messages_seen: self.messages_seen,

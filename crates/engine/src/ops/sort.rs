@@ -15,9 +15,16 @@
 //!
 //! Buffered bytes are continuously mirrored into a [`MemoryMeter`]. When
 //! the meter carries an enforced budget, exceeding it triggers the
-//! [`ShedPolicy`]: either a **forced punctuation** that flushes the buffer
-//! early at a degraded effective reorder latency, or **shed-oldest-runs**
-//! eviction that dead-letters the most severely delayed runs wholesale.
+//! [`ShedPolicy`]: a **forced punctuation** that flushes the buffer early
+//! at a degraded effective reorder latency, **shed-oldest** eviction that
+//! dead-letters the most severely delayed events (capped at the overage, so
+//! only what must go goes), or — the lossless rung — **spill-cold-runs**,
+//! which seals cold runs into checksummed on-disk run files and merges them
+//! back at punctuation boundaries. Under `SpillColdRuns` the full
+//! degradation ladder is spill → forced punctuation → capped shed; each
+//! rung only fires when the previous one could not get back under budget.
+//! Disk faults surface through [`OnlineSorter::take_fault`] and poison the
+//! chain with a typed error instead of aborting.
 
 use crate::checkpoint::Checkpointable;
 use crate::observer::Observer;
@@ -94,6 +101,11 @@ pub struct SortOp<P: Payload, S> {
     /// Highest `sync_time` ever accepted into the sorter — the finite cut a
     /// forced punctuation flushes at.
     high: Timestamp,
+    /// True once a forced cut has advanced the watermark past the
+    /// upstream's punctuations. Part of the checkpointed state: after a
+    /// restore the operator must still recognise replayed stale
+    /// punctuations as progress rather than regressions.
+    watermark_forced: bool,
     policy: SortPolicy<P>,
     faults: SortFaultCounters,
     failed: bool,
@@ -126,6 +138,7 @@ impl<P: Payload, S> SortOp<P, S> {
             charged: 0,
             watermark: Timestamp::MIN,
             high: Timestamp::MIN,
+            watermark_forced: false,
             policy,
             faults: SortFaultCounters::new(),
             failed: false,
@@ -207,49 +220,132 @@ impl<P: Payload, S> SortOp<P, S> {
 }
 
 impl<P: Payload, S: Observer<P>> SortOp<P, S> {
-    /// Brings the sorter back under its memory budget, if one is set and
-    /// exceeded. Returns the events to emit (from a forced flush), if any.
-    fn enforce_budget(&mut self) {
-        if !self.meter.over_budget() {
-            return;
+    /// Polls the sorter for a pending disk fault (recorded inside
+    /// `punctuate`, whose signature cannot fail) and poisons the chain with
+    /// it. Returns `true` if the chain just failed.
+    fn poll_fault(&mut self) -> bool {
+        if let Some(e) = self.sorter.take_fault() {
+            self.on_error(e);
+            return true;
         }
-        if self.policy.shed == ShedPolicy::ShedOldestRuns {
-            let mut shed: Vec<Event<P>> = Vec::new();
-            while self.meter.over_budget() {
-                shed.clear();
-                if self.sorter.shed_oldest(&mut shed) == 0 {
-                    break; // no run structure / nothing left: fall through
-                }
-                self.faults.shed_events.add(shed.len() as u64);
-                for e in shed.drain(..) {
-                    self.faults.dead_lettered.inc();
-                    if let Some(q) = &self.policy.dead_letters {
-                        q.push(e, DeadLetterReason::Shed);
-                    }
-                }
-                self.sync_meter();
+        false
+    }
+
+    /// Sheds the oldest buffered events, capped at the current budget
+    /// overage, dead-lettering what goes. Returns `true` if any progress
+    /// was made. The cap frees exactly what the [`MemoryMeter`] recorded as
+    /// over, instead of dead-lettering a whole run when only part of it
+    /// exceeds the budget.
+    fn shed_capped(&mut self) -> bool {
+        let item_bytes = core::mem::size_of::<Event<P>>().max(1);
+        let mut progress = false;
+        let mut shed: Vec<Event<P>> = Vec::new();
+        while self.meter.over_budget() {
+            let Some(budget) = self.meter.budget() else {
+                break;
+            };
+            let overage = self.meter.current().saturating_sub(budget);
+            let cap = overage / item_bytes + 1;
+            shed.clear();
+            if self.sorter.shed_oldest_capped(cap, &mut shed) == 0 {
+                break; // no run structure / nothing left: fall through
             }
+            progress = true;
+            self.faults.shed_events.add(shed.len() as u64);
+            for e in shed.drain(..) {
+                self.faults.dead_lettered.inc();
+                if let Some(q) = &self.policy.dead_letters {
+                    q.push(e, DeadLetterReason::Shed);
+                }
+            }
+            self.sync_meter();
+        }
+        progress
+    }
+
+    /// Spills cold runs to disk until back under budget (the lossless
+    /// rung). Returns `true` if the chain failed on a disk fault.
+    fn spill_until_under_budget(&mut self) -> bool {
+        loop {
             if !self.meter.over_budget() {
-                self.sync_gauges();
-                return;
+                return false;
+            }
+            let Some(budget) = self.meter.budget() else {
+                return false;
+            };
+            // The meter may account more than this sorter; spill only this
+            // sorter's share of the overage.
+            let overage = self.meter.current().saturating_sub(budget);
+            let target = self.sorter.state_bytes().saturating_sub(overage);
+            match self.sorter.spill_cold(target) {
+                Ok(0) => return false, // no spill support / nothing cold left
+                Ok(_) => self.sync_meter(),
+                Err(e) => {
+                    self.on_error(e);
+                    return true;
+                }
             }
         }
-        // ForcePunctuation, or shedding could not reclaim enough: flush
-        // everything buffered by punctuating at the highest accepted
-        // sync_time (a finite cut — the sorter stays usable) and advance
-        // the watermark to it. The effective reorder latency degrades —
-        // events at or below this cut become late and fall under the late
-        // policy.
+    }
+
+    /// Flushes everything buffered by punctuating at the highest accepted
+    /// sync_time (a finite cut — the sorter stays usable) and advances the
+    /// watermark to it. The effective reorder latency degrades — events at
+    /// or below this cut become late and fall under the late policy.
+    fn forced_cut(&mut self) {
         let cut = self.high.max(self.watermark);
         let mut out = Vec::new();
         self.sorter.punctuate(cut, &mut out);
+        if self.poll_fault() {
+            return;
+        }
         self.sync_meter();
         self.sync_gauges();
         if !out.is_empty() {
             self.faults.forced_punctuations.inc();
             self.watermark = cut;
+            self.watermark_forced = true;
             self.next.on_batch(EventBatch::from_events(out));
             self.next.on_punctuation(cut);
+        }
+    }
+
+    /// Brings the sorter back under its memory budget, if one is set and
+    /// exceeded, by walking the policy's degradation ladder.
+    fn enforce_budget(&mut self) {
+        if !self.meter.over_budget() || self.failed {
+            return;
+        }
+        match self.policy.shed {
+            ShedPolicy::SpillColdRuns => {
+                // Rung 1 — lossless: freeze cold runs to disk.
+                if self.spill_until_under_budget() {
+                    return;
+                }
+                if !self.meter.over_budget() {
+                    self.sync_gauges();
+                    return;
+                }
+                // Rung 2: forced punctuation (keeps every event, degrades
+                // the effective reorder latency).
+                self.forced_cut();
+                if self.failed || !self.meter.over_budget() {
+                    return;
+                }
+                // Rung 3 — last resort: shed exactly the overage.
+                self.shed_capped();
+                self.sync_gauges();
+            }
+            ShedPolicy::ShedOldestRuns => {
+                if self.shed_capped() && !self.meter.over_budget() {
+                    self.sync_gauges();
+                    return;
+                }
+                if self.meter.over_budget() {
+                    self.forced_cut();
+                }
+            }
+            ShedPolicy::ForcePunctuation => self.forced_cut(),
         }
     }
 }
@@ -262,6 +358,7 @@ impl<P: Payload, S: Send> Checkpointable for SortOp<P, S> {
     fn encode_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
         self.watermark.encode(w);
         self.high.encode(w);
+        w.put_u8(self.watermark_forced as u8);
         // The sorter decides whether its buffer is snapshottable; baseline
         // sorters without support surface `Unsupported`, which downgrades
         // the whole checkpoint to a counted skip.
@@ -271,11 +368,20 @@ impl<P: Payload, S: Send> Checkpointable for SortOp<P, S> {
     fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
         let watermark = Timestamp::decode(r)?;
         let high = Timestamp::decode(r)?;
+        let watermark_forced = r.get_u8()? != 0;
         self.sorter.restore_state(r)?;
         self.watermark = watermark;
         self.high = high;
+        self.watermark_forced = watermark_forced;
         self.sync_meter();
         Ok(())
+    }
+
+    fn on_checkpoint_committed(&mut self) {
+        // A committed checkpoint retires one more retained generation;
+        // spill files doomed two commits ago are now provably unreferenced
+        // and can be reclaimed.
+        self.sorter.spill_gc();
     }
 }
 
@@ -306,8 +412,11 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
             // regressions, and are swallowed to keep downstream order
             // intact. Absent a forced cut, a backwards punctuation is a
             // real contract violation: poison the chain with a typed error
-            // instead of corrupting the output order.
-            if self.faults.forced_punctuations.get() > 0 {
+            // instead of corrupting the output order. The flag (not the
+            // metrics counter) decides: it survives checkpoint/restore, so
+            // a recovered operator whose restored watermark ran ahead via
+            // a pre-crash forced cut still swallows replayed punctuations.
+            if self.watermark_forced {
                 return;
             }
             self.failed = true;
@@ -321,6 +430,9 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
         self.sync_gauges();
         let mut out = Vec::new();
         self.sorter.punctuate(t, &mut out);
+        if self.poll_fault() {
+            return;
+        }
         self.sync_meter();
         self.sync_gauges();
         if !out.is_empty() {
@@ -336,6 +448,9 @@ impl<P: Payload, S: Observer<P>> Observer<P> for SortOp<P, S> {
         self.sync_gauges();
         let mut out = Vec::new();
         self.sorter.drain_all(&mut out);
+        if self.poll_fault() {
+            return;
+        }
         self.sync_meter();
         self.sync_gauges();
         if !out.is_empty() {
@@ -607,6 +722,127 @@ mod tests {
         drop(op);
         assert_eq!(gauges.buffered.get(), 0, "drop tombstones the gauges");
         assert_eq!(gauges.state_bytes.get(), 0);
+    }
+
+    fn spill_scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("impatience-sortop-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spill_cold_runs_is_lossless_under_budget() {
+        use impatience_sort::{ExternalImpatienceSorter, ExternalSortConfig, SorterGauges};
+        let dir = spill_scratch("lossless");
+        let mut cfg = ExternalSortConfig::new(&dir);
+        // Blocks big enough that frozen-run bookkeeping (one BlockMeta per
+        // block) stays far below the budget.
+        cfg.block_bytes = 4096;
+        let registry = MetricsRegistry::new();
+        let gauges = SorterGauges::register(&registry, "sorter");
+        let budget = 48 * core::mem::size_of::<Event<u32>>();
+        let meter = MemoryMeter::with_budget(budget);
+        let dlq = DeadLetterQueue::new();
+        let (out, sink) = Output::<u32>::new();
+        let policy = SortPolicy {
+            late: LatePolicy::Drop,
+            shed: ShedPolicy::SpillColdRuns,
+            dead_letters: Some(dlq.clone()),
+        };
+        let mut op = SortOp::with_policy(
+            Box::new(ExternalImpatienceSorter::with_config(cfg)),
+            meter.clone(),
+            policy,
+            sink,
+        )
+        .with_gauges(gauges.clone());
+        // The same straggler-heavy shape that forces ShedOldestRuns to
+        // dead-letter; under SpillColdRuns every event must survive.
+        let mut batch_events: Vec<Event<u32>> = Vec::new();
+        for i in 0..400i64 {
+            batch_events.push(Event::point(Timestamp::new(1_000 + i), 1));
+            if i % 7 == 0 {
+                batch_events.push(Event::point(Timestamp::new(i), 2));
+            }
+            if batch_events.len() >= 8 {
+                op.on_batch(batch_events.drain(..).collect());
+                assert!(meter.current() <= budget, "budget holds");
+            }
+        }
+        op.on_batch(batch_events.drain(..).collect());
+        op.on_completed();
+        assert!(
+            gauges.spill_runs_spilled.get() > 0,
+            "pressure forced spilling"
+        );
+        assert_eq!(
+            op.forced_punctuations(),
+            0,
+            "spilling alone reclaimed enough"
+        );
+        assert_eq!(op.shed_events(), 0, "spill rung kept shedding at zero");
+        assert_eq!(op.dead_lettered(), 0);
+        assert_eq!(dlq.total(), 0);
+        assert!(validate_ordered_stream(&out.messages()).is_ok());
+        let total = 400 + (0..400).filter(|i| i % 7 == 0).count();
+        assert_eq!(out.events().len(), total, "lossless: every event emitted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_disk_fault_poisons_chain_with_typed_error() {
+        use impatience_sort::{ExternalImpatienceSorter, ExternalSortConfig};
+        let dir = spill_scratch("fault");
+        let mut cfg = ExternalSortConfig::new(&dir);
+        cfg.block_bytes = 4096;
+        let budget = 48 * core::mem::size_of::<Event<u32>>();
+        let meter = MemoryMeter::with_budget(budget);
+        let (out, sink) = Output::<u32>::new();
+        let policy = SortPolicy {
+            late: LatePolicy::Drop,
+            shed: ShedPolicy::SpillColdRuns,
+            dead_letters: None,
+        };
+        let mut op = SortOp::with_policy(
+            Box::new(ExternalImpatienceSorter::with_config(cfg)),
+            meter.clone(),
+            policy,
+            sink,
+        );
+        // Stragglers force cold runs onto disk.
+        let mut batch_events: Vec<Event<u32>> = Vec::new();
+        for i in 0..200i64 {
+            batch_events.push(Event::point(Timestamp::new(1_000 + i), 1));
+            if i % 5 == 0 {
+                batch_events.push(Event::point(Timestamp::new(i), 2));
+            }
+            if batch_events.len() >= 8 {
+                op.on_batch(batch_events.drain(..).collect());
+            }
+        }
+        op.on_batch(batch_events.drain(..).collect());
+        // Corrupt the final byte (the last block's CRC) of every run file:
+        // the next merge that reads one must surface a typed error, never
+        // abort.
+        let mut damaged = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "run") {
+                let len = path.metadata().unwrap().len();
+                impatience_testkit::corrupt_byte(&path, len - 1).unwrap();
+                damaged += 1;
+            }
+        }
+        assert!(damaged > 0, "spill produced run files to damage");
+        op.on_punctuation(Timestamp::new(2_000)); // merges frozen runs
+        op.on_completed(); // poisoned: swallowed
+        match out.error() {
+            Some(StreamError::SpillFailed { .. }) => {}
+            other => panic!("expected SpillFailed, got {other:?}"),
+        }
+        assert!(!out.is_completed(), "no completion after a spill fault");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -258,6 +258,16 @@ pub struct ShardCtx {
     pub shards: usize,
 }
 
+impl ShardCtx {
+    /// A per-shard spill directory under `root` (`root/shard-NN`), so
+    /// external sorters on different worker threads never share run files.
+    /// The directory is not created here; the external sorter creates it
+    /// lazily on first spill.
+    pub fn spill_dir(&self, root: impl AsRef<std::path::Path>) -> std::path::PathBuf {
+        root.as_ref().join(format!("shard-{:02}", self.index))
+    }
+}
+
 /// Tuning for [`Streamable::sharded_with`].
 #[derive(Clone)]
 pub struct ShardOptions {

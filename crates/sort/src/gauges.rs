@@ -29,6 +29,20 @@ pub struct SorterGauges {
     pub speculative_hits: Gauge,
     /// Lifetime speculation misses; hit rate is `hits / (hits + misses)`.
     pub speculative_misses: Gauge,
+    /// Lifetime count of runs sealed into on-disk run files.
+    pub spill_runs_spilled: Gauge,
+    /// Live bytes held in spill files; the high-water mark is the peak
+    /// on-disk footprint of the external sort.
+    pub spill_bytes_on_disk: Gauge,
+    /// Lifetime tiered-merge compaction passes over spill files.
+    pub spill_merge_passes: Gauge,
+    /// Lifetime bytes read back from spill files (merge + compaction).
+    pub spill_bytes_read: Gauge,
+    /// Lifetime bytes written to spill files (spill + compaction); the
+    /// ratio to input bytes is the spill write amplification.
+    pub spill_bytes_written: Gauge,
+    /// Lifetime fsyncs issued for spill files and their directory.
+    pub spill_fsyncs: Gauge,
 }
 
 impl SorterGauges {
@@ -39,7 +53,11 @@ impl SorterGauges {
 
     /// Gauges backed by `registry` under `{prefix}.runs`,
     /// `{prefix}.buffered_events`, `{prefix}.state_bytes`,
-    /// `{prefix}.speculative_hits`, and `{prefix}.speculative_misses`.
+    /// `{prefix}.speculative_hits`, `{prefix}.speculative_misses`, and the
+    /// external-sort spill family `{prefix}.spill.runs_spilled`,
+    /// `{prefix}.spill.bytes_on_disk`, `{prefix}.spill.merge_passes`,
+    /// `{prefix}.spill.bytes_read`, `{prefix}.spill.bytes_written`, and
+    /// `{prefix}.spill.fsyncs`.
     pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
         SorterGauges {
             runs: registry.gauge(&format!("{prefix}.runs")),
@@ -47,18 +65,26 @@ impl SorterGauges {
             state_bytes: registry.gauge(&format!("{prefix}.state_bytes")),
             speculative_hits: registry.gauge(&format!("{prefix}.speculative_hits")),
             speculative_misses: registry.gauge(&format!("{prefix}.speculative_misses")),
+            spill_runs_spilled: registry.gauge(&format!("{prefix}.spill.runs_spilled")),
+            spill_bytes_on_disk: registry.gauge(&format!("{prefix}.spill.bytes_on_disk")),
+            spill_merge_passes: registry.gauge(&format!("{prefix}.spill.merge_passes")),
+            spill_bytes_read: registry.gauge(&format!("{prefix}.spill.bytes_read")),
+            spill_bytes_written: registry.gauge(&format!("{prefix}.spill.bytes_written")),
+            spill_fsyncs: registry.gauge(&format!("{prefix}.spill.fsyncs")),
         }
     }
 
     /// Tombstones the *live* state gauges (runs, buffered events, state
-    /// bytes) back to zero. Called when the owning sorter dies — error,
-    /// panic-unwind, teardown — so a registry snapshot never reports a dead
-    /// sorter's buffers as live. High-water marks and the lifetime
-    /// speculation counters survive: those are history, not liveness.
+    /// bytes, bytes on disk) back to zero. Called when the owning sorter
+    /// dies — error, panic-unwind, teardown — so a registry snapshot never
+    /// reports a dead sorter's buffers as live. High-water marks and the
+    /// lifetime counters (speculation, runs spilled, merge passes, spill
+    /// I/O totals) survive: those are history, not liveness.
     pub fn clear(&self) {
         self.runs.set(0);
         self.buffered.set(0);
         self.state_bytes.set(0);
+        self.spill_bytes_on_disk.set(0);
     }
 }
 
@@ -80,5 +106,29 @@ mod tests {
                 .high_water(),
             4096
         );
+    }
+
+    #[test]
+    fn clear_tombstones_live_spill_state_but_keeps_history() {
+        let registry = MetricsRegistry::new();
+        let g = SorterGauges::register(&registry, "p.00.sorter");
+        g.spill_runs_spilled.set(5);
+        g.spill_bytes_on_disk.set(8192);
+        g.spill_merge_passes.set(2);
+        g.clear();
+        assert_eq!(registry.gauge("p.00.sorter.spill.bytes_on_disk").get(), 0);
+        assert_eq!(
+            registry
+                .gauge("p.00.sorter.spill.bytes_on_disk")
+                .high_water(),
+            8192,
+            "on-disk high water survives the tombstone"
+        );
+        assert_eq!(
+            registry.gauge("p.00.sorter.spill.runs_spilled").get(),
+            5,
+            "lifetime spill counters are history, not liveness"
+        );
+        assert_eq!(registry.gauge("p.00.sorter.spill.merge_passes").get(), 2);
     }
 }

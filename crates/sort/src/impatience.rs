@@ -191,6 +191,13 @@ impl<T: EventTimed + Clone + StateCodec + Send> OnlineSorter<T> for ImpatienceSo
         n
     }
 
+    fn shed_oldest_capped(&mut self, max_items: usize, out: &mut Vec<T>) -> usize {
+        let shed = self.runs.shed_oldest_items(max_items);
+        let n = shed.len();
+        out.extend(shed);
+        n
+    }
+
     fn sync_gauges(&self, gauges: &crate::gauges::SorterGauges) {
         gauges.buffered.set(self.buffered_len() as i64);
         gauges.state_bytes.set(self.state_bytes() as i64);
@@ -414,6 +421,23 @@ mod tests {
         // Empty sorter sheds nothing (engine falls back to forced cuts).
         let mut empty: ImpatienceSorter<i64> = ImpatienceSorter::new();
         assert_eq!(empty.shed_oldest(&mut shed), 0);
+    }
+
+    #[test]
+    fn shed_oldest_capped_frees_only_the_overage() {
+        let mut s: ImpatienceSorter<i64> = ImpatienceSorter::new();
+        for x in [100i64, 101, 102, 50, 51, 5, 6] {
+            s.push(x);
+        }
+        // Runs: [100,101,102], [50,51], [5,6]. A cap of 1 sheds only the
+        // head of the most-delayed run instead of the whole run.
+        let mut shed = Vec::new();
+        assert_eq!(s.shed_oldest_capped(1, &mut shed), 1);
+        assert_eq!(shed, vec![5]);
+        assert_eq!(s.buffered_len(), 6);
+        let mut out = Vec::new();
+        s.drain_all(&mut out);
+        assert_eq!(out, vec![6, 50, 51, 100, 101, 102]);
     }
 
     #[test]

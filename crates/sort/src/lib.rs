@@ -29,26 +29,34 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bsort;
+pub mod external;
 pub mod gauges;
 pub mod heapsort;
 pub mod impatience;
 pub mod incremental;
+pub mod loser_tree;
 pub mod merge;
 pub mod patience;
 pub mod quicksort;
 pub mod runset;
+pub mod tiered;
 pub mod timsort;
 pub mod traits;
 
 pub use bsort::BSortSorter;
+pub use external::{
+    ExternalImpatienceSorter, ExternalSortConfig, SpillStats, Tagged, RUN_MAGIC, RUN_VERSION,
+};
 pub use gauges::SorterGauges;
 pub use heapsort::{heapsort, HeapSorter, HeapsortAlgorithm};
 pub use impatience::{ImpatienceConfig, ImpatienceSorter};
 pub use incremental::CutBuffer;
+pub use loser_tree::{merge_sources, MergeSource, StreamingLoserTree, VecSource};
 pub use merge::{binary_merge, loser_tree_merge, merge_into, merge_runs, LoserTree, MergePolicy};
 pub use patience::{PatienceAlgorithm, PatienceSort};
 pub use quicksort::{insertion_sort, quicksort, QuicksortAlgorithm};
 pub use runset::{RunSet, SortedRun};
+pub use tiered::TieredMergePolicy;
 pub use timsort::{timsort, TimsortAlgorithm};
 pub use traits::{sort_with, OnlineSorter, SortAlgorithm};
 

@@ -106,6 +106,26 @@ impl<T: EventTimed> SortedRun<T> {
         }
     }
 
+    /// Removes the first `n` live items (the earliest — most severely
+    /// delayed), returning them in sorted order. Unlike
+    /// [`cut_head`](SortedRun::cut_head)'s lazy compaction, the storage is
+    /// compacted to exactly the surviving live length unconditionally, so a
+    /// partial shed frees bytes the moment it happens — the memory meter
+    /// must see the reclaim, not wait for a later threshold crossing.
+    pub fn shed_head(&mut self, n: usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let n = n.min(self.len());
+        if n == 0 {
+            return Vec::new();
+        }
+        let shed = self.data[self.head..self.head + n].to_vec();
+        self.data = self.data[self.head + n..].to_vec();
+        self.head = 0;
+        shed
+    }
+
     /// Bytes held (capacity-based, matching allocator behaviour).
     pub fn state_bytes(&self) -> usize {
         self.data.capacity() * core::mem::size_of::<T>()
@@ -280,6 +300,39 @@ impl<T: EventTimed + Clone> RunSet<T> {
             }
         }
         Vec::new()
+    }
+
+    /// Sheds up to `max_items` of the most severely delayed buffered items:
+    /// the head (earliest) items of the smallest-tail run. A cap covering
+    /// the whole run degenerates to [`shed_oldest_run`]; a partial shed
+    /// compacts the run's storage so the freed bytes are visible in
+    /// [`state_bytes`](RunSet::state_bytes) immediately — the fix for
+    /// whole-run shedding dead-lettering more than the budget overage
+    /// required. The tail is untouched by a head shed, so the strictly
+    /// descending tails invariant holds trivially.
+    ///
+    /// [`shed_oldest_run`]: RunSet::shed_oldest_run
+    pub fn shed_oldest_items(&mut self, max_items: usize) -> Vec<T> {
+        if max_items == 0 {
+            return Vec::new();
+        }
+        // Drop trailing empty runs so the cap applies to real items.
+        while self.runs.last().is_some_and(SortedRun::is_empty) {
+            self.runs.pop();
+            self.tails.pop();
+            if self.last_insert >= self.runs.len() {
+                self.last_insert = 0;
+            }
+        }
+        let Some(run) = self.runs.last_mut() else {
+            return Vec::new();
+        };
+        if run.len() <= max_items {
+            return self.shed_oldest_run();
+        }
+        let shed = run.shed_head(max_items);
+        debug_assert!(self.tails_strictly_descending());
+        shed
     }
 
     /// Bytes held across all runs plus the tails cache.
@@ -556,6 +609,49 @@ mod tests {
         rs.shed_oldest_run();
         rs.shed_oldest_run();
         assert!(rs.shed_oldest_run().is_empty(), "empty set sheds nothing");
+    }
+
+    #[test]
+    fn shed_oldest_items_caps_at_the_overage() {
+        let mut rs: RunSet<i64> = RunSet::new(true);
+        for x in [2i64, 6, 5, 1, 4, 3, 7, 8] {
+            rs.insert(x);
+        }
+        // Runs (Fig 3): [2,6,7,8], [5], [1,4], [3] — tails 8 > 5 > 4 > 3.
+        // Cap 1 over the one-item run [3] sheds the whole run.
+        assert_eq!(rs.shed_oldest_items(1), vec![3]);
+        assert_eq!(rs.run_count(), 3);
+        // Cap 1 over [1,4] sheds only the head item; the run survives with
+        // its tail (and so the descending-tails invariant) intact.
+        assert_eq!(rs.shed_oldest_items(1), vec![1]);
+        assert_eq!(rs.run_count(), 3);
+        assert_eq!(rs.buffered_len(), 6);
+        assert_eq!(rs.shed_oldest_items(5), vec![4]);
+        assert_eq!(rs.run_count(), 2);
+        // Inserts still route correctly after a partial shed.
+        rs.insert(0);
+        assert_eq!(rs.run_count(), 3);
+        assert!(rs.shed_oldest_items(0).is_empty(), "zero cap sheds nothing");
+    }
+
+    #[test]
+    fn partial_shed_frees_state_bytes_immediately() {
+        let mut run = SortedRun::new(0i64);
+        for x in 1..512 {
+            run.push(x);
+        }
+        let before = run.state_bytes();
+        let shed = run.shed_head(500);
+        assert_eq!(shed.len(), 500);
+        assert_eq!(run.len(), 12);
+        assert!(
+            run.state_bytes() <= 12 * core::mem::size_of::<i64>(),
+            "partial shed must compact to the live length ({} B held)",
+            run.state_bytes()
+        );
+        assert!(before > run.state_bytes());
+        assert_eq!(run.head_time(), Timestamp::new(500));
+        assert_eq!(run.tail_time(), Timestamp::new(511));
     }
 
     #[test]

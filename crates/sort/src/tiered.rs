@@ -1,0 +1,141 @@
+//! Tiered compaction policy for on-disk run files.
+//!
+//! Spilling seals one run file per evicted run, so a long stretch under
+//! memory pressure produces many small files; every punctuation then pays
+//! one open + one streaming cursor per live file. [`TieredMergePolicy`]
+//! bounds that fan-in the way LSM stores do: files are bucketed into
+//! exponentially growing size tiers, and when a tier overflows its run
+//! budget the whole tier is merged into one file in a higher tier. Total
+//! write amplification is `O(log` size ratio`)` passes per byte, and the
+//! live file count stays `O(tiers × runs_per_tier)`.
+
+/// When to compact spilled run files, and which ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TieredMergePolicy {
+    /// Maximum files allowed per size tier before that tier is merged.
+    pub max_runs_per_tier: usize,
+    /// Size ratio between consecutive tiers (tier `n+1` holds files up to
+    /// `growth` times larger than tier `n`). Clamped to at least 2.
+    pub growth: u64,
+    /// Upper size bound of tier 0, bytes. Clamped to at least 1.
+    pub floor_bytes: u64,
+}
+
+impl Default for TieredMergePolicy {
+    fn default() -> Self {
+        TieredMergePolicy {
+            max_runs_per_tier: 4,
+            growth: 4,
+            floor_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl TieredMergePolicy {
+    /// The size tier a file of `bytes` falls in: tier 0 holds files up to
+    /// `floor_bytes`, each subsequent tier `growth`× more.
+    pub fn tier_of(&self, bytes: u64) -> u32 {
+        let growth = self.growth.max(2);
+        let mut cap = self.floor_bytes.max(1);
+        let mut tier = 0u32;
+        while bytes > cap {
+            tier += 1;
+            cap = match cap.checked_mul(growth) {
+                Some(c) => c,
+                None => return tier,
+            };
+        }
+        tier
+    }
+
+    /// Given the live sizes of all spilled run files, returns the indices
+    /// that should be merged now — the lowest overflowing tier — or `None`
+    /// when no tier overflows. Merging the returned files into one larger
+    /// file may overflow a higher tier, so callers loop until `None`.
+    pub fn select(&self, sizes: &[u64]) -> Option<Vec<usize>> {
+        if self.max_runs_per_tier == 0 {
+            return None;
+        }
+        let mut tiers: std::collections::BTreeMap<u32, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, &b) in sizes.iter().enumerate() {
+            tiers.entry(self.tier_of(b)).or_default().push(i);
+        }
+        tiers
+            .into_iter()
+            .find(|(_, idxs)| idxs.len() > self.max_runs_per_tier)
+            .map(|(_, idxs)| idxs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_grow_exponentially() {
+        let p = TieredMergePolicy {
+            max_runs_per_tier: 4,
+            growth: 4,
+            floor_bytes: 1024,
+        };
+        assert_eq!(p.tier_of(0), 0);
+        assert_eq!(p.tier_of(1024), 0);
+        assert_eq!(p.tier_of(1025), 1);
+        assert_eq!(p.tier_of(4096), 1);
+        assert_eq!(p.tier_of(4097), 2);
+        assert_eq!(p.tier_of(u64::MAX), 27, "no overflow, just a high tier");
+    }
+
+    #[test]
+    fn select_picks_lowest_overflowing_tier() {
+        let p = TieredMergePolicy {
+            max_runs_per_tier: 2,
+            growth: 4,
+            floor_bytes: 1024,
+        };
+        // Three tier-0 files overflow (budget 2); the tier-1 file is left
+        // alone even though its tier is also present.
+        let sizes = [100, 4096, 200, 300];
+        assert_eq!(p.select(&sizes), Some(vec![0, 2, 3]));
+        // Under budget everywhere: nothing to do.
+        assert_eq!(p.select(&[100, 200, 4096, 8192]), None);
+        assert_eq!(p.select(&[]), None);
+    }
+
+    #[test]
+    fn repeated_selection_converges() {
+        let p = TieredMergePolicy {
+            max_runs_per_tier: 2,
+            growth: 4,
+            floor_bytes: 1024,
+        };
+        // Simulate compaction: merging replaces the selected files with one
+        // file of their summed size. Must reach a fixed point.
+        let mut sizes: Vec<u64> = vec![500; 9];
+        let mut passes = 0;
+        while let Some(sel) = p.select(&sizes) {
+            passes += 1;
+            assert!(passes < 32, "tiered compaction failed to converge");
+            let merged: u64 = sel.iter().map(|&i| sizes[i]).sum();
+            let mut keep: Vec<u64> = sizes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !sel.contains(i))
+                .map(|(_, &b)| b)
+                .collect();
+            keep.push(merged);
+            sizes = keep;
+        }
+        assert!(sizes.len() <= 3, "converged to few files: {sizes:?}");
+    }
+
+    #[test]
+    fn zero_budget_disables_compaction() {
+        let p = TieredMergePolicy {
+            max_runs_per_tier: 0,
+            ..TieredMergePolicy::default()
+        };
+        assert_eq!(p.select(&[1, 2, 3, 4, 5]), None);
+    }
+}

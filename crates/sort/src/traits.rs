@@ -10,7 +10,9 @@
 //! * **Offline algorithms** ([`SortAlgorithm`]) sort a slice in one shot.
 
 use crate::gauges::SorterGauges;
-use impatience_core::{EventTimed, SnapshotError, SnapshotReader, SnapshotWriter, Timestamp};
+use impatience_core::{
+    EventTimed, SnapshotError, SnapshotReader, SnapshotWriter, StreamError, Timestamp,
+};
 
 /// An incremental sorter for out-of-order streams (§III-A's sorting
 /// operator contract).
@@ -55,6 +57,49 @@ pub trait OnlineSorter<T: EventTimed>: Send {
     fn shed_oldest(&mut self, _out: &mut Vec<T>) -> usize {
         0
     }
+
+    /// Sheds at most `max_items` of the oldest buffered items, appending
+    /// them to `out` (sorted) and returning the count. The cap lets the
+    /// engine shed only the budget *overage* instead of dead-lettering a
+    /// whole run when only part of it exceeds the budget. The default
+    /// ignores the cap and delegates to
+    /// [`shed_oldest`](OnlineSorter::shed_oldest) — correct (it only
+    /// over-sheds), so sorters without partial-shed support keep working.
+    fn shed_oldest_capped(&mut self, max_items: usize, out: &mut Vec<T>) -> usize {
+        if max_items == 0 {
+            return 0;
+        }
+        self.shed_oldest(out)
+    }
+
+    /// Spills cold state to disk until `state_bytes() <= target_bytes`,
+    /// returning the number of runs spilled. The lossless rung of the
+    /// degradation ladder ([`ShedPolicy::SpillColdRuns`]): nothing is
+    /// dropped — spilled items are merged back at punctuation boundaries.
+    /// The default has no spill support and returns `Ok(0)`, which signals
+    /// the engine to fall back to a forced punctuation.
+    ///
+    /// [`ShedPolicy::SpillColdRuns`]: impatience_core::ShedPolicy
+    fn spill_cold(&mut self, _target_bytes: usize) -> Result<usize, StreamError> {
+        Ok(0)
+    }
+
+    /// Takes the pending typed fault, if any. Spill-capable sorters record
+    /// disk faults hit inside [`punctuate`](OnlineSorter::punctuate) (whose
+    /// signature cannot fail) here; the engine polls after every push and
+    /// punctuation and poisons the chain with the returned error. The
+    /// default never faults.
+    fn take_fault(&mut self) -> Option<StreamError> {
+        None
+    }
+
+    /// Garbage-collects spill files that are provably unreferenced by every
+    /// retained checkpoint generation. The engine forwards its
+    /// checkpoint-committed notification here; deletion must be deferred to
+    /// this hook because a run file unreferenced by the newest checkpoint
+    /// may still be needed by the fallback generation. The default is a
+    /// no-op.
+    fn spill_gc(&mut self) {}
 
     /// Publishes current sorter state into `gauges`. The default covers the
     /// universal quantities (buffered events, state bytes); sorters with a

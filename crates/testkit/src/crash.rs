@@ -124,6 +124,66 @@ pub fn newest_with_suffix(dir: impl AsRef<Path>, suffix: &str) -> io::Result<Opt
     Ok(files_with_suffix(dir, suffix)?.pop())
 }
 
+/// The kinds of disk damage the spill-fault suite injects into run files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskFault {
+    /// A write that persisted fewer bytes than reported (file truncated to
+    /// a seeded prefix) — the classic short write.
+    ShortWrite,
+    /// A torn tail: a seeded number of trailing bytes lost, as in a power
+    /// cut mid-append.
+    TornTail,
+    /// One flipped bit at a seeded offset — silent media corruption that
+    /// only a checksum catches.
+    BitFlip,
+}
+
+impl DiskFault {
+    /// All fault kinds, for exhaustive sweeps.
+    pub const ALL: [DiskFault; 3] = [
+        DiskFault::ShortWrite,
+        DiskFault::TornTail,
+        DiskFault::BitFlip,
+    ];
+}
+
+/// Damages one seeded file among those in `dir` ending with `suffix`, with
+/// a seeded [`DiskFault`]. Returns the damaged path and fault, or `None`
+/// when no file matches (or the chosen file is empty). Deterministic in
+/// `seed`, so a failing scenario replays exactly.
+pub fn inject_disk_fault(
+    dir: impl AsRef<Path>,
+    suffix: &str,
+    seed: u64,
+) -> io::Result<Option<(PathBuf, DiskFault)>> {
+    let files = files_with_suffix(dir, suffix)?;
+    if files.is_empty() {
+        return Ok(None);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = files[rng.gen_range(0..files.len())].clone();
+    let len = target.metadata()?.len();
+    if len == 0 {
+        return Ok(None);
+    }
+    let fault = DiskFault::ALL[rng.gen_range(0..DiskFault::ALL.len())];
+    match fault {
+        DiskFault::ShortWrite => {
+            // Keep a seeded prefix (possibly nothing).
+            let keep = rng.gen_range(0..len);
+            truncate_file(&target, keep)?;
+        }
+        DiskFault::TornTail => {
+            tear_tail(&target, rng.gen::<u64>())?;
+        }
+        DiskFault::BitFlip => {
+            let offset = rng.gen_range(0..len);
+            corrupt_byte(&target, offset)?;
+        }
+    }
+    Ok(Some((target, fault)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +241,39 @@ mod tests {
         assert_eq!(f.metadata().unwrap().len(), 60 - cut);
         truncate_file(&f, 0).unwrap();
         assert_eq!(tear_tail(&f, 9).unwrap(), 0, "empty file is a no-op");
+    }
+
+    #[test]
+    fn disk_fault_injection_is_seeded_and_always_damages() {
+        let dir = tmp("inject");
+        assert_eq!(inject_disk_fault(&dir, ".run", 1).unwrap(), None);
+        for f in ["a.run", "b.run", "c.run"] {
+            fs::write(dir.join(f), vec![0u8; 64]).unwrap();
+        }
+        let mut kinds = std::collections::HashSet::new();
+        for seed in 0..60u64 {
+            // Re-arm the files each round so every fault hits a clean file.
+            for f in ["a.run", "b.run", "c.run"] {
+                fs::write(dir.join(f), vec![0u8; 64]).unwrap();
+            }
+            let (path, fault) = inject_disk_fault(&dir, ".run", seed)
+                .unwrap()
+                .expect("files exist");
+            kinds.insert(fault);
+            let damaged = fs::read(&path).unwrap();
+            assert!(
+                damaged.len() < 64 || damaged.iter().any(|&b| b != 0),
+                "seed {seed}: no observable damage"
+            );
+            let replay = {
+                for f in ["a.run", "b.run", "c.run"] {
+                    fs::write(dir.join(f), vec![0u8; 64]).unwrap();
+                }
+                inject_disk_fault(&dir, ".run", seed).unwrap().unwrap()
+            };
+            assert_eq!(replay, (path, fault), "seed {seed} not deterministic");
+        }
+        assert_eq!(kinds.len(), 3, "all fault kinds reachable: {kinds:?}");
     }
 
     #[test]

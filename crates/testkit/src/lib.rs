@@ -51,8 +51,8 @@ pub mod trace;
 
 pub use chaos::{ChaosConfig, ChaosCounts, ChaosObserver};
 pub use crash::{
-    corrupt_byte, corrupt_random_byte, crash_point, files_with_suffix, newest_with_suffix,
-    tear_tail, truncate_file, CrashPoint,
+    corrupt_byte, corrupt_random_byte, crash_point, files_with_suffix, inject_disk_fault,
+    newest_with_suffix, tear_tail, truncate_file, CrashPoint, DiskFault,
 };
 pub use rng::{Rng, SeedableRng, StdRng};
 pub use trace::assert_laminar;

@@ -30,6 +30,13 @@ echo "== chaos suite (pinned seed, >=1000 fault-injected pipelines) =="
 # bit-for-bit; a reported failure replays with IMPATIENCE_PROP_SEED=<seed>.
 cargo test -q --offline --test chaos
 
+echo "== spill conformance (external sorter vs oracle, disk faults, crashes) =="
+# The external-sort gate: 1000 seeded streams with mid-stream budget trips
+# and snapshot/restore cycles must stay byte-identical to the stable-sort
+# oracle, and 500+ seeded disk-fault/crash cycles must each end in either
+# byte-identical output or one typed error — never an abort.
+cargo test -q --offline --test sorter_conformance --test spill_faults
+
 echo "== bench metrics smoke (fig5 --json, validated by snapshot_check) =="
 # A small fig5 run must emit JSON lines that parse with the in-tree JSON
 # parser and include a metrics snapshot with per-operator counters, the
@@ -50,6 +57,24 @@ cargo run --release --offline -q -p impatience-bench --bin fig5 -- \
     --events 60000 --json "$tmp_budget_json" --memory-budget 65536 > /dev/null
 cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
     "$tmp_budget_json" --require-fault-activity
+
+echo "== lossless spill degradation (fig5 --memory-budget --spill-dir) =="
+# The same budget walked down the lossless ladder: with a spill directory
+# the sorter seals cold runs to disk instead of dead-lettering or shedding.
+# snapshot_check demands nonzero spill traffic (runs spilled, on-disk high
+# water) and zero dead-lettered / zero shed events anywhere in the file.
+# Spill files live under target/ and are kept on failure for post-mortem
+# (set -e aborts before the rm); a passing gate removes them.
+tmp_spill_json="$(mktemp)"
+trap 'rm -f "$tmp_json" "$tmp_budget_json" "$tmp_spill_json"' EXIT
+spill_dir="target/ci-spill/fig5"
+rm -rf "$spill_dir"
+cargo run --release --offline -q -p impatience-bench --bin fig5 -- \
+    --events 60000 --json "$tmp_spill_json" --memory-budget 262144 \
+    --spill-dir "$spill_dir" > /dev/null
+cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
+    "$tmp_spill_json" --require-spill-activity
+rm -rf "$spill_dir"
 
 echo "== shard conformance (byte-identical output across shard counts) =="
 # The determinism gate for multi-core execution: ~500 seeded streams, each
@@ -100,6 +125,22 @@ cargo run --release --offline -q -p impatience-bench --bin trace -- \
 cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
     BENCH_trace.json --require-trace-activity
 
+echo "== external-sort gate (external --check -> BENCH_external.json) =="
+# The spill-to-disk robustness gate: sort a dataset >= 4x the memory budget
+# losslessly — zero dead-letters, zero sheds, zero forced punctuations,
+# output identical to the all-in-memory reference (hard assertions inside
+# the binary) — and record spill write amplification. The spilling run's
+# throughput joins the perf-gated history below.
+rm -f BENCH_external.json
+spill_dir="target/ci-spill/external"
+rm -rf "$spill_dir"
+cargo run --release --offline -q -p impatience-bench --bin external -- \
+    --check --events 60000 --json BENCH_external.json \
+    --spill-dir "$spill_dir" > /dev/null
+cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
+    BENCH_external.json --require-spill-activity
+rm -rf "$spill_dir"
+
 echo "== perf-regression gate (this run vs bench_results.jsonl history) =="
 # Every throughput measurement of this CI run is compared against the
 # recorded history: per measurement identity (exhibit + mode / shards /
@@ -109,9 +150,9 @@ echo "== perf-regression gate (this run vs bench_results.jsonl history) =="
 # identities seed it. The budgeted fig5 run is deliberately excluded —
 # degradation under a memory budget is not a performance reference.
 tmp_run_jsonl="$(mktemp)"
-trap 'rm -f "$tmp_json" "$tmp_budget_json" "$tmp_run_jsonl"' EXIT
+trap 'rm -f "$tmp_json" "$tmp_budget_json" "$tmp_spill_json" "$tmp_run_jsonl"' EXIT
 cat "$tmp_json" BENCH_scale.json BENCH_recovery.json BENCH_trace.json \
-    > "$tmp_run_jsonl"
+    BENCH_external.json > "$tmp_run_jsonl"
 cargo run --release --offline -q -p impatience-bench --bin perf_gate -- \
     bench_results.jsonl "$tmp_run_jsonl" --max-drop-pct 15
 cat "$tmp_run_jsonl" >> bench_results.jsonl

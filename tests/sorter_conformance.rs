@@ -15,9 +15,10 @@
 //! empty and singleton inputs, sorted/reversed extremes, and varied
 //! punctuation cadences and lags.
 
-use impatience_core::Timestamp;
+use impatience_core::{SnapshotReader, SnapshotWriter, Timestamp};
 use impatience_sort::{
-    online_sorter_by_name, CutBuffer, HeapsortAlgorithm, OnlineSorter, ONLINE_SORTER_NAMES,
+    online_sorter_by_name, CutBuffer, ExternalImpatienceSorter, ExternalSortConfig,
+    HeapsortAlgorithm, OnlineSorter, TieredMergePolicy, ONLINE_SORTER_NAMES,
 };
 use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
 
@@ -185,7 +186,7 @@ fn run_chaos_conformance(
             pending.push(x);
             high = high.max(x);
         }
-        if shed_prob > 0.0 && i % 7 == 0 && rng.gen_bool(shed_prob) {
+        if shed_prob > 0.0 && i.is_multiple_of(7) && rng.gen_bool(shed_prob) {
             let before = sorter.buffered_len();
             let mut shed = Vec::new();
             let n = sorter.shed_oldest(&mut shed);
@@ -277,6 +278,146 @@ fn all_sorters_conform_under_injected_faults() {
                 seed,
             );
         }
+    }
+}
+
+/// Per-seed spill directory and a config that forces multi-block run
+/// files and frequent tiered compactions even on tiny conformance streams.
+fn external_config(seed: u64) -> ExternalSortConfig {
+    let dir =
+        std::env::temp_dir().join(format!("impatience-conform-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ExternalSortConfig::new(dir);
+    cfg.block_bytes = 96;
+    cfg.tiered = TieredMergePolicy {
+        max_runs_per_tier: 2,
+        growth: 4,
+        floor_bytes: 512,
+    };
+    cfg
+}
+
+/// Drives the external (spill-to-disk) Impatience sorter through `case`
+/// with seeded **mid-stream budget trips** (`spill_cold`, the call
+/// `ShedPolicy::SpillColdRuns` makes under memory pressure) and — on a
+/// third of the seeds — a mid-stream snapshot/restore into a fresh sorter
+/// over the same spill directory. Output must stay byte-identical to the
+/// stable-sort oracle at every punctuation cut and at the final drain.
+fn run_external_conformance(case: &StreamCase, seed: u64) {
+    let cfg = external_config(seed);
+    let dir = cfg.spill_dir.clone();
+    let mut sorter: ExternalImpatienceSorter<i64> = ExternalImpatienceSorter::with_config(cfg);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5B11_0D15);
+    let restore_at = (seed.is_multiple_of(3) && !case.data.is_empty())
+        .then(|| rng.gen_range(0..case.data.len()));
+
+    let mut pending: Vec<i64> = Vec::new();
+    let mut emitted_total = 0usize;
+    let mut wm = i64::MIN;
+    let mut high = i64::MIN;
+
+    for (i, &x) in case.data.iter().enumerate() {
+        if x > wm {
+            sorter.push(x);
+            pending.push(x);
+            high = high.max(x);
+        }
+        // A seeded budget trip: spill down to roughly half the current
+        // state (sometimes to zero — freeze everything).
+        if i % 5 == 4 && rng.gen_bool(0.4) {
+            let target = if rng.gen_bool(0.25) {
+                0
+            } else {
+                sorter.state_bytes() / 2
+            };
+            sorter
+                .spill_cold(target)
+                .unwrap_or_else(|e| panic!("external: spill failed (seed {seed}): {e}"));
+        }
+        // Crash/resume mid-stream: snapshot, rebuild over the same spill
+        // directory, restore, continue. The oracle does not change.
+        if restore_at == Some(i) {
+            let mut w = SnapshotWriter::new();
+            sorter
+                .encode_state(&mut w)
+                .unwrap_or_else(|e| panic!("external: encode failed (seed {seed}): {e:?}"));
+            let body = w.into_body();
+            let mut fresh: ExternalImpatienceSorter<i64> =
+                ExternalImpatienceSorter::with_config(external_config_at(dir.clone()));
+            fresh
+                .restore_state(&mut SnapshotReader::new(&body))
+                .unwrap_or_else(|e| panic!("external: restore failed (seed {seed}): {e:?}"));
+            assert_eq!(
+                fresh.buffered_len(),
+                sorter.buffered_len(),
+                "external: restore lost events (seed {seed})"
+            );
+            sorter = fresh;
+        }
+        if i % case.punct_every == case.punct_every - 1 && high > i64::MIN {
+            let t = high.saturating_sub(case.lag);
+            if t > wm {
+                wm = t;
+                let mut out = Vec::new();
+                sorter.punctuate(Timestamp::new(t), &mut out);
+                assert!(
+                    sorter.take_fault().is_none(),
+                    "external: unexpected disk fault (seed {seed})"
+                );
+                let mut expect: Vec<i64> = pending.iter().copied().filter(|&v| v <= t).collect();
+                expect.sort();
+                assert_eq!(
+                    out, expect,
+                    "external: spill/merge cut at T={t} not byte-identical (seed {seed})"
+                );
+                pending.retain(|&v| v > t);
+                emitted_total += out.len();
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    sorter.drain_all(&mut out);
+    assert!(
+        sorter.take_fault().is_none(),
+        "external: disk fault on drain (seed {seed})"
+    );
+    let mut expect = pending.clone();
+    expect.sort();
+    assert_eq!(
+        out, expect,
+        "external: final drain not byte-identical (seed {seed})"
+    );
+    emitted_total += out.len();
+    assert_eq!(
+        sorter.buffered_len(),
+        0,
+        "external: residue after drain (seed {seed})"
+    );
+    let _ = emitted_total;
+    drop(sorter);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// [`external_config`] over an explicit directory (for the restore path,
+/// which must reopen the *same* spill directory).
+fn external_config_at(dir: std::path::PathBuf) -> ExternalSortConfig {
+    let mut cfg = ExternalSortConfig::new(dir);
+    cfg.block_bytes = 96;
+    cfg.tiered = TieredMergePolicy {
+        max_runs_per_tier: 2,
+        growth: 4,
+        floor_bytes: 512,
+    };
+    cfg
+}
+
+#[test]
+fn external_sorter_conforms_with_spills_and_restores() {
+    const STREAMS: u64 = 1_000;
+    for seed in 0..STREAMS {
+        let case = generate_case(seed);
+        run_external_conformance(&case, seed);
     }
 }
 
