@@ -128,7 +128,7 @@ fn bench_columnar_vs_row(h: &Harness) {
     g.bench_function("key_filter_rows", || {
         let mut r = rows.clone();
         for i in 0..r.len() {
-            if r.events()[i].key % 7 != 0 {
+            if !r.events()[i].key.is_multiple_of(7) {
                 r.filter_mut().filter_out(i);
             }
         }

@@ -31,7 +31,7 @@ fn bench_offline(h: &Harness) {
     g.bench_function("impatience", || {
         let mut s = ImpatienceSorter::new();
         for e in &evs {
-            s.push(e.clone());
+            s.push(*e);
         }
         let mut out = Vec::with_capacity(N);
         s.drain_all(&mut out);

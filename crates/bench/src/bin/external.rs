@@ -60,14 +60,14 @@ fn run_pipeline(
     };
     let stream = stream.instrument(registry, "pipeline");
     stream
-        .sorted_with_policy(sorter, &meter, policy)
+        .sorted(sorter, &meter, policy)
         .expect("Drop sort policy is accepted")
         .subscribe_observer(Box::new(sink));
     // The tape from `punctuate_arrivals` already ends with a Completed
     // message; pushing it drains and closes the chain.
     let start = std::time::Instant::now();
     for m in messages {
-        handle.push_message(m.clone());
+        handle.push(m.clone()).expect("push");
     }
     (out, start.elapsed().as_secs_f64().max(1e-9))
 }

@@ -59,7 +59,7 @@ fn main() {
                 out.clear();
             }
             flushes += 1;
-            if flushes % sample_every == 0 {
+            if flushes.is_multiple_of(sample_every) {
                 series.push((i + 1, patience.run_count(), impatience.run_count()));
             }
         }

@@ -81,7 +81,12 @@ fn build(
         None => stream,
     };
     let out = stream
-        .sorted_with(Box::new(ImpatienceSorter::new()), &meter)
+        .sorted(
+            Box::new(ImpatienceSorter::new()),
+            &meter,
+            Default::default(),
+        )
+        .expect("default sort policy")
         .tumbling_window(window)
         .count()
         .checkpoint_egress()
@@ -158,7 +163,7 @@ fn main() {
         let start = Instant::now();
         let p = build(window, None, None);
         for msg in &tape {
-            p.handle.push_message(msg.clone());
+            p.handle.push(msg.clone()).expect("push");
         }
         assert!(p.out.is_completed());
         plain_best = plain_best.min(start.elapsed().as_secs_f64());
@@ -167,7 +172,7 @@ fn main() {
         let start = Instant::now();
         let p = build(window, Some(&base), None);
         for msg in &tape {
-            p.handle.push_message(msg.clone());
+            p.handle.push(msg.clone()).expect("push");
         }
         assert!(p.out.is_completed());
         ckpt_best = ckpt_best.min(start.elapsed().as_secs_f64());
@@ -179,7 +184,7 @@ fn main() {
         let wal = attach_wal(p.ctx.as_ref().expect("durable"), &base);
         for msg in &tape {
             wal.lock().unwrap().append(msg).expect("wal append");
-            p.handle.push_message(msg.clone());
+            p.handle.push(msg.clone()).expect("push");
         }
         assert!(p.out.is_completed());
         full_best = full_best.min(start.elapsed().as_secs_f64());
@@ -211,7 +216,7 @@ fn main() {
     let reference = {
         let p = build(window, None, None);
         for msg in &tape {
-            p.handle.push_message(msg.clone());
+            p.handle.push(msg.clone()).expect("push");
         }
         p.out
     };
@@ -228,7 +233,7 @@ fn main() {
         let wal = attach_wal(p.ctx.as_ref().expect("durable"), &base);
         for msg in &tape[..cp.after_messages] {
             wal.lock().unwrap().append(msg).expect("wal append");
-            p.handle.push_message(msg.clone());
+            p.handle.push(msg.clone()).expect("push");
         }
         p.out.events()
         // Everything dropped here: that is the crash.
@@ -254,13 +259,13 @@ fn main() {
         WalIngress::<EvalPayload>::replay_from(&base.join("wal"), m).expect("replay wal");
     let replayed_records = replayed.len();
     for (_, msg) in replayed {
-        p.handle.push_message(msg);
+        p.handle.push(msg).expect("push");
     }
     let resume = wal.lock().unwrap().next_index();
     for (i, msg) in tape.iter().enumerate().skip(resume as usize) {
         wal.lock().unwrap().append(msg).expect("wal append");
         if i as u64 >= m {
-            p.handle.push_message(msg.clone());
+            p.handle.push(msg.clone()).expect("push");
         }
     }
     let recovery_s = start.elapsed().as_secs_f64();

@@ -43,7 +43,8 @@ fn shard_pipeline(
     meter: &MemoryMeter,
     window: TickDuration,
 ) -> Streamable<i64> {
-    s.sorted_with(Box::new(ImpatienceSorter::new()), meter)
+    s.sorted(Box::new(ImpatienceSorter::new()), meter, Default::default())
+        .expect("default sort policy")
         .tumbling_window(window)
         .group_aggregate(SumAgg::new(|p: &EvalPayload| p[0] as i64))
 }
@@ -85,7 +86,7 @@ fn main() {
             .subscribe_observer(Box::new(BlackHoleSink::new()));
         let start = Instant::now();
         for m in run {
-            handle.push_message(m);
+            handle.push(m).expect("push");
         }
         // `Completed` joins the whole fleet, so this is drained wall-clock.
         let secs = start.elapsed().as_secs_f64();
@@ -134,7 +135,7 @@ fn main() {
             })
             .collect_output();
         for m in sample.clone() {
-            handle.push_message(m);
+            handle.push(m).expect("push");
         }
         handle.complete();
         assert!(out.is_completed(), "{shards}-shard sample run failed");
@@ -185,7 +186,7 @@ fn main() {
             .filter(|m| !matches!(m, StreamMessage::Completed))
             .cloned()
         {
-            handle.push_message(m);
+            handle.push(m).expect("push");
         }
         handle.complete();
     }

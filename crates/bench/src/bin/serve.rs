@@ -1,0 +1,463 @@
+//! Serve: the multi-tenant service exhibit.
+//!
+//! Three measurements over real loopback sockets:
+//!
+//! 1. **Throughput** — 8 concurrent tenants (alternating NDJSON and
+//!    binary framing, every one durable + checkpointed + adaptive),
+//!    each driven from its own thread, aggregate events/sec from first
+//!    byte to last completion. The number joins the perf-gated history.
+//! 2. **Per-tenant observability** — after completion every tenant's
+//!    metrics snapshot is appended as its own `{"kind": "metrics"}`
+//!    line: the full pipeline contract (operator counters, failure
+//!    model, durability, sorter gauges, watermark-lag histogram) plus
+//!    the service's `serve.*` counters and `serve.adaptive.*` gauges.
+//!    `snapshot_check --require-service-activity` demands real socket
+//!    traffic and **visible adaptive convergence**: the chosen reorder
+//!    latency must have stepped down from the ladder's top rung
+//!    (gauge value < high-water).
+//! 3. **Isolation** — `--check` replays the seeded chaos property (one
+//!    of four tenants panics, breaches the admission budget, or hits a
+//!    disk fault; the rest must be byte-identical to solo runs) 200+
+//!    times, extending the `tests/tenant_isolation.rs` suite at bench
+//!    scale.
+//!
+//! ```sh
+//! serve --check --json BENCH_serve.json   # full exhibit
+//! serve --smoke                           # seconds-fast ci gate
+//! ```
+
+use impatience_bench::{fmt_throughput, BenchArgs, Table};
+use impatience_core::{json, Event, Json, TickDuration, Timestamp};
+use impatience_engine::{OpSpec, PipelineSpec, ReorderSpec};
+use impatience_serve::{
+    Client, Released, ServeError, Server, ServerConfig, TenantConfig, TenantRuntime, WireMode,
+};
+use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const FLEET: usize = 8;
+const CHAOS_RUNS: u64 = 210;
+const CHAOS_TENANTS: usize = 4;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bench-serve-{tag}-{}", std::process::id()))
+}
+
+fn mode_of(i: usize) -> WireMode {
+    if i % 2 == 0 {
+        WireMode::Ndjson
+    } else {
+        WireMode::Binary
+    }
+}
+
+/// The fleet tenant: durable, checkpointed, instrumented (the default),
+/// adaptive over a {1, 8, 64}-tick ladder. The workload's disorder is a
+/// handful of ticks, so the controller must step down from rung 64 —
+/// the convergence `snapshot_check --require-service-activity` gates on.
+fn fleet_config(i: usize) -> TenantConfig {
+    TenantConfig::new(
+        PipelineSpec::new(format!("fleet-{i}"))
+            .with_checkpoint(16)
+            .with_reorder(ReorderSpec::Adaptive {
+                ladder: vec![
+                    TickDuration::ticks(1),
+                    TickDuration::ticks(8),
+                    TickDuration::ticks(64),
+                ],
+                quality: 0.99,
+                window: 512,
+                hold: 2,
+            })
+            .with_op(OpSpec::SumByKey),
+    )
+    .with_durable(true)
+}
+
+/// A seeded mostly-ordered stream: advances 0–3 ticks per event with
+/// occasional stragglers up to 6 ticks late (inside rung 8's tolerance
+/// at the 0.99 quality target, far inside rung 64's).
+fn fleet_workload(seed: u64, events: usize, batch: usize) -> Vec<Vec<Event<i64>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 1_000i64;
+    (0..events.div_ceil(batch))
+        .map(|_| {
+            (0..batch.min(events))
+                .map(|_| {
+                    t += rng.gen_range(0..4i64);
+                    let sync = if rng.gen_bool(0.1) {
+                        t - rng.gen_range(1..7i64)
+                    } else {
+                        t
+                    };
+                    Event::keyed(
+                        Timestamp::new(sync.max(0)),
+                        rng.gen_range(0..16u32),
+                        rng.gen_range(0..1_000i64),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct TenantOutcome {
+    name: String,
+    events_out: usize,
+    metrics: Json,
+}
+
+/// Drives the 8-tenant fleet over sockets; returns (wall seconds,
+/// events ingested, per-tenant outcomes).
+fn run_fleet(root: &Path, events_per_tenant: usize) -> (f64, usize, Vec<TenantOutcome>) {
+    let _ = std::fs::remove_dir_all(root);
+    let mut server = Server::start(ServerConfig::new(root)).expect("server start");
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let outcomes: Vec<TenantOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..FLEET)
+            .map(|i| {
+                scope.spawn(move || {
+                    let config = fleet_config(i);
+                    let batches = fleet_workload(0x5E27E + i as u64, events_per_tenant, 512);
+                    let mut client = Client::connect(addr, mode_of(i)).expect("connect");
+                    client.open(&config).expect("open");
+                    let mut events_out = 0usize;
+                    for batch in batches {
+                        events_out += client.send(batch).expect("send").events.len();
+                    }
+                    events_out += client.complete().expect("complete").events.len();
+                    let metrics = client.metrics().expect("metrics");
+                    TenantOutcome {
+                        name: config.name().to_string(),
+                        events_out,
+                        metrics,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+    (secs, FLEET * events_per_tenant, outcomes)
+}
+
+/// The adaptive gauge triple from one tenant's metrics reply.
+fn adaptive_of(metrics: &Json) -> Option<(i64, i64)> {
+    let g = metrics
+        .get("metrics")?
+        .get("gauges")?
+        .get("serve.adaptive.latency")?;
+    Some((
+        g.get("value").and_then(Json::as_i64)?,
+        g.get("high_water").and_then(Json::as_i64)?,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Chaos isolation (the bench-scale replay of tests/tenant_isolation.rs)
+// ---------------------------------------------------------------------
+
+fn chaos_spec(i: usize, run: u64) -> TenantConfig {
+    let name = format!("c{i}-r{run}");
+    match i {
+        0 => TenantConfig::new(PipelineSpec::new(name).with_op(OpSpec::FilterMin { min: 200 })),
+        1 => TenantConfig::new(
+            PipelineSpec::new(name)
+                .with_reorder(ReorderSpec::Adaptive {
+                    ladder: vec![TickDuration::ticks(1), TickDuration::ticks(32)],
+                    quality: 0.99,
+                    window: 64,
+                    hold: 1,
+                })
+                .with_op(OpSpec::SumByKey),
+        ),
+        2 => TenantConfig::new(
+            PipelineSpec::new(name)
+                .with_checkpoint(4)
+                .with_op(OpSpec::Scale { factor: 3 }),
+        )
+        .with_durable(true),
+        _ => TenantConfig::new(PipelineSpec::new(name).with_op(OpSpec::TopK { k: 3 })),
+    }
+}
+
+fn chaos_workload(rng: &mut StdRng) -> Vec<Vec<Event<i64>>> {
+    let mut t = 100i64;
+    (0..4)
+        .map(|_| {
+            (0..24)
+                .map(|_| {
+                    t += rng.gen_range(0..5i64);
+                    Event::keyed(
+                        Timestamp::new(t),
+                        rng.gen_range(0..4u32),
+                        rng.gen_range(0..1_000i64),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_solo(config: TenantConfig, batches: &[Vec<Event<i64>>], tag: u64) -> Released {
+    let root = scratch(&format!("solo-{tag:x}"));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("solo root");
+    let mut rt = TenantRuntime::start(config, &root).expect("solo start");
+    let mut total = Released::default();
+    for batch in batches {
+        rt.ingest(batch.clone()).expect("solo ingest");
+        merge(&mut total, rt.drain());
+    }
+    rt.complete().expect("solo complete");
+    merge(&mut total, rt.drain());
+    let _ = std::fs::remove_dir_all(&root);
+    total
+}
+
+fn merge(into: &mut Released, part: Released) {
+    into.events.extend(part.events);
+    into.puncts.extend(part.puncts);
+    into.completed |= part.completed;
+}
+
+/// One seeded chaos run; panics (failing the exhibit) on any isolation
+/// violation. Returns which fault class fired.
+fn chaos_run(seed: u64) -> &'static str {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let faulted = rng.gen_range(0..CHAOS_TENANTS);
+    let fault = seed % 3; // 0 panic, 1 budget, 2 disk
+
+    let mut configs: Vec<TenantConfig> = (0..CHAOS_TENANTS).map(|i| chaos_spec(i, seed)).collect();
+    let batches: Vec<Vec<Vec<Event<i64>>>> = (0..CHAOS_TENANTS)
+        .map(|_| chaos_workload(&mut rng))
+        .collect();
+    let expected: Vec<Option<Released>> = (0..CHAOS_TENANTS)
+        .map(|i| (i != faulted).then(|| run_solo(configs[i].clone(), &batches[i], seed ^ i as u64)))
+        .collect();
+
+    let root = scratch(&format!("chaos-{seed:x}"));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut server_config = ServerConfig::new(&root);
+    match fault {
+        0 => {
+            let poison = batches[faulted][2][12].payload;
+            let spec = &mut configs[faulted].pipeline;
+            spec.ops.insert(0, OpSpec::PanicOn { value: poison });
+            spec.hardened = false;
+        }
+        1 => {
+            server_config = server_config.with_memory_budget(8 << 20);
+            for (i, c) in configs.iter_mut().enumerate() {
+                c.memory_budget = Some(if i == faulted { 1 << 30 } else { 1 << 20 });
+            }
+        }
+        _ => {
+            std::fs::create_dir_all(&root).expect("service root");
+            std::fs::write(root.join(configs[faulted].name()), b"blocked").expect("block dir");
+        }
+    }
+
+    let mut server = Server::start(server_config).expect("server start");
+    let addr = server.addr();
+    let mut clients: Vec<Option<Client>> = (0..CHAOS_TENANTS)
+        .map(|i| Some(Client::connect(addr, mode_of(i)).expect("connect")))
+        .collect();
+
+    let mut surfaced = false;
+    for (i, slot) in clients.iter_mut().enumerate() {
+        match slot.as_mut().expect("client").open(&configs[i]) {
+            Ok(_) => {}
+            Err(ServeError::Admission { .. } | ServeError::Io { .. })
+                if i == faulted && fault != 0 =>
+            {
+                surfaced = true;
+                *slot = None;
+            }
+            Err(e) => panic!("seed {seed:#x}: tenant {i} open failed: {e}"),
+        }
+    }
+
+    let mut got: Vec<Released> = (0..CHAOS_TENANTS).map(|_| Released::default()).collect();
+    for b in 0..4 {
+        for i in 0..CHAOS_TENANTS {
+            let Some(client) = clients[i].as_mut() else {
+                continue;
+            };
+            match client.send(batches[i][b].clone()) {
+                Ok(part) => merge(&mut got[i], part),
+                Err(ServeError::Stream(_) | ServeError::TenantFailed { .. }) if i == faulted => {
+                    surfaced = true;
+                    clients[i] = None;
+                }
+                Err(e) => panic!("seed {seed:#x}: healthy tenant {i} failed: {e}"),
+            }
+        }
+    }
+    for i in 0..CHAOS_TENANTS {
+        let Some(client) = clients[i].as_mut() else {
+            continue;
+        };
+        match client.complete() {
+            Ok(part) => merge(&mut got[i], part),
+            Err(_) if i == faulted => {
+                surfaced = true;
+                clients[i] = None;
+            }
+            Err(e) => panic!("seed {seed:#x}: healthy complete {i} failed: {e}"),
+        }
+    }
+    assert!(surfaced, "seed {seed:#x}: fault never surfaced");
+    for i in 0..CHAOS_TENANTS {
+        if i == faulted {
+            continue;
+        }
+        assert_eq!(
+            got[i],
+            *expected[i].as_ref().expect("baseline"),
+            "seed {seed:#x}: tenant {i} diverged from its solo run"
+        );
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    match fault {
+        0 => "panic",
+        1 => "budget",
+        _ => "disk",
+    }
+}
+
+// ---------------------------------------------------------------------
+
+/// The ci smoke gate: one NDJSON and one binary tenant over sockets must
+/// match their solo runs byte-for-byte, and one chaos seed per fault
+/// class must hold the isolation property. A few hundred milliseconds.
+fn run_smoke() {
+    let root = scratch("smoke");
+    let (_, _, outcomes) = run_fleet(&root, 2_000);
+    assert_eq!(outcomes.len(), FLEET);
+    for seed in [0u64, 1, 2] {
+        chaos_run(seed);
+    }
+    println!("serve smoke ok: {FLEET} socket tenants + 3 chaos seeds");
+}
+
+/// Keeps injected chaos panics (caught inside the service's connection
+/// threads) out of the exhibit's stderr; everything else still reports.
+fn quiet_expected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if std::thread::current().name() != Some("serve-conn") {
+            default_hook(info);
+        }
+    }));
+}
+
+fn main() {
+    quiet_expected_panics();
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+    let args = BenchArgs::parse(400_000);
+    let events_per_tenant = args.events / FLEET;
+
+    println!(
+        "Serve: {FLEET} concurrent socket tenants, {} events each\n",
+        events_per_tenant
+    );
+    // Socket throughput on a shared machine is noisy; emit one measurement
+    // line per fleet repetition so the perf gate compares medians, not a
+    // single unlucky sample.
+    const SAMPLES: usize = 3;
+    let mut runs = Vec::with_capacity(SAMPLES);
+    for sample in 0..SAMPLES {
+        let root = scratch(&format!("fleet-{sample}"));
+        let run = run_fleet(&root, events_per_tenant);
+        args.emit_json(&json!({
+            "exhibit": "serve",
+            "mode": "sockets",
+            "events": run.1,
+            "secs": run.0,
+            "throughput": run.1 as f64 / run.0,
+        }));
+        runs.push(run);
+    }
+    let &(best_secs, best_total, _) = runs
+        .iter()
+        .max_by(|a, b| {
+            let (ta, tb) = (a.1 as f64 / a.0, b.1 as f64 / b.0);
+            ta.partial_cmp(&tb).expect("finite throughput")
+        })
+        .expect("at least one fleet run");
+    let (_, _, outcomes) = runs.pop().expect("at least one fleet run");
+
+    let mut table = Table::new(
+        "Serve: multi-tenant socket throughput",
+        "measure",
+        vec!["value".into()],
+    );
+    table.push(impatience_bench::Row {
+        label: format!("aggregate throughput, best of {SAMPLES} (Mevents/s)"),
+        cells: vec![fmt_throughput(best_total, best_secs)],
+    });
+    table.push(impatience_bench::Row {
+        label: "wall seconds (best)".into(),
+        cells: vec![format!("{best_secs:.3}")],
+    });
+    table.print();
+
+    // Per-tenant observability lines + adaptive convergence evidence.
+    let mut converged = 0usize;
+    for outcome in &outcomes {
+        let (value, high_water) =
+            adaptive_of(&outcome.metrics).expect("adaptive gauges in tenant snapshot");
+        if high_water > 0 && value < high_water {
+            converged += 1;
+        }
+        println!(
+            "  {}: {} events out, adaptive latency {value} (high water {high_water})",
+            outcome.name, outcome.events_out
+        );
+        args.emit_json(&json!({
+            "exhibit": "serve",
+            "kind": "metrics",
+            "dataset": outcome.name.as_str(),
+            "metrics": outcome.metrics.get("metrics").expect("metrics body").clone(),
+        }));
+    }
+    if args.check {
+        assert!(
+            converged == FLEET,
+            "adaptive latency failed to step down on {} of {FLEET} tenants",
+            FLEET - converged
+        );
+    }
+
+    // The isolation property at bench scale.
+    if args.check {
+        let (mut panics, mut budgets, mut disks) = (0u32, 0u32, 0u32);
+        for run in 0..CHAOS_RUNS {
+            match chaos_run(0xBE7C_4A05_0000_0000 | run) {
+                "panic" => panics += 1,
+                "budget" => budgets += 1,
+                _ => disks += 1,
+            }
+        }
+        println!(
+            "\nisolation: {CHAOS_RUNS} seeded chaos runs ok \
+             ({panics} panic / {budgets} budget / {disks} disk)"
+        );
+        assert!(panics > 0 && budgets > 0 && disks > 0);
+    }
+}

@@ -3,7 +3,8 @@
 //! ```sh
 //! snapshot_check <path.jsonl> [--require-fault-activity] \
 //!     [--require-recovery-activity] [--require-shard-activity] \
-//!     [--require-trace-activity] [--require-spill-activity]
+//!     [--require-trace-activity] [--require-spill-activity] \
+//!     [--require-service-activity]
 //! ```
 //!
 //! Asserts that every line parses with the in-tree JSON parser and that at
@@ -31,8 +32,14 @@
 //! `*.sorter.spill.runs_spilled` count and a nonzero
 //! `*.sorter.spill.bytes_on_disk` high-water somewhere in the file, with
 //! **zero** dead-lettered and **zero** shed events across the whole file
-//! (spilling that still sheds is not lossless). Exits non-zero with a
-//! message on the first violation.
+//! (spilling that still sheds is not lossless). With
+//! `--require-service-activity` it demands that the multi-tenant serving
+//! layer actually carried traffic — nonzero `serve.events_in` **and**
+//! `serve.events_out` across the file's per-tenant snapshots — and that
+//! the adaptive reorder-latency controller **visibly converged**: at
+//! least one `serve.adaptive.latency` gauge whose value sits below its
+//! high-water mark (the controller started patient and stepped down).
+//! Exits non-zero with a message on the first violation.
 
 use impatience_bench::{metrics_of_line, trace_of_line};
 use impatience_core::Json;
@@ -49,6 +56,7 @@ fn main() {
     let mut require_shard_activity = false;
     let mut require_trace_activity = false;
     let mut require_spill_activity = false;
+    let mut require_service_activity = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-fault-activity" => require_fault_activity = true,
@@ -56,6 +64,7 @@ fn main() {
             "--require-shard-activity" => require_shard_activity = true,
             "--require-trace-activity" => require_trace_activity = true,
             "--require-spill-activity" => require_spill_activity = true,
+            "--require-service-activity" => require_service_activity = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other}")),
         }
@@ -64,7 +73,8 @@ fn main() {
         fail(
             "usage: snapshot_check <path.jsonl> [--require-fault-activity] \
              [--require-recovery-activity] [--require-shard-activity] \
-             [--require-trace-activity] [--require-spill-activity]",
+             [--require-trace-activity] [--require-spill-activity] \
+             [--require-service-activity]",
         )
     });
     let text = std::fs::read_to_string(&path)
@@ -79,6 +89,9 @@ fn main() {
     let mut shard_merged = 0u64;
     let mut spill_runs = 0u64;
     let mut spill_disk_hwm = 0u64;
+    let mut serve_in = 0u64;
+    let mut serve_out = 0u64;
+    let mut adaptive_converged = 0usize;
     let mut trace_spans = 0u64;
     let mut trace_dropped = 0u64;
     let mut trace_lines = 0usize;
@@ -102,6 +115,9 @@ fn main() {
             shard_merged += counts.shard_merged;
             spill_runs += counts.spill_runs;
             spill_disk_hwm = spill_disk_hwm.max(counts.spill_disk_hwm);
+            serve_in += counts.serve_in;
+            serve_out += counts.serve_out;
+            adaptive_converged += counts.adaptive_converged as usize;
         }
         if let Some(trace) = trace_of_line(&js) {
             trace_lines += 1;
@@ -157,6 +173,20 @@ fn main() {
             ));
         }
     }
+    if require_service_activity {
+        if serve_in == 0 || serve_out == 0 {
+            fail(&format!(
+                "{path}: --require-service-activity: expected nonzero tenant socket traffic, \
+                 got serve.events_in={serve_in} serve.events_out={serve_out}"
+            ));
+        }
+        if adaptive_converged == 0 {
+            fail(&format!(
+                "{path}: --require-service-activity: no snapshot shows the adaptive reorder \
+                 latency below its high-water mark — the controller never stepped down"
+            ));
+        }
+    }
     if require_trace_activity {
         if trace_lines == 0 || trace_spans == 0 {
             fail(&format!(
@@ -176,6 +206,7 @@ fn main() {
          {dead_lettered} dead-lettered, {shed} shed, {restores} restore(s), \
          {shard_ingress}/{shard_merged} sharded in/out, \
          {spill_runs} run(s) spilled ({spill_disk_hwm} B on-disk hwm), \
+         {serve_in}/{serve_out} served in/out ({adaptive_converged} converged), \
          {trace_spans} span(s)/{trace_dropped} dropped in {trace_lines} trace line(s)"
     );
 }
@@ -190,6 +221,9 @@ struct ActivityCounts {
     shard_merged: u64,
     spill_runs: u64,
     spill_disk_hwm: u64,
+    serve_in: u64,
+    serve_out: u64,
+    adaptive_converged: bool,
 }
 
 /// One metrics snapshot must carry per-operator counters, the
@@ -318,6 +352,18 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) -> ActivityCounts {
             .map(|v| v.max(0) as u64)
             .sum()
     };
+    // Service-layer activity: per-tenant socket traffic counters and the
+    // adaptive latency controller's convergence evidence (a value that
+    // stepped down from the high-water rung it started at).
+    let adaptive_converged = gauge_names
+        .iter()
+        .filter(|n| n.ends_with("serve.adaptive.latency"))
+        .filter_map(|n| gauges.get(n))
+        .any(|g| {
+            let value = g.get("value").and_then(Json::as_i64).unwrap_or(0);
+            let hwm = g.get("high_water").and_then(Json::as_i64).unwrap_or(0);
+            hwm > 0 && value < hwm
+        });
     ActivityCounts {
         dead_lettered: sum_of("sort.dead_lettered"),
         shed: sum_of("sort.shed_events"),
@@ -328,5 +374,8 @@ fn check_snapshot(path: &str, no: usize, metrics: &Json) -> ActivityCounts {
         shard_merged: sum_of("shard.merge.events"),
         spill_runs: gauge_field("spill.runs_spilled", "value"),
         spill_disk_hwm: gauge_field("spill.bytes_on_disk", "high_water"),
+        serve_in: sum_of("serve.events_in"),
+        serve_out: sum_of("serve.events_out"),
+        adaptive_converged,
     }
 }

@@ -17,7 +17,7 @@ fn main() {
     let args = BenchArgs::parse(1_000_000);
     println!("Table I: measures of disorder ({} events)\n", args.events);
 
-    let datasets = vec![
+    let datasets = [
         generate_cloudlog(&CloudLogConfig::sized(args.events)),
         generate_androidlog(&AndroidLogConfig::sized(args.events)),
         generate_synthetic(&SyntheticConfig::paper_default(args.events)),

@@ -58,7 +58,8 @@ fn shard_pipeline(
     meter: &MemoryMeter,
     window: TickDuration,
 ) -> Streamable<i64> {
-    s.sorted_with(Box::new(ImpatienceSorter::new()), meter)
+    s.sorted(Box::new(ImpatienceSorter::new()), meter, Default::default())
+        .expect("default sort policy")
         .tumbling_window(window)
         .group_aggregate(SumAgg::new(|p: &EvalPayload| p[0] as i64))
 }
@@ -77,7 +78,12 @@ fn traced_shard_pipeline(
         .for_shard(shard);
     s.traced(ctx.clone())
         .trace_ingress(&ctx)
-        .sorted_with(Box::new(ImpatienceSorter::new()), &MemoryMeter::new())
+        .sorted(
+            Box::new(ImpatienceSorter::new()),
+            &MemoryMeter::new(),
+            Default::default(),
+        )
+        .expect("default sort policy")
         .trace_mark_sorted(&ctx, LatencyStage::Sort)
         .trace_egress_sorted(&ctx, LatencyStage::Operator)
         .tumbling_window(window)
@@ -104,7 +110,7 @@ fn timed_run(
     .subscribe_observer(Box::new(BlackHoleSink::new()));
     let start = Instant::now();
     for m in run {
-        handle.push_message(m);
+        handle.push(m).expect("push");
     }
     start.elapsed().as_secs_f64()
 }
@@ -230,7 +236,7 @@ fn main() {
             })
             .collect_output();
         for m in sample.clone() {
-            handle.push_message(m);
+            handle.push(m).expect("push");
         }
         handle.complete();
         assert!(out.is_completed(), "sample run (traced={traced}) failed");
@@ -262,7 +268,7 @@ fn main() {
             })
             .subscribe_observer(Box::new(BlackHoleSink::new()));
         for m in sample.clone() {
-            handle.push_message(m);
+            handle.push(m).expect("push");
         }
         handle.complete();
     }

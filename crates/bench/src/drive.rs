@@ -121,7 +121,7 @@ pub fn drive_online_sorter(
         if t <= punct {
             dropped += 1;
         } else {
-            sorter.push(e.clone());
+            sorter.push(*e);
             pushed += 1;
         }
         if (i + 1) % frequency == 0 {

@@ -194,7 +194,7 @@ fn run_canonical(
         None => Box::new(ImpatienceSorter::new()),
     };
     let stream = stream
-        .sorted_with_policy(sorter, &meter, policy)
+        .sorted(sorter, &meter, policy)
         .expect("Drop/DeadLetter sort policies are accepted");
     let stream = match &ctx {
         Some(c) => stream
@@ -217,7 +217,7 @@ fn run_canonical(
         if matches!(m, StreamMessage::Punctuation(_)) {
             stats.add_punctuation();
         }
-        handle.push_message(m);
+        handle.push(m).expect("push");
     }
     // Events surviving the sort stage (ingested minus dropped-late).
     let sorted_out = registry.counter("pipeline.00.sort.events_out").get();

@@ -152,7 +152,7 @@ pub fn run_query_metered(
     // Sort-as-needed prefix shared by all methods: optional re-key for the
     // grouped queries, then the window below the framework.
     let prepped = match query.groups() {
-        Some(g) => raw.re_key(move |e| (e.payload[2] % g as u32) as u32),
+        Some(g) => raw.re_key(move |e| e.payload[2] % g),
         None => raw,
     }
     .tumbling_window(window);
@@ -165,7 +165,7 @@ pub fn run_query_metered(
             stats = ss.stats();
             for i in 0..ladder.len() {
                 // The basic framework re-runs the full query per stream.
-                apply_query_and_sink(query, ss.stream(i));
+                apply_query_and_sink(query, ss.take_stream(i).expect("take output stream"));
             }
         }
         _ => {
@@ -192,7 +192,7 @@ pub fn run_query_metered(
             .expect("ladder");
             stats = ss.stats();
             for i in 0..ladder.len() {
-                let s = ss.stream(i);
+                let s = ss.take_stream(i).expect("take output stream");
                 // Q4's top-k is not mergeable; it runs on each consumed
                 // output stream.
                 let s = if query == Query::Q4 {
@@ -215,7 +215,7 @@ pub fn run_query_metered(
     let events = ds.len();
     let start = Instant::now();
     for m in msgs {
-        handle.push_message(m);
+        handle.push(m).expect("push");
     }
     let secs = start.elapsed().as_secs_f64();
 

@@ -1,0 +1,88 @@
+//! Shared configuration-validation vocabulary.
+//!
+//! Every builder in the workspace (`ShardOptions`, `SortPolicy`,
+//! `FrameworkPolicy`, the serving layer's `TenantConfig`, and the
+//! declarative `PipelineSpec`) validates against the same typed error:
+//! a [`ConfigError`] names the offending field and the rule it broke, so
+//! a service front-end can echo a precise diagnostic back over the wire
+//! instead of a stringly `InvalidConfig`. The lossy bridge into the
+//! engine's error channel ([`StreamError::InvalidConfig`]) is a `From`
+//! impl, keeping existing signatures unchanged.
+
+use crate::error::StreamError;
+
+/// A typed configuration-validation failure: which field, which rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the rejected field (e.g. `spec.sort.shed`).
+    pub field: String,
+    /// Human-readable rule the value broke.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// A new typed error for `field` breaking `reason`.
+    pub fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        ConfigError {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Re-scopes the error under a parent field (`parent.field`), used as
+    /// nested specs validate their children.
+    pub fn scoped(mut self, parent: &str) -> Self {
+        self.field = format!("{parent}.{}", self.field);
+        self
+    }
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid config: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for StreamError {
+    fn from(e: ConfigError) -> StreamError {
+        StreamError::InvalidConfig(format!("{}: {}", e.field, e.reason))
+    }
+}
+
+/// Implemented by every configuration struct that follows the workspace
+/// builder convention (`with_*` setters + `Default` + typed validation).
+pub trait Validate {
+    /// Checks the configuration, naming the first offending field.
+    fn validate(&self) -> core::result::Result<(), ConfigError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_field_and_reason() {
+        let e = ConfigError::new("shards", "must be >= 1");
+        assert_eq!(e.to_string(), "invalid config: shards: must be >= 1");
+    }
+
+    #[test]
+    fn scoped_prefixes_parent() {
+        let e = ConfigError::new("every_n", "must be >= 1").scoped("checkpoint");
+        assert_eq!(e.field, "checkpoint.every_n");
+    }
+
+    #[test]
+    fn lifts_into_stream_error() {
+        let e: StreamError = ConfigError::new("ladder", "must be strictly increasing").into();
+        match e {
+            StreamError::InvalidConfig(msg) => {
+                assert!(msg.contains("ladder"), "{msg}");
+                assert!(msg.contains("strictly increasing"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+}

@@ -31,6 +31,7 @@
 pub mod batch;
 pub mod bitmap;
 pub mod columnar;
+pub mod config;
 pub mod error;
 pub mod event;
 pub mod json;
@@ -46,6 +47,7 @@ pub mod trace;
 pub use batch::{EventBatch, DEFAULT_BATCH_SIZE};
 pub use bitmap::FilterBitmap;
 pub use columnar::ColumnarBatch;
+pub use config::{ConfigError, Validate};
 pub use error::{Result, StreamError};
 pub use event::{hash_key, EvalPayload, Event, EventTimed, Payload};
 pub use json::{Json, JsonError};

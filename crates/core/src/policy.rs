@@ -60,6 +60,54 @@ pub enum ShedPolicy {
     SpillColdRuns,
 }
 
+impl LatePolicy {
+    /// Stable wire/spec name (`drop`, `dead_letter`, `reroute`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LatePolicy::Drop => "drop",
+            LatePolicy::DeadLetter => "dead_letter",
+            LatePolicy::RerouteNextPartition => "reroute",
+        }
+    }
+
+    /// Parses the stable spec name back into a policy.
+    pub fn from_name(name: &str) -> core::result::Result<Self, crate::config::ConfigError> {
+        match name {
+            "drop" => Ok(LatePolicy::Drop),
+            "dead_letter" => Ok(LatePolicy::DeadLetter),
+            "reroute" => Ok(LatePolicy::RerouteNextPartition),
+            other => Err(crate::config::ConfigError::new(
+                "late",
+                format!("unknown late policy {other:?} (drop | dead_letter | reroute)"),
+            )),
+        }
+    }
+}
+
+impl ShedPolicy {
+    /// Stable wire/spec name (`force_punctuation`, `shed_oldest`, `spill`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedPolicy::ForcePunctuation => "force_punctuation",
+            ShedPolicy::ShedOldestRuns => "shed_oldest",
+            ShedPolicy::SpillColdRuns => "spill",
+        }
+    }
+
+    /// Parses the stable spec name back into a policy.
+    pub fn from_name(name: &str) -> core::result::Result<Self, crate::config::ConfigError> {
+        match name {
+            "force_punctuation" => Ok(ShedPolicy::ForcePunctuation),
+            "shed_oldest" => Ok(ShedPolicy::ShedOldestRuns),
+            "spill" => Ok(ShedPolicy::SpillColdRuns),
+            other => Err(crate::config::ConfigError::new(
+                "shed",
+                format!("unknown shed policy {other:?} (force_punctuation | shed_oldest | spill)"),
+            )),
+        }
+    }
+}
+
 /// Why an event landed in the dead-letter queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeadLetterReason {

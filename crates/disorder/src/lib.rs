@@ -21,6 +21,7 @@
 pub mod distance;
 pub mod interleaved;
 pub mod inversions;
+pub mod online;
 pub mod rem_exc;
 pub mod report;
 pub mod runs;
@@ -30,6 +31,7 @@ pub use interleaved::{
     longest_strictly_decreasing, longest_strictly_decreasing_naive, min_interleaved_runs,
 };
 pub use inversions::{count_inversions, count_inversions_naive};
+pub use online::{AdaptiveConfig, AdaptiveGauges, AdaptiveLatency, DelayWindow};
 pub use rem_exc::{
     longest_nondecreasing, longest_nondecreasing_naive, min_exchanges, min_removals,
 };

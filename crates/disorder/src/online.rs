@@ -1,0 +1,551 @@
+//! Online disorder measures and quality-driven reorder-latency selection.
+//!
+//! The offline measures in this crate score a finished trace; a *serving*
+//! layer needs the same signal live, per tenant, in `O(1)` per event. This
+//! module tracks the empirical **tardiness** distribution (delay of each
+//! arrival behind the running high watermark) over a sliding window, plus
+//! the online natural-run count, and drives an [`AdaptiveLatency`]
+//! controller that picks the smallest reorder latency `l_i` from a
+//! configured ladder whose expected completeness meets a result-quality
+//! target — the quality-driven disorder handling of Ji et al. (see
+//! PAPERS.md) applied to the Impatience ingress contract: punctuations are
+//! issued at `watermark − l(t)` where `l(t)` adapts to the stream.
+
+use impatience_core::config::{ConfigError, Validate};
+use impatience_core::metrics::{Counter, Gauge};
+use impatience_core::{TickDuration, Timestamp};
+
+/// Sliding-window tardiness tracker, bucketed by a latency ladder.
+///
+/// Each observed arrival is classified against a strictly increasing
+/// ladder `l_0 < l_1 < … < l_{k-1}`: the event lands in the rung of the
+/// smallest `l_i` that would have been *sufficient* to sort it (its delay
+/// behind the watermark is `≤ l_i`), or in an overflow bucket when even
+/// the top rung would have been too small. Rung counts over the last
+/// `capacity` events give the empirical completeness of every candidate
+/// latency at once, in `O(1)` per event.
+#[derive(Debug, Clone)]
+pub struct DelayWindow {
+    ladder: Vec<TickDuration>,
+    /// Rung index per windowed event; `ladder.len()` marks overflow.
+    ring: Vec<u8>,
+    head: usize,
+    len: usize,
+    counts: Vec<u64>,
+    watermark: Timestamp,
+    max_delay: TickDuration,
+    runs: u64,
+    prev: Timestamp,
+    seen_any: bool,
+    observed: u64,
+}
+
+impl DelayWindow {
+    /// A window over the last `capacity` arrivals, classified against
+    /// `ladder`. The ladder must be non-empty, non-negative, strictly
+    /// increasing, and short enough to index with a byte; `capacity` must
+    /// be at least 1.
+    pub fn new(ladder: &[TickDuration], capacity: usize) -> Result<DelayWindow, ConfigError> {
+        validate_ladder(ladder)?;
+        if capacity == 0 {
+            return Err(ConfigError::new("window", "capacity must be >= 1"));
+        }
+        Ok(DelayWindow {
+            ladder: ladder.to_vec(),
+            ring: vec![0; capacity],
+            head: 0,
+            len: 0,
+            counts: vec![0; ladder.len() + 1],
+            watermark: Timestamp::MIN,
+            max_delay: TickDuration::ZERO,
+            runs: 0,
+            prev: Timestamp::MIN,
+            seen_any: false,
+            observed: 0,
+        })
+    }
+
+    /// Observes one arrival. Delay is measured against the watermark
+    /// *before* this event advances it, matching what an ingress sorter
+    /// would have had to buffer to emit it in order.
+    pub fn observe(&mut self, ts: Timestamp) {
+        let delay = if self.seen_any && ts < self.watermark {
+            TickDuration::ticks(self.watermark.abs_diff(ts).min(i64::MAX as u64) as i64)
+        } else {
+            TickDuration::ZERO
+        };
+        if !self.seen_any || ts < self.prev {
+            self.runs += 1;
+        }
+        self.prev = ts;
+        if !self.seen_any || ts > self.watermark {
+            self.watermark = ts;
+        }
+        self.seen_any = true;
+        self.observed += 1;
+        if delay > self.max_delay {
+            self.max_delay = delay;
+        }
+        let rung = self
+            .ladder
+            .iter()
+            .position(|l| delay <= *l)
+            .unwrap_or(self.ladder.len()) as u8;
+        if self.len == self.ring.len() {
+            let evicted = self.ring[self.head];
+            self.counts[evicted as usize] -= 1;
+        } else {
+            self.len += 1;
+        }
+        self.ring[self.head] = rung;
+        self.counts[rung as usize] += 1;
+        self.head = (self.head + 1) % self.ring.len();
+    }
+
+    /// Fraction of windowed arrivals a reorder latency of `ladder[rung]`
+    /// would have sorted (delay ≤ `l`). Returns 1.0 on an empty window.
+    pub fn completeness_at(&self, rung: usize) -> f64 {
+        assert!(rung < self.ladder.len(), "rung out of range");
+        if self.len == 0 {
+            return 1.0;
+        }
+        let covered: u64 = self.counts[..=rung].iter().sum();
+        covered as f64 / self.len as f64
+    }
+
+    /// The candidate ladder.
+    pub fn ladder(&self) -> &[TickDuration] {
+        &self.ladder
+    }
+
+    /// Events currently in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total arrivals ever observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Running high watermark (max event time seen).
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Worst tardiness ever observed.
+    pub fn max_delay(&self) -> TickDuration {
+        self.max_delay
+    }
+
+    /// Online natural-run count (the offline [`count_natural_runs`]
+    /// computed incrementally over everything observed).
+    ///
+    /// [`count_natural_runs`]: crate::count_natural_runs
+    pub fn natural_runs(&self) -> u64 {
+        self.runs
+    }
+}
+
+fn validate_ladder(ladder: &[TickDuration]) -> Result<(), ConfigError> {
+    if ladder.is_empty() {
+        return Err(ConfigError::new("ladder", "must not be empty"));
+    }
+    if ladder.len() > 255 {
+        return Err(ConfigError::new("ladder", "at most 255 rungs"));
+    }
+    if ladder[0] < TickDuration::ZERO {
+        return Err(ConfigError::new("ladder", "latencies must be non-negative"));
+    }
+    for pair in ladder.windows(2) {
+        if pair[1] <= pair[0] {
+            return Err(ConfigError::new("ladder", "must be strictly increasing"));
+        }
+    }
+    Ok(())
+}
+
+/// Configuration for an [`AdaptiveLatency`] controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Candidate reorder latencies, strictly increasing.
+    pub ladder: Vec<TickDuration>,
+    /// Result-quality target: minimum fraction of arrivals the selected
+    /// latency must sort, in `(0, 1]`.
+    pub quality: f64,
+    /// Sliding-window size (arrivals) the decision is made over.
+    pub window: usize,
+    /// Consecutive decisions required before stepping *down* the ladder
+    /// (stepping up on a quality breach is immediate).
+    pub hold: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            ladder: vec![
+                TickDuration::millis(1),
+                TickDuration::millis(10),
+                TickDuration::millis(100),
+                TickDuration::secs(1),
+                TickDuration::secs(10),
+            ],
+            quality: 0.999,
+            window: 4096,
+            hold: 3,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Default configuration (the paper's `{1ms, 10ms, 100ms, 1s, 10s}`
+    /// ladder, 99.9% quality, 4096-event window).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the candidate ladder.
+    pub fn with_ladder(mut self, ladder: Vec<TickDuration>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Sets the completeness target.
+    pub fn with_quality(mut self, quality: f64) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Sets the sliding-window size.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the step-down hold count.
+    pub fn with_hold(mut self, hold: u32) -> Self {
+        self.hold = hold;
+        self
+    }
+}
+
+impl Validate for AdaptiveConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        validate_ladder(&self.ladder)?;
+        if !(self.quality > 0.0 && self.quality <= 1.0) {
+            return Err(ConfigError::new("quality", "must be in (0, 1]"));
+        }
+        if self.window == 0 {
+            return Err(ConfigError::new("window", "must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Gauges mirroring an [`AdaptiveLatency`] controller's live state, for a
+/// metrics registry. Register under a prefix with
+/// [`AdaptiveLatency::bind_gauges`].
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveGauges {
+    /// Currently selected reorder latency, ticks.
+    pub latency: Gauge,
+    /// Selected rung index in the ladder.
+    pub rung: Gauge,
+    /// Windowed completeness of the selected rung, parts per million.
+    pub completeness_ppm: Gauge,
+    /// Worst observed tardiness, ticks.
+    pub max_delay: Gauge,
+    /// Ladder switches taken so far.
+    pub switches: Counter,
+}
+
+/// Quality-driven online reorder-latency selector.
+///
+/// Feed every arrival through [`observe`](Self::observe); read the chosen
+/// latency with [`current`](Self::current). The controller re-decides at
+/// most once per `window/4` arrivals: it steps **up** immediately when the
+/// current rung's windowed completeness falls below the quality target,
+/// and steps **down** only after `hold` consecutive decisions agree the
+/// next-smaller rung would still meet the target — hysteresis that keeps a
+/// bursty stream from flapping between rungs.
+#[derive(Debug, Clone)]
+pub struct AdaptiveLatency {
+    window: DelayWindow,
+    config: AdaptiveConfig,
+    rung: usize,
+    down_streak: u32,
+    switches: u64,
+    since_decision: usize,
+    decide_every: usize,
+    gauges: Option<AdaptiveGauges>,
+}
+
+impl AdaptiveLatency {
+    /// A controller starting at the **top** of the ladder (most patient,
+    /// never under-sorts a cold stream) that works its way down as the
+    /// window fills with evidence.
+    pub fn new(config: AdaptiveConfig) -> Result<AdaptiveLatency, ConfigError> {
+        config.validate()?;
+        let window = DelayWindow::new(&config.ladder, config.window)?;
+        let decide_every = (config.window / 4).max(1);
+        Ok(AdaptiveLatency {
+            rung: config.ladder.len() - 1,
+            window,
+            config,
+            down_streak: 0,
+            switches: 0,
+            since_decision: 0,
+            decide_every,
+            gauges: None,
+        })
+    }
+
+    /// Mirrors controller state into `gauges` (pre-registered under the
+    /// caller's prefix) on every decision.
+    pub fn bind_gauges(&mut self, gauges: AdaptiveGauges) {
+        gauges.latency.set(self.current().as_ticks());
+        gauges.rung.set(self.rung as i64);
+        self.gauges = Some(gauges);
+    }
+
+    /// The currently selected reorder latency.
+    pub fn current(&self) -> TickDuration {
+        self.config.ladder[self.rung]
+    }
+
+    /// The currently selected rung index.
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// Ladder switches taken so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The underlying tardiness window (watermark, max delay, runs).
+    pub fn window(&self) -> &DelayWindow {
+        &self.window
+    }
+
+    /// Observes one arrival and returns the latency selected *after* this
+    /// arrival (unchanged between decision points).
+    pub fn observe(&mut self, ts: Timestamp) -> TickDuration {
+        self.window.observe(ts);
+        self.since_decision += 1;
+        if self.since_decision >= self.decide_every && self.window.len() >= self.decide_every {
+            self.since_decision = 0;
+            self.decide();
+        }
+        self.current()
+    }
+
+    fn decide(&mut self) {
+        let quality = self.config.quality;
+        let here = self.window.completeness_at(self.rung);
+        let mut switched = false;
+        if here < quality {
+            // Quality breach: jump straight to the smallest sufficient rung.
+            if let Some(up) = (self.rung + 1..self.config.ladder.len())
+                .find(|r| self.window.completeness_at(*r) >= quality)
+                .or(if self.rung + 1 < self.config.ladder.len() {
+                    Some(self.config.ladder.len() - 1)
+                } else {
+                    None
+                })
+            {
+                self.rung = up;
+                switched = true;
+            }
+            self.down_streak = 0;
+        } else if self.rung > 0 && self.window.completeness_at(self.rung - 1) >= quality {
+            self.down_streak += 1;
+            if self.down_streak >= self.config.hold {
+                self.rung -= 1;
+                self.down_streak = 0;
+                switched = true;
+            }
+        } else {
+            self.down_streak = 0;
+        }
+        if switched {
+            self.switches += 1;
+        }
+        if let Some(g) = &self.gauges {
+            g.latency.set(self.current().as_ticks());
+            g.rung.set(self.rung as i64);
+            g.completeness_ppm
+                .set((self.window.completeness_at(self.rung) * 1_000_000.0) as i64);
+            g.max_delay.set(self.window.max_delay().as_ticks());
+            if switched {
+                g.switches.add(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Vec<TickDuration> {
+        vec![
+            TickDuration::ticks(0),
+            TickDuration::ticks(8),
+            TickDuration::ticks(64),
+            TickDuration::ticks(512),
+        ]
+    }
+
+    #[test]
+    fn window_matches_offline_completeness() {
+        let mut w = DelayWindow::new(&ladder(), 1024).unwrap();
+        // Alternating pattern: every odd event arrives 10 ticks behind.
+        let mut ts = Vec::new();
+        for i in 0..500i64 {
+            let t = i * 4;
+            ts.push(if i % 2 == 1 { t - 10 } else { t });
+        }
+        let mut watermark = i64::MIN;
+        let mut delays = Vec::new();
+        for &t in &ts {
+            let d = if watermark > t { watermark - t } else { 0 };
+            delays.push(d);
+            watermark = watermark.max(t);
+            w.observe(Timestamp::new(t));
+        }
+        for (rung, l) in ladder().iter().enumerate() {
+            let offline =
+                delays.iter().filter(|d| **d <= l.as_ticks()).count() as f64 / delays.len() as f64;
+            let online = w.completeness_at(rung);
+            assert!(
+                (offline - online).abs() < 1e-9,
+                "rung {rung}: offline {offline} vs online {online}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_evicts_old_observations() {
+        let mut w = DelayWindow::new(&ladder(), 16).unwrap();
+        // 16 very late events, then 64 in-order ones: the window forgets.
+        for i in 0..16i64 {
+            w.observe(Timestamp::new(i * 2));
+            w.observe(Timestamp::new(i * 2 - 1000));
+        }
+        assert!(w.completeness_at(2) < 0.9);
+        for i in 100..164i64 {
+            w.observe(Timestamp::new(i));
+        }
+        assert!((w.completeness_at(0) - 1.0).abs() < 1e-9);
+        assert_eq!(w.len(), 16);
+    }
+
+    #[test]
+    fn natural_runs_match_offline() {
+        let keys = [5i64, 1, 3, 3, 2, 9, 9, 4];
+        let mut w = DelayWindow::new(&ladder(), 8).unwrap();
+        for &k in &keys {
+            w.observe(Timestamp::new(k));
+        }
+        assert_eq!(w.natural_runs(), crate::count_natural_runs(&keys) as u64);
+    }
+
+    #[test]
+    fn selector_converges_down_on_orderly_stream() {
+        let cfg = AdaptiveConfig::new()
+            .with_ladder(ladder())
+            .with_quality(0.99)
+            .with_window(256)
+            .with_hold(2);
+        let mut sel = AdaptiveLatency::new(cfg).unwrap();
+        assert_eq!(sel.current(), TickDuration::ticks(512), "starts patient");
+        for i in 0..4096i64 {
+            sel.observe(Timestamp::new(i));
+        }
+        assert_eq!(sel.rung(), 0, "in-order stream settles on the bottom rung");
+        assert!(sel.switches() >= 3);
+    }
+
+    #[test]
+    fn selector_steps_up_on_disorder_burst() {
+        let cfg = AdaptiveConfig::new()
+            .with_ladder(ladder())
+            .with_quality(0.95)
+            .with_window(256)
+            .with_hold(2);
+        let mut sel = AdaptiveLatency::new(cfg).unwrap();
+        for i in 0..2048i64 {
+            sel.observe(Timestamp::new(i));
+        }
+        assert_eq!(sel.rung(), 0);
+        // Burst: half the events 100 ticks late — rung 0 (l=0) and rung 1
+        // (l=8) both fail a 0.95 target; rung 2 (l=64) fails too; only 512
+        // covers it.
+        for i in 2048..4096i64 {
+            let t = if i % 2 == 0 { i } else { i - 100 };
+            sel.observe(Timestamp::new(t));
+        }
+        assert_eq!(sel.rung(), 3, "burst drives selection to a patient rung");
+    }
+
+    #[test]
+    fn hysteresis_requires_hold_before_stepping_down() {
+        let cfg = AdaptiveConfig::new()
+            .with_ladder(ladder())
+            .with_quality(0.99)
+            .with_window(64)
+            .with_hold(1000);
+        let mut sel = AdaptiveLatency::new(cfg).unwrap();
+        for i in 0..512i64 {
+            sel.observe(Timestamp::new(i));
+        }
+        assert_eq!(sel.rung(), 3, "huge hold pins the starting rung");
+        assert_eq!(sel.switches(), 0);
+    }
+
+    #[test]
+    fn ladder_validation_is_typed() {
+        let bad = AdaptiveConfig::new().with_ladder(vec![]);
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err.field, "ladder");
+        let bad =
+            AdaptiveConfig::new().with_ladder(vec![TickDuration::ticks(5), TickDuration::ticks(5)]);
+        assert!(bad.validate().unwrap_err().reason.contains("increasing"));
+        let bad = AdaptiveConfig::new().with_quality(0.0);
+        assert_eq!(bad.validate().unwrap_err().field, "quality");
+    }
+
+    #[test]
+    fn gauges_mirror_decisions() {
+        use impatience_core::metrics::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let gauges = AdaptiveGauges {
+            latency: registry.gauge("adaptive.latency"),
+            rung: registry.gauge("adaptive.rung"),
+            completeness_ppm: registry.gauge("adaptive.completeness_ppm"),
+            max_delay: registry.gauge("adaptive.max_delay"),
+            switches: registry.counter("adaptive.switches"),
+        };
+        let cfg = AdaptiveConfig::new()
+            .with_ladder(ladder())
+            .with_quality(0.99)
+            .with_window(64)
+            .with_hold(1);
+        let mut sel = AdaptiveLatency::new(cfg).unwrap();
+        sel.bind_gauges(gauges);
+        for i in 0..1024i64 {
+            sel.observe(Timestamp::new(i));
+        }
+        let snap = registry.snapshot();
+        let json = snap.to_json().to_string();
+        assert!(json.contains("adaptive.latency"), "{json}");
+        assert!(json.contains("adaptive.switches"), "{json}");
+        assert_eq!(sel.rung(), 0);
+    }
+}

@@ -135,7 +135,9 @@ pub fn ingress_sorted_with<P: Payload>(
             sink.on_message(m);
         }
     });
-    disordered.sorted_with(sorter, meter)
+    disordered
+        .sorted(sorter, meter, Default::default())
+        .expect("default sort policy")
 }
 
 /// A live disordered input plus its sorted view — the shape the framework
@@ -145,7 +147,11 @@ pub fn disordered_input<P: Payload>(
     meter: &MemoryMeter,
 ) -> (InputHandle<P>, Streamable<P>) {
     let (handle, raw) = input_stream::<P>();
-    (handle, raw.sorted_with(sorter, meter))
+    (
+        handle,
+        raw.sorted(sorter, meter, Default::default())
+            .expect("default sort policy"),
+    )
 }
 
 /// Tuning knobs for the write-ahead ingest log.
@@ -567,7 +573,7 @@ mod tests {
             reorder_latency: TickDuration::ZERO,
             batch_size: 3,
         };
-        let msgs = punctuate_arrivals((0..10).map(|i| ev(i)).collect(), &policy);
+        let msgs = punctuate_arrivals((0..10).map(ev).collect(), &policy);
         let sizes: Vec<usize> = msgs
             .iter()
             .filter_map(|m| match m {

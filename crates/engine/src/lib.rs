@@ -57,6 +57,7 @@ pub mod metered;
 pub mod observer;
 pub mod ops;
 pub mod sharded;
+pub mod spec;
 pub mod streamable;
 pub mod traced;
 
@@ -72,5 +73,8 @@ pub use ingress::{
 pub use metered::{EgressProbe, MeteredObserver, OperatorMetrics};
 pub use observer::{BlackHoleSink, CollectorSink, FnSink, Observer, Output, SharedSink};
 pub use sharded::{Pop, ShardCtx, ShardOptions, ShardQueue, TryPush};
+pub use spec::{
+    BuiltPipeline, CheckpointSpec, OpSpec, PipelineEnv, PipelineSpec, ReorderSpec, SortSpec,
+};
 pub use streamable::{input_stream, InputHandle, Streamable};
 pub use traced::TraceCtx;

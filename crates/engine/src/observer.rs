@@ -152,6 +152,13 @@ impl<P: Payload> Output<P> {
     pub fn discard_messages(&self) {
         lock(&self.buf).messages.clear();
     }
+
+    /// Atomically drains buffered messages, keeping counters — the
+    /// incremental-consumer form of [`Self::messages`] used by the
+    /// serving layer to ship output as it is released.
+    pub fn take_messages(&self) -> Vec<StreamMessage<P>> {
+        std::mem::take(&mut lock(&self.buf).messages)
+    }
 }
 
 /// Terminal observer that records everything into an [`Output`].

@@ -71,7 +71,7 @@ mod tests {
     #[test]
     fn marks_bitmap_without_compacting() {
         let (out, sink) = Output::<u32>::new();
-        let mut op = FilterOp::new(|e: &Event<u32>| e.payload % 2 == 0, sink);
+        let mut op = FilterOp::new(|e: &Event<u32>| e.payload.is_multiple_of(2), sink);
         op.on_batch(batch(&[1, 2, 3, 4]));
         op.on_completed();
         let msgs = out.messages();

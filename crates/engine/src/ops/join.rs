@@ -435,12 +435,14 @@ mod tests {
         Event::interval(Timestamp::new(start), Timestamp::new(end), key, p)
     }
 
-    fn setup() -> (
+    type JoinFixture = (
         Output<(u32, u32)>,
         JoinInput<u32, u32, (u32, u32), true>,
         JoinInput<u32, u32, (u32, u32), false>,
         MemoryMeter,
-    ) {
+    );
+
+    fn setup() -> JoinFixture {
         let (out, sink) = Output::new();
         let meter = MemoryMeter::new();
         let (l, r) = temporal_join(|a: &u32, b: &u32| (*a, *b), Box::new(sink), meter.clone());

@@ -59,6 +59,31 @@ impl<P: Payload> Default for SortPolicy<P> {
     }
 }
 
+impl<P: Payload> SortPolicy<P> {
+    /// The default policy (drop late events, force punctuation on budget).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the late-event policy.
+    pub fn with_late(mut self, late: LatePolicy) -> Self {
+        self.late = late;
+        self
+    }
+
+    /// Sets the shed policy.
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Attaches a dead-letter queue.
+    pub fn with_dead_letters(mut self, queue: DeadLetterQueue<P>) -> Self {
+        self.dead_letters = Some(queue);
+        self
+    }
+}
+
 /// Shared counters for the sorter boundary's fault handling, registered
 /// under `{prefix}.late_dropped` / `.dead_lettered` / `.shed_events` /
 /// `.forced_punctuations`.

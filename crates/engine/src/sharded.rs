@@ -299,16 +299,34 @@ impl ShardOptions {
         }
     }
 
+    /// Sets the number of worker shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Overrides the per-queue capacity.
-    pub fn queue_capacity(mut self, cap: usize) -> Self {
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = cap;
         self
     }
 
     /// Overrides the merge stall timeout.
-    pub fn stall_timeout(mut self, t: Duration) -> Self {
+    pub fn with_stall_timeout(mut self, t: Duration) -> Self {
         self.stall_timeout = t;
         self
+    }
+
+    /// Overrides the per-queue capacity.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_queue_capacity`")]
+    pub fn queue_capacity(self, cap: usize) -> Self {
+        self.with_queue_capacity(cap)
+    }
+
+    /// Overrides the merge stall timeout.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_stall_timeout`")]
+    pub fn stall_timeout(self, t: Duration) -> Self {
+        self.with_stall_timeout(t)
     }
 
     /// Publishes the `shard.*` instruments into `registry`.
@@ -325,6 +343,29 @@ impl ShardOptions {
     pub fn with_trace(mut self, sink: &TraceSink) -> Self {
         self.trace = Some(sink.clone());
         self
+    }
+}
+
+impl Default for ShardOptions {
+    /// A single shard with the standard queue and stall settings.
+    fn default() -> Self {
+        ShardOptions::new(1)
+    }
+}
+
+impl impatience_core::Validate for ShardOptions {
+    fn validate(&self) -> Result<(), impatience_core::ConfigError> {
+        use impatience_core::ConfigError;
+        if self.shards == 0 {
+            return Err(ConfigError::new("shards", "must be >= 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::new("queue_capacity", "must be >= 1"));
+        }
+        if self.stall_timeout.is_zero() {
+            return Err(ConfigError::new("stall_timeout", "must be positive"));
+        }
+        Ok(())
     }
 }
 
@@ -451,7 +492,7 @@ fn shard_worker<P: Payload, Q: Payload>(
                         }
                     }
                     let terminal = matches!(msg, StreamMessage::Completed);
-                    if handle.try_push_message(msg).is_err() || terminal {
+                    if handle.push(msg).is_err() || terminal {
                         break;
                     }
                 }
@@ -462,7 +503,7 @@ fn shard_worker<P: Payload, Q: Payload>(
                 // Closed without a terminal (the source was dropped):
                 // flush the pipeline so buffered state still drains.
                 None => {
-                    let _ = handle.try_push_message(StreamMessage::Completed);
+                    let _ = handle.push(StreamMessage::Completed);
                     break;
                 }
             }
@@ -878,7 +919,7 @@ mod tests {
         Streamable::from_connector(move |sink| {
             stream.subscribe_observer(sink);
             for m in msgs {
-                handle.push_message(m);
+                handle.push(m).expect("push");
             }
         })
     }
@@ -919,7 +960,7 @@ mod tests {
     #[test]
     fn panicking_shard_yields_exactly_one_typed_error() {
         let events: Vec<Event<u32>> = (0..32).map(|i| ev(i, (i % 4) as u32, i as u32)).collect();
-        let opts = ShardOptions::new(4).stall_timeout(Duration::from_secs(5));
+        let opts = ShardOptions::new(4).with_stall_timeout(Duration::from_secs(5));
         let out = source(events, &[31])
             .sharded_with(opts, |s, ctx| {
                 let bad = ctx.index == 2;

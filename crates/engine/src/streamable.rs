@@ -587,12 +587,13 @@ impl<P: Payload> Streamable<P> {
     /// On an instrumented chain the sorter additionally publishes
     /// [`SorterGauges`] (run count, buffered events, state-byte high-water
     /// mark, speculation counters) under `{prefix}.{stage:02}.sorter.*`.
+    #[deprecated(since = "0.2.0", note = "use `sorted` with `SortPolicy::default()`")]
     pub fn sorted_with(
         self,
         sorter: Box<dyn OnlineSorter<Event<P>>>,
         meter: &MemoryMeter,
     ) -> Streamable<P> {
-        self.sorted_with_policy(sorter, meter, ops::SortPolicy::default())
+        self.sorted(sorter, meter, ops::SortPolicy::default())
             .expect("the default sort policy is always accepted")
     }
 
@@ -611,7 +612,20 @@ impl<P: Payload> Streamable<P> {
     /// On an instrumented chain the stage additionally registers
     /// [`SortFaultCounters`](ops::SortFaultCounters) under
     /// `{prefix}.{stage:02}.sort.*` fault-counter names.
+    #[deprecated(since = "0.2.0", note = "renamed to `sorted`")]
     pub fn sorted_with_policy(
+        self,
+        sorter: Box<dyn OnlineSorter<Event<P>>>,
+        meter: &MemoryMeter,
+        policy: ops::SortPolicy<P>,
+    ) -> Result<Streamable<P>, StreamError> {
+        self.sorted(sorter, meter, policy)
+    }
+
+    /// The canonical fallible sorting stage (supersedes the
+    /// `sorted_with` / `sorted_with_policy` twin pair): buffers in
+    /// `sorter`, flushing on punctuations under `policy`.
+    pub fn sorted(
         self,
         sorter: Box<dyn OnlineSorter<Event<P>>>,
         meter: &MemoryMeter,
@@ -736,7 +750,16 @@ impl<P: Payload> InputHandle<P> {
         self.deliver(StreamMessage::Punctuation(t));
     }
 
-    /// Pushes any message.
+    /// The canonical fallible push (supersedes the `push_message` /
+    /// `try_push_message` twin pair): delivers any message, returning
+    /// [`StreamError::PushAfterCompleted`] if the stream is already
+    /// complete.
+    pub fn push(&self, msg: StreamMessage<P>) -> Result<(), StreamError> {
+        self.try_deliver(msg)
+    }
+
+    /// Pushes any message, panicking after completion.
+    #[deprecated(since = "0.2.0", note = "use the fallible `push`")]
     pub fn push_message(&self, msg: StreamMessage<P>) {
         self.deliver(msg);
     }
@@ -744,6 +767,7 @@ impl<P: Payload> InputHandle<P> {
     /// Pushes any message, returning
     /// [`StreamError::PushAfterCompleted`] instead of panicking if the
     /// stream is already complete.
+    #[deprecated(since = "0.2.0", note = "renamed to `push`")]
     pub fn try_push_message(&self, msg: StreamMessage<P>) -> Result<(), StreamError> {
         self.try_deliver(msg)
     }
@@ -869,7 +893,12 @@ mod tests {
         // Bypass the ordered-stream debug check by pushing via a live input.
         let (handle, stream) = input_stream::<u32>();
         let out = stream
-            .sorted_with(Box::new(impatience_sort::ImpatienceSorter::new()), &meter)
+            .sorted(
+                Box::new(impatience_sort::ImpatienceSorter::new()),
+                &meter,
+                Default::default(),
+            )
+            .expect("default sort policy")
             .collect_output();
         handle.push_events(evs(&[2, 6, 5, 1]));
         handle.push_punctuation(Timestamp::new(2));
@@ -910,7 +939,12 @@ mod tests {
                 None => stream,
             };
             let out = stream
-                .sorted_with(Box::new(impatience_sort::ImpatienceSorter::new()), &meter)
+                .sorted(
+                    Box::new(impatience_sort::ImpatienceSorter::new()),
+                    &meter,
+                    Default::default(),
+                )
+                .expect("default sort policy")
                 .where_(|e| e.payload != 6)
                 .tumbling_window(TickDuration::ticks(4))
                 .count()
@@ -942,10 +976,7 @@ mod tests {
             3,
             "three closed windows"
         );
-        assert_eq!(
-            registry.gauge("pipeline.00.sorter.runs").high_water() > 0,
-            true
-        );
+        assert!(registry.gauge("pipeline.00.sorter.runs").high_water() > 0);
         assert!(
             registry
                 .gauge("pipeline.00.sorter.state_bytes")
@@ -1043,7 +1074,7 @@ mod tests {
     fn sorted_with_policy_rejects_reroute() {
         let meter = MemoryMeter::new();
         let err = Streamable::from_ordered_events(evs(&[1]))
-            .sorted_with_policy(
+            .sorted(
                 Box::new(impatience_sort::ImpatienceSorter::new()),
                 &meter,
                 ops::SortPolicy {
@@ -1068,7 +1099,7 @@ mod tests {
         let dlq = impatience_core::DeadLetterQueue::new();
         let out = stream
             .instrument(&registry, "fp")
-            .sorted_with_policy(
+            .sorted(
                 Box::new(impatience_sort::ImpatienceSorter::new()),
                 &meter,
                 ops::SortPolicy {
@@ -1099,9 +1130,7 @@ mod tests {
         assert_eq!(out.error(), Some(StreamError::PushAfterCompleted));
         assert!(!out.is_completed());
         // Terminal: pushes after the error are rejected.
-        assert!(handle
-            .try_push_message(StreamMessage::punctuation(9))
-            .is_err());
+        assert!(handle.push(StreamMessage::punctuation(9)).is_err());
 
         // Replayed: error before subscription is delivered at subscribe.
         let (handle, stream) = input_stream::<u32>();

@@ -447,7 +447,12 @@ mod tests {
                 None => stream,
             };
             let out = stream
-                .sorted_with(Box::new(impatience_sort::ImpatienceSorter::new()), &meter)
+                .sorted(
+                    Box::new(impatience_sort::ImpatienceSorter::new()),
+                    &meter,
+                    Default::default(),
+                )
+                .expect("default sort policy")
                 .where_(|e| e.payload != 6)
                 .tumbling_window(TickDuration::ticks(4))
                 .count()
@@ -499,7 +504,12 @@ mod tests {
         let out = stream
             .traced(ctx.clone())
             .trace_ingress(&ctx)
-            .sorted_with(Box::new(impatience_sort::ImpatienceSorter::new()), &meter)
+            .sorted(
+                Box::new(impatience_sort::ImpatienceSorter::new()),
+                &meter,
+                Default::default(),
+            )
+            .expect("default sort policy")
             .trace_mark(&ctx, LatencyStage::Sort)
             .trace_egress(&ctx, LatencyStage::Operator)
             .collect_output();
@@ -527,7 +537,12 @@ mod tests {
             let s = stream
                 .traced(ctx.clone())
                 .trace_ingress(&ctx)
-                .sorted_with(Box::new(impatience_sort::ImpatienceSorter::new()), &meter);
+                .sorted(
+                    Box::new(impatience_sort::ImpatienceSorter::new()),
+                    &meter,
+                    Default::default(),
+                )
+                .expect("default sort policy");
             let out = if sorted {
                 s.trace_mark_sorted(&ctx, LatencyStage::Sort)
                     .trace_egress_sorted(&ctx, LatencyStage::Operator)

@@ -177,7 +177,7 @@ fn punctuation_regression_inside_a_shard_surfaces_typed() {
     // A shard pipeline that re-issues a lower punctuation: the merge must
     // terminate with PunctuationRegressed, not emit unordered output.
     let (handle, stream) = input_stream::<u32>();
-    let opts = ShardOptions::new(2).stall_timeout(Duration::from_secs(5));
+    let opts = ShardOptions::new(2).with_stall_timeout(Duration::from_secs(5));
     let sharded = stream.sharded_with(opts, |s, ctx| {
         let bad = ctx.index == 1;
         Streamable::from_connector(move |sink| {
@@ -249,13 +249,13 @@ fn run_sharded(
     jitter_seed: Option<u64>,
 ) -> Vec<StreamMessage<u32>> {
     let (handle, stream) = input_stream::<u32>();
-    let opts = ShardOptions::new(shards).queue_capacity(queue_capacity);
+    let opts = ShardOptions::new(shards).with_queue_capacity(queue_capacity);
     let out = stream
         .sharded_with(opts, |s, _| s.where_(|e| e.payload % 5 != 2))
         .collect_output();
     let mut rng = jitter_seed.map(Rng::new);
     for msg in input {
-        handle.push_message(msg.clone());
+        handle.push(msg.clone()).expect("push");
         // Randomize producer pacing: under tiny queue capacities this
         // shifts which pushes block, i.e. the thread interleaving.
         if let Some(rng) = rng.as_mut() {

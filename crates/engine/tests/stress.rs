@@ -104,7 +104,7 @@ fn join_of_windowed_aggregates() {
     // Join two derived aggregate streams on the window key: compare the
     // event counts of two sources per window.
     let meter = MemoryMeter::new();
-    let a: Vec<Event<u32>> = (0..300).map(|i| ev(i)).collect();
+    let a: Vec<Event<u32>> = (0..300).map(ev).collect();
     let b: Vec<Event<u32>> = (0..300).filter(|i| i % 3 == 0).map(ev).collect();
     let w = TickDuration::ticks(50);
     let counts = |evs: Vec<Event<u32>>| {
@@ -168,7 +168,12 @@ fn watermark_jump_to_max_flushes_everything() {
     let (handle, stream) = input_stream::<u32>();
     let meter = MemoryMeter::new();
     let out = stream
-        .sorted_with(Box::new(impatience_sort::ImpatienceSorter::new()), &meter)
+        .sorted(
+            Box::new(impatience_sort::ImpatienceSorter::new()),
+            &meter,
+            Default::default(),
+        )
+        .expect("default sort policy")
         .collect_output();
     handle.push_events(vec![ev(5), ev(3), ev(9)]);
     handle.push_punctuation(Timestamp::MAX);

@@ -116,7 +116,9 @@ impl<P: Payload> DisorderedStreamable<P> {
         meter: &MemoryMeter,
     ) -> Streamable<P> {
         let connect = self.connect;
-        Streamable::from_connector(connect).sorted_with(sorter, meter)
+        Streamable::from_connector(connect)
+            .sorted(sorter, meter, Default::default())
+            .expect("default sort policy")
     }
 
     /// Consumes the handle, returning the raw connector (used by the

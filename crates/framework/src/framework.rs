@@ -74,6 +74,32 @@ impl<P: Payload> Default for FrameworkPolicy<P> {
     }
 }
 
+impl<P: Payload> FrameworkPolicy<P> {
+    /// The default policy (reroute late events, force punctuation on
+    /// budget, no dead-letter queue).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the late-event routing policy.
+    pub fn with_late(mut self, late: LatePolicy) -> Self {
+        self.late = late;
+        self
+    }
+
+    /// Sets the per-partition shed policy.
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Attaches a dead-letter queue.
+    pub fn with_dead_letters(mut self, queue: DeadLetterQueue<P>) -> Self {
+        self.dead_letters = Some(queue);
+        self
+    }
+}
+
 impl<P: Payload> Clone for FrameworkPolicy<P> {
     fn clone(&self) -> Self {
         FrameworkPolicy {
@@ -183,14 +209,24 @@ impl<Q: Payload> Streamables<Q> {
 
     /// Takes ownership of output stream `i` (the paper's
     /// `ss.Streamable(i)`). Panics if already taken.
+    #[deprecated(since = "0.2.0", note = "use the fallible `take_stream`")]
     pub fn stream(&mut self, i: usize) -> Streamable<Q> {
-        self.try_stream(i)
+        self.take_stream(i)
             .expect("output stream already subscribed")
     }
 
-    /// Fallible form of [`Self::stream`]: a typed error instead of a panic
-    /// for an out-of-range index or an already-taken stream.
+    /// Fallible form of [`Self::take_stream`], kept for source
+    /// compatibility.
+    #[deprecated(since = "0.2.0", note = "renamed to `take_stream`")]
     pub fn try_stream(&mut self, i: usize) -> Result<Streamable<Q>, StreamError> {
+        self.take_stream(i)
+    }
+
+    /// The canonical fallible accessor (supersedes the `stream` /
+    /// `try_stream` twin pair): takes ownership of output stream `i`,
+    /// returning a typed error for an out-of-range index or an
+    /// already-taken stream.
+    pub fn take_stream(&mut self, i: usize) -> Result<Streamable<Q>, StreamError> {
         let slot = self.streams.get_mut(i).ok_or_else(|| {
             StreamError::InvalidConfig(format!(
                 "output stream {i} out of range (framework has {} streams)",
@@ -632,7 +668,7 @@ where
             shed: policy.shed,
             dead_letters: policy.dead_letters.clone(),
         };
-        piq(ps.sorted_with_policy(Box::new(sorter), meter, sort_policy)?).subscribe_observer(sink);
+        piq(ps.sorted(Box::new(sorter), meter, sort_policy)?).subscribe_observer(sink);
     }
 
     // Wire the partitioner onto the disordered source — behind the
@@ -799,7 +835,13 @@ mod tests {
         let meter = MemoryMeter::new();
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
         let mut ss = to_streamables_basic(ds, &latencies(), &meter).unwrap();
-        let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        let outs: Vec<_> = (0..3)
+            .map(|i| {
+                ss.take_stream(i)
+                    .expect("take output stream")
+                    .collect_output()
+            })
+            .collect();
         // Delays: 0,0,5,0,25,0,35 → partitions 0,0,0,0,1,0,2; none dropped.
         let times = |o: &impatience_engine::Output<u32>| -> Vec<i64> {
             o.events().iter().map(|e| e.sync_time.ticks()).collect()
@@ -827,7 +869,10 @@ mod tests {
         // Max latency 30: the delay-35 event is dropped.
         let ls = vec![TickDuration::ticks(10), TickDuration::ticks(30)];
         let mut ss = to_streamables_basic(ds, &ls, &meter).unwrap();
-        let out_last = ss.stream(1).collect_output();
+        let out_last = ss
+            .take_stream(1)
+            .expect("take output stream")
+            .collect_output();
         assert_eq!(out_last.event_count(), 6);
         assert_eq!(ss.stats().dropped(), 1);
         assert!(ss.stats().completeness(1) < 1.0);
@@ -848,7 +893,13 @@ mod tests {
             &meter,
         )
         .unwrap();
-        let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        let outs: Vec<_> = (0..3)
+            .map(|i| {
+                ss.take_stream(i)
+                    .expect("take output stream")
+                    .collect_output()
+            })
+            .collect();
         // Full data windows (size 20): {5,5,10,15} → w0: but window op is
         // below the framework: events aligned before partitioning.
         // Aligned times: 10→0, 20→20, 15→0, 30→20, 5→0, 40→40, 5→0.
@@ -893,7 +944,13 @@ mod tests {
             &sink,
         )
         .unwrap();
-        let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        let outs: Vec<_> = (0..3)
+            .map(|i| {
+                ss.take_stream(i)
+                    .expect("take output stream")
+                    .collect_output()
+            })
+            .collect();
         for o in &outs {
             assert!(o.is_completed());
         }
@@ -954,8 +1011,16 @@ mod tests {
             DisorderedStreamable::from_arrivals(arrivals.clone(), &pol).tumbling_window(window);
         let mut ss = to_streamables_basic(ds, &ls, &basic_meter).unwrap();
         // Subscribe both outputs (queries applied per stream, redundantly).
-        let _o0 = ss.stream(0).count().collect_output();
-        let _o1 = ss.stream(1).count().collect_output();
+        let _o0 = ss
+            .take_stream(0)
+            .expect("take output stream")
+            .count()
+            .collect_output();
+        let _o1 = ss
+            .take_stream(1)
+            .expect("take output stream")
+            .count()
+            .collect_output();
 
         let adv_meter = MemoryMeter::new();
         let ds = DisorderedStreamable::from_arrivals(arrivals, &pol).tumbling_window(window);
@@ -967,8 +1032,14 @@ mod tests {
             &adv_meter,
         )
         .unwrap();
-        let _a0 = ss.stream(0).collect_output();
-        let _a1 = ss.stream(1).collect_output();
+        let _a0 = ss
+            .take_stream(0)
+            .expect("take output stream")
+            .collect_output();
+        let _a1 = ss
+            .take_stream(1)
+            .expect("take output stream")
+            .collect_output();
 
         assert!(
             adv_meter.peak() * 3 < basic_meter.peak(),
@@ -984,7 +1055,10 @@ mod tests {
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
         let mut ss = to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
         assert_eq!(ss.len(), 1);
-        let out = ss.stream(0).collect_output();
+        let out = ss
+            .take_stream(0)
+            .expect("take output stream")
+            .collect_output();
         // Only delay<10 events survive: 10,20,15,30,5(d25 dropped),40,5.
         let ts: Vec<i64> = out.events().iter().map(|e| e.sync_time.ticks()).collect();
         assert_eq!(ts, vec![10, 15, 20, 30, 40]);
@@ -997,7 +1071,10 @@ mod tests {
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
         let mut ss = to_streamables_basic(ds, &latencies(), &meter).unwrap();
         for i in 0..ss.len() {
-            let out = ss.stream(i).collect_output();
+            let out = ss
+                .take_stream(i)
+                .expect("take output stream")
+                .collect_output();
             assert!(out.is_completed(), "stream {i}");
             assert!(matches!(
                 out.messages().last(),
@@ -1014,7 +1091,13 @@ mod tests {
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
         let mut ss =
             to_streamables_basic_metered(ds, &latencies(), &meter, Some(&registry)).unwrap();
-        let _outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        let _outs: Vec<_> = (0..3)
+            .map(|i| {
+                ss.take_stream(i)
+                    .expect("take output stream")
+                    .collect_output()
+            })
+            .collect();
         // Routing split surfaces through the registry (delays 0,0,5,0,25,0,35).
         assert_eq!(registry.counter("framework.partition00.routed").get(), 5);
         assert_eq!(registry.counter("framework.partition01.routed").get(), 1);
@@ -1039,7 +1122,14 @@ mod tests {
         let plain_meter = MemoryMeter::new();
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
         let mut plain = to_streamables_basic(ds, &latencies(), &plain_meter).unwrap();
-        let plain_outs: Vec<_> = (0..3).map(|i| plain.stream(i).collect_output()).collect();
+        let plain_outs: Vec<_> = (0..3)
+            .map(|i| {
+                plain
+                    .take_stream(i)
+                    .expect("take output stream")
+                    .collect_output()
+            })
+            .collect();
         for (a, b) in _outs.iter().zip(&plain_outs) {
             assert_eq!(a.messages(), b.messages());
         }
@@ -1054,7 +1144,13 @@ mod tests {
             ..FrameworkPolicy::default()
         };
         let mut ss = to_streamables_basic_with(ds, &latencies(), &meter, None, fp).unwrap();
-        let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        let outs: Vec<_> = (0..3)
+            .map(|i| {
+                ss.take_stream(i)
+                    .expect("take output stream")
+                    .collect_output()
+            })
+            .collect();
         // Delays 0,0,5,0,25,0,35: only the five delay<10 events survive;
         // the two reroutable stragglers are dropped instead.
         let stats = ss.stats();
@@ -1083,7 +1179,13 @@ mod tests {
         // it is dead-lettered too, not silently dropped.
         let ls = vec![TickDuration::ticks(10), TickDuration::ticks(30)];
         let mut ss = to_streamables_basic_with(ds, &ls, &meter, None, fp).unwrap();
-        let _outs: Vec<_> = (0..2).map(|i| ss.stream(i).collect_output()).collect();
+        let _outs: Vec<_> = (0..2)
+            .map(|i| {
+                ss.take_stream(i)
+                    .expect("take output stream")
+                    .collect_output()
+            })
+            .collect();
         let stats = ss.stats();
         assert_eq!(stats.routed(0), 5);
         assert_eq!(stats.dropped(), 0);
@@ -1107,7 +1209,13 @@ mod tests {
         };
         let mut ss =
             to_streamables_basic_with(ds, &latencies(), &meter, Some(&registry), fp).unwrap();
-        let _outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+        let _outs: Vec<_> = (0..3)
+            .map(|i| {
+                ss.take_stream(i)
+                    .expect("take output stream")
+                    .collect_output()
+            })
+            .collect();
         // Counted even without an attached queue.
         assert_eq!(registry.counter("framework.dead_lettered").get(), 2);
         assert_eq!(ss.stats().dead_lettered(), 2);
@@ -1118,9 +1226,9 @@ mod tests {
         let meter = MemoryMeter::new();
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
         let mut ss = to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
-        assert!(ss.try_stream(5).is_err(), "out of range");
-        assert!(ss.try_stream(0).is_ok());
-        match ss.try_stream(0) {
+        assert!(ss.take_stream(5).is_err(), "out of range");
+        assert!(ss.take_stream(0).is_ok());
+        match ss.take_stream(0) {
             Err(StreamError::InvalidConfig(msg)) => {
                 assert!(msg.contains("already subscribed"), "{msg}")
             }
@@ -1135,8 +1243,8 @@ mod tests {
         let meter = MemoryMeter::new();
         let ds = DisorderedStreamable::from_arrivals(arrivals(), &policy());
         let mut ss = to_streamables_basic(ds, &[TickDuration::ticks(10)], &meter).unwrap();
-        let _a = ss.stream(0);
-        let _b = ss.stream(0);
+        let _a = ss.take_stream(0).expect("take output stream");
+        let _b = ss.take_stream(0).expect("take output stream");
     }
 
     /// The message tape used by the durable-framework tests: batches and
@@ -1170,11 +1278,16 @@ mod tests {
             to_streamables_basic_durable(ds, &ls, &meter, None, FrameworkPolicy::default(), dir, 1)
                 .unwrap();
         let outs: Vec<_> = (0..2)
-            .map(|i| ss.stream(i).checkpoint_egress().collect_output())
+            .map(|i| {
+                ss.take_stream(i)
+                    .expect("take output stream")
+                    .checkpoint_egress()
+                    .collect_output()
+            })
             .collect();
         let tape = durable_tape();
         for m in &tape[range] {
-            h.push_message(m.clone());
+            h.push(m.clone()).expect("push");
         }
         (ctx, outs)
     }

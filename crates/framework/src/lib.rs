@@ -36,8 +36,8 @@
 //!     &meter,
 //! )
 //! .unwrap();
-//! let quick = ss.stream(0).collect_output();
-//! let complete = ss.stream(1).collect_output();
+//! let quick = ss.take_stream(0).expect("take output stream").collect_output();
+//! let complete = ss.take_stream(1).expect("take output stream").collect_output();
 //! assert_eq!(complete.events().len(), 10); // ten 1s windows
 //! assert!(quick.event_count() <= complete.event_count());
 //! ```

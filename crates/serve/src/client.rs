@@ -1,0 +1,127 @@
+//! A lockstep client for the service: one request out, one reply back.
+//!
+//! Used by the `served --demo` walkthrough, the serve bench, the ci
+//! smoke gate, and the isolation suite — and a reference for writing
+//! clients in other languages (the NDJSON framing needs nothing beyond
+//! a socket and a JSON library).
+
+use crate::error::ServeError;
+use crate::tenant::{Released, TenantConfig};
+use crate::wire::{
+    read_server_msg, write_client_msg, ClientMsg, ServerMsg, WireMode, BINARY_MAGIC,
+};
+use impatience_core::{Event, Json, Timestamp};
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected tenant session.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    mode: WireMode,
+}
+
+impl core::fmt::Debug for Client {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Client").field("mode", &self.mode).finish()
+    }
+}
+
+impl Client {
+    /// Connects and announces the chosen framing (binary sessions send
+    /// the magic immediately; NDJSON is recognized by its first `{`).
+    pub fn connect(addr: impl ToSocketAddrs, mode: WireMode) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::io("connect", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ServeError::io("set nodelay", e))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| ServeError::io("clone stream", e))?;
+        if mode == WireMode::Binary {
+            writer
+                .write_all(BINARY_MAGIC)
+                .map_err(|e| ServeError::io("write magic", e))?;
+        }
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+            mode,
+        })
+    }
+
+    /// Sends one request and reads its reply; server-side errors come
+    /// back as `Err` with the typed [`ServeError`].
+    pub fn request(&mut self, msg: &ClientMsg) -> Result<ServerMsg, ServeError> {
+        write_client_msg(&mut self.writer, self.mode, msg)?;
+        match read_server_msg(&mut self.reader, self.mode)? {
+            Some(ServerMsg::Error { error }) => Err(error),
+            Some(reply) => Ok(reply),
+            None => Err(ServeError::Protocol {
+                detail: "server closed the connection mid-request".to_string(),
+            }),
+        }
+    }
+
+    fn expect_out(&mut self, msg: &ClientMsg) -> Result<Released, ServeError> {
+        match self.request(msg)? {
+            ServerMsg::Out {
+                batch,
+                puncts,
+                completed,
+            } => Ok(Released {
+                events: batch,
+                puncts,
+                completed,
+            }),
+            other => Err(ServeError::Protocol {
+                detail: format!("expected an \"out\" reply, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Opens the tenant; returns the server's info object (recovery
+    /// details for durable tenants).
+    pub fn open(&mut self, config: &TenantConfig) -> Result<Json, ServeError> {
+        match self.request(&ClientMsg::Open {
+            config: config.to_json(),
+        })? {
+            ServerMsg::Ok { info } => Ok(info),
+            other => Err(ServeError::Protocol {
+                detail: format!("expected an \"ok\" reply, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Ingests a batch; returns output released by it.
+    pub fn send(&mut self, batch: Vec<Event<i64>>) -> Result<Released, ServeError> {
+        self.expect_out(&ClientMsg::Events { batch })
+    }
+
+    /// Forces a punctuation at `t`; returns output released by it.
+    pub fn punctuate(&mut self, t: Timestamp) -> Result<Released, ServeError> {
+        self.expect_out(&ClientMsg::Punctuate { t })
+    }
+
+    /// Completes the stream; returns the final flush.
+    pub fn complete(&mut self) -> Result<Released, ServeError> {
+        self.expect_out(&ClientMsg::Complete)
+    }
+
+    /// Hot-swaps the tenant's config; returns the old pipeline's flush.
+    pub fn reconfigure(&mut self, config: &TenantConfig) -> Result<Released, ServeError> {
+        self.expect_out(&ClientMsg::Reconfigure {
+            config: config.to_json(),
+        })
+    }
+
+    /// Fetches `{"metrics": <registry>, "trace": <summary|null>}`.
+    pub fn metrics(&mut self) -> Result<Json, ServeError> {
+        match self.request(&ClientMsg::Metrics)? {
+            ServerMsg::Metrics { snapshot } => Ok(snapshot),
+            other => Err(ServeError::Protocol {
+                detail: format!("expected a \"metrics\" reply, got {other:?}"),
+            }),
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The socket front-end: an accept loop multiplexing many concurrent
+//! tenant sessions, one OS thread per connection.
+//!
+//! Isolation is structural: each connection owns its tenant's entire
+//! runtime ([`TenantRuntime`]) — pipeline, registry, meter, directories —
+//! and shares only the admission budget with its neighbours. A panic,
+//! budget breach, or disk fault inside one tenant therefore surfaces as
+//! a typed [`ServeError`] frame **on that connection only**; the accept
+//! loop and every other session never observe it (the property the chaos
+//! suite replays a few hundred seeded times).
+
+use crate::admission::AdmissionController;
+use crate::error::ServeError;
+use crate::tenant::{Released, TenantConfig, TenantRuntime};
+use crate::wire::{
+    read_client_msg, write_server_msg, ClientMsg, ServerMsg, WireMode, BINARY_MAGIC,
+};
+use impatience_core::{json, ConfigError, Json, MemoryMeter, MetricsRegistry, Validate};
+use std::io::{BufRead, BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service-level configuration, following the workspace builder
+/// convention (`with_*` + `Default` + typed validation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Root under which each tenant gets `<root>/<name>/{wal,ckpt,spill}`.
+    pub root: PathBuf,
+    /// Maximum concurrently active tenants.
+    pub max_tenants: usize,
+    /// Service-wide admission budget in bytes; `None` is unbudgeted.
+    pub memory_budget: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            root: PathBuf::new(),
+            max_tenants: 64,
+            memory_budget: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config serving tenants under `root` on an ephemeral local port.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            root: root.into(),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the concurrent-tenant cap.
+    pub fn with_max_tenants(mut self, n: usize) -> Self {
+        self.max_tenants = n;
+        self
+    }
+
+    /// Sets the service-wide admission budget (bytes).
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+}
+
+impl Validate for ServerConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.addr.is_empty() {
+            return Err(ConfigError::new("addr", "must not be empty"));
+        }
+        if self.root.as_os_str().is_empty() {
+            return Err(ConfigError::new(
+                "root",
+                "tenant root directory is required",
+            ));
+        }
+        if self.max_tenants == 0 {
+            return Err(ConfigError::new("max_tenants", "must be >= 1"));
+        }
+        if self.memory_budget == Some(0) {
+            return Err(ConfigError::new("memory_budget", "must be > 0 bytes"));
+        }
+        Ok(())
+    }
+}
+
+struct Shared {
+    root: PathBuf,
+    admission: Arc<AdmissionController>,
+    registry: MetricsRegistry,
+    shutdown: AtomicBool,
+}
+
+/// A running service instance. Dropping (or [`Server::shutdown`]) stops
+/// the accept loop; live connections end when their clients hang up.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for Server {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Validates `config`, binds the listener, and spawns the accept
+    /// loop. All failures are typed.
+    pub fn start(config: ServerConfig) -> Result<Server, ServeError> {
+        config.validate()?;
+        std::fs::create_dir_all(&config.root).map_err(|e| {
+            ServeError::io(&format!("create service root {}", config.root.display()), e)
+        })?;
+        let listener = TcpListener::bind(config.addr.as_str())
+            .map_err(|e| ServeError::io(&format!("bind {}", config.addr), e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::io("set listener nonblocking", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::io("local addr", e))?;
+
+        let registry = MetricsRegistry::new();
+        let meter = match config.memory_budget {
+            Some(b) => MemoryMeter::with_budget(b),
+            None => MemoryMeter::new(),
+        };
+        let admission = Arc::new(AdmissionController::new(
+            meter,
+            config.max_tenants,
+            &registry,
+        ));
+        let shared = Arc::new(Shared {
+            root: config.root,
+            admission,
+            registry,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| ServeError::io("spawn accept thread", e))?;
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Service-level metrics (admission counters), as registry JSON.
+    pub fn metrics(&self) -> Json {
+        self.shared.registry.snapshot().to_json()
+    }
+
+    /// Currently active tenant count.
+    pub fn active_tenants(&self) -> usize {
+        self.shared.admission.active_tenants()
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let connections = shared.registry.counter("serve.connections");
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                connections.inc();
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        // A panicking session must never take down the
+                        // accept loop or any sibling session; the tenant's
+                        // runtime (and admission ticket) unwind with it.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let _ = serve_connection(stream, conn_shared);
+                        }));
+                    });
+                drop(spawned);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Sniffs the framing: `{` opens NDJSON, the 4-byte magic opens binary.
+fn sniff_mode(reader: &mut BufReader<TcpStream>) -> Result<WireMode, ServeError> {
+    let first = {
+        let buf = reader
+            .fill_buf()
+            .map_err(|e| ServeError::io("sniff framing", e))?;
+        match buf.first() {
+            Some(b) => *b,
+            None => {
+                return Err(ServeError::Protocol {
+                    detail: "connection closed before any frame".to_string(),
+                })
+            }
+        }
+    };
+    if first == b'{' {
+        return Ok(WireMode::Ndjson);
+    }
+    let mut magic = [0u8; 4];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|e| ServeError::io("read magic", e))?;
+    if &magic != BINARY_MAGIC {
+        return Err(ServeError::Protocol {
+            detail: format!("unknown connection magic {magic:?}"),
+        });
+    }
+    Ok(WireMode::Binary)
+}
+
+/// One tenant session: strict request/reply until the client hangs up.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(), ServeError> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| ServeError::io("set nodelay", e))?;
+    let writer = stream
+        .try_clone()
+        .map_err(|e| ServeError::io("clone stream", e))?;
+    let mut writer = writer;
+    let mut reader = BufReader::new(stream);
+    let mode = match sniff_mode(&mut reader) {
+        Ok(mode) => mode,
+        Err(e) => {
+            // Best-effort reject in the only framing we can assume.
+            let _ = write_server_msg(
+                &mut writer,
+                WireMode::Ndjson,
+                &ServerMsg::Error { error: e },
+            );
+            return Ok(());
+        }
+    };
+
+    let mut session: Option<Session> = None;
+    while let Some(msg) = read_client_msg(&mut reader, mode)? {
+        let reply = dispatch(msg, &mut session, &shared);
+        write_server_msg(&mut writer, mode, &reply)?;
+    }
+    Ok(())
+}
+
+struct Session {
+    runtime: TenantRuntime,
+    // Held for the session's lifetime; dropping releases the budget.
+    _ticket: crate::admission::AdmissionTicket,
+}
+
+fn out_msg(released: Released) -> ServerMsg {
+    ServerMsg::Out {
+        batch: released.events,
+        puncts: released.puncts,
+        completed: released.completed,
+    }
+}
+
+/// Applies one client request to the session, mapping every failure —
+/// including a panic that escapes an unhardened tenant pipeline — to an
+/// error frame scoped to this connection. A tenant whose pipeline died
+/// is evicted (its ticket drops) but the connection stays usable.
+fn dispatch(msg: ClientMsg, session: &mut Option<Session>, shared: &Shared) -> ServerMsg {
+    let reply = dispatch_inner(msg, session, shared);
+    match reply {
+        Ok(m) => m,
+        Err(e) => {
+            if matches!(
+                e,
+                ServeError::Stream(_) | ServeError::TenantFailed { .. } | ServeError::Io { .. }
+            ) {
+                // The pipeline is no longer trustworthy: evict the tenant
+                // so the name and budget free up for a re-open.
+                *session = None;
+            }
+            ServerMsg::Error { error: e }
+        }
+    }
+}
+
+fn dispatch_inner(
+    msg: ClientMsg,
+    session: &mut Option<Session>,
+    shared: &Shared,
+) -> Result<ServerMsg, ServeError> {
+    match msg {
+        ClientMsg::Open { config } => {
+            if session.is_some() {
+                return Err(ServeError::Protocol {
+                    detail: "tenant already open on this connection".to_string(),
+                });
+            }
+            let config = TenantConfig::from_json(&config)?;
+            let ticket = shared
+                .admission
+                .admit(config.name(), config.memory_budget)?;
+            let runtime = TenantRuntime::start(config, &shared.root)?;
+            let info = json!({
+                "tenant": runtime.name(),
+                "recovery": runtime.recovery_info(),
+            });
+            *session = Some(Session {
+                runtime,
+                _ticket: ticket,
+            });
+            Ok(ServerMsg::Ok { info })
+        }
+        ClientMsg::Events { batch } => {
+            let s = open_session(session)?;
+            s.runtime.ingest(batch)?;
+            Ok(out_msg(s.runtime.drain()))
+        }
+        ClientMsg::Punctuate { t } => {
+            let s = open_session(session)?;
+            s.runtime.force_punctuate(t)?;
+            Ok(out_msg(s.runtime.drain()))
+        }
+        ClientMsg::Complete => {
+            let s = open_session(session)?;
+            s.runtime.complete()?;
+            Ok(out_msg(s.runtime.drain()))
+        }
+        ClientMsg::Metrics => {
+            let s = open_session(session)?;
+            let trace = s.runtime.trace_summary().unwrap_or(Json::Null);
+            Ok(ServerMsg::Metrics {
+                snapshot: json!({
+                    "metrics": s.runtime.metrics(),
+                    "trace": trace,
+                }),
+            })
+        }
+        ClientMsg::Reconfigure { config } => {
+            let s = open_session(session)?;
+            let config = TenantConfig::from_json(&config)?;
+            let released = s.runtime.reconfigure(config)?;
+            Ok(out_msg(released))
+        }
+    }
+}
+
+fn open_session(session: &mut Option<Session>) -> Result<&mut Session, ServeError> {
+    session.as_mut().ok_or_else(|| ServeError::Protocol {
+        detail: "no tenant open on this connection (send \"open\" first)".to_string(),
+    })
+}

@@ -1,0 +1,619 @@
+//! Wire protocol: one logical message vocabulary, two framings.
+//!
+//! A connection speaks either **NDJSON** (one JSON object per `\n`-
+//! terminated line — trivially scriptable: `nc` + a text editor is a
+//! client) or **length-prefixed binary** (a 4-byte `IMPB` magic, then
+//! frames of `u32`-LE length + payload — the fast path, with raw
+//! little-endian event batches instead of JSON number parsing). The
+//! server sniffs the first byte: `{` opens an NDJSON session, the magic
+//! opens a binary one, and replies always use the session's framing.
+//!
+//! The protocol is strict request/reply: every client frame is answered
+//! by exactly one server frame, so lockstep clients never deadlock on
+//! socket buffers and the chaos suite can diff byte streams.
+//!
+//! Binary frame payloads begin with a tag byte: `J` (a JSON control
+//! message, identical to the NDJSON form), `E` (a raw client event
+//! batch), or `O` (a raw server output frame).
+
+use crate::error::ServeError;
+use impatience_core::{json, Event, Json, Timestamp};
+use std::io::{BufRead, Write};
+
+/// Connection magic opening a binary-framed session.
+pub const BINARY_MAGIC: &[u8; 4] = b"IMPB";
+
+/// Frames larger than this are rejected as protocol violations — a
+/// corrupt length prefix must not trigger a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// How a session frames its messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// One JSON object per newline-terminated line.
+    Ndjson,
+    /// `IMPB` magic, then `u32`-LE length-prefixed tagged frames.
+    Binary,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Open (or recover) a tenant from its declarative config.
+    Open {
+        /// The tenant config, as its JSON wire form.
+        config: Json,
+    },
+    /// Ingest a batch of events (sync time, key, payload).
+    Events {
+        /// The batch, in arrival order; disorder is expected.
+        batch: Vec<Event<i64>>,
+    },
+    /// Force a punctuation at `t` (normally the service punctuates
+    /// adaptively; this is for drains and tests).
+    Punctuate {
+        /// The punctuation timestamp.
+        t: Timestamp,
+    },
+    /// Flush and complete the tenant's stream.
+    Complete,
+    /// Fetch the tenant's metrics snapshot.
+    Metrics,
+    /// Hot-swap the tenant onto a new config (flushes the old pipeline).
+    Reconfigure {
+        /// The replacement tenant config, as its JSON wire form.
+        config: Json,
+    },
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// The request succeeded and produced no stream output.
+    Ok {
+        /// Supplemental detail (e.g. recovery info), often `Null`.
+        info: Json,
+    },
+    /// Stream output released by the request: events, punctuations
+    /// crossed, and whether the stream completed.
+    Out {
+        /// Released events, in emission order.
+        batch: Vec<Event<i64>>,
+        /// Punctuations emitted alongside.
+        puncts: Vec<Timestamp>,
+        /// True once the tenant's stream is complete.
+        completed: bool,
+    },
+    /// The tenant's metrics snapshot.
+    Metrics {
+        /// The snapshot, as registry JSON.
+        snapshot: Json,
+    },
+    /// The request failed; the tenant may or may not still be usable
+    /// (see [`ServeError`] variants).
+    Error {
+        /// The typed failure.
+        error: ServeError,
+    },
+}
+
+fn event_to_json(e: &Event<i64>) -> Json {
+    json!([
+        e.sync_time.ticks(),
+        e.other_time.ticks(),
+        e.key as i64,
+        e.payload
+    ])
+}
+
+fn event_from_json(v: &Json) -> Result<Event<i64>, ServeError> {
+    let bad = |detail: &str| ServeError::Protocol {
+        detail: detail.to_string(),
+    };
+    let parts = v.as_array().ok_or_else(|| bad("event must be an array"))?;
+    let num = |i: usize| -> Result<i64, ServeError> {
+        parts
+            .get(i)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| bad("event fields must be integers"))
+    };
+    match parts.len() {
+        // [sync, key, payload] — a point event.
+        3 => Ok(Event::keyed(
+            Timestamp::new(num(0)?),
+            num(1)? as u32,
+            num(2)?,
+        )),
+        // [sync, other, key, payload] — full interval form.
+        4 => {
+            let mut e = Event::keyed(Timestamp::new(num(0)?), num(2)? as u32, num(3)?);
+            e.other_time = Timestamp::new(num(1)?);
+            Ok(e)
+        }
+        n => Err(bad(&format!("event array has {n} fields, expected 3 or 4"))),
+    }
+}
+
+fn events_to_json(batch: &[Event<i64>]) -> Json {
+    Json::Array(batch.iter().map(event_to_json).collect())
+}
+
+fn events_from_json(v: Option<&Json>) -> Result<Vec<Event<i64>>, ServeError> {
+    let arr = v
+        .and_then(Json::as_array)
+        .ok_or_else(|| ServeError::Protocol {
+            detail: "missing \"batch\" array".to_string(),
+        })?;
+    arr.iter().map(event_from_json).collect()
+}
+
+impl ClientMsg {
+    /// The JSON control form shared by both framings.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ClientMsg::Open { config } => json!({"type": "open", "tenant": config.clone()}),
+            ClientMsg::Events { batch } => {
+                json!({"type": "events", "batch": events_to_json(batch)})
+            }
+            ClientMsg::Punctuate { t } => json!({"type": "punctuate", "t": t.ticks()}),
+            ClientMsg::Complete => json!({"type": "complete"}),
+            ClientMsg::Metrics => json!({"type": "metrics"}),
+            ClientMsg::Reconfigure { config } => {
+                json!({"type": "reconfigure", "tenant": config.clone()})
+            }
+        }
+    }
+
+    /// Parses the JSON control form.
+    pub fn from_json(v: &Json) -> Result<ClientMsg, ServeError> {
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::Protocol {
+                detail: "client frame has no \"type\"".to_string(),
+            })?;
+        match ty {
+            "open" | "reconfigure" => {
+                let config = v
+                    .get("tenant")
+                    .cloned()
+                    .ok_or_else(|| ServeError::Protocol {
+                        detail: format!("\"{ty}\" frame has no \"tenant\" config"),
+                    })?;
+                Ok(if ty == "open" {
+                    ClientMsg::Open { config }
+                } else {
+                    ClientMsg::Reconfigure { config }
+                })
+            }
+            "events" => Ok(ClientMsg::Events {
+                batch: events_from_json(v.get("batch"))?,
+            }),
+            "punctuate" => Ok(ClientMsg::Punctuate {
+                t: Timestamp::new(v.get("t").and_then(Json::as_i64).ok_or_else(|| {
+                    ServeError::Protocol {
+                        detail: "\"punctuate\" frame has no integer \"t\"".to_string(),
+                    }
+                })?),
+            }),
+            "complete" => Ok(ClientMsg::Complete),
+            "metrics" => Ok(ClientMsg::Metrics),
+            other => Err(ServeError::Protocol {
+                detail: format!("unknown client frame type \"{other}\""),
+            }),
+        }
+    }
+}
+
+impl ServerMsg {
+    /// The JSON control form shared by both framings.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ServerMsg::Ok { info } => json!({"type": "ok", "info": info.clone()}),
+            ServerMsg::Out {
+                batch,
+                puncts,
+                completed,
+            } => json!({
+                "type": "out",
+                "batch": events_to_json(batch),
+                "puncts": Json::Array(puncts.iter().map(|t| json!(t.ticks())).collect()),
+                "completed": *completed,
+            }),
+            ServerMsg::Metrics { snapshot } => {
+                json!({"type": "metrics", "snapshot": snapshot.clone()})
+            }
+            ServerMsg::Error { error } => json!({"type": "error", "error": error.to_json()}),
+        }
+    }
+
+    /// Parses the JSON control form.
+    pub fn from_json(v: &Json) -> Result<ServerMsg, ServeError> {
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::Protocol {
+                detail: "server frame has no \"type\"".to_string(),
+            })?;
+        match ty {
+            "ok" => Ok(ServerMsg::Ok {
+                info: v.get("info").cloned().unwrap_or(Json::Null),
+            }),
+            "out" => Ok(ServerMsg::Out {
+                batch: events_from_json(v.get("batch"))?,
+                puncts: v
+                    .get("puncts")
+                    .and_then(Json::as_array)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(Json::as_i64)
+                            .map(Timestamp::new)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                completed: v.get("completed").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "metrics" => Ok(ServerMsg::Metrics {
+                snapshot: v.get("snapshot").cloned().unwrap_or(Json::Null),
+            }),
+            "error" => Ok(ServerMsg::Error {
+                error: v
+                    .get("error")
+                    .map(ServeError::from_json)
+                    .unwrap_or(ServeError::Protocol {
+                        detail: "error frame without error object".to_string(),
+                    }),
+            }),
+            other => Err(ServeError::Protocol {
+                detail: format!("unknown server frame type \"{other}\""),
+            }),
+        }
+    }
+}
+
+// ---- binary event codec -------------------------------------------------
+
+fn encode_events_raw(out: &mut Vec<u8>, batch: &[Event<i64>]) {
+    out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for e in batch {
+        out.extend_from_slice(&e.sync_time.ticks().to_le_bytes());
+        out.extend_from_slice(&e.other_time.ticks().to_le_bytes());
+        out.extend_from_slice(&e.key.to_le_bytes());
+        out.extend_from_slice(&e.payload.to_le_bytes());
+    }
+}
+
+struct RawReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> RawReader<'a> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], ServeError> {
+        let end = self.at + N;
+        let slice = self
+            .buf
+            .get(self.at..end)
+            .ok_or_else(|| ServeError::Protocol {
+                detail: "binary frame truncated".to_string(),
+            })?;
+        self.at = end;
+        Ok(slice.try_into().expect("length checked"))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn i64(&mut self) -> Result<i64, ServeError> {
+        Ok(i64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn events(&mut self) -> Result<Vec<Event<i64>>, ServeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(28) > self.buf.len() {
+            return Err(ServeError::Protocol {
+                detail: "binary batch count exceeds frame".to_string(),
+            });
+        }
+        let mut batch = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sync = self.i64()?;
+            let other = self.i64()?;
+            let key = self.u32()?;
+            let payload = self.i64()?;
+            let mut e = Event::keyed(Timestamp::new(sync), key, payload);
+            e.other_time = Timestamp::new(other);
+            batch.push(e);
+        }
+        Ok(batch)
+    }
+}
+
+// ---- framing ------------------------------------------------------------
+
+fn json_of_line(line: &str) -> Result<Json, ServeError> {
+    Json::parse(line).map_err(|e| ServeError::Protocol {
+        detail: format!("invalid JSON frame: {e:?}"),
+    })
+}
+
+fn write_ndjson(w: &mut impl Write, v: &Json) -> Result<(), ServeError> {
+    let mut line = v.to_string();
+    line.push('\n');
+    w.write_all(line.as_bytes())
+        .and_then(|_| w.flush())
+        .map_err(|e| ServeError::io("write frame", e))
+}
+
+fn write_binary(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)
+        .and_then(|_| w.flush())
+        .map_err(|e| ServeError::io("write frame", e))
+}
+
+fn read_binary_payload(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(ServeError::io("read frame length", e)),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol {
+            detail: format!("frame length {len} out of range"),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| ServeError::io("read frame payload", e))?;
+    Ok(Some(payload))
+}
+
+/// Writes one client message under the session's framing.
+pub fn write_client_msg(
+    w: &mut impl Write,
+    mode: WireMode,
+    msg: &ClientMsg,
+) -> Result<(), ServeError> {
+    match mode {
+        WireMode::Ndjson => write_ndjson(w, &msg.to_json()),
+        WireMode::Binary => {
+            let mut payload = Vec::new();
+            if let ClientMsg::Events { batch } = msg {
+                payload.push(b'E');
+                encode_events_raw(&mut payload, batch);
+            } else {
+                payload.push(b'J');
+                payload.extend_from_slice(msg.to_json().to_string().as_bytes());
+            }
+            write_binary(w, &payload)
+        }
+    }
+}
+
+/// Reads one client message; `Ok(None)` is a clean end of stream.
+pub fn read_client_msg(
+    r: &mut impl BufRead,
+    mode: WireMode,
+) -> Result<Option<ClientMsg>, ServeError> {
+    match mode {
+        WireMode::Ndjson => {
+            let mut line = String::new();
+            let n = r
+                .read_line(&mut line)
+                .map_err(|e| ServeError::io("read frame", e))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                return read_client_msg(r, mode);
+            }
+            ClientMsg::from_json(&json_of_line(line.trim())?).map(Some)
+        }
+        WireMode::Binary => {
+            let Some(payload) = read_binary_payload(r)? else {
+                return Ok(None);
+            };
+            match payload.first() {
+                Some(b'E') => {
+                    let mut raw = RawReader {
+                        buf: &payload,
+                        at: 1,
+                    };
+                    Ok(Some(ClientMsg::Events {
+                        batch: raw.events()?,
+                    }))
+                }
+                Some(b'J') => {
+                    let text =
+                        std::str::from_utf8(&payload[1..]).map_err(|_| ServeError::Protocol {
+                            detail: "control frame is not UTF-8".to_string(),
+                        })?;
+                    ClientMsg::from_json(&json_of_line(text)?).map(Some)
+                }
+                tag => Err(ServeError::Protocol {
+                    detail: format!("unknown client frame tag {tag:?}"),
+                }),
+            }
+        }
+    }
+}
+
+/// Writes one server message under the session's framing.
+pub fn write_server_msg(
+    w: &mut impl Write,
+    mode: WireMode,
+    msg: &ServerMsg,
+) -> Result<(), ServeError> {
+    match mode {
+        WireMode::Ndjson => write_ndjson(w, &msg.to_json()),
+        WireMode::Binary => {
+            let mut payload = Vec::new();
+            if let ServerMsg::Out {
+                batch,
+                puncts,
+                completed,
+            } = msg
+            {
+                payload.push(b'O');
+                encode_events_raw(&mut payload, batch);
+                payload.extend_from_slice(&(puncts.len() as u32).to_le_bytes());
+                for t in puncts {
+                    payload.extend_from_slice(&t.ticks().to_le_bytes());
+                }
+                payload.push(u8::from(*completed));
+            } else {
+                payload.push(b'J');
+                payload.extend_from_slice(msg.to_json().to_string().as_bytes());
+            }
+            write_binary(w, &payload)
+        }
+    }
+}
+
+/// Reads one server message; `Ok(None)` is a clean end of stream.
+pub fn read_server_msg(
+    r: &mut impl BufRead,
+    mode: WireMode,
+) -> Result<Option<ServerMsg>, ServeError> {
+    match mode {
+        WireMode::Ndjson => {
+            let mut line = String::new();
+            let n = r
+                .read_line(&mut line)
+                .map_err(|e| ServeError::io("read frame", e))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                return read_server_msg(r, mode);
+            }
+            ServerMsg::from_json(&json_of_line(line.trim())?).map(Some)
+        }
+        WireMode::Binary => {
+            let Some(payload) = read_binary_payload(r)? else {
+                return Ok(None);
+            };
+            match payload.first() {
+                Some(b'O') => {
+                    let mut raw = RawReader {
+                        buf: &payload,
+                        at: 1,
+                    };
+                    let batch = raw.events()?;
+                    let n = raw.u32()? as usize;
+                    let mut puncts = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        puncts.push(Timestamp::new(raw.i64()?));
+                    }
+                    let completed = raw.take::<1>()?[0] != 0;
+                    Ok(Some(ServerMsg::Out {
+                        batch,
+                        puncts,
+                        completed,
+                    }))
+                }
+                Some(b'J') => {
+                    let text =
+                        std::str::from_utf8(&payload[1..]).map_err(|_| ServeError::Protocol {
+                            detail: "control frame is not UTF-8".to_string(),
+                        })?;
+                    ServerMsg::from_json(&json_of_line(text)?).map(Some)
+                }
+                tag => Err(ServeError::Protocol {
+                    detail: format!("unknown server frame tag {tag:?}"),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_events() -> Vec<Event<i64>> {
+        (0..5)
+            .map(|i| Event::keyed(Timestamp::new(100 + i), i as u32, i * 7))
+            .collect()
+    }
+
+    #[test]
+    fn client_messages_round_trip_both_modes() {
+        let msgs = vec![
+            ClientMsg::Open {
+                config: json!({"name": "a"}),
+            },
+            ClientMsg::Events {
+                batch: sample_events(),
+            },
+            ClientMsg::Punctuate {
+                t: Timestamp::new(90),
+            },
+            ClientMsg::Metrics,
+            ClientMsg::Complete,
+        ];
+        for mode in [WireMode::Ndjson, WireMode::Binary] {
+            let mut buf = Vec::new();
+            for m in &msgs {
+                write_client_msg(&mut buf, mode, m).expect("write");
+            }
+            let mut r = Cursor::new(buf);
+            for m in &msgs {
+                let got = read_client_msg(&mut r, mode).expect("read").expect("some");
+                assert_eq!(&got, m, "{mode:?}");
+            }
+            assert_eq!(read_client_msg(&mut r, mode).expect("eof"), None);
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip_both_modes() {
+        let msgs = vec![
+            ServerMsg::Ok { info: Json::Null },
+            ServerMsg::Out {
+                batch: sample_events(),
+                puncts: vec![Timestamp::new(80), Timestamp::new(95)],
+                completed: true,
+            },
+            ServerMsg::Error {
+                error: ServeError::Admission {
+                    reason: "full".into(),
+                },
+            },
+        ];
+        for mode in [WireMode::Ndjson, WireMode::Binary] {
+            let mut buf = Vec::new();
+            for m in &msgs {
+                write_server_msg(&mut buf, mode, m).expect("write");
+            }
+            let mut r = Cursor::new(buf);
+            for m in &msgs {
+                let got = read_server_msg(&mut r, mode).expect("read").expect("some");
+                assert_eq!(&got, m, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_binary_frame_is_a_typed_protocol_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let got = read_client_msg(&mut Cursor::new(buf), WireMode::Binary);
+        assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn interval_events_survive_the_json_form() {
+        let mut e = Event::keyed(Timestamp::new(5), 2, 42);
+        e.other_time = Timestamp::new(55);
+        let back = event_from_json(&event_to_json(&e)).expect("parse");
+        assert_eq!(back, e);
+    }
+}

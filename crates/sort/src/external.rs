@@ -1285,7 +1285,7 @@ mod tests {
         let mut hit = 0;
         for entry in fs::read_dir(&dir).unwrap().flatten() {
             let path = entry.path();
-            if !path.extension().is_some_and(|e| e == "run") {
+            if path.extension().is_none_or(|e| e != "run") {
                 continue;
             }
             let mut raw = fs::read(&path).unwrap();
@@ -1325,7 +1325,7 @@ mod tests {
         // guarantees a referenced one is torn).
         for entry in fs::read_dir(&dir).unwrap().flatten() {
             let path = entry.path();
-            if !path.extension().is_some_and(|e| e == "run") {
+            if path.extension().is_none_or(|e| e != "run") {
                 continue;
             }
             let raw = fs::read(&path).unwrap();

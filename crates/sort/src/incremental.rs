@@ -110,9 +110,7 @@ mod tests {
     use crate::traits::assert_sorted_until;
 
     fn exercise<A: SortAlgorithm + Send>() {
-        let data: Vec<i64> = (0..2500)
-            .map(|i| (i * 7919) % 1300 + (i / 100) as i64)
-            .collect();
+        let data: Vec<i64> = (0..2500).map(|i| (i * 7919) % 1300 + i / 100).collect();
         let mut s: CutBuffer<i64, A> = CutBuffer::new();
         let mut out = Vec::new();
         let mut accepted = Vec::new();

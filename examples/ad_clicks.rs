@@ -61,9 +61,15 @@ fn main() {
     .expect("valid latencies");
 
     // ss.Streamable(0).Subscribe(...): live per-ad counts.
-    let live = ss.stream(0).collect_output();
+    let live = ss
+        .take_stream(0)
+        .expect("take output stream")
+        .collect_output();
     // ss.Streamable(1).Subscribe(...): corrected counts one minute later.
-    let corrected = ss.stream(1).collect_output();
+    let corrected = ss
+        .take_stream(1)
+        .expect("take output stream")
+        .collect_output();
 
     println!(
         "live stream     : {} (window, ad, count) results",

@@ -46,7 +46,13 @@ fn main() {
     .expect("valid latency ladder");
 
     // The "dashboard": window start → (live, 1min-refined, 1h-refined).
-    let outs: Vec<Output<u64>> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+    let outs: Vec<Output<u64>> = (0..3)
+        .map(|i| {
+            ss.take_stream(i)
+                .expect("take output stream")
+                .collect_output()
+        })
+        .collect();
 
     let mut board: BTreeMap<i64, [Option<u64>; 3]> = BTreeMap::new();
     for (tier, out) in outs.iter().enumerate() {

@@ -64,7 +64,8 @@ fn main() {
     // PatternMatch per output stream (redundant computation — the price
     // of the basic framework for non-decomposable queries, §V-C).
     let fast_matches = ss
-        .stream(0)
+        .take_stream(0)
+        .expect("take output stream")
         .followed_by(
             |ad: &u32| *ad == AD_X,
             |ad: &u32| *ad == AD_Y,
@@ -72,7 +73,8 @@ fn main() {
         )
         .collect_output();
     let full_matches = ss
-        .stream(1)
+        .take_stream(1)
+        .expect("take output stream")
         .followed_by(
             |ad: &u32| *ad == AD_X,
             |ad: &u32| *ad == AD_Y,

@@ -91,14 +91,14 @@ fn run_chaos(
                     .with_corruptor(|p: &mut u32| *p = p.wrapping_mul(31) ^ 0xDEAD),
             )
         })
-        .sorted_with_policy(Box::new(ImpatienceSorter::new()), &meter, policy)
+        .sorted(Box::new(ImpatienceSorter::new()), &meter, policy)
         .expect("Drop/DeadLetter policies are accepted")
         .where_(|e| e.payload % 3 != 1)
         .tumbling_window(window())
         .count()
         .collect_output();
     for m in msgs {
-        handle.push_message(m);
+        handle.push(m).expect("push");
         if let Some(b) = budget {
             assert!(
                 meter.current() <= b,
@@ -234,7 +234,7 @@ props! {
         let msgs = punctuate_arrivals(arrivals, &ingress_policy(freq));
         let drive = |stream: Streamable<u32>, meter: &MemoryMeter| -> Output<u64> {
             stream
-                .sorted_with(Box::new(ImpatienceSorter::new()), meter)
+                .sorted(Box::new(ImpatienceSorter::new()), meter, Default::default()).expect("default sort policy")
                 .where_(|e| e.payload % 3 != 1)
                 .tumbling_window(window())
                 .count()
@@ -248,13 +248,13 @@ props! {
             .apply(move |sink| Box::new(ChaosObserver::new(seed, cfg, sink)));
         let out_a = drive(chaotic, &meter_a);
         for m in msgs.clone() {
-            ha.push_message(m);
+            ha.push(m).expect("push");
         }
         let meter_b = MemoryMeter::new();
         let (hb, sb) = impatience_engine::input_stream::<u32>();
         let out_b = drive(sb, &meter_b);
         for m in msgs {
-            hb.push_message(m);
+            hb.push(m).expect("push");
         }
         // Read the collectors only after the sources have run dry: the
         // comparison is over the full delivered streams, not their (empty)
@@ -311,7 +311,7 @@ props! {
         let shard_meter = meter.clone();
         let out = stream
             .sharded_with(
-                ShardOptions::new(4).stall_timeout(Duration::from_secs(30)),
+                ShardOptions::new(4).with_stall_timeout(Duration::from_secs(30)),
                 move |s, ctx| {
                     let meter = shard_meter.clone();
                     let policy = SortPolicy {
@@ -331,7 +331,7 @@ props! {
                     } else {
                         s
                     };
-                    s.sorted_with_policy(Box::new(ImpatienceSorter::new()), &meter, policy)
+                    s.sorted(Box::new(ImpatienceSorter::new()), &meter, policy)
                         .expect("Drop policy is accepted")
                         .where_(|e| e.payload % 3 != 1)
                         .tumbling_window(window())
@@ -340,7 +340,7 @@ props! {
             )
             .collect_output();
         for m in msgs {
-            handle.push_message(m);
+            handle.push(m).expect("push");
         }
         match out.error() {
             None => {

@@ -97,7 +97,10 @@ fn q1_windowed_count_advanced_framework_matches_oracle() {
             &meter,
         )
         .unwrap();
-        let complete = ss.stream(ss.len() - 1).collect_output();
+        let complete = ss
+            .take_stream(ss.len() - 1)
+            .expect("take output stream")
+            .collect_output();
         let got: BTreeMap<i64, u64> = complete
             .events()
             .iter()
@@ -126,7 +129,10 @@ fn q2_grouped_count_matches_oracle() {
             &meter,
         )
         .unwrap();
-        let complete = ss.stream(ss.len() - 1).collect_output();
+        let complete = ss
+            .take_stream(ss.len() - 1)
+            .expect("take output stream")
+            .collect_output();
         let got: BTreeMap<(i64, u32), u64> = complete
             .events()
             .iter()
@@ -158,7 +164,8 @@ fn q4_top5_is_consistent_with_grouped_oracle() {
     )
     .unwrap();
     let complete = ss
-        .stream(ss.len() - 1)
+        .take_stream(ss.len() - 1)
+        .expect("take output stream")
         .top_k(K, |c| *c as i64)
         .collect_output();
     // Check each emitted window's top-5 against the oracle's.
@@ -207,7 +214,13 @@ fn earlier_streams_are_prefixes_in_completeness() {
         &meter,
     )
     .unwrap();
-    let outs: Vec<_> = (0..3).map(|i| ss.stream(i).collect_output()).collect();
+    let outs: Vec<_> = (0..3)
+        .map(|i| {
+            ss.take_stream(i)
+                .expect("take output stream")
+                .collect_output()
+        })
+        .collect();
     let counts = |o: &Output<u64>| -> BTreeMap<i64, u64> {
         o.events()
             .iter()

@@ -74,7 +74,10 @@ fn run_advanced(
     .unwrap();
     let outs: Vec<BTreeMap<(i64, u32), u64>> = (0..latencies.len())
         .map(|i| {
-            let o = ss.stream(i).collect_output();
+            let o = ss
+                .take_stream(i)
+                .expect("take output stream")
+                .collect_output();
             assert!(o.is_completed());
             assert!(impatience_core::validate_ordered_stream(&o.messages()).is_ok());
             o.events()
@@ -97,7 +100,11 @@ fn run_basic_with_query(
     let mut ss = to_streamables_basic(ds, latencies, &meter).unwrap();
     (0..latencies.len())
         .map(|i| {
-            let o = ss.stream(i).group_aggregate(CountAgg).collect_output();
+            let o = ss
+                .take_stream(i)
+                .expect("take output stream")
+                .group_aggregate(CountAgg)
+                .collect_output();
             o.events()
                 .iter()
                 .map(|e| ((e.sync_time.ticks(), e.key), e.payload))

@@ -97,7 +97,12 @@ fn build(base: &Path, every_n: u32) -> Incarnation {
         .checkpointed(base.join("ckpt"), every_n)
         .expect("open checkpoint dir");
     let out = s
-        .sorted_with(Box::new(ImpatienceSorter::new()), &meter)
+        .sorted(
+            Box::new(ImpatienceSorter::new()),
+            &meter,
+            Default::default(),
+        )
+        .expect("default sort policy")
         .tumbling_window(TickDuration::ticks(32))
         .group_aggregate(CountAgg)
         .top_k(3, |c: &u64| *c as i64)
@@ -157,7 +162,7 @@ fn run_one(seed: u64, damage: Damage, counts: &mut SuiteCounts) {
         let wal = attach_wal(&inc.ctx, &ref_base);
         for msg in &t {
             wal.lock().unwrap().append(msg).unwrap();
-            inc.handle.push_message(msg.clone());
+            inc.handle.push(msg.clone()).expect("push");
         }
         assert!(inc.out.is_completed(), "seed {seed}: reference completed");
         assert!(inc.out.error().is_none());
@@ -172,7 +177,7 @@ fn run_one(seed: u64, damage: Damage, counts: &mut SuiteCounts) {
         assert!(inc.ctx.recovery().is_none(), "fresh dir has no recovery");
         for msg in &t[..cp.after_messages] {
             wal.lock().unwrap().append(msg).unwrap();
-            inc.handle.push_message(msg.clone());
+            inc.handle.push(msg.clone()).expect("push");
         }
         inc.out.events()
     };
@@ -238,7 +243,7 @@ fn run_one(seed: u64, damage: Damage, counts: &mut SuiteCounts) {
     // Replay the surviving log suffix the checkpoint has not covered.
     for (idx, msg) in WalIngress::<u32>::replay_from(&base.join("wal"), m).unwrap() {
         assert!(idx >= m);
-        inc.handle.push_message(msg);
+        inc.handle.push(msg).expect("push");
     }
     // Resume the tape where the log ends. Records torn off the WAL are
     // re-sent by the source (they were never acknowledged); any that the
@@ -247,7 +252,7 @@ fn run_one(seed: u64, damage: Damage, counts: &mut SuiteCounts) {
     for (i, msg) in t.iter().enumerate().skip(resume as usize) {
         wal.lock().unwrap().append(msg).unwrap();
         if i as u64 >= m {
-            inc.handle.push_message(msg.clone());
+            inc.handle.push(msg.clone()).expect("push");
         }
     }
 
@@ -327,7 +332,7 @@ fn corrupted_checkpoint_slots_fall_back_then_fail_typed() {
         let wal = attach_wal(&inc.ctx, &seeded);
         for msg in &t {
             wal.lock().unwrap().append(msg).unwrap();
-            inc.handle.push_message(msg.clone());
+            inc.handle.push(msg.clone()).expect("push");
         }
         assert!(inc.out.is_completed());
     }

@@ -90,7 +90,7 @@ fn run_sharded(input: &[StreamMessage<u32>], shape: u64, shards: usize) -> Vec<S
         .sharded(shards, move |s, _| build_pipeline(shape, s))
         .collect_output();
     for msg in input {
-        handle.push_message(msg.clone());
+        handle.push(msg.clone()).expect("push");
     }
     out.messages()
 }
@@ -99,7 +99,7 @@ fn run_unsharded(input: &[StreamMessage<u32>], shape: u64) -> Vec<StreamMessage<
     let (handle, stream) = input_stream::<u32>();
     let out = build_pipeline(shape, stream).collect_output();
     for msg in input {
-        handle.push_message(msg.clone());
+        handle.push(msg.clone()).expect("push");
     }
     out.messages()
 }

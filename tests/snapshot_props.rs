@@ -194,7 +194,12 @@ fn pipeline_a(base: &Path) -> Durable {
         .checkpointed(base.join("ckpt"), 1)
         .expect("open checkpoints");
     let out = s
-        .sorted_with(Box::new(ImpatienceSorter::new()), &meter)
+        .sorted(
+            Box::new(ImpatienceSorter::new()),
+            &meter,
+            Default::default(),
+        )
+        .expect("default sort policy")
         .hopping_window(TickDuration::ticks(64), TickDuration::ticks(32))
         .group_aggregate(CountAgg)
         .reduce_by_key(|a, b| *a += b)
@@ -243,7 +248,7 @@ fn pipeline_b(base: &Path) -> Durable {
 /// into the side inputs so union/join buffers hold real state.
 fn feed(d: &Durable, tape: &[StreamMessage<u32>]) {
     for msg in tape {
-        d.main.push_message(msg.clone());
+        d.main.push(msg.clone()).expect("push");
         if let StreamMessage::Punctuation(t) = msg {
             for (i, h) in d.others.iter().enumerate() {
                 h.push_events(vec![Event::keyed(*t, i as u32, 7)]);

@@ -263,7 +263,7 @@ fn build(base: &Path, every_n: u32) -> Incarnation {
         dead_letters: None,
     };
     let out = s
-        .sorted_with_policy(
+        .sorted(
             Box::new(ExternalImpatienceSorter::new(base.join("spill"))),
             &meter,
             policy,
@@ -316,7 +316,7 @@ fn crash_cycle(seed: u64, damage: Damage, counts: &mut CrashCounts) {
     let reference = {
         let inc = build(&ref_base, every_n);
         for msg in &t {
-            inc.handle.push_message(msg.clone());
+            inc.handle.push(msg.clone()).expect("push");
         }
         assert!(inc.out.is_completed(), "seed {seed}: reference completed");
         assert!(
@@ -333,7 +333,7 @@ fn crash_cycle(seed: u64, damage: Damage, counts: &mut CrashCounts) {
     let events_before = {
         let inc = build(&base, every_n);
         for msg in &t[..cp.after_messages] {
-            inc.handle.push_message(msg.clone());
+            inc.handle.push(msg.clone()).expect("push");
         }
         assert!(inc.out.error().is_none(), "seed {seed}: pre-crash error");
         assert_no_over_release(&inc, seed, "incarnation 1");
@@ -379,7 +379,7 @@ fn crash_cycle(seed: u64, damage: Damage, counts: &mut CrashCounts) {
     // The source re-sends everything the recovered checkpoint has not
     // covered (no WAL in this suite: the tape is the durable source).
     for msg in t.iter().skip(m) {
-        inc.handle.push_message(msg.clone());
+        inc.handle.push(msg.clone()).expect("push");
     }
     assert!(
         inc.out.error().is_none(),

@@ -133,7 +133,7 @@ fn run_untraced(input: &[StreamMessage<u32>], shape: u64) -> Vec<StreamMessage<i
         .sharded(1, move |s, _| build_pipeline(shape, s))
         .collect_output();
     for msg in input {
-        handle.push_message(msg.clone());
+        handle.push(msg.clone()).expect("push");
     }
     out.messages()
 }
@@ -159,7 +159,7 @@ fn run_traced(
         })
         .collect_output();
     for msg in input {
-        handle.push_message(msg.clone());
+        handle.push(msg.clone()).expect("push");
     }
     (out.messages(), sink)
 }
@@ -240,7 +240,7 @@ fn unsharded_traced_spans_nest_and_cover_every_stage() {
         let (handle, stream) = input_stream::<u32>();
         let out = build_pipeline(shape, stream).collect_output();
         for msg in &input {
-            handle.push_message(msg.clone());
+            handle.push(msg.clone()).expect("push");
         }
         let reference = out.messages();
 
@@ -250,7 +250,7 @@ fn unsharded_traced_spans_nest_and_cover_every_stage() {
         let out =
             build_pipeline(shape, stream.traced(ctx.clone()).trace_ingress(&ctx)).collect_output();
         for msg in &input {
-            handle.push_message(msg.clone());
+            handle.push(msg.clone()).expect("push");
         }
         assert_eq!(
             out.messages(),
@@ -341,11 +341,22 @@ fn build_durable(base: &Path, every_n: u32, trace: Option<&TraceSink>) -> Durabl
             let t = TraceCtx::new(sink);
             s.traced(t.clone())
                 .trace_ingress(&t)
-                .sorted_with(Box::new(ImpatienceSorter::new()), &meter)
+                .sorted(
+                    Box::new(ImpatienceSorter::new()),
+                    &meter,
+                    Default::default(),
+                )
+                .expect("default sort policy")
                 .trace_mark_sorted(&t, LatencyStage::Sort)
                 .trace_egress_sorted(&t, LatencyStage::Operator)
         }
-        None => s.sorted_with(Box::new(ImpatienceSorter::new()), &meter),
+        None => s
+            .sorted(
+                Box::new(ImpatienceSorter::new()),
+                &meter,
+                Default::default(),
+            )
+            .expect("default sort policy"),
     };
     let out = s
         .tumbling_window(TickDuration::ticks(16))
@@ -395,7 +406,7 @@ fn sampled_provenance_survives_crash_and_recovery() {
             let wal = attach_wal(&inc.ctx, &ref_base);
             for msg in &t {
                 wal.lock().unwrap().append(msg).unwrap();
-                inc.handle.push_message(msg.clone());
+                inc.handle.push(msg.clone()).expect("push");
             }
             assert!(inc.out.is_completed(), "seed {seed}: reference completed");
             inc.out
@@ -409,7 +420,7 @@ fn sampled_provenance_survives_crash_and_recovery() {
             let wal = attach_wal(&inc.ctx, &base);
             for msg in &t[..cp.after_messages] {
                 wal.lock().unwrap().append(msg).unwrap();
-                inc.handle.push_message(msg.clone());
+                inc.handle.push(msg.clone()).expect("push");
             }
             inc.out.events()
         };
@@ -435,13 +446,13 @@ fn sampled_provenance_survives_crash_and_recovery() {
         let wal = attach_wal(&inc.ctx, &base);
         for (idx, msg) in WalIngress::<u32>::replay_from(&base.join("wal"), m).unwrap() {
             assert!(idx >= m);
-            inc.handle.push_message(msg);
+            inc.handle.push(msg).expect("push");
         }
         let resume = wal.lock().unwrap().next_index();
         for (i, msg) in t.iter().enumerate().skip(resume as usize) {
             wal.lock().unwrap().append(msg).unwrap();
             if i as u64 >= m {
-                inc.handle.push_message(msg.clone());
+                inc.handle.push(msg.clone()).expect("push");
             }
         }
         if cp.after_messages < t.len() {
@@ -512,7 +523,7 @@ fn panicked_shard_tombstones_its_sorter_gauges() {
     let registry = MetricsRegistry::new();
     let reg = registry.clone();
     let (handle, stream) = input_stream::<u32>();
-    let opts = ShardOptions::new(4).stall_timeout(Duration::from_secs(10));
+    let opts = ShardOptions::new(4).with_stall_timeout(Duration::from_secs(10));
     let out = stream
         .sharded_with(opts, move |s, ctx| {
             let bad = ctx.index == 2;
@@ -524,7 +535,12 @@ fn panicked_shard_tombstones_its_sorter_gauges() {
                     }
                     *p as i64
                 })
-                .sorted_with(Box::new(ImpatienceSorter::new()), &meter)
+                .sorted(
+                    Box::new(ImpatienceSorter::new()),
+                    &meter,
+                    Default::default(),
+                )
+                .expect("default sort policy")
         })
         .collect_output();
 
