@@ -15,7 +15,15 @@
 //!    traffic and **visible adaptive convergence**: the chosen reorder
 //!    latency must have stepped down from the ladder's top rung
 //!    (gauge value < high-water).
-//! 3. **Isolation** — `--check` replays the seeded chaos property (one
+//! 3. **Session resilience** — one durable tenant streams through the
+//!    testkit's fault proxy under a kill-heavy plan: dozens of
+//!    kill→reconnect→resume cycles, measured end to end and perf-gated
+//!    as `mode: "session-resume"`. The remaining `serve.session.*`
+//!    counters (retries, duplicate drops, heartbeats, slow-consumer
+//!    evictions) are triggered deterministically and emitted as a
+//!    `{"kind": "session"}` line for `snapshot_check
+//!    --require-session-activity`.
+//! 4. **Isolation** — `--check` replays the seeded chaos property (one
 //!    of four tenants panics, breaches the admission budget, or hits a
 //!    disk fault; the rest must be byte-identical to solo runs) 200+
 //!    times, extending the `tests/tenant_isolation.rs` suite at bench
@@ -30,11 +38,16 @@ use impatience_bench::{fmt_throughput, BenchArgs, Table};
 use impatience_core::{json, Event, Json, TickDuration, Timestamp};
 use impatience_engine::{OpSpec, PipelineSpec, ReorderSpec};
 use impatience_serve::{
-    Client, Released, ServeError, Server, ServerConfig, TenantConfig, TenantRuntime, WireMode,
+    read_server_frame, write_client_frame, Client, ClientFrame, ClientMsg, Released, RetryPolicy,
+    ServeError, Server, ServerConfig, ServerMsg, SessionClient, TenantConfig, TenantRuntime,
+    WireMode,
 };
+use impatience_testkit::netchaos::{FaultProxy, NetFault};
 use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
+use std::io::BufReader;
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const FLEET: usize = 8;
 const CHAOS_RUNS: u64 = 210;
@@ -338,6 +351,270 @@ fn chaos_run(seed: u64) -> &'static str {
 }
 
 // ---------------------------------------------------------------------
+// Session resilience (kill→reconnect cycles + serve.session.* counters)
+// ---------------------------------------------------------------------
+
+/// The session-resilience exhibit. One durable tenant streams through the
+/// testkit's fault proxy under a kill-heavy plan: every few frames the
+/// connection is severed and the [`SessionClient`] reconnects, resumes by
+/// token, and resends its unacked window — the wall-clock cost of the
+/// whole ordeal joins the perf-gated history as `mode: "session-resume"`.
+/// The remaining `serve.session.*` counters are then triggered
+/// deterministically (heartbeat pings; a hand-rolled frame replay for the
+/// retry and duplicate-drop paths; an ack-withholding client for the
+/// slow-consumer eviction) and the server's counter snapshot is emitted
+/// as a `{"kind": "session"}` line for `snapshot_check
+/// --require-session-activity`.
+fn run_session_exercise(args: &BenchArgs) {
+    let root = scratch("session");
+    let _ = std::fs::remove_dir_all(&root);
+    let mut server =
+        Server::start(ServerConfig::new(&root).with_park_timeout(Duration::from_secs(20)))
+            .expect("session server start");
+
+    // 1. Kill→reconnect cycles through the fault proxy, perf-gated.
+    let plan: Vec<NetFault> = (0..24)
+        .map(|i| NetFault::Kill {
+            after_frames: 2 + i % 3,
+        })
+        .collect();
+    let kills = plan.len();
+    let mut proxy = FaultProxy::start(server.addr(), plan).expect("fault proxy");
+    let config = TenantConfig::new(
+        PipelineSpec::new("session-chaos")
+            .with_checkpoint(8)
+            .with_reorder(ReorderSpec::Fixed {
+                latency: TickDuration::ticks(8),
+            })
+            .with_op(OpSpec::SumByKey),
+    )
+    .with_durable(true);
+    let batches = fleet_workload(0xC1C1E5, 12_000, 256);
+    let events: usize = batches.iter().map(Vec::len).sum();
+    let policy = RetryPolicy {
+        max_reconnects: 10,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(20),
+        seed: 0x5e55_10e5,
+        io_deadline: Duration::from_secs(10),
+    };
+    let start = Instant::now();
+    let mut session =
+        SessionClient::open(proxy.addr(), WireMode::Binary, config, policy).expect("session open");
+    for batch in &batches {
+        session.send(batch.clone()).expect("session send");
+    }
+    let out = session.complete().expect("session complete");
+    let secs = start.elapsed().as_secs_f64();
+    assert!(out.completed, "chaos session failed to complete");
+    let cycles = session.stats().reconnects;
+    assert!(
+        cycles > 0,
+        "the kill plan ({kills} kills) produced no reconnect cycles"
+    );
+    args.emit_json(&json!({
+        "exhibit": "serve",
+        "mode": "session-resume",
+        "events": events,
+        "secs": secs,
+        "throughput": events as f64 / secs,
+        "reconnect_cycles": cycles as i64,
+    }));
+    println!(
+        "  session-resume: {events} events through {cycles} reconnect cycles, \
+         {}",
+        fmt_throughput(events, secs)
+    );
+    proxy.stop();
+
+    // 2. Heartbeats: liveness pings on a bare connection.
+    let mut hb = Client::connect(server.addr(), WireMode::Ndjson).expect("heartbeat connect");
+    for nonce in 1..=8u64 {
+        hb.ping(nonce).expect("ping");
+    }
+
+    // 3. Retry and duplicate-drop paths, triggered with hand-rolled
+    // frames (a well-behaved client never resends an acked sequence; a
+    // lossy middlebox does).
+    exercise_dedup_paths(&server).expect("dedup exercise");
+
+    // 4. Slow-consumer eviction needs a reply cache small enough to
+    // overflow quickly, so it runs on its own server (the chaos server
+    // keeps the production-sized default — evicting the chaos session
+    // mid-run would orphan its resume token).
+    let slow_root = scratch("session-slow");
+    let _ = std::fs::remove_dir_all(&slow_root);
+    let mut slow_server = Server::start(ServerConfig::new(&slow_root).with_reply_cache_bytes(4096))
+        .expect("slow-consumer server start");
+    exercise_slow_consumer(&slow_server).expect("slow-consumer exercise");
+
+    // The serve.session.* evidence, one JSON line per server (the
+    // snapshot_check gate sums counters across lines).
+    let session_counter = |counters: &Json, name: &str| -> i64 {
+        counters.get(name).and_then(Json::as_i64).unwrap_or(0)
+    };
+    let counters = server
+        .metrics()
+        .get("counters")
+        .cloned()
+        .unwrap_or(Json::Null);
+    for name in [
+        "serve.session.resumes",
+        "serve.session.retries",
+        "serve.session.duplicates_dropped",
+        "serve.session.heartbeats",
+    ] {
+        assert!(
+            session_counter(&counters, name) > 0,
+            "session exercise left {name} at zero"
+        );
+    }
+    let slow_counters = slow_server
+        .metrics()
+        .get("counters")
+        .cloned()
+        .unwrap_or(Json::Null);
+    assert!(
+        session_counter(&slow_counters, "serve.session.slow_client_evictions") > 0,
+        "slow-consumer exercise produced no eviction"
+    );
+    args.emit_json(&json!({
+        "exhibit": "serve",
+        "kind": "session",
+        "counters": counters.clone(),
+    }));
+    args.emit_json(&json!({
+        "exhibit": "serve",
+        "kind": "session",
+        "counters": slow_counters.clone(),
+    }));
+    println!(
+        "  session counters: {} resumes, {} retries, {} duplicates dropped, \
+         {} heartbeats, {} slow-client evictions",
+        session_counter(&counters, "serve.session.resumes"),
+        session_counter(&counters, "serve.session.retries"),
+        session_counter(&counters, "serve.session.duplicates_dropped"),
+        session_counter(&counters, "serve.session.heartbeats"),
+        session_counter(&slow_counters, "serve.session.slow_client_evictions"),
+    );
+
+    slow_server.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&slow_root);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Replays a sequenced frame twice — once before acking (answered from
+/// the reply cache: `retries`) and once after (cache evicted by the ack,
+/// dropped as a stale duplicate: `duplicates_dropped`).
+fn exercise_dedup_paths(server: &Server) -> Result<(), ServeError> {
+    let stream =
+        TcpStream::connect(server.addr()).map_err(|e| ServeError::io("dedup connect", e))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| ServeError::io("clone stream", e))?,
+    );
+    let mut writer = stream;
+    let mut roundtrip = |frame: &ClientFrame| -> Result<ServerMsg, ServeError> {
+        write_client_frame(&mut writer, WireMode::Ndjson, frame)?;
+        let reply = read_server_frame(&mut reader, WireMode::Ndjson)?.ok_or_else(|| {
+            ServeError::Protocol {
+                detail: "server closed mid-exercise".to_string(),
+            }
+        })?;
+        Ok(reply.msg)
+    };
+
+    let config =
+        TenantConfig::new(PipelineSpec::new("dedup-exercise").with_op(OpSpec::Scale { factor: 2 }));
+    let open = ClientFrame::unsequenced(ClientMsg::Open {
+        config: config.to_json(),
+        resume: None,
+        resumable: false,
+    });
+    assert!(matches!(roundtrip(&open)?, ServerMsg::Ok { .. }));
+
+    let events = ClientFrame {
+        seq: 1,
+        ack: 0,
+        msg: ClientMsg::Events {
+            batch: vec![Event::keyed(Timestamp::new(10), 1, 7)],
+        },
+    };
+    // Fresh apply, then a pre-ack replay (cache hit), then a post-ack
+    // replay (stale duplicate, dropped).
+    assert!(matches!(roundtrip(&events)?, ServerMsg::Out { .. }));
+    assert!(matches!(roundtrip(&events)?, ServerMsg::Out { .. }));
+    let mut acked = events.clone();
+    acked.ack = 1;
+    match roundtrip(&acked)? {
+        ServerMsg::Out { batch, .. } => assert!(
+            batch.is_empty(),
+            "post-ack duplicate must produce no output"
+        ),
+        other => panic!("post-ack duplicate answered {other:?}"),
+    }
+    Ok(())
+}
+
+/// Withholds acks while streaming until the byte-bounded reply cache
+/// overflows and the server answers with the typed slow-consumer
+/// eviction.
+fn exercise_slow_consumer(server: &Server) -> Result<(), ServeError> {
+    let stream =
+        TcpStream::connect(server.addr()).map_err(|e| ServeError::io("slow connect", e))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| ServeError::io("clone stream", e))?,
+    );
+    let mut writer = stream;
+
+    let config = TenantConfig::new(
+        PipelineSpec::new("slow-consumer")
+            .with_reorder(ReorderSpec::Fixed {
+                latency: TickDuration::ticks(1),
+            })
+            .with_op(OpSpec::SumByKey),
+    );
+    let open = ClientFrame::unsequenced(ClientMsg::Open {
+        config: config.to_json(),
+        resume: None,
+        resumable: false,
+    });
+    write_client_frame(&mut writer, WireMode::Ndjson, &open)?;
+    read_server_frame(&mut reader, WireMode::Ndjson)?;
+
+    let mut t = 0i64;
+    for seq in 1..=64u64 {
+        let batch: Vec<Event<i64>> = (0..64)
+            .map(|_| {
+                t += 1;
+                Event::keyed(Timestamp::new(t), (t % 8) as u32, t)
+            })
+            .collect();
+        let frame = ClientFrame {
+            seq,
+            ack: 0, // never acknowledge: the reply cache can only grow
+            msg: ClientMsg::Events { batch },
+        };
+        write_client_frame(&mut writer, WireMode::Ndjson, &frame)?;
+        match read_server_frame(&mut reader, WireMode::Ndjson)? {
+            Some(reply) => match reply.msg {
+                ServerMsg::Out { .. } => continue,
+                ServerMsg::Error {
+                    error: ServeError::SlowConsumer { .. },
+                } => return Ok(()),
+                other => panic!("slow-consumer exercise answered {other:?}"),
+            },
+            None => panic!("server closed before the slow-consumer eviction"),
+        }
+    }
+    panic!("reply cache never overflowed in the slow-consumer exercise")
+}
+
+// ---------------------------------------------------------------------
 
 /// The ci smoke gate: one NDJSON and one binary tenant over sockets must
 /// match their solo runs byte-for-byte, and one chaos seed per fault
@@ -443,6 +720,9 @@ fn main() {
             FLEET - converged
         );
     }
+
+    // Session resilience: reconnect cycles + serve.session.* evidence.
+    run_session_exercise(&args);
 
     // The isolation property at bench scale.
     if args.check {

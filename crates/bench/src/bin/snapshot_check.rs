@@ -4,7 +4,7 @@
 //! snapshot_check <path.jsonl> [--require-fault-activity] \
 //!     [--require-recovery-activity] [--require-shard-activity] \
 //!     [--require-trace-activity] [--require-spill-activity] \
-//!     [--require-service-activity]
+//!     [--require-service-activity] [--require-session-activity]
 //! ```
 //!
 //! Asserts that every line parses with the in-tree JSON parser and that at
@@ -39,6 +39,13 @@
 //! the adaptive reorder-latency controller **visibly converged**: at
 //! least one `serve.adaptive.latency` gauge whose value sits below its
 //! high-water mark (the controller started patient and stepped down).
+//! With `--require-session-activity` it demands that the fault-tolerant
+//! session layer was actually exercised: the file's `{"kind": "session"}`
+//! lines must show nonzero `serve.session.resumes`,
+//! `serve.session.retries`, `serve.session.duplicates_dropped`,
+//! `serve.session.heartbeats`, **and**
+//! `serve.session.slow_client_evictions` — every reconnect/dedup/
+//! backpressure path fired at least once.
 //! Exits non-zero with a message on the first violation.
 
 use impatience_bench::{metrics_of_line, trace_of_line};
@@ -57,6 +64,7 @@ fn main() {
     let mut require_trace_activity = false;
     let mut require_spill_activity = false;
     let mut require_service_activity = false;
+    let mut require_session_activity = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-fault-activity" => require_fault_activity = true,
@@ -65,6 +73,7 @@ fn main() {
             "--require-trace-activity" => require_trace_activity = true,
             "--require-spill-activity" => require_spill_activity = true,
             "--require-service-activity" => require_service_activity = true,
+            "--require-session-activity" => require_session_activity = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other}")),
         }
@@ -74,7 +83,7 @@ fn main() {
             "usage: snapshot_check <path.jsonl> [--require-fault-activity] \
              [--require-recovery-activity] [--require-shard-activity] \
              [--require-trace-activity] [--require-spill-activity] \
-             [--require-service-activity]",
+             [--require-service-activity] [--require-session-activity]",
         )
     });
     let text = std::fs::read_to_string(&path)
@@ -95,6 +104,15 @@ fn main() {
     let mut trace_spans = 0u64;
     let mut trace_dropped = 0u64;
     let mut trace_lines = 0usize;
+    const SESSION_COUNTERS: [&str; 5] = [
+        "serve.session.resumes",
+        "serve.session.retries",
+        "serve.session.duplicates_dropped",
+        "serve.session.heartbeats",
+        "serve.session.slow_client_evictions",
+    ];
+    let mut session_lines = 0usize;
+    let mut session_totals = [0u64; 5];
     for (no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -118,6 +136,20 @@ fn main() {
             serve_in += counts.serve_in;
             serve_out += counts.serve_out;
             adaptive_converged += counts.adaptive_converged as usize;
+        }
+        if js.get("kind").and_then(Json::as_str) == Some("session") {
+            session_lines += 1;
+            let ctx = format!("{path}:{}", no + 1);
+            let counters = js
+                .get("counters")
+                .unwrap_or_else(|| fail(&format!("{ctx}: session line has no counters object")));
+            for (i, name) in SESSION_COUNTERS.iter().enumerate() {
+                let v = counters
+                    .get(name)
+                    .and_then(Json::as_i64)
+                    .unwrap_or_else(|| fail(&format!("{ctx}: session line lacks \"{name}\"")));
+                session_totals[i] += v.max(0) as u64;
+            }
         }
         if let Some(trace) = trace_of_line(&js) {
             trace_lines += 1;
@@ -187,6 +219,21 @@ fn main() {
             ));
         }
     }
+    if require_session_activity {
+        if session_lines == 0 {
+            fail(&format!(
+                "{path}: --require-session-activity: no \"kind\": \"session\" counter line"
+            ));
+        }
+        for (i, name) in SESSION_COUNTERS.iter().enumerate() {
+            if session_totals[i] == 0 {
+                fail(&format!(
+                    "{path}: --require-session-activity: \"{name}\" is zero — that \
+                     reconnect/dedup/backpressure path never fired"
+                ));
+            }
+        }
+    }
     if require_trace_activity {
         if trace_lines == 0 || trace_spans == 0 {
             fail(&format!(
@@ -207,7 +254,9 @@ fn main() {
          {shard_ingress}/{shard_merged} sharded in/out, \
          {spill_runs} run(s) spilled ({spill_disk_hwm} B on-disk hwm), \
          {serve_in}/{serve_out} served in/out ({adaptive_converged} converged), \
-         {trace_spans} span(s)/{trace_dropped} dropped in {trace_lines} trace line(s)"
+         {trace_spans} span(s)/{trace_dropped} dropped in {trace_lines} trace line(s), \
+         {} resume(s) in {session_lines} session line(s)",
+        session_totals[0]
     );
 }
 

@@ -171,6 +171,7 @@ struct CtxInner {
     recovery: Option<RecoveryInfo>,
     metrics: CheckpointMetrics,
     on_checkpoint: Option<OnCheckpoint>,
+    force_requested: bool,
 }
 
 /// Shared checkpoint context threaded along a streamable chain.
@@ -200,8 +201,23 @@ impl CheckpointCtx {
                 recovery: None,
                 metrics: CheckpointMetrics::new(),
                 on_checkpoint: None,
+                force_requested: false,
             })),
         }
+    }
+
+    /// Requests a checkpoint at the next punctuation regardless of the
+    /// gate's `every_n` cadence. Used by a graceful service drain: the
+    /// server punctuates each tenant at its watermark and wants that cut
+    /// durable before the process exits, so the next start replays as
+    /// little WAL as possible.
+    pub fn request_checkpoint(&self) {
+        lock(&self.inner).force_requested = true;
+    }
+
+    fn take_force_request(&self) -> bool {
+        let mut inner = lock(&self.inner);
+        core::mem::take(&mut inner.force_requested)
     }
 
     /// Registers a stateful operator. Called by the streamable combinators;
@@ -611,7 +627,8 @@ impl<P: Payload> Observer<P> for CheckpointGate<P> {
         // The downstream call returned: every operator has quiesced at
         // this cut and can be encoded consistently.
         self.puncts_since += 1;
-        if self.every_n > 0 && self.puncts_since >= self.every_n {
+        let forced = self.ctx.take_force_request();
+        if self.every_n > 0 && (forced || self.puncts_since >= self.every_n) {
             self.puncts_since = 0;
             self.take_checkpoint();
         }

@@ -476,7 +476,19 @@ impl<P: Payload> WalIngress<P> {
     /// *acknowledgeable* once [`Self::sync`] (or a batched auto-sync)
     /// covers it.
     pub fn append(&mut self, msg: &StreamMessage<P>) -> Result<u64, SnapshotError> {
+        self.append_tagged(msg, 0)
+    }
+
+    /// Logs one message carrying an application-level `tag` (the serving
+    /// layer stores the client session sequence number here, tying its
+    /// ingest acks to WAL-durable offsets). Untagged appends write tag 0.
+    pub fn append_tagged(
+        &mut self,
+        msg: &StreamMessage<P>,
+        tag: u64,
+    ) -> Result<u64, SnapshotError> {
         let mut w = SnapshotWriter::new();
+        w.put_u64(tag);
         msg.encode(&mut w);
         self.wal.append(&w.into_body())
     }
@@ -491,14 +503,30 @@ impl<P: Payload> WalIngress<P> {
         self.wal.truncate_before(index)
     }
 
-    /// Decodes every logged message with index `>= start`.
+    /// Decodes every logged message with index `>= start`, dropping tags.
     pub fn replay_from(
         dir: &Path,
         start: u64,
     ) -> Result<Vec<(u64, StreamMessage<P>)>, SnapshotError> {
+        Ok(Self::replay_tagged_from(dir, start)?
+            .into_iter()
+            .map(|(index, _, msg)| (index, msg))
+            .collect())
+    }
+
+    /// Decodes every logged message with index `>= start` as
+    /// `(index, tag, message)` triples. The tag is whatever
+    /// [`Self::append_tagged`] stored (0 for untagged appends); the
+    /// serving layer uses it to recover the last applied session sequence
+    /// after a process restart.
+    pub fn replay_tagged_from(
+        dir: &Path,
+        start: u64,
+    ) -> Result<Vec<(u64, u64, StreamMessage<P>)>, SnapshotError> {
         let mut out = Vec::new();
         for (index, payload) in replay_wal(dir, start)? {
             let mut r = SnapshotReader::new(&payload);
+            let tag = r.get_u64()?;
             let msg = StreamMessage::<P>::decode(&mut r)?;
             if !r.is_exhausted() {
                 return Err(SnapshotError::corrupt(format!(
@@ -506,7 +534,7 @@ impl<P: Payload> WalIngress<P> {
                     r.remaining()
                 )));
             }
-            out.push((index, msg));
+            out.push((index, tag, msg));
         }
         Ok(out)
     }
@@ -662,6 +690,27 @@ mod tests {
         let tail = WalIngress::<u32>::replay_from(&dir, 2).unwrap();
         assert_eq!(tail.len(), 2);
         assert_eq!(tail[0].0, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_tags_round_trip_and_default_to_zero() {
+        let dir = wal_dir("tags");
+        let mut wal: WalIngress<u32> = WalIngress::open_with(&dir, tiny_config()).unwrap();
+        wal.append(&StreamMessage::Punctuation(Timestamp::new(1)))
+            .unwrap();
+        wal.append_tagged(
+            &StreamMessage::Batch(EventBatch::from_events(vec![ev(2)])),
+            7,
+        )
+        .unwrap();
+        wal.append_tagged(&StreamMessage::Completed, 8).unwrap();
+        wal.sync().unwrap();
+        let tagged = WalIngress::<u32>::replay_tagged_from(&dir, 0).unwrap();
+        let tags: Vec<u64> = tagged.iter().map(|&(_, tag, _)| tag).collect();
+        assert_eq!(tags, vec![0, 7, 8]);
+        // The untagged view still decodes the same messages.
+        assert_eq!(WalIngress::<u32>::replay_from(&dir, 0).unwrap().len(), 3);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -39,6 +39,24 @@ pub enum ServeError {
         /// Terminal cause.
         detail: String,
     },
+    /// The client fell too far behind: its unacknowledged replies
+    /// exceeded the server's bounded reply buffer, so the session was
+    /// evicted rather than growing without bound.
+    SlowConsumer {
+        /// Tenant name.
+        tenant: String,
+        /// Bytes buffered when the bound tripped.
+        buffered: u64,
+    },
+    /// A session-protocol failure: bad resume token, sequence gap,
+    /// expired parked session. `retryable` tells the client whether
+    /// reconnecting with the same token can succeed.
+    Session {
+        /// What went wrong.
+        detail: String,
+        /// Whether a fresh reconnect/resume attempt may succeed.
+        retryable: bool,
+    },
 }
 
 impl core::fmt::Display for ServeError {
@@ -51,6 +69,19 @@ impl core::fmt::Display for ServeError {
             ServeError::Io { detail } => write!(f, "service i/o failed: {detail}"),
             ServeError::TenantFailed { tenant, detail } => {
                 write!(f, "tenant {tenant} failed: {detail}")
+            }
+            ServeError::SlowConsumer { tenant, buffered } => {
+                write!(
+                    f,
+                    "tenant {tenant} evicted as slow consumer ({buffered} bytes unacked)"
+                )
+            }
+            ServeError::Session { detail, retryable } => {
+                write!(
+                    f,
+                    "session error: {detail} ({})",
+                    if *retryable { "retryable" } else { "fatal" }
+                )
             }
         }
     }
@@ -108,6 +139,17 @@ impl ServeError {
                 "tenant": tenant.as_str(),
                 "detail": detail.as_str(),
             }),
+            ServeError::SlowConsumer { tenant, buffered } => json!({
+                "kind": "slow_consumer",
+                "tenant": tenant.as_str(),
+                "detail": format!("{buffered} bytes unacked"),
+                "buffered": *buffered as i64,
+            }),
+            ServeError::Session { detail, retryable } => json!({
+                "kind": "session",
+                "detail": detail.as_str(),
+                "retryable": *retryable,
+            }),
         }
     }
 
@@ -136,6 +178,18 @@ impl ServeError {
                     .to_string(),
                 detail,
             },
+            "slow_consumer" => ServeError::SlowConsumer {
+                tenant: v
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                buffered: v.get("buffered").and_then(Json::as_i64).unwrap_or(0).max(0) as u64,
+            },
+            "session" => ServeError::Session {
+                detail,
+                retryable: v.get("retryable").and_then(Json::as_bool).unwrap_or(false),
+            },
             _ => ServeError::Protocol { detail },
         }
     }
@@ -157,6 +211,14 @@ mod tests {
             ServeError::TenantFailed {
                 tenant: "a".into(),
                 detail: "panic".into(),
+            },
+            ServeError::SlowConsumer {
+                tenant: "b".into(),
+                buffered: 4096,
+            },
+            ServeError::Session {
+                detail: "unknown resume token".into(),
+                retryable: true,
             },
         ];
         for e in errs {

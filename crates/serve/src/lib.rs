@@ -56,12 +56,17 @@ pub mod admission;
 pub mod client;
 pub mod error;
 pub mod server;
+pub mod session;
 pub mod tenant;
 pub mod wire;
 
 pub use admission::{AdmissionController, AdmissionTicket, DEFAULT_TENANT_CHARGE};
-pub use client::Client;
+pub use client::{Client, RetryPolicy, SessionClient, SessionStats};
 pub use error::ServeError;
 pub use server::{Server, ServerConfig};
+pub use session::{SessionCounters, SessionState, SessionTable};
 pub use tenant::{Released, TenantConfig, TenantRuntime};
-pub use wire::{ClientMsg, ServerMsg, WireMode, BINARY_MAGIC};
+pub use wire::{
+    read_client_frame, read_server_frame, write_client_frame, write_server_frame, ClientFrame,
+    ClientMsg, ServerFrame, ServerMsg, WireMode, BINARY_MAGIC,
+};

@@ -1,0 +1,334 @@
+//! Session bookkeeping: exactly-once dedup state, the bounded reply
+//! cache, and the parking table that lets a session survive its
+//! connection.
+//!
+//! A **session** is a tenant runtime plus the sequence bookkeeping that
+//! makes reconnects exactly-once. The applied high-water lives on the
+//! runtime itself ([`TenantRuntime::applied_seq`] — journaled as WAL tags
+//! for durable tenants), so parking a session preserves it and a durable
+//! restart recovers it. The session adds the **reply cache**: every reply
+//! to a fresh sequenced request is kept until the client acknowledges it,
+//! so a retried request (after a lost reply, or a duplicated frame from a
+//! flaky path) is answered with the *original* reply instead of being
+//! re-applied. The cache is byte-bounded — a client that never acks is a
+//! slow consumer and is evicted with a typed error rather than growing
+//! server memory without bound.
+//!
+//! Parking: when a connection carrying a `resumable` session ends without
+//! completing the stream, the whole session (runtime, admission ticket,
+//! reply cache) moves into the [`SessionTable`] keyed by its resume
+//! token, with a deadline. An `open` carrying the token within the
+//! deadline re-attaches; expiry reaps the session (dropping the ticket
+//! frees the name and budget).
+
+use crate::admission::AdmissionTicket;
+use crate::error::ServeError;
+use crate::tenant::TenantRuntime;
+use crate::wire::{ServerFrame, ServerMsg};
+use impatience_core::{Counter, MetricsRegistry};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The `serve.session.*` counters, published into the service registry.
+pub struct SessionCounters {
+    /// Successful resume re-attachments.
+    pub resumes: Counter,
+    /// Retried requests answered from the reply cache.
+    pub retries: Counter,
+    /// Already-applied frames dropped without a cached reply (duplicate
+    /// delivery below the ack horizon).
+    pub duplicates_dropped: Counter,
+    /// Ping frames answered.
+    pub heartbeats: Counter,
+    /// Sessions evicted for exceeding the reply-cache bound.
+    pub slow_client_evictions: Counter,
+    /// Sessions parked on disconnect.
+    pub parked: Counter,
+    /// Parked sessions reaped at their deadline.
+    pub park_expirations: Counter,
+}
+
+impl SessionCounters {
+    /// Binds the counters into `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        SessionCounters {
+            resumes: registry.counter("serve.session.resumes"),
+            retries: registry.counter("serve.session.retries"),
+            duplicates_dropped: registry.counter("serve.session.duplicates_dropped"),
+            heartbeats: registry.counter("serve.session.heartbeats"),
+            slow_client_evictions: registry.counter("serve.session.slow_client_evictions"),
+            parked: registry.counter("serve.session.parked"),
+            park_expirations: registry.counter("serve.session.park_expirations"),
+        }
+    }
+}
+
+struct CachedReply {
+    seq: u64,
+    frame: ServerFrame,
+    bytes: usize,
+}
+
+/// Rough wire size of a reply, for the slow-consumer bound.
+fn reply_weight(frame: &ServerFrame) -> usize {
+    match &frame.msg {
+        ServerMsg::Out { batch, puncts, .. } => 64 + batch.len() * 28 + puncts.len() * 8,
+        ServerMsg::Error { error } => 64 + error.to_string().len(),
+        _ => 64,
+    }
+}
+
+/// One session: the tenant runtime plus exactly-once bookkeeping.
+pub struct SessionState {
+    /// The tenant's entire runtime (pipeline, registry, WAL, dirs).
+    pub runtime: TenantRuntime,
+    /// Holds the tenant's name and budget; dropping releases both.
+    pub ticket: AdmissionTicket,
+    /// Resume token; `Some` iff the session is resumable (parkable).
+    pub token: Option<String>,
+    replies: VecDeque<CachedReply>,
+    reply_bytes: usize,
+}
+
+impl core::fmt::Debug for SessionState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SessionState")
+            .field("runtime", &self.runtime)
+            .field("token", &self.token)
+            .field("reply_bytes", &self.reply_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionState {
+    /// A fresh session over `runtime`.
+    pub fn new(runtime: TenantRuntime, ticket: AdmissionTicket, token: Option<String>) -> Self {
+        SessionState {
+            runtime,
+            ticket,
+            token,
+            replies: VecDeque::new(),
+            reply_bytes: 0,
+        }
+    }
+
+    /// The applied (and, for durable tenants, WAL-durable) sequence
+    /// high-water: requests with `seq ≤` this are already done.
+    pub fn applied_seq(&self) -> u64 {
+        self.runtime.applied_seq()
+    }
+
+    /// Evicts cached replies the client has acknowledged.
+    pub fn acknowledge(&mut self, ack: u64) {
+        while self.replies.front().is_some_and(|r| r.seq <= ack) {
+            let r = self.replies.pop_front().expect("front checked");
+            self.reply_bytes -= r.bytes;
+        }
+    }
+
+    /// Caches the reply to a fresh sequenced request until acked.
+    pub fn cache_reply(&mut self, frame: ServerFrame) {
+        let bytes = reply_weight(&frame);
+        self.reply_bytes += bytes;
+        self.replies.push_back(CachedReply {
+            seq: frame.seq,
+            frame,
+            bytes,
+        });
+    }
+
+    /// The cached reply for an already-applied sequence, if unacked.
+    pub fn cached_reply(&self, seq: u64) -> Option<&ServerFrame> {
+        self.replies.iter().find(|r| r.seq == seq).map(|r| &r.frame)
+    }
+
+    /// Bytes of unacknowledged replies currently held.
+    pub fn reply_bytes(&self) -> usize {
+        self.reply_bytes
+    }
+
+    /// Whether the session may be parked on disconnect: resumable and
+    /// the stream neither completed nor terminally failed.
+    pub fn parkable(&self) -> bool {
+        self.token.is_some() && !self.runtime.is_completed() && !self.runtime.is_failed()
+    }
+}
+
+struct Parked {
+    session: SessionState,
+    deadline: Instant,
+}
+
+/// Parked sessions awaiting resume, keyed by token. Expired entries are
+/// reaped lazily on every park/resume and explicitly on drain.
+pub struct SessionTable {
+    park_timeout: Duration,
+    parked: Mutex<HashMap<String, Parked>>,
+}
+
+impl SessionTable {
+    /// A table parking sessions for at most `park_timeout`.
+    pub fn new(park_timeout: Duration) -> Self {
+        SessionTable {
+            park_timeout,
+            parked: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn reap(map: &mut HashMap<String, Parked>, counters: &SessionCounters) {
+        let now = Instant::now();
+        let before = map.len();
+        map.retain(|_, p| p.deadline > now);
+        counters.park_expirations.add((before - map.len()) as u64);
+    }
+
+    /// Parks `session` under its token. Returns false (dropping the
+    /// session) if it has no token.
+    pub fn park(&self, session: SessionState, counters: &SessionCounters) -> bool {
+        let Some(token) = session.token.clone() else {
+            return false;
+        };
+        let mut map = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        Self::reap(&mut map, counters);
+        let deadline = Instant::now() + self.park_timeout;
+        map.insert(token, Parked { session, deadline });
+        counters.parked.inc();
+        true
+    }
+
+    /// Takes the session parked under `token`.
+    pub fn resume(
+        &self,
+        token: &str,
+        counters: &SessionCounters,
+    ) -> Result<SessionState, ServeError> {
+        let mut map = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        Self::reap(&mut map, counters);
+        // Retryable: an absent token usually means the dying connection
+        // has not parked yet (it parks at its next poll tick) — a client
+        // retrying under backoff will find it. A genuinely expired token
+        // keeps failing until the client's retry budget runs out.
+        map.remove(token)
+            .map(|p| p.session)
+            .ok_or_else(|| ServeError::Session {
+                detail: format!("no parked session for resume token \"{token}\""),
+                retryable: true,
+            })
+    }
+
+    /// Takes every parked session (graceful drain).
+    pub fn drain_all(&self) -> Vec<SessionState> {
+        let mut map = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        map.drain().map(|(_, p)| p.session).collect()
+    }
+
+    /// Parked-session count (tests, metrics).
+    pub fn len(&self) -> usize {
+        self.parked.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no sessions are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionController;
+    use crate::tenant::TenantConfig;
+    use impatience_core::MemoryMeter;
+    use impatience_engine::PipelineSpec;
+    use std::sync::Arc;
+
+    fn session(tag: &str, token: Option<&str>) -> (SessionState, MetricsRegistry) {
+        let dir = std::env::temp_dir().join(format!("serve-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch");
+        let registry = MetricsRegistry::new();
+        let admission = Arc::new(AdmissionController::new(MemoryMeter::new(), 4, &registry));
+        let ticket = admission.admit(tag, None).expect("admit");
+        let runtime =
+            TenantRuntime::start(TenantConfig::new(PipelineSpec::new(tag)), &dir).expect("start");
+        (
+            SessionState::new(runtime, ticket, token.map(|t| t.to_string())),
+            registry,
+        )
+    }
+
+    fn out_frame(seq: u64, n_events: usize) -> ServerFrame {
+        ServerFrame {
+            seq,
+            msg: ServerMsg::Out {
+                batch: vec![
+                    impatience_core::Event::point(impatience_core::Timestamp::new(1), 0i64);
+                    n_events
+                ],
+                puncts: vec![],
+                completed: false,
+            },
+        }
+    }
+
+    #[test]
+    fn reply_cache_serves_retries_until_acked() {
+        let (mut s, _reg) = session("cache", Some("tok"));
+        s.cache_reply(out_frame(1, 2));
+        s.cache_reply(out_frame(2, 0));
+        assert!(s.cached_reply(1).is_some());
+        assert!(s.reply_bytes() > 0);
+        s.acknowledge(1);
+        assert!(s.cached_reply(1).is_none());
+        assert!(s.cached_reply(2).is_some());
+        s.acknowledge(2);
+        assert_eq!(s.reply_bytes(), 0);
+    }
+
+    #[test]
+    fn park_resume_round_trips_and_expires() {
+        let registry = MetricsRegistry::new();
+        let counters = SessionCounters::new(&registry);
+        let table = SessionTable::new(Duration::from_millis(40));
+        let (s, _reg) = session("park", Some("tok-1"));
+        assert!(table.park(s, &counters));
+        assert_eq!(table.len(), 1);
+        let back = table.resume("tok-1", &counters).expect("resume");
+        assert_eq!(back.token.as_deref(), Some("tok-1"));
+        assert!(table.is_empty());
+
+        // Unknown tokens are typed session errors, retryable (the old
+        // connection may simply not have parked yet).
+        let err = table.resume("tok-1", &counters).expect_err("taken");
+        assert!(
+            matches!(
+                err,
+                ServeError::Session {
+                    retryable: true,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        // Expiry reaps.
+        let (s, _reg) = session("park2", Some("tok-2"));
+        table.park(s, &counters);
+        std::thread::sleep(Duration::from_millis(60));
+        let err = table.resume("tok-2", &counters).expect_err("expired");
+        assert!(matches!(err, ServeError::Session { .. }), "{err:?}");
+        assert_eq!(counters.park_expirations.get(), 1);
+    }
+
+    #[test]
+    fn non_resumable_sessions_are_not_parkable() {
+        let (s, _reg) = session("noresume", None);
+        assert!(!s.parkable());
+        let registry = MetricsRegistry::new();
+        let counters = SessionCounters::new(&registry);
+        let table = SessionTable::new(Duration::from_secs(1));
+        assert!(!table.park(s, &counters));
+    }
+}

@@ -158,6 +158,7 @@ pub struct TenantRuntime {
     serve: ServeCounters,
     failed: Option<StreamError>,
     completed: bool,
+    applied_seq: u64,
 }
 
 impl core::fmt::Debug for TenantRuntime {
@@ -266,6 +267,7 @@ impl TenantRuntime {
             out,
             failed: None,
             completed: false,
+            applied_seq: 0,
         };
         runtime.recover()?;
         Ok(runtime)
@@ -287,10 +289,18 @@ impl TenantRuntime {
             .and_then(|c| c.recovery())
             .map_or(0, |r| r.messages_seen);
         let replayed =
-            WalIngress::<i64>::replay_from(&wal_dir, replay_from).map_err(|e| ServeError::Io {
-                detail: format!("replay wal {}: {e}", wal_dir.display()),
+            WalIngress::<i64>::replay_tagged_from(&wal_dir, replay_from).map_err(|e| {
+                ServeError::Io {
+                    detail: format!("replay wal {}: {e}", wal_dir.display()),
+                }
             })?;
-        for (_, msg) in replayed {
+        for (_, tag, msg) in replayed {
+            // Tags carry the session sequence each record was applied
+            // under; the max over the surviving suffix restores the
+            // durable high-water so a resuming client resends only what
+            // the WAL never saw. (Records truncated by a checkpoint are
+            // covered by the checkpoint itself.)
+            self.applied_seq = self.applied_seq.max(tag);
             self.apply_replayed(&msg);
             self.push(msg)?;
         }
@@ -400,7 +410,11 @@ impl TenantRuntime {
     fn journal(&mut self, msg: &StreamMessage<i64>) -> Result<(), ServeError> {
         if let Some(wal) = &self.wal {
             let mut w = wal.lock().unwrap_or_else(|e| e.into_inner());
-            w.append(msg)
+            // Each record is tagged with the session sequence it was
+            // applied under (0 for unsequenced ingest), so WAL durability
+            // and session acks advance together: once this returns, the
+            // sequence is recoverable and may be acked to the client.
+            w.append_tagged(msg, self.applied_seq)
                 .and_then(|_| w.sync())
                 .map_err(|e| ServeError::Io {
                     detail: format!("wal append: {e}"),
@@ -408,6 +422,59 @@ impl TenantRuntime {
             self.serve.wal_appends.inc();
         }
         Ok(())
+    }
+
+    /// The session sequence most recently applied (and, for durable
+    /// tenants, journaled) by this runtime. Acks up to this value are
+    /// safe: a resuming client need not resend them.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Records the session sequence about to be applied; the next
+    /// journaled record carries it as its WAL tag. Called by the session
+    /// layer before each sequenced operation.
+    pub fn note_seq(&mut self, seq: u64) {
+        self.applied_seq = self.applied_seq.max(seq);
+    }
+
+    /// The WAL index the next journaled record will take — the durable
+    /// offset acks are tied to. `None` for non-durable tenants.
+    pub fn wal_durable_index(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| {
+            let w = w.lock().unwrap_or_else(|e| e.into_inner());
+            w.next_index()
+        })
+    }
+
+    /// Whether the tenant's stream has completed.
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Whether the tenant's pipeline has terminally failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.is_some()
+    }
+
+    /// Graceful-drain shutdown: punctuate at the watermark (releasing
+    /// everything reorderable), force a checkpoint at that punctuation,
+    /// and sync the WAL — so a restart after shutdown replays (almost)
+    /// nothing. Best-effort: a completed or failed tenant just drains.
+    pub fn drain_shutdown(&mut self) -> Released {
+        if self.guard().is_ok() && self.watermark != Timestamp::MIN {
+            if let Some(ctx) = &self.built.ckpt {
+                ctx.request_checkpoint();
+            }
+            if self.last_punct.is_none_or(|p| self.watermark > p) {
+                let _ = self.force_punctuate(self.watermark);
+            }
+        }
+        if let Some(wal) = &self.wal {
+            let mut w = wal.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = w.sync();
+        }
+        self.drain()
     }
 
     /// Ingests one disordered batch, then punctuates at

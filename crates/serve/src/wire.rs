@@ -8,9 +8,23 @@
 //! server sniffs the first byte: `{` opens an NDJSON session, the magic
 //! opens a binary one, and replies always use the session's framing.
 //!
-//! The protocol is strict request/reply: every client frame is answered
-//! by exactly one server frame, so lockstep clients never deadlock on
-//! socket buffers and the chaos suite can diff byte streams.
+//! The protocol is strict request/reply ordering: the server answers
+//! client frames in arrival order, one reply per request, so lockstep
+//! clients never deadlock on socket buffers and the chaos suite can diff
+//! byte streams. (The server may additionally send one unsolicited
+//! [`ServerMsg::Close`] frame right before it hangs up — a drain
+//! shutdown, an idle-deadline eviction, or a slow-consumer eviction.)
+//!
+//! **Sessions.** Every frame travels inside an envelope. Client frames
+//! ([`ClientFrame`]) carry a session **sequence number** `seq` (1-based;
+//! 0 marks unsequenced messages: open / metrics / ping) and a receive
+//! acknowledgement `ack` ("I have processed every reply with sequence ≤
+//! ack"). Server frames ([`ServerFrame`]) echo the `seq` they answer.
+//! Sequence numbers make reconnects exactly-once: a client that lost a
+//! connection re-opens with a resume token and **resends its unacked
+//! window**; the server deduplicates the already-applied prefix (replying
+//! from its bounded reply cache) and applies only the genuinely new
+//! suffix. See `DESIGN.md` §15 for the full contract.
 //!
 //! Binary frame payloads begin with a tag byte: `J` (a JSON control
 //! message, identical to the NDJSON form), `E` (a raw client event
@@ -39,10 +53,17 @@ pub enum WireMode {
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
-    /// Open (or recover) a tenant from its declarative config.
+    /// Open (or recover, or resume) a tenant from its declarative config.
     Open {
         /// The tenant config, as its JSON wire form.
         config: Json,
+        /// Resume token from a previous `open` reply: re-attach to the
+        /// named tenant's surviving session instead of starting fresh.
+        resume: Option<String>,
+        /// Ask the server to keep the session resumable: on disconnect
+        /// the tenant runtime is parked (within the server's park
+        /// deadline) instead of being torn down.
+        resumable: bool,
     },
     /// Ingest a batch of events (sync time, key, payload).
     Events {
@@ -64,6 +85,26 @@ pub enum ClientMsg {
         /// The replacement tenant config, as its JSON wire form.
         config: Json,
     },
+    /// Liveness probe; the server answers [`ServerMsg::Pong`] with the
+    /// same nonce.
+    Ping {
+        /// Opaque correlation value echoed back.
+        nonce: u64,
+    },
+}
+
+impl ClientMsg {
+    /// Whether this message mutates tenant state and therefore must carry
+    /// a nonzero sequence number.
+    pub fn is_sequenced(&self) -> bool {
+        matches!(
+            self,
+            ClientMsg::Events { .. }
+                | ClientMsg::Punctuate { .. }
+                | ClientMsg::Complete
+                | ClientMsg::Reconfigure { .. }
+        )
+    }
 }
 
 /// A server-to-client message.
@@ -89,12 +130,65 @@ pub enum ServerMsg {
         /// The snapshot, as registry JSON.
         snapshot: Json,
     },
+    /// Reply to [`ClientMsg::Ping`].
+    Pong {
+        /// The request's nonce, echoed.
+        nonce: u64,
+    },
+    /// Unsolicited terminal frame: the server is about to close this
+    /// connection (drain shutdown, idle deadline, slow-consumer
+    /// eviction). A resumable session survives parked; re-open with the
+    /// resume token.
+    Close {
+        /// Why the connection is closing.
+        reason: String,
+    },
     /// The request failed; the tenant may or may not still be usable
     /// (see [`ServeError`] variants).
     Error {
         /// The typed failure.
         error: ServeError,
     },
+}
+
+/// A client message inside its session envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientFrame {
+    /// 1-based request sequence; 0 for unsequenced messages.
+    pub seq: u64,
+    /// Receive high-water: every reply with sequence ≤ `ack` has been
+    /// processed by the client (the server may evict its cached copies).
+    pub ack: u64,
+    /// The message itself.
+    pub msg: ClientMsg,
+}
+
+impl ClientFrame {
+    /// An unsequenced frame (open / metrics / ping).
+    pub fn unsequenced(msg: ClientMsg) -> Self {
+        ClientFrame {
+            seq: 0,
+            ack: 0,
+            msg,
+        }
+    }
+}
+
+/// A server message inside its session envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerFrame {
+    /// Sequence of the client request this frame answers; 0 for replies
+    /// to unsequenced requests and for unsolicited frames.
+    pub seq: u64,
+    /// The message itself.
+    pub msg: ServerMsg,
+}
+
+impl ServerFrame {
+    /// A reply to an unsequenced request (or an unsolicited frame).
+    pub fn unsequenced(msg: ServerMsg) -> Self {
+        ServerFrame { seq: 0, msg }
+    }
 }
 
 fn event_to_json(e: &Event<i64>) -> Json {
@@ -147,11 +241,54 @@ fn events_from_json(v: Option<&Json>) -> Result<Vec<Event<i64>>, ServeError> {
     arr.iter().map(event_from_json).collect()
 }
 
+/// Appends the nonzero envelope fields onto a control object.
+fn with_envelope(v: Json, seq: u64, ack: u64) -> Json {
+    let Json::Object(mut fields) = v else {
+        return v;
+    };
+    if seq != 0 {
+        fields.push(("seq".to_string(), Json::Int(seq as i128)));
+    }
+    if ack != 0 {
+        fields.push(("ack".to_string(), Json::Int(ack as i128)));
+    }
+    Json::Object(fields)
+}
+
+fn envelope_field(v: &Json, name: &str) -> Result<u64, ServeError> {
+    match v.get(name) {
+        None | Some(Json::Null) => Ok(0),
+        Some(f) => f
+            .as_i64()
+            .filter(|n| *n >= 0)
+            .map(|n| n as u64)
+            .ok_or_else(|| ServeError::Protocol {
+                detail: format!("\"{name}\" must be a non-negative integer"),
+            }),
+    }
+}
+
 impl ClientMsg {
-    /// The JSON control form shared by both framings.
+    /// The JSON control form shared by both framings (without envelope).
     pub fn to_json(&self) -> Json {
         match self {
-            ClientMsg::Open { config } => json!({"type": "open", "tenant": config.clone()}),
+            ClientMsg::Open {
+                config,
+                resume,
+                resumable,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), json!("open")),
+                    ("tenant".to_string(), config.clone()),
+                ];
+                if let Some(token) = resume {
+                    fields.push(("resume".to_string(), json!(token.as_str())));
+                }
+                if *resumable {
+                    fields.push(("resumable".to_string(), Json::Bool(true)));
+                }
+                Json::Object(fields)
+            }
             ClientMsg::Events { batch } => {
                 json!({"type": "events", "batch": events_to_json(batch)})
             }
@@ -161,10 +298,12 @@ impl ClientMsg {
             ClientMsg::Reconfigure { config } => {
                 json!({"type": "reconfigure", "tenant": config.clone()})
             }
+            ClientMsg::Ping { nonce } => json!({"type": "ping", "nonce": *nonce as i64}),
         }
     }
 
-    /// Parses the JSON control form.
+    /// Parses the JSON control form (envelope fields are ignored here;
+    /// [`ClientFrame::from_json`] reads them).
     pub fn from_json(v: &Json) -> Result<ClientMsg, ServeError> {
         let ty = v
             .get("type")
@@ -181,7 +320,14 @@ impl ClientMsg {
                         detail: format!("\"{ty}\" frame has no \"tenant\" config"),
                     })?;
                 Ok(if ty == "open" {
-                    ClientMsg::Open { config }
+                    ClientMsg::Open {
+                        config,
+                        resume: v
+                            .get("resume")
+                            .and_then(Json::as_str)
+                            .map(|s| s.to_string()),
+                        resumable: v.get("resumable").and_then(Json::as_bool).unwrap_or(false),
+                    }
                 } else {
                     ClientMsg::Reconfigure { config }
                 })
@@ -198,6 +344,9 @@ impl ClientMsg {
             }),
             "complete" => Ok(ClientMsg::Complete),
             "metrics" => Ok(ClientMsg::Metrics),
+            "ping" => Ok(ClientMsg::Ping {
+                nonce: envelope_field(v, "nonce")?,
+            }),
             other => Err(ServeError::Protocol {
                 detail: format!("unknown client frame type \"{other}\""),
             }),
@@ -205,8 +354,24 @@ impl ClientMsg {
     }
 }
 
+impl ClientFrame {
+    /// The enveloped JSON form.
+    pub fn to_json(&self) -> Json {
+        with_envelope(self.msg.to_json(), self.seq, self.ack)
+    }
+
+    /// Parses the enveloped JSON form.
+    pub fn from_json(v: &Json) -> Result<ClientFrame, ServeError> {
+        Ok(ClientFrame {
+            seq: envelope_field(v, "seq")?,
+            ack: envelope_field(v, "ack")?,
+            msg: ClientMsg::from_json(v)?,
+        })
+    }
+}
+
 impl ServerMsg {
-    /// The JSON control form shared by both framings.
+    /// The JSON control form shared by both framings (without envelope).
     pub fn to_json(&self) -> Json {
         match self {
             ServerMsg::Ok { info } => json!({"type": "ok", "info": info.clone()}),
@@ -223,6 +388,8 @@ impl ServerMsg {
             ServerMsg::Metrics { snapshot } => {
                 json!({"type": "metrics", "snapshot": snapshot.clone()})
             }
+            ServerMsg::Pong { nonce } => json!({"type": "pong", "nonce": *nonce as i64}),
+            ServerMsg::Close { reason } => json!({"type": "close", "reason": reason.as_str()}),
             ServerMsg::Error { error } => json!({"type": "error", "error": error.to_json()}),
         }
     }
@@ -256,6 +423,16 @@ impl ServerMsg {
             "metrics" => Ok(ServerMsg::Metrics {
                 snapshot: v.get("snapshot").cloned().unwrap_or(Json::Null),
             }),
+            "pong" => Ok(ServerMsg::Pong {
+                nonce: envelope_field(v, "nonce")?,
+            }),
+            "close" => Ok(ServerMsg::Close {
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("closed")
+                    .to_string(),
+            }),
             "error" => Ok(ServerMsg::Error {
                 error: v
                     .get("error")
@@ -268,6 +445,21 @@ impl ServerMsg {
                 detail: format!("unknown server frame type \"{other}\""),
             }),
         }
+    }
+}
+
+impl ServerFrame {
+    /// The enveloped JSON form.
+    pub fn to_json(&self) -> Json {
+        with_envelope(self.msg.to_json(), self.seq, 0)
+    }
+
+    /// Parses the enveloped JSON form.
+    pub fn from_json(v: &Json) -> Result<ServerFrame, ServeError> {
+        Ok(ServerFrame {
+            seq: envelope_field(v, "seq")?,
+            msg: ServerMsg::from_json(v)?,
+        })
     }
 }
 
@@ -303,6 +495,10 @@ impl<'a> RawReader<'a> {
 
     fn u32(&mut self) -> Result<u32, ServeError> {
         Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
     }
 
     fn i64(&mut self) -> Result<i64, ServeError> {
@@ -356,11 +552,23 @@ fn write_binary(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
 }
 
 fn read_binary_payload(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, ServeError> {
+    // Read the length prefix byte-wise so EOF exactly at a frame
+    // boundary is a clean end of stream while EOF *inside* the prefix is
+    // a typed truncation error.
     let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(ServeError::io("read frame length", e)),
+    let mut got = 0usize;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ServeError::Protocol {
+                    detail: format!("truncated frame length prefix ({got} of 4 bytes)"),
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServeError::io("read frame length", e)),
+        }
     }
     let len = u32::from_le_bytes(len) as usize;
     if len == 0 || len > MAX_FRAME_BYTES {
@@ -369,38 +577,49 @@ fn read_binary_payload(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, ServeErr
         });
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)
-        .map_err(|e| ServeError::io("read frame payload", e))?;
+    r.read_exact(&mut payload).map_err(|e| {
+        // EOF inside a declared payload is a protocol violation by the
+        // peer (mid-frame hangup); anything else is transport trouble.
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::Protocol {
+                detail: format!("mid-frame EOF: frame declared {len} payload bytes"),
+            }
+        } else {
+            ServeError::io("read frame payload", e)
+        }
+    })?;
     Ok(Some(payload))
 }
 
-/// Writes one client message under the session's framing.
-pub fn write_client_msg(
+/// Writes one client frame under the session's framing.
+pub fn write_client_frame(
     w: &mut impl Write,
     mode: WireMode,
-    msg: &ClientMsg,
+    frame: &ClientFrame,
 ) -> Result<(), ServeError> {
     match mode {
-        WireMode::Ndjson => write_ndjson(w, &msg.to_json()),
+        WireMode::Ndjson => write_ndjson(w, &frame.to_json()),
         WireMode::Binary => {
             let mut payload = Vec::new();
-            if let ClientMsg::Events { batch } = msg {
+            if let ClientMsg::Events { batch } = &frame.msg {
                 payload.push(b'E');
+                payload.extend_from_slice(&frame.seq.to_le_bytes());
+                payload.extend_from_slice(&frame.ack.to_le_bytes());
                 encode_events_raw(&mut payload, batch);
             } else {
                 payload.push(b'J');
-                payload.extend_from_slice(msg.to_json().to_string().as_bytes());
+                payload.extend_from_slice(frame.to_json().to_string().as_bytes());
             }
             write_binary(w, &payload)
         }
     }
 }
 
-/// Reads one client message; `Ok(None)` is a clean end of stream.
-pub fn read_client_msg(
+/// Reads one client frame; `Ok(None)` is a clean end of stream.
+pub fn read_client_frame(
     r: &mut impl BufRead,
     mode: WireMode,
-) -> Result<Option<ClientMsg>, ServeError> {
+) -> Result<Option<ClientFrame>, ServeError> {
     match mode {
         WireMode::Ndjson => {
             let mut line = String::new();
@@ -411,9 +630,9 @@ pub fn read_client_msg(
                 return Ok(None);
             }
             if line.trim().is_empty() {
-                return read_client_msg(r, mode);
+                return read_client_frame(r, mode);
             }
-            ClientMsg::from_json(&json_of_line(line.trim())?).map(Some)
+            ClientFrame::from_json(&json_of_line(line.trim())?).map(Some)
         }
         WireMode::Binary => {
             let Some(payload) = read_binary_payload(r)? else {
@@ -425,8 +644,14 @@ pub fn read_client_msg(
                         buf: &payload,
                         at: 1,
                     };
-                    Ok(Some(ClientMsg::Events {
-                        batch: raw.events()?,
+                    let seq = raw.u64()?;
+                    let ack = raw.u64()?;
+                    Ok(Some(ClientFrame {
+                        seq,
+                        ack,
+                        msg: ClientMsg::Events {
+                            batch: raw.events()?,
+                        },
                     }))
                 }
                 Some(b'J') => {
@@ -434,7 +659,7 @@ pub fn read_client_msg(
                         std::str::from_utf8(&payload[1..]).map_err(|_| ServeError::Protocol {
                             detail: "control frame is not UTF-8".to_string(),
                         })?;
-                    ClientMsg::from_json(&json_of_line(text)?).map(Some)
+                    ClientFrame::from_json(&json_of_line(text)?).map(Some)
                 }
                 tag => Err(ServeError::Protocol {
                     detail: format!("unknown client frame tag {tag:?}"),
@@ -444,23 +669,24 @@ pub fn read_client_msg(
     }
 }
 
-/// Writes one server message under the session's framing.
-pub fn write_server_msg(
+/// Writes one server frame under the session's framing.
+pub fn write_server_frame(
     w: &mut impl Write,
     mode: WireMode,
-    msg: &ServerMsg,
+    frame: &ServerFrame,
 ) -> Result<(), ServeError> {
     match mode {
-        WireMode::Ndjson => write_ndjson(w, &msg.to_json()),
+        WireMode::Ndjson => write_ndjson(w, &frame.to_json()),
         WireMode::Binary => {
             let mut payload = Vec::new();
             if let ServerMsg::Out {
                 batch,
                 puncts,
                 completed,
-            } = msg
+            } = &frame.msg
             {
                 payload.push(b'O');
+                payload.extend_from_slice(&frame.seq.to_le_bytes());
                 encode_events_raw(&mut payload, batch);
                 payload.extend_from_slice(&(puncts.len() as u32).to_le_bytes());
                 for t in puncts {
@@ -469,18 +695,18 @@ pub fn write_server_msg(
                 payload.push(u8::from(*completed));
             } else {
                 payload.push(b'J');
-                payload.extend_from_slice(msg.to_json().to_string().as_bytes());
+                payload.extend_from_slice(frame.to_json().to_string().as_bytes());
             }
             write_binary(w, &payload)
         }
     }
 }
 
-/// Reads one server message; `Ok(None)` is a clean end of stream.
-pub fn read_server_msg(
+/// Reads one server frame; `Ok(None)` is a clean end of stream.
+pub fn read_server_frame(
     r: &mut impl BufRead,
     mode: WireMode,
-) -> Result<Option<ServerMsg>, ServeError> {
+) -> Result<Option<ServerFrame>, ServeError> {
     match mode {
         WireMode::Ndjson => {
             let mut line = String::new();
@@ -491,9 +717,9 @@ pub fn read_server_msg(
                 return Ok(None);
             }
             if line.trim().is_empty() {
-                return read_server_msg(r, mode);
+                return read_server_frame(r, mode);
             }
-            ServerMsg::from_json(&json_of_line(line.trim())?).map(Some)
+            ServerFrame::from_json(&json_of_line(line.trim())?).map(Some)
         }
         WireMode::Binary => {
             let Some(payload) = read_binary_payload(r)? else {
@@ -505,6 +731,7 @@ pub fn read_server_msg(
                         buf: &payload,
                         at: 1,
                     };
+                    let seq = raw.u64()?;
                     let batch = raw.events()?;
                     let n = raw.u32()? as usize;
                     let mut puncts = Vec::with_capacity(n.min(1024));
@@ -512,10 +739,13 @@ pub fn read_server_msg(
                         puncts.push(Timestamp::new(raw.i64()?));
                     }
                     let completed = raw.take::<1>()?[0] != 0;
-                    Ok(Some(ServerMsg::Out {
-                        batch,
-                        puncts,
-                        completed,
+                    Ok(Some(ServerFrame {
+                        seq,
+                        msg: ServerMsg::Out {
+                            batch,
+                            puncts,
+                            completed,
+                        },
                     }))
                 }
                 Some(b'J') => {
@@ -523,7 +753,7 @@ pub fn read_server_msg(
                         std::str::from_utf8(&payload[1..]).map_err(|_| ServeError::Protocol {
                             detail: "control frame is not UTF-8".to_string(),
                         })?;
-                    ServerMsg::from_json(&json_of_line(text)?).map(Some)
+                    ServerFrame::from_json(&json_of_line(text)?).map(Some)
                 }
                 tag => Err(ServeError::Protocol {
                     detail: format!("unknown server frame tag {tag:?}"),
@@ -544,59 +774,94 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn client_messages_round_trip_both_modes() {
-        let msgs = vec![
-            ClientMsg::Open {
-                config: json!({"name": "a"}),
-            },
-            ClientMsg::Events {
-                batch: sample_events(),
-            },
-            ClientMsg::Punctuate {
-                t: Timestamp::new(90),
-            },
-            ClientMsg::Metrics,
-            ClientMsg::Complete,
-        ];
-        for mode in [WireMode::Ndjson, WireMode::Binary] {
-            let mut buf = Vec::new();
-            for m in &msgs {
-                write_client_msg(&mut buf, mode, m).expect("write");
-            }
-            let mut r = Cursor::new(buf);
-            for m in &msgs {
-                let got = read_client_msg(&mut r, mode).expect("read").expect("some");
-                assert_eq!(&got, m, "{mode:?}");
-            }
-            assert_eq!(read_client_msg(&mut r, mode).expect("eof"), None);
+    fn open(config: Json) -> ClientMsg {
+        ClientMsg::Open {
+            config,
+            resume: None,
+            resumable: false,
         }
     }
 
     #[test]
-    fn server_messages_round_trip_both_modes() {
-        let msgs = vec![
-            ServerMsg::Ok { info: Json::Null },
-            ServerMsg::Out {
-                batch: sample_events(),
-                puncts: vec![Timestamp::new(80), Timestamp::new(95)],
-                completed: true,
-            },
-            ServerMsg::Error {
-                error: ServeError::Admission {
-                    reason: "full".into(),
+    fn client_frames_round_trip_both_modes() {
+        let frames = vec![
+            ClientFrame::unsequenced(open(json!({"name": "a"}))),
+            ClientFrame::unsequenced(ClientMsg::Open {
+                config: json!({"name": "a"}),
+                resume: Some("tok-17".to_string()),
+                resumable: true,
+            }),
+            ClientFrame {
+                seq: 3,
+                ack: 2,
+                msg: ClientMsg::Events {
+                    batch: sample_events(),
                 },
+            },
+            ClientFrame {
+                seq: 4,
+                ack: 3,
+                msg: ClientMsg::Punctuate {
+                    t: Timestamp::new(90),
+                },
+            },
+            ClientFrame::unsequenced(ClientMsg::Metrics),
+            ClientFrame::unsequenced(ClientMsg::Ping { nonce: 99 }),
+            ClientFrame {
+                seq: 5,
+                ack: 4,
+                msg: ClientMsg::Complete,
             },
         ];
         for mode in [WireMode::Ndjson, WireMode::Binary] {
             let mut buf = Vec::new();
-            for m in &msgs {
-                write_server_msg(&mut buf, mode, m).expect("write");
+            for f in &frames {
+                write_client_frame(&mut buf, mode, f).expect("write");
             }
             let mut r = Cursor::new(buf);
-            for m in &msgs {
-                let got = read_server_msg(&mut r, mode).expect("read").expect("some");
-                assert_eq!(&got, m, "{mode:?}");
+            for f in &frames {
+                let got = read_client_frame(&mut r, mode)
+                    .expect("read")
+                    .expect("some");
+                assert_eq!(&got, f, "{mode:?}");
+            }
+            assert_eq!(read_client_frame(&mut r, mode).expect("eof"), None);
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip_both_modes() {
+        let frames = vec![
+            ServerFrame::unsequenced(ServerMsg::Ok { info: Json::Null }),
+            ServerFrame {
+                seq: 7,
+                msg: ServerMsg::Out {
+                    batch: sample_events(),
+                    puncts: vec![Timestamp::new(80), Timestamp::new(95)],
+                    completed: true,
+                },
+            },
+            ServerFrame::unsequenced(ServerMsg::Pong { nonce: 42 }),
+            ServerFrame::unsequenced(ServerMsg::Close {
+                reason: "drain".to_string(),
+            }),
+            ServerFrame::unsequenced(ServerMsg::Error {
+                error: ServeError::Admission {
+                    reason: "full".into(),
+                },
+            }),
+        ];
+        for mode in [WireMode::Ndjson, WireMode::Binary] {
+            let mut buf = Vec::new();
+            for f in &frames {
+                write_server_frame(&mut buf, mode, f).expect("write");
+            }
+            let mut r = Cursor::new(buf);
+            for f in &frames {
+                let got = read_server_frame(&mut r, mode)
+                    .expect("read")
+                    .expect("some");
+                assert_eq!(&got, f, "{mode:?}");
             }
         }
     }
@@ -605,7 +870,63 @@ mod tests {
     fn oversized_binary_frame_is_a_typed_protocol_error() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
-        let got = read_client_msg(&mut Cursor::new(buf), WireMode::Binary);
+        let got = read_client_frame(&mut Cursor::new(buf), WireMode::Binary);
+        assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn zero_length_binary_frame_is_a_typed_protocol_error() {
+        let buf = 0u32.to_le_bytes().to_vec();
+        let got = read_client_frame(&mut Cursor::new(buf), WireMode::Binary);
+        assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn truncated_binary_frames_are_typed_errors_never_panics() {
+        // A declared length with no payload behind it: mid-frame EOF.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&64u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let got = read_client_frame(&mut Cursor::new(buf), WireMode::Binary);
+        assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
+
+        // A truncated length prefix (fewer than 4 bytes then EOF): only a
+        // fully absent prefix is a clean end of stream.
+        let got = read_client_frame(&mut Cursor::new(vec![0x10u8, 0x00]), WireMode::Binary);
+        assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
+
+        // An 'E' frame whose declared batch count exceeds its bytes.
+        let mut payload = vec![b'E'];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&1000u32.to_le_bytes());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let got = read_client_frame(&mut Cursor::new(buf), WireMode::Binary);
+        assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn garbage_json_and_unknown_tags_are_typed_errors() {
+        let got = read_client_frame(
+            &mut Cursor::new(b"{\"type\": \"open\", oops}\n".to_vec()),
+            WireMode::Ndjson,
+        );
+        assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(b"Zzz");
+        let got = read_client_frame(&mut Cursor::new(buf), WireMode::Binary);
+        assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn negative_envelope_fields_are_rejected() {
+        let got = ClientFrame::from_json(
+            &Json::parse(r#"{"type": "complete", "seq": -4}"#).expect("json"),
+        );
         assert!(matches!(got, Err(ServeError::Protocol { .. })), "{got:?}");
     }
 

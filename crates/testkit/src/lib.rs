@@ -21,6 +21,9 @@
 //!   panics) for exercising the failure model end to end;
 //! * [`crash`] — seeded crash-point selection plus on-disk damage
 //!   (bit flips, torn tails) for the checkpoint/WAL recovery suite;
+//! * [`netchaos`] — a seeded in-process TCP fault proxy (kills, resets,
+//!   stalls, partial writes, duplicate frames at frame boundaries) and a
+//!   malformed-frame fuzzer for wire-protocol robustness suites;
 //! * [`trace`] — structural assertions over recorded trace spans
 //!   (the laminar-nesting invariant) for the trace conformance suite.
 //!
@@ -45,6 +48,7 @@
 pub mod bench;
 pub mod chaos;
 pub mod crash;
+pub mod netchaos;
 pub mod prop;
 pub mod rng;
 pub mod trace;
@@ -54,5 +58,6 @@ pub use crash::{
     corrupt_byte, corrupt_random_byte, crash_point, files_with_suffix, inject_disk_fault,
     newest_with_suffix, tear_tail, truncate_file, CrashPoint, DiskFault,
 };
+pub use netchaos::{seeded_fault_plan, Attack, FaultProxy, NetFault, WireFuzzer};
 pub use rng::{Rng, SeedableRng, StdRng};
 pub use trace::assert_laminar;

@@ -157,6 +157,23 @@ echo "== tenant isolation (seeded chaos across the service boundary) =="
 # byte-identical to a solo in-process run; the server must keep accepting.
 cargo test -q --offline --test tenant_isolation
 
+echo "== network chaos (seeded kill/reset/stall/dup faults, exactly-once resume) =="
+# The session-survivability gate: 200+ seeded kill→reconnect→resume cycles
+# across both framings and both durability modes, each run's output
+# byte-identical to an unbroken run of the same workload (zero duplicated,
+# zero lost events), with the server's serve.session.* counters accounting
+# for every resume. A failing cell replays with IMPATIENCE_PROP_SEED=<seed>.
+cargo test -q --offline --test session_resume
+
+echo "== wire fuzz (seeded malformed frames against a live server) =="
+# The protocol-robustness gate: nine seeded attack classes (bad magic,
+# truncated/oversize/zero length prefixes, mid-frame EOF, garbage JSON,
+# unknown tags, noise) against a live server. Every hostile connection must
+# end in a typed error frame or a clean close within a bounded window —
+# never a hang or panic — while a healthy tenant streams unperturbed on
+# the same server.
+cargo test -q --offline --test wire_fuzz
+
 echo "== service smoke (serve --smoke: socket fleet + one chaos seed per class) =="
 # A seconds-fast pass of the serving path: 8 concurrent socket tenants
 # (NDJSON + binary framing) against their solo baselines, plus one chaos
@@ -165,15 +182,20 @@ cargo run --release --offline -q -p impatience-bench --bin serve -- --smoke > /d
 
 echo "== service gate (serve --check -> BENCH_serve.json) =="
 # The full serving exhibit: 8 concurrent durable adaptive socket tenants
-# measured end-to-end, one full-contract metrics snapshot per tenant, and
-# 210 seeded chaos-isolation runs (hard assertions inside the binary).
-# snapshot_check then demands real socket traffic (serve.events_in/out)
-# and visible adaptive convergence (latency gauge below its high water).
+# measured end-to-end, one full-contract metrics snapshot per tenant, a
+# session-resilience pass (kill→reconnect cycles through the fault proxy,
+# perf-gated as mode "session-resume", plus deterministic triggers for
+# every serve.session.* counter), and 210 seeded chaos-isolation runs
+# (hard assertions inside the binary). snapshot_check then demands real
+# socket traffic (serve.events_in/out), visible adaptive convergence
+# (latency gauge below its high water), and session activity: nonzero
+# resumes, retries, duplicate drops, heartbeats, and slow-client
+# evictions in the {"kind": "session"} counter lines.
 rm -f BENCH_serve.json
 cargo run --release --offline -q -p impatience-bench --bin serve -- \
     --check --events 200000 --json BENCH_serve.json > /dev/null
 cargo run --release --offline -q -p impatience-bench --bin snapshot_check -- \
-    BENCH_serve.json --require-service-activity
+    BENCH_serve.json --require-service-activity --require-session-activity
 
 echo "== perf-regression gate (this run vs bench_results.jsonl history) =="
 # Every throughput measurement of this CI run is compared against the
