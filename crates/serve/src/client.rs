@@ -569,6 +569,7 @@ impl SessionClient {
         };
         self.next_seq += 1;
         self.window.push_back(frame.clone());
+        let mut cycles = 0u32;
         loop {
             let step = (|me: &mut Self| -> Result<(), ServeError> {
                 me.ensure_connected()?;
@@ -586,6 +587,7 @@ impl SessionClient {
                 Ok(()) => return Ok(()),
                 Err(e) if is_connection_error(&e) => {
                     self.conn = None;
+                    self.check_cycle_budget(&mut cycles, &e)?;
                 }
                 Err(e) => return Err(e),
             }
@@ -595,6 +597,7 @@ impl SessionClient {
     /// Blocks until every in-flight frame is answered, retrying through
     /// connection failures.
     fn flush_window(&mut self) -> Result<(), ServeError> {
+        let mut cycles = 0u32;
         while !self.window.is_empty() {
             let step = (|me: &mut Self| -> Result<(), ServeError> {
                 me.ensure_connected()?;
@@ -607,9 +610,30 @@ impl SessionClient {
                 Ok(()) => break,
                 Err(e) if is_connection_error(&e) => {
                     self.conn = None;
+                    self.check_cycle_budget(&mut cycles, &e)?;
                 }
                 Err(e) => return Err(e),
             }
+        }
+        Ok(())
+    }
+
+    /// Bounds reconnect *cycles* within one operation. `ensure_connected`
+    /// caps consecutive failed attach attempts, but a flapping server
+    /// that attaches cleanly and then breaks every subsequent read or
+    /// write would re-enter it with a fresh budget on every pass of the
+    /// outer retry loop — an unbounded reconnect storm. One operation
+    /// gets `max_reconnects` full cycles; exhaustion is terminal.
+    fn check_cycle_budget(&self, cycles: &mut u32, cause: &ServeError) -> Result<(), ServeError> {
+        *cycles += 1;
+        if *cycles > self.policy.max_reconnects {
+            return Err(ServeError::Session {
+                detail: format!(
+                    "reconnect budget exhausted: the connection failed {cycles} times \
+                     within one operation (last error: {cause})"
+                ),
+                retryable: false,
+            });
         }
         Ok(())
     }

@@ -198,7 +198,6 @@ struct Shared {
     shutdown: AtomicBool,
     sessions: SessionTable,
     session_counters: SessionCounters,
-    token_seq: AtomicU64,
     idle_deadline: Duration,
     read_deadline: Duration,
     write_deadline: Duration,
@@ -258,7 +257,6 @@ impl Server {
             shutdown: AtomicBool::new(false),
             sessions: SessionTable::new(config.park_timeout),
             session_counters,
-            token_seq: AtomicU64::new(1),
             idle_deadline: config.idle_deadline,
             read_deadline: config.read_deadline,
             write_deadline: config.write_deadline,
@@ -594,6 +592,48 @@ fn park_or_drop(session: Option<SessionState>, shared: &Shared) {
     }
 }
 
+/// A fresh resume token: 128 bits of entropy, hex-encoded. Tokens are
+/// bearer credentials — any holder can resume (hijack) the parked
+/// session, its runtime, and its admission ticket — so they must be
+/// unguessable and carry no tenant-derived structure a client of one
+/// tenant could use to enumerate another's.
+fn fresh_resume_token() -> String {
+    use core::fmt::Write as _;
+    let mut s = String::with_capacity(32);
+    for b in token_entropy() {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn token_entropy() -> [u8; 16] {
+    let mut buf = [0u8; 16];
+    // The OS CSPRNG where available (every platform this runs on).
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        if f.read_exact(&mut buf).is_ok() {
+            return buf;
+        }
+    }
+    // Fallback without new dependencies: RandomState hashers are keyed
+    // from OS entropy per instance; mix two of them over a process
+    // counter and the clock.
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    for (i, chunk) in buf.chunks_mut(8).enumerate() {
+        let mut h = RandomState::new().build_hasher();
+        h.write_u64(n);
+        h.write_u128(now);
+        h.write_usize(i);
+        chunk.copy_from_slice(&h.finish().to_le_bytes());
+    }
+    buf
+}
+
 fn out_msg(released: Released) -> ServerMsg {
     ServerMsg::Out {
         batch: released.events,
@@ -613,15 +653,18 @@ fn handle_frame(
 ) -> (ServerFrame, bool) {
     let ClientFrame { seq, ack, msg } = frame;
 
+    // The ack horizon frees cached replies regardless of what follows —
+    // including heartbeats: an idle client pinging with its ack current
+    // must still drain the reply cache, or it pins reply_bytes and can
+    // trip the slow-consumer eviction despite having acked everything.
+    if let Some(s) = session.as_mut() {
+        s.acknowledge(ack);
+    }
+
     // Heartbeats are envelope-level: no session required, never cached.
     if let ClientMsg::Ping { nonce } = msg {
         shared.session_counters.heartbeats.inc();
         return (ServerFrame::unsequenced(ServerMsg::Pong { nonce }), false);
-    }
-
-    // The ack horizon frees cached replies regardless of what follows.
-    if let Some(s) = session.as_mut() {
-        s.acknowledge(ack);
     }
 
     // Sequenced requests get exactly-once treatment: an already-applied
@@ -765,10 +808,7 @@ fn dispatch_inner(
                 .admission
                 .admit(config.name(), config.memory_budget)?;
             let runtime = TenantRuntime::start(config, &shared.root)?;
-            let token = resumable.then(|| {
-                let n = shared.token_seq.fetch_add(1, Ordering::Relaxed);
-                format!("{}#{n:06x}", runtime.name())
-            });
+            let token = resumable.then(fresh_resume_token);
             let state = SessionState::new(runtime, ticket, token);
             let info = json!({
                 "tenant": state.runtime.name(),

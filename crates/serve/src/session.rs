@@ -161,6 +161,20 @@ struct Parked {
     deadline: Instant,
 }
 
+/// Constant-time string equality. Resume tokens are bearer credentials:
+/// the lookup must not leak how long a matching prefix is through
+/// timing, so every comparison inspects every byte of both strings.
+fn constant_time_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
 /// Parked sessions awaiting resume, keyed by token. Expired entries are
 /// reaped lazily on every park/resume and explicitly on drain.
 pub struct SessionTable {
@@ -206,11 +220,19 @@ impl SessionTable {
     ) -> Result<SessionState, ServeError> {
         let mut map = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         Self::reap(&mut map, counters);
+        // Constant-time scan over all parked tokens: a HashMap probe
+        // would early-exit on the first differing byte of a colliding
+        // key, and the table is small (bounded by parked sessions).
+        let matched = map.keys().fold(None, |hit: Option<String>, k| {
+            let eq = constant_time_eq(k, token);
+            hit.or_else(|| eq.then(|| k.clone()))
+        });
         // Retryable: an absent token usually means the dying connection
         // has not parked yet (it parks at its next poll tick) — a client
         // retrying under backoff will find it. A genuinely expired token
         // keeps failing until the client's retry budget runs out.
-        map.remove(token)
+        matched
+            .and_then(|k| map.remove(&k))
             .map(|p| p.session)
             .ok_or_else(|| ServeError::Session {
                 detail: format!("no parked session for resume token \"{token}\""),
@@ -320,6 +342,16 @@ mod tests {
         let err = table.resume("tok-2", &counters).expect_err("expired");
         assert!(matches!(err, ServeError::Session { .. }), "{err:?}");
         assert_eq!(counters.park_expirations.get(), 1);
+    }
+
+    #[test]
+    fn constant_time_eq_is_exact() {
+        assert!(constant_time_eq("", ""));
+        assert!(constant_time_eq("abc123", "abc123"));
+        assert!(!constant_time_eq("abc123", "abc124"));
+        assert!(!constant_time_eq("abc", "abc123"));
+        assert!(!constant_time_eq("abc123", "abc"));
+        assert!(!constant_time_eq("abc123", ""));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use impatience_engine::{
     BuiltPipeline, Output, PipelineEnv, PipelineSpec, ReorderSpec, WalIngress,
 };
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Declarative description of one tenant: the pipeline spec plus the
@@ -158,7 +159,40 @@ pub struct TenantRuntime {
     serve: ServeCounters,
     failed: Option<StreamError>,
     completed: bool,
-    applied_seq: u64,
+    applied_seq: Arc<AtomicU64>,
+}
+
+/// Sidecar file (inside the tenant's `wal` dir) holding the applied
+/// session-sequence high-water. WAL tags are the primary record of
+/// applied sequences; checkpoint-driven truncation deletes tagged
+/// records, so the high-water they carried is persisted here first —
+/// atomically, before any truncation — and a restart takes the max of
+/// this file and the tags still on disk. Without it, a restart behind a
+/// checkpoint that covers the newest records would under-report
+/// `durable_seq` and a contract-following client would resend frames
+/// the server re-applies as fresh.
+const APPLIED_SEQ_FILE: &str = "applied.seq";
+
+fn read_applied_sidecar(wal_dir: &Path) -> u64 {
+    std::fs::read_to_string(wal_dir.join(APPLIED_SEQ_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn persist_applied_sidecar(wal_dir: &Path, seq: u64) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = wal_dir.join(format!("{APPLIED_SEQ_FILE}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(seq.to_string().as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, wal_dir.join(APPLIED_SEQ_FILE))?;
+    if let Ok(d) = std::fs::File::open(wal_dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
 }
 
 impl core::fmt::Debug for TenantRuntime {
@@ -267,7 +301,7 @@ impl TenantRuntime {
             out,
             failed: None,
             completed: false,
-            applied_seq: 0,
+            applied_seq: Arc::new(AtomicU64::new(0)),
         };
         runtime.recover()?;
         Ok(runtime)
@@ -288,28 +322,49 @@ impl TenantRuntime {
             .as_ref()
             .and_then(|c| c.recovery())
             .map_or(0, |r| r.messages_seen);
+        // The durable high-water is the max over (a) the sidecar, which
+        // covers tagged records a checkpoint has truncated, and (b) the
+        // tags on every *surviving* WAL record — scanned from the start
+        // of the log, not just the replay suffix: records between the
+        // safe-truncation floor and the newest checkpoint's offset are
+        // not replayed (the checkpoint already holds their state), but
+        // their tags still carry acknowledged sequences.
+        let mut durable_high = read_applied_sidecar(&wal_dir);
         let replayed =
-            WalIngress::<i64>::replay_tagged_from(&wal_dir, replay_from).map_err(|e| {
-                ServeError::Io {
-                    detail: format!("replay wal {}: {e}", wal_dir.display()),
-                }
+            WalIngress::<i64>::replay_tagged_from(&wal_dir, 0).map_err(|e| ServeError::Io {
+                detail: format!("replay wal {}: {e}", wal_dir.display()),
             })?;
-        for (_, tag, msg) in replayed {
-            // Tags carry the session sequence each record was applied
-            // under; the max over the surviving suffix restores the
-            // durable high-water so a resuming client resends only what
-            // the WAL never saw. (Records truncated by a checkpoint are
-            // covered by the checkpoint itself.)
-            self.applied_seq = self.applied_seq.max(tag);
+        for (index, tag, msg) in replayed {
+            durable_high = durable_high.max(tag);
+            if index < replay_from {
+                continue;
+            }
             self.apply_replayed(&msg);
             self.push(msg)?;
+        }
+        self.applied_seq.fetch_max(durable_high, Ordering::Relaxed);
+        // Reconfigure wipes the WAL dir but carries the live high-water
+        // in memory; re-persist so a crash right after the swap still
+        // recovers it.
+        let live = self.applied_seq.load(Ordering::Relaxed);
+        if live > durable_high {
+            persist_applied_sidecar(&wal_dir, live).map_err(|e| ServeError::Io {
+                detail: format!("persist applied-seq sidecar {}: {e}", wal_dir.display()),
+            })?;
         }
         let wal = Arc::new(Mutex::new(wal));
         if let Some(ctx) = &self.built.ckpt {
             let w = Arc::clone(&wal);
+            let seq = Arc::clone(&self.applied_seq);
             ctx.on_checkpoint(move |note| {
                 if let Ok(mut w) = w.lock() {
-                    let _ = w.truncate_before(note.safe_truncate_index);
+                    // Truncation deletes tagged records — the other
+                    // durable copy of the applied high-water — so the
+                    // sidecar must land first; if it cannot be written,
+                    // keep the records.
+                    if persist_applied_sidecar(&wal_dir, seq.load(Ordering::Relaxed)).is_ok() {
+                        let _ = w.truncate_before(note.safe_truncate_index);
+                    }
                 }
             });
         }
@@ -414,7 +469,7 @@ impl TenantRuntime {
             // applied under (0 for unsequenced ingest), so WAL durability
             // and session acks advance together: once this returns, the
             // sequence is recoverable and may be acked to the client.
-            w.append_tagged(msg, self.applied_seq)
+            w.append_tagged(msg, self.applied_seq.load(Ordering::Relaxed))
                 .and_then(|_| w.sync())
                 .map_err(|e| ServeError::Io {
                     detail: format!("wal append: {e}"),
@@ -428,14 +483,14 @@ impl TenantRuntime {
     /// tenants, journaled) by this runtime. Acks up to this value are
     /// safe: a resuming client need not resend them.
     pub fn applied_seq(&self) -> u64 {
-        self.applied_seq
+        self.applied_seq.load(Ordering::Relaxed)
     }
 
     /// Records the session sequence about to be applied; the next
     /// journaled record carries it as its WAL tag. Called by the session
     /// layer before each sequenced operation.
     pub fn note_seq(&mut self, seq: u64) {
-        self.applied_seq = self.applied_seq.max(seq);
+        self.applied_seq.fetch_max(seq, Ordering::Relaxed);
     }
 
     /// The WAL index the next journaled record will take — the durable
@@ -793,6 +848,75 @@ mod tests {
             .ingest(vec![keyed(30, 0, 30)])
             .expect_err("failed tenant");
         assert!(matches!(err, ServeError::TenantFailed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn applied_sidecar_round_trips_and_tolerates_absence() {
+        let dir = scratch("sidecar");
+        assert_eq!(read_applied_sidecar(&dir), 0, "missing file reads as 0");
+        persist_applied_sidecar(&dir, 41).expect("persist");
+        persist_applied_sidecar(&dir, 42).expect("overwrite");
+        assert_eq!(read_applied_sidecar(&dir), 42);
+        std::fs::write(dir.join(APPLIED_SEQ_FILE), "garbage").expect("corrupt");
+        assert_eq!(read_applied_sidecar(&dir), 0, "corrupt file reads as 0");
+    }
+
+    #[test]
+    fn applied_seq_survives_restart_behind_a_covering_checkpoint() {
+        let root = scratch("applied-seq");
+        let config = TenantConfig::new(
+            spec("t6")
+                .with_reorder(ReorderSpec::Fixed {
+                    latency: TickDuration::ticks(4),
+                })
+                .with_checkpoint(1),
+        )
+        .with_durable(true);
+        let mut rt = TenantRuntime::start(config, &root).expect("start");
+        let events: Vec<_> = (1..=200i64).map(|i| keyed(i, 0, i)).collect();
+        for (i, chunk) in events.chunks(20).enumerate() {
+            rt.note_seq(i as u64 + 1);
+            rt.ingest(chunk.to_vec()).expect("ingest");
+        }
+        assert_eq!(rt.applied_seq(), 10);
+
+        // Graceful drain forces a checkpoint covering every journaled
+        // record, so the restart replays (almost) nothing. The
+        // regression this guards: the high-water must come back from
+        // the sidecar / full-log tag scan, not only from the replayed
+        // suffix — otherwise durable_seq under-reports and a resuming
+        // client's resends would be re-applied as fresh.
+        let _ = rt.drain_shutdown();
+        rt.restart().expect("restart");
+        assert_eq!(
+            rt.applied_seq(),
+            10,
+            "the applied high-water must survive a covered restart"
+        );
+
+        // A second shutdown/restart cycle with no new sequenced work:
+        // nothing left to replay at all, so only the persisted sidecar
+        // can carry the value.
+        let _ = rt.drain_shutdown();
+        rt.restart().expect("second restart");
+        assert_eq!(rt.applied_seq(), 10, "sidecar must carry the high-water");
+    }
+
+    #[test]
+    fn reconfigure_carries_applied_seq_into_the_fresh_wal() {
+        let root = scratch("reconf-seq");
+        let config = TenantConfig::new(spec("t7").with_checkpoint(2)).with_durable(true);
+        let mut rt = TenantRuntime::start(config, &root).expect("start");
+        rt.note_seq(7);
+        rt.ingest((0..10).map(|i| keyed(i, 0, i)).collect())
+            .expect("ingest");
+        let next = TenantConfig::new(spec("t7").with_checkpoint(2)).with_durable(true);
+        rt.reconfigure(next).expect("reconfigure");
+        assert_eq!(rt.applied_seq(), 7, "reconfigure must not reset the seq");
+        // The swap wiped the WAL dir; the carried value must already be
+        // durable again so a crash right after reconfigure recovers it.
+        rt.restart().expect("restart");
+        assert_eq!(rt.applied_seq(), 7, "carried seq must be durable");
     }
 
     #[test]

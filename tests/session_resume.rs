@@ -22,7 +22,9 @@
 use impatience_core::{Event, Json, TickDuration};
 use impatience_engine::{OpSpec, PipelineSpec, ReorderSpec};
 use impatience_serve::{
-    Released, RetryPolicy, Server, ServerConfig, SessionClient, TenantConfig, WireMode,
+    read_client_frame, read_server_frame, write_client_frame, write_server_frame, Client,
+    ClientFrame, ClientMsg, Released, RetryPolicy, ServeError, Server, ServerConfig, ServerFrame,
+    ServerMsg, SessionClient, TenantConfig, WireMode,
 };
 use impatience_testkit::netchaos::{FaultProxy, NetFault};
 use impatience_testkit::rng::{Rng, SeedableRng, StdRng};
@@ -306,4 +308,258 @@ fn duplicated_frames_do_not_duplicate_output() {
     proxy.stop();
     server.shutdown();
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A durable session's applied high-water must survive a full **server
+/// restart** — not just a reconnect. `shutdown` drains gracefully
+/// (punctuate, force a checkpoint, sync the WAL), so the restarted
+/// server replays (almost) no WAL suffix; the reported `durable_seq`
+/// must still come back complete. A client following the resume
+/// contract trims its send window to `durable_seq` — if the server
+/// under-reported, the client's resends would be re-applied as fresh
+/// sequences, duplicating events.
+#[test]
+fn durable_seq_survives_a_server_restart() {
+    let root = scratch("server-restart");
+    let config = tenant("restart-durable", true);
+    let batches = workload(0xabcd, 6, 16);
+
+    let mut server = Server::start(ServerConfig::new(&root)).expect("server");
+    let mut client = Client::connect(server.addr(), WireMode::Ndjson).expect("connect");
+    client.open(&config).expect("open");
+    for batch in &batches {
+        client.send(batch.clone()).expect("send");
+    }
+    // Shut down with the session live: the drain path checkpoints and
+    // syncs every tenant, covering all six sequenced records.
+    server.shutdown();
+    drop(client);
+
+    let mut server = Server::start(ServerConfig::new(&root)).expect("restarted server");
+    let mut client = Client::connect(server.addr(), WireMode::Ndjson).expect("reconnect");
+    let info = client.open(&config).expect("re-open");
+    let durable = info
+        .get("session")
+        .and_then(|s| s.get("durable_seq"))
+        .and_then(Json::as_i64)
+        .expect("durable_seq");
+    assert_eq!(
+        durable as usize,
+        batches.len(),
+        "the restarted server must report the WAL-durable high-water, not 0/stale: {info}"
+    );
+
+    // Frames at or below the high-water must be deduplicated, never
+    // re-applied (the fresh client's counter starts at 1).
+    let r = client
+        .send(batches[0].clone())
+        .expect("resend below high-water");
+    assert!(
+        r.events.is_empty(),
+        "an already-durable frame was re-applied after restart ({} events)",
+        r.events.len()
+    );
+    let metrics = server.metrics();
+    assert!(
+        counter(&metrics, "serve.session.duplicates_dropped") > 0,
+        "server-side dedup should have dropped the replayed frame"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Resume tokens are bearer credentials: they must not embed the tenant
+/// name or any enumerable structure, and must be long random hex.
+#[test]
+fn resume_tokens_are_opaque_and_unpredictable() {
+    let root = scratch("tokens");
+    let mut server = Server::start(ServerConfig::new(&root)).expect("server");
+    let token_of = |info: &Json| {
+        info.get("session")
+            .and_then(|s| s.get("token"))
+            .and_then(Json::as_str)
+            .expect("token")
+            .to_string()
+    };
+    let mut c1 = Client::connect(server.addr(), WireMode::Ndjson).expect("c1");
+    let t1 = token_of(
+        &c1.open_resumable(&tenant("tok-alpha", false))
+            .expect("open"),
+    );
+    let mut c2 = Client::connect(server.addr(), WireMode::Ndjson).expect("c2");
+    let t2 = token_of(&c2.open_resumable(&tenant("tok-beta", false)).expect("open"));
+
+    assert_ne!(t1, t2);
+    for (token, name) in [(&t1, "tok-alpha"), (&t2, "tok-beta")] {
+        assert!(
+            token.len() >= 32,
+            "token too short to be unguessable: {token:?}"
+        );
+        assert!(
+            token.chars().all(|c| c.is_ascii_hexdigit()),
+            "token leaks structure: {token:?}"
+        );
+        assert!(
+            !token.contains(name),
+            "token embeds the tenant name: {token:?}"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Acks carried on heartbeat frames must free the server's reply cache.
+/// An idle client holding its session alive with pings (acking
+/// everything it has read) must never trip the slow-consumer eviction.
+#[test]
+fn pings_advance_the_ack_horizon_and_free_the_reply_cache() {
+    let root = scratch("ping-ack");
+    let mut server = Server::start(
+        // Small enough that 17 unacked empty-batch replies (64 bytes
+        // each) would overflow it; pings acking the first 12 keep the
+        // cache bounded.
+        ServerConfig::new(&root).with_reply_cache_bytes(1024),
+    )
+    .expect("server");
+    let mode = WireMode::Ndjson;
+    let stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::new(stream);
+    let mut roundtrip = |frame: &ClientFrame| -> ServerMsg {
+        write_client_frame(&mut writer, mode, frame).expect("write frame");
+        read_server_frame(&mut reader, mode)
+            .expect("read frame")
+            .expect("server closed the connection")
+            .msg
+    };
+
+    let open = roundtrip(&ClientFrame::unsequenced(ClientMsg::Open {
+        config: tenant("ping-ack", false).to_json(),
+        resume: None,
+        resumable: false,
+    }));
+    assert!(matches!(open, ServerMsg::Ok { .. }), "{open:?}");
+
+    let mut seq = 0u64;
+    let mut events = |roundtrip: &mut dyn FnMut(&ClientFrame) -> ServerMsg, n: usize| {
+        for _ in 0..n {
+            seq += 1;
+            let reply = roundtrip(&ClientFrame {
+                seq,
+                // Never ack via data frames: in this scenario all the
+                // acking happens on heartbeats.
+                ack: 0,
+                msg: ClientMsg::Events { batch: vec![] },
+            });
+            assert!(
+                matches!(reply, ServerMsg::Out { .. }),
+                "frame {seq} was not answered with output (slow-consumer \
+                 eviction despite acked replies?): {reply:?}"
+            );
+        }
+    };
+    events(&mut roundtrip, 12);
+    let pong = roundtrip(&ClientFrame {
+        seq: 0,
+        ack: 12,
+        msg: ClientMsg::Ping { nonce: 7 },
+    });
+    assert!(matches!(pong, ServerMsg::Pong { nonce: 7 }), "{pong:?}");
+    events(&mut roundtrip, 12);
+
+    let metrics = server.metrics();
+    assert!(counter(&metrics, "serve.session.heartbeats") >= 1);
+    assert_eq!(
+        counter(&metrics, "serve.session.slow_client_evictions"),
+        0,
+        "the ping's ack must have freed the reply cache"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// One operation gets a bounded number of reconnect cycles. The fake
+/// server here is byzantine: it completes the open handshake, answers
+/// each data frame with an unsequenced `Pong` (which never settles the
+/// send window), then drops the connection — so every attach looks
+/// healthy and every subsequent read fails. Without a per-operation
+/// cycle budget the client reconnects forever, re-entering
+/// `ensure_connected` with a fresh attempt budget each time.
+#[test]
+fn reconnect_cycles_are_bounded_per_operation() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let addr = listener.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let flapper = std::thread::spawn(move || {
+        let ok_info = Json::parse(
+            r#"{"tenant": "flap", "resumed": false,
+                "session": {"token": "flap-token", "durable_seq": 0}}"#,
+        )
+        .expect("info json");
+        while !stop_accept.load(Ordering::Relaxed) {
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(_) => break,
+            };
+            let _ = stream.set_nonblocking(false);
+            let mut writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => continue,
+            };
+            let mut reader = std::io::BufReader::new(stream);
+            let Ok(Some(_open)) = read_client_frame(&mut reader, WireMode::Ndjson) else {
+                continue;
+            };
+            let _ = write_server_frame(
+                &mut writer,
+                WireMode::Ndjson,
+                &ServerFrame::unsequenced(ServerMsg::Ok {
+                    info: ok_info.clone(),
+                }),
+            );
+            if let Ok(Some(_data)) = read_client_frame(&mut reader, WireMode::Ndjson) {
+                let _ = write_server_frame(
+                    &mut writer,
+                    WireMode::Ndjson,
+                    &ServerFrame::unsequenced(ServerMsg::Pong { nonce: 0 }),
+                );
+            }
+            // Dropping the streams severs the connection.
+        }
+    });
+
+    let policy = RetryPolicy {
+        max_reconnects: 3,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        seed: 7,
+        io_deadline: Duration::from_secs(2),
+    };
+    let mut client = SessionClient::open(addr, WireMode::Ndjson, tenant("flap", false), policy)
+        .expect("open")
+        .with_window(1);
+    let err = client
+        .send(workload(1, 1, 4).remove(0))
+        .expect_err("the client must give up instead of reconnecting forever");
+    assert!(
+        matches!(
+            err,
+            ServeError::Session {
+                retryable: false,
+                ..
+            }
+        ),
+        "exhaustion must be a terminal session error: {err:?}"
+    );
+    stop.store(true, Ordering::Relaxed);
+    flapper.join().expect("flapper thread");
 }
